@@ -1,0 +1,93 @@
+//! Ablation: the cost of the LCP feature.
+//!
+//! The paper attributes BLAST's >2× run-time advantage over the LCP-based
+//! feature sets to the cost of computing LCP, which in a naive implementation
+//! iterates over all blocks of an entity to gather its distinct candidates.
+//! This repository pre-computes the per-entity candidate counts while
+//! deduplicating the comparisons, so LCP becomes O(1) per pair; this bench
+//! quantifies both the naive cost the paper refers to and the per-scheme cost
+//! of feature generation in this implementation.
+
+use std::time::Instant;
+
+use bench::{banner, prepare};
+use er_core::{EntityId, FxHashSet};
+use er_datasets::DatasetName;
+use er_eval::experiment::PreparedDataset;
+use er_features::{FeatureMatrix, FeatureSet, Scheme};
+
+/// Naive LCP: recompute the distinct candidates of an entity by walking its
+/// blocks, the way the paper describes the feature's cost.
+fn naive_lcp(prepared: &PreparedDataset, entity: EntityId) -> usize {
+    let mut distinct: FxHashSet<EntityId> = FxHashSet::default();
+    for &block in prepared.stats.blocks_of(entity) {
+        for &other in &prepared.blocks.block(block).entities {
+            if prepared.blocks.is_comparable(entity, other) {
+                distinct.insert(other);
+            }
+        }
+    }
+    distinct.len()
+}
+
+fn main() {
+    banner("Ablation: LCP cost and per-scheme feature-generation time");
+    let prepared = prepare(DatasetName::Movies);
+    println!(
+        "dataset Movies: {} candidate pairs, {} entities",
+        prepared.num_candidates(),
+        prepared.dataset.num_entities()
+    );
+
+    // Naive (per-pair recomputation) LCP over a sample of pairs.
+    let sample: Vec<_> = prepared
+        .candidates
+        .pairs()
+        .iter()
+        .step_by((prepared.num_candidates() / 20_000).max(1))
+        .copied()
+        .collect();
+    let start = Instant::now();
+    let mut checksum = 0usize;
+    for &(a, b) in &sample {
+        checksum += naive_lcp(&prepared, a) + naive_lcp(&prepared, b);
+    }
+    let naive = start.elapsed();
+    let start = Instant::now();
+    for &(a, b) in &sample {
+        checksum += prepared.candidates.candidates_of(a) as usize
+            + prepared.candidates.candidates_of(b) as usize;
+    }
+    let precomputed = start.elapsed();
+    println!(
+        "LCP on {} sampled pairs: naive recomputation {:.3}s vs precomputed {:.6}s (checksum {})",
+        sample.len(),
+        naive.as_secs_f64(),
+        precomputed.as_secs_f64(),
+        checksum
+    );
+
+    // Per-scheme full feature-generation time.
+    println!("\nfull-matrix generation time per single-scheme feature set:");
+    let context = prepared.context();
+    for scheme in Scheme::ALL {
+        let set = FeatureSet::from_schemes([scheme]);
+        let start = Instant::now();
+        let matrix = FeatureMatrix::build(&context, set);
+        let elapsed = start.elapsed();
+        println!(
+            "  {:<8} {:>8.3}s  ({} pairs × {} feature(s))",
+            scheme.name(),
+            elapsed.as_secs_f64(),
+            matrix.num_pairs(),
+            matrix.num_features()
+        );
+    }
+
+    // The two selected feature sets.
+    for set in [FeatureSet::blast_optimal(), FeatureSet::rcnp_optimal()] {
+        let start = Instant::now();
+        let _ = FeatureMatrix::build(&context, set);
+        println!("  {:<40} {:>8.3}s", set.to_string(), start.elapsed().as_secs_f64());
+    }
+}

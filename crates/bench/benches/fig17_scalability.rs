@@ -1,0 +1,43 @@
+//! Figure 17: scalability analysis over the synthetic Dirty ER datasets.
+//!
+//! Runs BCl vs BLAST (weight-based) and CNP vs RCNP (cardinality-based) over
+//! the D10K…D300K analogues with logistic regression and 50 labelled
+//! instances.  Expected shape: the generalized algorithms keep recall high
+//! while improving precision/F1 by a large factor over their baselines, on
+//! every dataset size.
+
+use bench::{banner, bench_catalog_options, env_usize};
+use er_eval::scalability::run_scalability;
+use meta_blocking::pruning::AlgorithmKind;
+
+fn main() {
+    banner("Figure 17: scalability over the Dirty ER datasets");
+    let options = bench_catalog_options();
+    let repetitions = env_usize("GSMB_SCALABILITY_REPS", 2);
+    let algorithms = [
+        AlgorithmKind::Bcl,
+        AlgorithmKind::Blast,
+        AlgorithmKind::Cnp,
+        AlgorithmKind::Rcnp,
+    ];
+    let points =
+        run_scalability(&options, &algorithms, repetitions).expect("scalability run failed");
+
+    println!(
+        "{:<8} {:<8} {:>10} {:>12} {:>8} {:>10} {:>8} {:>9}",
+        "dataset", "algo", "entities", "|C|", "recall", "precision", "F1", "RT(s)"
+    );
+    for point in &points {
+        println!(
+            "{:<8} {:<8} {:>10} {:>12} {:>8.4} {:>10.4} {:>8.4} {:>9.3}",
+            point.dataset,
+            point.algorithm.name(),
+            point.num_entities,
+            point.num_candidates,
+            point.effectiveness.recall,
+            point.effectiveness.precision,
+            point.effectiveness.f1,
+            point.rt_seconds
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 18: speedup of the scalability analysis.
+//!
+//! Speedup extrapolates the run-time of the smallest Dirty ER dataset to the
+//! larger ones: `speedup = (|C2|/|C1|) · (RT1/RT2)`, with values close to 1
+//! indicating linear scalability.  Expected shape: BLAST and RCNP stay closer
+//! to 1 on the largest datasets than BCl and CNP.
+
+use bench::{banner, bench_catalog_options, env_usize};
+use er_eval::scalability::{run_scalability, speedup_series};
+use meta_blocking::pruning::AlgorithmKind;
+
+fn main() {
+    banner("Figure 18: speedup relative to the smallest Dirty ER dataset");
+    let options = bench_catalog_options();
+    let repetitions = env_usize("GSMB_SCALABILITY_REPS", 1);
+    let algorithms = [
+        AlgorithmKind::Bcl,
+        AlgorithmKind::Blast,
+        AlgorithmKind::Cnp,
+        AlgorithmKind::Rcnp,
+    ];
+    let points =
+        run_scalability(&options, &algorithms, repetitions).expect("scalability run failed");
+
+    // Header: the larger datasets.
+    let datasets: Vec<String> = points
+        .iter()
+        .filter(|p| p.algorithm == algorithms[0])
+        .skip(1)
+        .map(|p| p.dataset.clone())
+        .collect();
+    print!("{:<8}", "algo");
+    for name in &datasets {
+        print!(" {name:>10}");
+    }
+    println!();
+    for algorithm in algorithms {
+        let series = speedup_series(&points, algorithm);
+        print!("{:<8}", algorithm.name());
+        for (_, value) in &series {
+            print!(" {value:>10.3}");
+        }
+        println!();
+    }
+    println!("\nvalues close to 1.0 indicate linear scalability");
+}

@@ -1,0 +1,107 @@
+//! Figures 7 and 9: run-time of the paper's top-10 feature sets on the two
+//! largest datasets (Movies and WalmartAmazon analogues).
+//!
+//! The measured time covers feature generation, training, scoring and pruning
+//! (the paper's RT minus the fixed block-restructuring overhead).  Expected
+//! shape: for BLAST the LCP-free sets are clearly cheaper; for RCNP all sets
+//! include LCP and the differences are small.
+
+use bench::{banner, bench_repetitions, prepare};
+use er_datasets::DatasetName;
+use er_eval::experiment::{run_once, PreparedDataset, RunConfig};
+use er_features::{FeatureSet, Scheme};
+use meta_blocking::pruning::AlgorithmKind;
+
+/// The top-10 BLAST feature sets of Table 3 in the paper.
+fn blast_top10() -> Vec<FeatureSet> {
+    use Scheme::*;
+    vec![
+        FeatureSet::from_schemes([CfIbf, Raccb, Js, Rs]),
+        FeatureSet::from_schemes([CfIbf, Raccb, Js, Nrs]),
+        FeatureSet::from_schemes([CfIbf, Raccb, Js, Wjs]),
+        FeatureSet::from_schemes([CfIbf, Raccb, Rs, Nrs]),
+        FeatureSet::from_schemes([CfIbf, Raccb, Rs, Wjs]),
+        FeatureSet::from_schemes([CfIbf, Raccb, Nrs, Wjs]),
+        FeatureSet::from_schemes([CfIbf, Js, Rs, Wjs]),
+        FeatureSet::from_schemes([CfIbf, Js, Nrs, Wjs]),
+        FeatureSet::from_schemes([CfIbf, Rs, Nrs, Wjs]),
+        FeatureSet::from_schemes([CfIbf, Raccb, Js, Rs, Nrs, Wjs]),
+    ]
+}
+
+/// The top-10 RCNP feature sets of Table 4 in the paper.
+fn rcnp_top10() -> Vec<FeatureSet> {
+    use Scheme::*;
+    vec![
+        FeatureSet::from_schemes([CfIbf, Raccb, Js, Lcp, Rs]),
+        FeatureSet::from_schemes([CfIbf, Raccb, Js, Lcp, Wjs]),
+        FeatureSet::from_schemes([CfIbf, Raccb, Lcp, Rs, Nrs]),
+        FeatureSet::from_schemes([CfIbf, Js, Lcp, Rs, Nrs]),
+        FeatureSet::from_schemes([CfIbf, Raccb, Js, Lcp, Rs, Nrs]),
+        FeatureSet::from_schemes([CfIbf, Raccb, Js, Lcp, Rs, Wjs]),
+        FeatureSet::from_schemes([CfIbf, Raccb, Js, Lcp, Nrs, Wjs]),
+        FeatureSet::from_schemes([CfIbf, Raccb, Lcp, Rs, Nrs, Wjs]),
+        FeatureSet::from_schemes([CfIbf, Js, Lcp, Rs, Nrs, Wjs]),
+        FeatureSet::from_schemes([CfIbf, Raccb, Js, Lcp, Rs, Nrs, Wjs]),
+    ]
+}
+
+fn measure(
+    title: &str,
+    algorithm: AlgorithmKind,
+    sets: &[FeatureSet],
+    datasets: &[(&str, &PreparedDataset)],
+    repetitions: usize,
+) {
+    println!("\n--- {title} ---");
+    println!("{:<50} {:>14} {:>16}", "feature set", datasets[0].0, datasets[1].0);
+    for &set in sets {
+        let mut cells = Vec::new();
+        for &(_, prepared) in datasets {
+            let config = RunConfig {
+                feature_set: set,
+                per_class: 250,
+                ..Default::default()
+            };
+            let mut total = 0.0;
+            for rep in 0..repetitions {
+                let config = RunConfig {
+                    seed: er_core::rng::derive_seed(config.seed, rep as u64),
+                    ..config.clone()
+                };
+                let result = run_once(prepared, algorithm, &config).expect("run failed");
+                total += result.total_rt().as_secs_f64();
+            }
+            cells.push(total / repetitions as f64);
+        }
+        println!(
+            "{:<50} {:>12.3}s {:>14.3}s",
+            set.to_string(),
+            cells[0],
+            cells[1]
+        );
+    }
+}
+
+fn main() {
+    banner("Figures 7 & 9: run-time of the top-10 feature sets (largest datasets)");
+    let repetitions = bench_repetitions();
+    let movies = prepare(DatasetName::Movies);
+    let walmart = prepare(DatasetName::WalmartAmazon);
+    let datasets = [("Movies", &movies), ("WalmartAmazon", &walmart)];
+
+    measure(
+        "Figure 7: BLAST",
+        AlgorithmKind::Blast,
+        &blast_top10(),
+        &datasets,
+        repetitions,
+    );
+    measure(
+        "Figure 9: RCNP",
+        AlgorithmKind::Rcnp,
+        &rcnp_top10(),
+        &datasets,
+        repetitions,
+    );
+}

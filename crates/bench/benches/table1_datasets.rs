@@ -1,0 +1,28 @@
+//! Table 1: technical characteristics of the Clean-Clean ER datasets.
+//!
+//! Prints |E1|, |E2|, |D| and |C| for every generated benchmark analogue so
+//! the structural properties can be compared with the paper's Table 1
+//! (absolute sizes are scaled down; the ordering and imbalance are what
+//! matters).
+
+use bench::{banner, bench_catalog_options, prepare_all};
+
+fn main() {
+    banner("Table 1: dataset characteristics (synthetic analogues)");
+    let options = bench_catalog_options();
+    println!("catalog scale = {}", options.scale);
+    println!(
+        "{:<15} {:>8} {:>8} {:>8} {:>12}",
+        "dataset", "|E1|", "|E2|", "|D|", "|C|"
+    );
+    for prepared in prepare_all() {
+        println!(
+            "{:<15} {:>8} {:>8} {:>8} {:>12}",
+            prepared.dataset.name,
+            prepared.dataset.len_e1(),
+            prepared.dataset.len_e2(),
+            prepared.dataset.num_duplicates(),
+            prepared.num_candidates()
+        );
+    }
+}

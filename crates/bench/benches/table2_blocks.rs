@@ -1,0 +1,23 @@
+//! Table 2: performance of the input block collections.
+//!
+//! Reports recall, precision and F1 of the block collections produced by
+//! Token Blocking + Block Purging + Block Filtering — the input every
+//! supervised meta-blocking method starts from.  The paper's shape: recall
+//! close to 1 (lower only for the noisiest datasets), precision below 0.05.
+
+use bench::{banner, prepare_all};
+use er_eval::tables::{render_table, TableRow};
+
+fn main() {
+    banner("Table 2: input block collection quality");
+    let mut rows = Vec::new();
+    for prepared in prepare_all() {
+        let quality = prepared.block_quality();
+        rows.push(
+            TableRow::new(prepared.dataset.name.clone(), quality)
+                .with_extra("|C|", prepared.num_candidates().to_string())
+                .with_extra("blocks", prepared.blocks.num_blocks().to_string()),
+        );
+    }
+    print!("{}", render_table("Block collections given to meta-blocking", &rows));
+}

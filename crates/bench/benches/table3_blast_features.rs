@@ -1,0 +1,46 @@
+//! Table 3: the top-10 feature sets for BLAST.
+//!
+//! Sweeps feature-set combinations, averages the effectiveness over several
+//! datasets and prints the 10 sets with the highest F1.  By default only the
+//! first `GSMB_SWEEP_DATASETS` (4) datasets and every combination of up to 5
+//! schemes are evaluated to keep the default run short; set
+//! `GSMB_FULL_SWEEP=1` for all 255 combinations.
+//!
+//! Expected shape: the best sets combine CF-IBF and RACCB with the new
+//! normalised schemes (RS, NRS, WJS), all with nearly identical F1.
+
+use bench::{banner, bench_repetitions, env_usize, feature_sweep, prepare_subset};
+use er_features::FeatureSet;
+use meta_blocking::pruning::AlgorithmKind;
+
+fn main() {
+    banner("Table 3: top-10 feature sets for BLAST");
+    let prepared = prepare_subset(env_usize("GSMB_SWEEP_DATASETS", 4));
+    let repetitions = bench_repetitions().min(3);
+    let results = feature_sweep(AlgorithmKind::Blast, &prepared, repetitions);
+
+    println!(
+        "{:<4} {:<45} {:>8} {:>10} {:>8}",
+        "ID", "feature set", "recall", "precision", "F1"
+    );
+    for (set, eff) in results.iter().take(10) {
+        println!(
+            "{:<4} {:<45} {:>8.4} {:>10.4} {:>8.4}",
+            set.id(),
+            set.to_string(),
+            eff.recall,
+            eff.precision,
+            eff.f1
+        );
+    }
+    println!(
+        "\npaper-selected set {} scores F1 = {:.4} (best observed = {:.4})",
+        FeatureSet::blast_optimal(),
+        results
+            .iter()
+            .find(|(s, _)| *s == FeatureSet::blast_optimal())
+            .map(|(_, e)| e.f1)
+            .unwrap_or(f64::NAN),
+        results.first().map(|(_, e)| e.f1).unwrap_or(f64::NAN)
+    );
+}

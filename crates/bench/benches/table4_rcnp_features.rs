@@ -1,0 +1,41 @@
+//! Table 4: the top-10 feature sets for RCNP.
+//!
+//! Same sweep as Table 3 but for the cardinality-based RCNP algorithm.
+//! Expected shape: the top sets include CF-IBF, RACCB and LCP combined with
+//! the new normalised schemes, all with nearly identical F1.
+
+use bench::{banner, bench_repetitions, env_usize, feature_sweep, prepare_subset};
+use er_features::FeatureSet;
+use meta_blocking::pruning::AlgorithmKind;
+
+fn main() {
+    banner("Table 4: top-10 feature sets for RCNP");
+    let prepared = prepare_subset(env_usize("GSMB_SWEEP_DATASETS", 4));
+    let repetitions = bench_repetitions().min(3);
+    let results = feature_sweep(AlgorithmKind::Rcnp, &prepared, repetitions);
+
+    println!(
+        "{:<4} {:<50} {:>8} {:>10} {:>8}",
+        "ID", "feature set", "recall", "precision", "F1"
+    );
+    for (set, eff) in results.iter().take(10) {
+        println!(
+            "{:<4} {:<50} {:>8.4} {:>10.4} {:>8.4}",
+            set.id(),
+            set.to_string(),
+            eff.recall,
+            eff.precision,
+            eff.f1
+        );
+    }
+    println!(
+        "\npaper-selected set {} scores F1 = {:.4} (best observed = {:.4})",
+        FeatureSet::rcnp_optimal(),
+        results
+            .iter()
+            .find(|(s, _)| *s == FeatureSet::rcnp_optimal())
+            .map(|(_, e)| e.f1)
+            .unwrap_or(f64::NAN),
+        results.first().map(|(_, e)| e.f1).unwrap_or(f64::NAN)
+    );
+}

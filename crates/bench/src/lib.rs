@@ -1,0 +1,163 @@
+//! Shared setup for the benchmark harness.
+//!
+//! Every bench target reproduces one table or figure of the paper.  They all
+//! read their scale from environment variables so the default `cargo bench`
+//! run finishes in minutes on a laptop while still exercising every code path;
+//! raise the variables to approach the paper's original dataset sizes.
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `GSMB_SCALE` | multiplier on the Clean-Clean catalog entity counts | `0.5` |
+//! | `GSMB_DIRTY_SCALE` | multiplier on the Dirty scalability dataset sizes | `0.02` |
+//! | `GSMB_REPS` | repetitions averaged per experiment | `3` |
+//! | `GSMB_FULL_SWEEP` | set to `1` to run the full 255-combination feature sweep | unset |
+//! | `GSMB_SWEEP_DATASETS` | number of datasets used in the feature sweep | `4` |
+
+use er_datasets::{generate_catalog_dataset, CatalogOptions, DatasetName};
+use er_eval::experiment::PreparedDataset;
+
+/// Reads an `f64` environment variable with a default.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads a `usize` environment variable with a default.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// True if the named flag variable is set to a truthy value.
+pub fn env_flag(name: &str) -> bool {
+    matches!(
+        std::env::var(name).ok().as_deref(),
+        Some("1") | Some("true") | Some("yes")
+    )
+}
+
+/// The catalog options used by the bench harness.
+pub fn bench_catalog_options() -> CatalogOptions {
+    CatalogOptions {
+        scale: env_f64("GSMB_SCALE", 0.5),
+        dirty_scale: env_f64("GSMB_DIRTY_SCALE", 0.02),
+        ..CatalogOptions::default()
+    }
+}
+
+/// Number of repetitions averaged per experiment.
+pub fn bench_repetitions() -> usize {
+    env_usize("GSMB_REPS", 3).max(1)
+}
+
+/// Generates and prepares (blocks) one catalog dataset.
+pub fn prepare(name: DatasetName) -> PreparedDataset {
+    let options = bench_catalog_options();
+    let dataset = generate_catalog_dataset(name, &options)
+        .unwrap_or_else(|e| panic!("failed to generate {name}: {e}"));
+    PreparedDataset::prepare(dataset)
+        .unwrap_or_else(|e| panic!("failed to prepare {name}: {e}"))
+}
+
+/// Prepares every catalog dataset, in Table 1 order.
+pub fn prepare_all() -> Vec<PreparedDataset> {
+    DatasetName::all().into_iter().map(prepare).collect()
+}
+
+/// Prepares the first `count` catalog datasets (the smaller ones), used by
+/// the expensive sweeps.
+pub fn prepare_subset(count: usize) -> Vec<PreparedDataset> {
+    DatasetName::all()
+        .into_iter()
+        .take(count)
+        .map(prepare)
+        .collect()
+}
+
+/// Prints a section header so the bench output reads like the paper.
+pub fn banner(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Runs the feature-selection sweep (Tables 3 and 4) for one algorithm and
+/// returns `(feature set, mean effectiveness)` sorted by descending F1.
+///
+/// By default only combinations of up to 5 schemes are evaluated; set
+/// `GSMB_FULL_SWEEP=1` to cover all 255 combinations as in the paper.
+pub fn feature_sweep(
+    algorithm: meta_blocking::pruning::AlgorithmKind,
+    prepared: &[PreparedDataset],
+    repetitions: usize,
+) -> Vec<(er_features::FeatureSet, er_eval::Effectiveness)> {
+    use er_eval::experiment::{run_with_matrix, RunConfig};
+    use er_eval::Effectiveness;
+    use er_features::{FeatureMatrix, FeatureSet};
+    use std::time::Duration;
+
+    let full_sweep = env_flag("GSMB_FULL_SWEEP");
+    let sets: Vec<FeatureSet> = FeatureSet::all_combinations()
+        .filter(|s| full_sweep || s.num_schemes() <= 5)
+        .collect();
+
+    // One all-schemes matrix per dataset; every combination is a projection.
+    let matrices: Vec<FeatureMatrix> = prepared
+        .iter()
+        .map(|p| p.build_features(FeatureSet::all_schemes()).0)
+        .collect();
+
+    let mut results = Vec::with_capacity(sets.len());
+    for &set in &sets {
+        let mut per_dataset = Vec::new();
+        for (dataset, matrix) in prepared.iter().zip(&matrices) {
+            let projected = matrix.project(set);
+            let config = RunConfig {
+                feature_set: set,
+                per_class: 250,
+                ..Default::default()
+            };
+            let mut per_run = Vec::new();
+            for rep in 0..repetitions.max(1) {
+                let seed = er_core::rng::derive_seed(config.seed, rep as u64);
+                let run = run_with_matrix(
+                    dataset,
+                    &projected,
+                    Duration::ZERO,
+                    algorithm,
+                    &config,
+                    seed,
+                )
+                .expect("sweep run failed");
+                per_run.push(run.effectiveness);
+            }
+            per_dataset.push(Effectiveness::mean(&per_run));
+        }
+        results.push((set, Effectiveness::mean(&per_dataset)));
+    }
+    results.sort_by(|a, b| b.1.f1.partial_cmp(&a.1.f1).unwrap());
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_helpers_fall_back_to_defaults() {
+        assert_eq!(env_f64("GSMB_DOES_NOT_EXIST", 1.25), 1.25);
+        assert_eq!(env_usize("GSMB_DOES_NOT_EXIST", 7), 7);
+        assert!(!env_flag("GSMB_DOES_NOT_EXIST"));
+    }
+
+    #[test]
+    fn bench_options_are_positive() {
+        let options = bench_catalog_options();
+        assert!(options.scale > 0.0);
+        assert!(options.dirty_scale > 0.0);
+        assert!(bench_repetitions() >= 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! Generalized Supervised Meta-blocking.
+//!
+//! This crate implements the paper's primary contribution: casting
+//! meta-blocking as a *probabilistic* binary classification task and feeding
+//! the per-pair matching probabilities to weight-based and cardinality-based
+//! pruning algorithms.
+//!
+//! * [`scoring`] — probability sources (cached scores or model-on-the-fly);
+//! * [`pruning`] — the supervised pruning algorithms WEP, WNP, RWNP, BLAST,
+//!   CEP, CNP, RCNP and the BCl baseline of the original Supervised
+//!   Meta-blocking paper;
+//! * [`pipeline`] — the end-to-end `blocking → features → training → scoring →
+//!   pruning` workflow with run-time accounting;
+//! * [`unsupervised`] — classic (single-weight) meta-blocking baselines for
+//!   reference.
+//!
+//! ```
+//! use er_datasets::{generate_catalog_dataset, CatalogOptions, DatasetName};
+//! use meta_blocking::pipeline::{ClassifierKind, MetaBlockingConfig, MetaBlockingPipeline};
+//! use meta_blocking::pruning::AlgorithmKind;
+//!
+//! let dataset = generate_catalog_dataset(DatasetName::AbtBuy, &CatalogOptions::tiny()).unwrap();
+//! let config = MetaBlockingConfig::default();
+//! let outcome = MetaBlockingPipeline::new(config)
+//!     .run(&dataset, AlgorithmKind::Blast)
+//!     .unwrap();
+//! assert!(outcome.retained.len() <= outcome.num_candidates);
+//! ```
+
+pub mod materialize;
+pub mod pipeline;
+pub mod progressive;
+pub mod pruning;
+pub mod scoring;
+pub mod unsupervised;
+
+pub use materialize::{materialize_blocks, PruningSummary};
+pub use pipeline::{ClassifierKind, MetaBlockingConfig, MetaBlockingOutcome, MetaBlockingPipeline};
+pub use progressive::ProgressiveSchedule;
+pub use pruning::{AlgorithmKind, CardinalityThresholds, PruningAlgorithm};
+pub use scoring::{CachedScores, ModelScorer, ProbabilitySource, VALIDITY_THRESHOLD};

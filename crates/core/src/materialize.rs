@@ -1,0 +1,151 @@
+//! Materialising the pruning output as a new block collection.
+//!
+//! Both Supervised and Generalized Supervised Meta-blocking define their
+//! output as a new block collection `B'` with one block per retained
+//! candidate pair; that collection is what a downstream Matching algorithm
+//! consumes.  This module builds `B'` and computes the block-collection-level
+//! statistics the paper reports (|P_B|, |N_B| and the reduction ratio).
+
+use er_blocking::{Block, BlockCollection, CandidatePairs};
+use er_core::{GroundTruth, PairId};
+use serde::{Deserialize, Serialize};
+
+/// Builds the output block collection `B'`: one two-entity block per retained
+/// pair, keyed by the pair's position in the retained list.
+pub fn materialize_blocks(
+    source: &BlockCollection,
+    candidates: &CandidatePairs,
+    retained: &[PairId],
+) -> BlockCollection {
+    let blocks = retained
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| {
+            let (a, b) = candidates.pair(id);
+            Block::new(format!("pair{i}"), vec![a, b])
+        })
+        .collect();
+    BlockCollection {
+        dataset_name: source.dataset_name.clone(),
+        kind: source.kind,
+        split: source.split,
+        num_entities: source.num_entities,
+        blocks,
+    }
+}
+
+/// The positive/negative pair balance of a candidate set before and after
+/// pruning, matching the paper's |P_B| / |N_B| notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PruningSummary {
+    /// Positive (matching) pairs in the input candidate set, |P_B|.
+    pub input_positives: usize,
+    /// Negative pairs in the input candidate set, |N_B|.
+    pub input_negatives: usize,
+    /// Positive pairs retained after pruning, |P_B'|.
+    pub retained_positives: usize,
+    /// Negative pairs retained after pruning, |N_B'|.
+    pub retained_negatives: usize,
+}
+
+impl PruningSummary {
+    /// Computes the summary for a pruning outcome.
+    pub fn new(candidates: &CandidatePairs, retained: &[PairId], truth: &GroundTruth) -> Self {
+        let input_positives = candidates.count_positives(truth);
+        let input_negatives = candidates.len() - input_positives;
+        let retained_positives = retained
+            .iter()
+            .filter(|&&id| {
+                let (a, b) = candidates.pair(id);
+                truth.is_match(a, b)
+            })
+            .count();
+        let retained_negatives = retained.len() - retained_positives;
+        PruningSummary {
+            input_positives,
+            input_negatives,
+            retained_positives,
+            retained_negatives,
+        }
+    }
+
+    /// The fraction of negative (superfluous) pairs that pruning removed —
+    /// the quantity meta-blocking is designed to maximise while keeping the
+    /// positives intact.
+    pub fn negative_reduction(&self) -> f64 {
+        if self.input_negatives == 0 {
+            return 0.0;
+        }
+        1.0 - self.retained_negatives as f64 / self.input_negatives as f64
+    }
+
+    /// The fraction of positive pairs that survived pruning.
+    pub fn positive_retention(&self) -> f64 {
+        if self.input_positives == 0 {
+            return 0.0;
+        }
+        self.retained_positives as f64 / self.input_positives as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::{DatasetKind, EntityId};
+
+    fn fixture() -> (BlockCollection, CandidatePairs, GroundTruth) {
+        let source = BlockCollection {
+            dataset_name: "t".into(),
+            kind: DatasetKind::CleanClean,
+            split: 2,
+            num_entities: 4,
+            blocks: vec![Block::new("b", vec![EntityId(0), EntityId(1), EntityId(2), EntityId(3)])],
+        };
+        let candidates = CandidatePairs::from_blocks(&source);
+        let truth = GroundTruth::from_pairs(vec![(EntityId(0), EntityId(2))]);
+        (source, candidates, truth)
+    }
+
+    #[test]
+    fn materialized_collection_has_one_block_per_retained_pair() {
+        let (source, candidates, _) = fixture();
+        let retained = vec![PairId(0), PairId(2)];
+        let output = materialize_blocks(&source, &candidates, &retained);
+        assert_eq!(output.num_blocks(), 2);
+        assert!(output.blocks.iter().all(|b| b.size() == 2));
+        assert_eq!(output.total_comparisons(), 2);
+        assert_eq!(output.kind, source.kind);
+    }
+
+    #[test]
+    fn summary_counts_positives_and_negatives() {
+        let (_, candidates, truth) = fixture();
+        // Retain the true match and one superfluous pair.
+        let match_id = candidates
+            .iter()
+            .find(|&(_, a, b)| truth.is_match(a, b))
+            .map(|(id, _, _)| id)
+            .unwrap();
+        let non_match_id = candidates
+            .iter()
+            .find(|&(_, a, b)| !truth.is_match(a, b))
+            .map(|(id, _, _)| id)
+            .unwrap();
+        let summary = PruningSummary::new(&candidates, &[match_id, non_match_id], &truth);
+        assert_eq!(summary.input_positives, 1);
+        assert_eq!(summary.input_negatives, 3);
+        assert_eq!(summary.retained_positives, 1);
+        assert_eq!(summary.retained_negatives, 1);
+        assert!((summary.positive_retention() - 1.0).abs() < 1e-12);
+        assert!((summary.negative_reduction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_retention_reduces_everything() {
+        let (_, candidates, truth) = fixture();
+        let summary = PruningSummary::new(&candidates, &[], &truth);
+        assert_eq!(summary.retained_positives, 0);
+        assert!((summary.negative_reduction() - 1.0).abs() < 1e-12);
+        assert_eq!(summary.positive_retention(), 0.0);
+    }
+}

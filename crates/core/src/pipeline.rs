@@ -1,0 +1,332 @@
+//! The end-to-end Generalized Supervised Meta-blocking pipeline.
+//!
+//! Given a dataset, the pipeline performs the exact workflow of the paper's
+//! evaluation:
+//!
+//! 1. blocking: Token Blocking → Block Purging → Block Filtering;
+//! 2. candidate extraction and block statistics;
+//! 3. feature generation for the chosen [`FeatureSet`];
+//! 4. balanced undersampling of labelled pairs and classifier training;
+//! 5. probability scoring of every candidate pair;
+//! 6. pruning with the chosen [`AlgorithmKind`].
+//!
+//! The outcome records the retained pairs, the probabilities and a run-time
+//! breakdown matching the paper's definition of `RT` (feature generation +
+//! training + scoring + pruning).
+
+use std::time::{Duration, Instant};
+
+use er_blocking::{standard_blocking_workflow, BlockCollection, BlockStats, CandidatePairs};
+use er_core::{Dataset, PairId, Result};
+use er_features::{FeatureContext, FeatureMatrix, FeatureSet};
+use er_learn::{
+    balanced_undersample, Classifier, LinearSvm, LinearSvmConfig, LogisticRegression,
+    LogisticRegressionConfig, ProbabilisticClassifier, TrainingSet,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::pruning::{AlgorithmKind, Blast};
+use crate::scoring::CachedScores;
+
+/// Which probabilistic classifier the pipeline trains.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ClassifierKind {
+    /// Logistic regression (the Weka baseline of the scalability analysis).
+    Logistic(LogisticRegressionConfig),
+    /// Linear SVM with Platt scaling (the scikit-learn SVC analogue).
+    Svm(LinearSvmConfig),
+}
+
+impl Default for ClassifierKind {
+    fn default() -> Self {
+        ClassifierKind::Logistic(LogisticRegressionConfig::default())
+    }
+}
+
+impl ClassifierKind {
+    /// Trains the classifier on a labelled training set.
+    pub fn fit(&self, training: &TrainingSet) -> Result<Box<dyn ProbabilisticClassifier>> {
+        match self {
+            ClassifierKind::Logistic(config) => {
+                Ok(Box::new(LogisticRegression::fit(config, training)?))
+            }
+            ClassifierKind::Svm(config) => Ok(Box::new(LinearSvm::fit(config, training)?)),
+        }
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClassifierKind::Logistic(_) => "LogisticRegression",
+            ClassifierKind::Svm(_) => "LinearSVM",
+        }
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetaBlockingConfig {
+    /// The weighting schemes forming each pair's feature vector.
+    pub feature_set: FeatureSet,
+    /// Labelled instances per class (the paper's default experiments use 250,
+    /// the final configuration only 25).
+    pub per_class: usize,
+    /// The classifier to train.
+    pub classifier: ClassifierKind,
+    /// BLAST's pruning ratio.
+    pub blast_ratio: f64,
+    /// Seed controlling the training-pair sampling.
+    pub seed: u64,
+}
+
+impl Default for MetaBlockingConfig {
+    fn default() -> Self {
+        MetaBlockingConfig {
+            feature_set: FeatureSet::blast_optimal(),
+            per_class: 25,
+            classifier: ClassifierKind::default(),
+            blast_ratio: Blast::DEFAULT_RATIO,
+            seed: 0x6d62_0001,
+        }
+    }
+}
+
+/// Wall-clock breakdown of one pipeline run.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Timings {
+    /// Blocking workflow (not part of the paper's `RT`, reported separately).
+    pub blocking: Duration,
+    /// Feature-vector generation for all candidate pairs.
+    pub features: Duration,
+    /// Training-set assembly and classifier training.
+    pub training: Duration,
+    /// Probability scoring of all candidate pairs.
+    pub scoring: Duration,
+    /// Pruning.
+    pub pruning: Duration,
+}
+
+impl Timings {
+    /// The paper's `RT`: features + training + scoring + pruning.
+    pub fn total_rt(&self) -> Duration {
+        self.features + self.training + self.scoring + self.pruning
+    }
+}
+
+/// The result of one pipeline run.
+pub struct MetaBlockingOutcome {
+    /// Name of the dataset.
+    pub dataset_name: String,
+    /// The algorithm that produced the outcome.
+    pub algorithm: AlgorithmKind,
+    /// The blocking output the pipeline operated on.
+    pub blocks: BlockCollection,
+    /// The distinct candidate pairs of the block collection.
+    pub candidates: CandidatePairs,
+    /// Number of candidate pairs (|C|).
+    pub num_candidates: usize,
+    /// The probability assigned to every candidate pair.
+    pub probabilities: CachedScores,
+    /// The ids of the retained pairs.
+    pub retained: Vec<PairId>,
+    /// Run-time breakdown.
+    pub timings: Timings,
+}
+
+impl MetaBlockingOutcome {
+    /// The retained pairs as entity-id tuples.
+    pub fn retained_pairs(&self) -> Vec<(er_core::EntityId, er_core::EntityId)> {
+        self.retained
+            .iter()
+            .map(|&id| self.candidates.pair(id))
+            .collect()
+    }
+}
+
+/// The end-to-end pipeline.
+#[derive(Debug, Clone)]
+pub struct MetaBlockingPipeline {
+    config: MetaBlockingConfig,
+}
+
+impl MetaBlockingPipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: MetaBlockingConfig) -> Self {
+        MetaBlockingPipeline { config }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &MetaBlockingConfig {
+        &self.config
+    }
+
+    /// Runs the full workflow on a dataset.
+    pub fn run(&self, dataset: &Dataset, algorithm: AlgorithmKind) -> Result<MetaBlockingOutcome> {
+        let start = Instant::now();
+        let blocks = standard_blocking_workflow(dataset);
+        let blocking_time = start.elapsed();
+        self.run_on_blocks(dataset, blocks, algorithm, blocking_time)
+    }
+
+    /// Runs the workflow on a pre-computed block collection (used when several
+    /// experiments share the same blocking output).
+    pub fn run_on_blocks(
+        &self,
+        dataset: &Dataset,
+        blocks: BlockCollection,
+        algorithm: AlgorithmKind,
+        blocking_time: Duration,
+    ) -> Result<MetaBlockingOutcome> {
+        if blocks.is_empty() {
+            return Err(er_core::Error::EmptyInput(format!(
+                "dataset {} produced no blocks",
+                dataset.name
+            )));
+        }
+
+        // Features.
+        let feature_start = Instant::now();
+        let stats = BlockStats::new(&blocks);
+        let candidates = CandidatePairs::from_blocks(&blocks);
+        if candidates.is_empty() {
+            return Err(er_core::Error::EmptyInput(format!(
+                "dataset {} produced no candidate pairs",
+                dataset.name
+            )));
+        }
+        let context = FeatureContext::new(&stats, &candidates);
+        let features = FeatureMatrix::build_parallel(&context, self.config.feature_set);
+        let feature_time = feature_start.elapsed();
+
+        // Training.
+        let training_start = Instant::now();
+        let mut rng = er_core::seeded_rng(self.config.seed);
+        let sample = balanced_undersample(
+            candidates.pairs(),
+            &dataset.ground_truth,
+            self.config.per_class,
+            &mut rng,
+        )?;
+        let mut training = TrainingSet::new();
+        for (&pair_index, &label) in sample.pair_indices.iter().zip(&sample.labels) {
+            training.push(features.row(PairId::from(pair_index)).to_vec(), label);
+        }
+        let model = self.config.classifier.fit(&training)?;
+        let training_time = training_start.elapsed();
+
+        // Scoring.
+        let scoring_start = Instant::now();
+        let probabilities: Vec<f64> = (0..features.num_pairs())
+            .map(|i| model.probability(features.row(PairId::from(i))).clamp(0.0, 1.0))
+            .collect();
+        let scores = CachedScores::new(probabilities);
+        let scoring_time = scoring_start.elapsed();
+
+        // Pruning.
+        let pruning_start = Instant::now();
+        let pruner = algorithm.build_with(&blocks, self.config.blast_ratio);
+        let retained = pruner.prune(&candidates, &scores);
+        let pruning_time = pruning_start.elapsed();
+
+        Ok(MetaBlockingOutcome {
+            dataset_name: dataset.name.clone(),
+            algorithm,
+            blocks,
+            num_candidates: candidates.len(),
+            candidates,
+            probabilities: scores,
+            retained,
+            timings: Timings {
+                blocking: blocking_time,
+                features: feature_time,
+                training: training_time,
+                scoring: scoring_time,
+                pruning: pruning_time,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_datasets::{generate_catalog_dataset, CatalogOptions, DatasetName};
+
+    fn tiny_dataset() -> Dataset {
+        generate_catalog_dataset(DatasetName::AbtBuy, &CatalogOptions::tiny()).unwrap()
+    }
+
+    fn config(per_class: usize) -> MetaBlockingConfig {
+        MetaBlockingConfig {
+            per_class,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_runs_end_to_end() {
+        let dataset = tiny_dataset();
+        let outcome = MetaBlockingPipeline::new(config(25))
+            .run(&dataset, AlgorithmKind::Blast)
+            .unwrap();
+        assert!(outcome.num_candidates > 0);
+        assert!(!outcome.retained.is_empty());
+        assert!(outcome.retained.len() <= outcome.num_candidates);
+        assert_eq!(outcome.probabilities.as_slice().len(), outcome.num_candidates);
+    }
+
+    #[test]
+    fn pruning_reduces_candidates_substantially() {
+        let dataset = tiny_dataset();
+        let outcome = MetaBlockingPipeline::new(config(25))
+            .run(&dataset, AlgorithmKind::Rcnp)
+            .unwrap();
+        // RCNP must prune a large share of the superfluous comparisons.
+        assert!(outcome.retained.len() * 2 < outcome.num_candidates);
+    }
+
+    #[test]
+    fn svm_and_logistic_pipelines_both_work() {
+        let dataset = tiny_dataset();
+        let logistic = MetaBlockingPipeline::new(config(25))
+            .run(&dataset, AlgorithmKind::Bcl)
+            .unwrap();
+        let svm_config = MetaBlockingConfig {
+            classifier: ClassifierKind::Svm(LinearSvmConfig::default()),
+            ..config(25)
+        };
+        let svm = MetaBlockingPipeline::new(svm_config)
+            .run(&dataset, AlgorithmKind::Bcl)
+            .unwrap();
+        assert!(!logistic.retained.is_empty());
+        assert!(!svm.retained.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let dataset = tiny_dataset();
+        let a = MetaBlockingPipeline::new(config(25))
+            .run(&dataset, AlgorithmKind::Blast)
+            .unwrap();
+        let b = MetaBlockingPipeline::new(config(25))
+            .run(&dataset, AlgorithmKind::Blast)
+            .unwrap();
+        assert_eq!(a.retained, b.retained);
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let dataset = tiny_dataset();
+        let outcome = MetaBlockingPipeline::new(config(25))
+            .run(&dataset, AlgorithmKind::Wnp)
+            .unwrap();
+        assert!(outcome.timings.total_rt() > Duration::ZERO);
+    }
+
+    #[test]
+    fn too_large_training_request_fails_cleanly() {
+        let dataset = tiny_dataset();
+        let outcome = MetaBlockingPipeline::new(config(1_000_000)).run(&dataset, AlgorithmKind::Bcl);
+        assert!(outcome.is_err());
+    }
+}

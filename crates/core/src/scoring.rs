@@ -1,0 +1,169 @@
+//! Probability sources: how pruning algorithms obtain the matching
+//! probability of a candidate pair.
+//!
+//! The paper's pseudo-code calls `M.getProbability(c_ij)` on every iteration
+//! over the candidate set.  Two strategies implement that call here:
+//!
+//! * [`ModelScorer`] — re-evaluates the classifier on the pair's feature
+//!   vector every time, exactly like the pseudo-code;
+//! * [`CachedScores`] — evaluates every pair once and stores the probability,
+//!   trading memory for speed.
+//!
+//! Both implement [`ProbabilitySource`], so every pruning algorithm works with
+//! either (the ablation bench `ablation_probability_cache` measures the
+//! difference).
+
+use er_core::PairId;
+use er_features::FeatureMatrix;
+use er_learn::ProbabilisticClassifier;
+use serde::{Deserialize, Serialize};
+
+/// The validity threshold of Generalized Supervised Meta-blocking: pairs with
+/// a matching probability below 0.5 are discarded before pruning.
+pub const VALIDITY_THRESHOLD: f64 = 0.5;
+
+/// Provides the matching probability of each candidate pair.
+pub trait ProbabilitySource {
+    /// Number of candidate pairs covered.
+    fn num_pairs(&self) -> usize;
+
+    /// The matching probability of one pair, in `[0, 1]`.
+    fn probability(&self, pair: PairId) -> f64;
+
+    /// True if the pair is *valid*, i.e. its probability reaches the 0.5
+    /// threshold.
+    fn is_valid(&self, pair: PairId) -> bool {
+        self.probability(pair) >= VALIDITY_THRESHOLD
+    }
+}
+
+/// Scores pairs by running the classifier on their feature vectors on demand.
+pub struct ModelScorer<'a> {
+    model: &'a dyn ProbabilisticClassifier,
+    features: &'a FeatureMatrix,
+}
+
+impl<'a> ModelScorer<'a> {
+    /// Creates a scorer over a trained model and the feature matrix of all
+    /// candidate pairs.
+    pub fn new(model: &'a dyn ProbabilisticClassifier, features: &'a FeatureMatrix) -> Self {
+        ModelScorer { model, features }
+    }
+
+    /// Materialises every probability into a [`CachedScores`].
+    pub fn cache(&self) -> CachedScores {
+        let probabilities = (0..self.features.num_pairs())
+            .map(|i| self.probability(PairId::from(i)))
+            .collect();
+        CachedScores::new(probabilities)
+    }
+}
+
+impl ProbabilitySource for ModelScorer<'_> {
+    fn num_pairs(&self) -> usize {
+        self.features.num_pairs()
+    }
+
+    fn probability(&self, pair: PairId) -> f64 {
+        self.model.probability(self.features.row(pair))
+    }
+}
+
+/// Pre-computed probabilities for every candidate pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CachedScores {
+    probabilities: Vec<f64>,
+}
+
+impl CachedScores {
+    /// Wraps a probability vector (one entry per candidate pair).
+    ///
+    /// # Panics
+    /// Panics if any probability is not a finite number in `[0, 1]`.
+    pub fn new(probabilities: Vec<f64>) -> Self {
+        assert!(
+            probabilities
+                .iter()
+                .all(|p| p.is_finite() && (0.0..=1.0).contains(p)),
+            "probabilities must be finite and within [0, 1]"
+        );
+        CachedScores { probabilities }
+    }
+
+    /// The underlying probability slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.probabilities
+    }
+}
+
+impl ProbabilitySource for CachedScores {
+    fn num_pairs(&self) -> usize {
+        self.probabilities.len()
+    }
+
+    fn probability(&self, pair: PairId) -> f64 {
+        self.probabilities[pair.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_blocking::{Block, BlockCollection, BlockStats, CandidatePairs};
+    use er_core::{DatasetKind, EntityId};
+    use er_features::{FeatureContext, FeatureSet};
+
+    struct FirstFeature;
+
+    impl ProbabilisticClassifier for FirstFeature {
+        fn probability(&self, features: &[f64]) -> f64 {
+            features[0].clamp(0.0, 1.0)
+        }
+    }
+
+    fn fixture() -> (BlockCollection, CandidatePairs) {
+        let ids = |v: &[u32]| v.iter().copied().map(EntityId).collect::<Vec<_>>();
+        let bc = BlockCollection {
+            dataset_name: "t".into(),
+            kind: DatasetKind::CleanClean,
+            split: 2,
+            num_entities: 4,
+            blocks: vec![
+                Block::new("a", ids(&[0, 2])),
+                Block::new("b", ids(&[0, 1, 2, 3])),
+            ],
+        };
+        let cands = CandidatePairs::from_blocks(&bc);
+        (bc, cands)
+    }
+
+    #[test]
+    fn model_scorer_and_cache_agree() {
+        let (bc, cands) = fixture();
+        let stats = BlockStats::new(&bc);
+        let ctx = FeatureContext::new(&stats, &cands);
+        let matrix = FeatureMatrix::build(&ctx, FeatureSet::from_schemes([er_features::Scheme::Js]));
+        let model = FirstFeature;
+        let scorer = ModelScorer::new(&model, &matrix);
+        let cached = scorer.cache();
+        assert_eq!(scorer.num_pairs(), cached.num_pairs());
+        for i in 0..scorer.num_pairs() {
+            let id = PairId::from(i);
+            assert!((scorer.probability(id) - cached.probability(id)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn validity_threshold_is_half() {
+        let scores = CachedScores::new(vec![0.49, 0.5, 0.9]);
+        assert!(!scores.is_valid(PairId(0)));
+        assert!(scores.is_valid(PairId(1)));
+        assert!(scores.is_valid(PairId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities must be finite")]
+    fn invalid_probabilities_rejected() {
+        let _ = CachedScores::new(vec![1.5]);
+    }
+}

@@ -1,0 +1,115 @@
+//! A single block: the set of entities sharing one blocking key.
+
+use er_core::{DatasetKind, EntityId};
+use serde::{Deserialize, Serialize};
+
+/// A block groups all entities whose profiles contain the block's key token.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// The blocking key (an attribute-value token for Token Blocking).
+    pub key: String,
+    /// Entities in the block, sorted by id.
+    pub entities: Vec<EntityId>,
+}
+
+impl Block {
+    /// Creates a block, sorting and deduplicating the entity list.
+    pub fn new(key: impl Into<String>, mut entities: Vec<EntityId>) -> Self {
+        entities.sort_unstable();
+        entities.dedup();
+        Block {
+            key: key.into(),
+            entities,
+        }
+    }
+
+    /// Number of entities in the block, |b|.
+    pub fn size(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of entities that belong to the first source (ids `< split`).
+    ///
+    /// Because `entities` is sorted this is a binary search.
+    pub fn first_source_count(&self, split: usize) -> usize {
+        self.entities
+            .partition_point(|e| e.index() < split)
+    }
+
+    /// Number of comparisons the block contains, ||b||, including redundant
+    /// ones: cross-source products for Clean-Clean ER, `n·(n-1)/2` for Dirty.
+    pub fn num_comparisons(&self, kind: DatasetKind, split: usize) -> u64 {
+        match kind {
+            DatasetKind::CleanClean => {
+                let inner = self.first_source_count(split) as u64;
+                let outer = self.size() as u64 - inner;
+                inner * outer
+            }
+            DatasetKind::Dirty => {
+                let n = self.size() as u64;
+                n * n.saturating_sub(1) / 2
+            }
+        }
+    }
+
+    /// True if the block contributes at least one comparison.
+    pub fn is_useful(&self, kind: DatasetKind, split: usize) -> bool {
+        self.num_comparisons(kind, split) > 0
+    }
+
+    /// True if the block contains the given entity (binary search).
+    pub fn contains(&self, entity: EntityId) -> bool {
+        self.entities.binary_search(&entity).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().copied().map(EntityId).collect()
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let b = Block::new("apple", ids(&[3, 1, 3, 2]));
+        assert_eq!(b.entities, ids(&[1, 2, 3]));
+        assert_eq!(b.size(), 3);
+    }
+
+    #[test]
+    fn clean_clean_comparisons_are_cross_products() {
+        // split = 2: entities 0,1 in E1; 2,3,4 in E2.
+        let b = Block::new("k", ids(&[0, 1, 2, 3, 4]));
+        assert_eq!(b.first_source_count(2), 2);
+        assert_eq!(b.num_comparisons(DatasetKind::CleanClean, 2), 2 * 3);
+    }
+
+    #[test]
+    fn dirty_comparisons_are_triangular() {
+        let b = Block::new("k", ids(&[0, 1, 2, 3]));
+        assert_eq!(b.num_comparisons(DatasetKind::Dirty, 4), 6);
+    }
+
+    #[test]
+    fn single_source_block_is_useless_for_clean_clean() {
+        let b = Block::new("k", ids(&[0, 1]));
+        assert!(!b.is_useful(DatasetKind::CleanClean, 2));
+        assert!(b.is_useful(DatasetKind::Dirty, 2));
+    }
+
+    #[test]
+    fn singleton_block_is_always_useless() {
+        let b = Block::new("k", ids(&[5]));
+        assert!(!b.is_useful(DatasetKind::CleanClean, 2));
+        assert!(!b.is_useful(DatasetKind::Dirty, 10));
+    }
+
+    #[test]
+    fn contains_uses_sorted_entities() {
+        let b = Block::new("k", ids(&[9, 4, 7]));
+        assert!(b.contains(EntityId(7)));
+        assert!(!b.contains(EntityId(8)));
+    }
+}

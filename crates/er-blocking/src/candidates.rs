@@ -1,0 +1,247 @@
+//! Candidate pairs: the distinct set of comparisons contained in a block
+//! collection.
+//!
+//! Redundancy-positive blocks repeat the same pair across many blocks; the
+//! candidate-pair set `C` contains each comparable pair exactly once.  This is
+//! the unit every weighting scheme, classifier and pruning algorithm operates
+//! on.
+
+use er_core::{EntityId, FxHashSet, GroundTruth, PairId};
+use serde::{Deserialize, Serialize};
+
+use crate::collection::BlockCollection;
+
+/// The distinct comparisons of a block collection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CandidatePairs {
+    /// Distinct pairs, each stored with the smaller entity id first and the
+    /// list sorted, so pair ids are deterministic.
+    pairs: Vec<(EntityId, EntityId)>,
+    /// Number of distinct candidates per entity (the LCP feature values).
+    entity_candidates: Vec<u32>,
+}
+
+impl CandidatePairs {
+    /// Extracts the distinct candidate pairs from a block collection.
+    pub fn from_blocks(blocks: &BlockCollection) -> Self {
+        let mut seen: FxHashSet<(EntityId, EntityId)> = FxHashSet::default();
+        let mut entity_candidates = vec![0u32; blocks.num_entities];
+
+        for block in &blocks.blocks {
+            let entities = &block.entities;
+            let split_point = block.first_source_count(blocks.split);
+            match blocks.kind {
+                er_core::DatasetKind::CleanClean => {
+                    let (inner, outer) = entities.split_at(split_point);
+                    for &a in inner {
+                        for &b in outer {
+                            Self::record(a, b, &mut seen, &mut entity_candidates);
+                        }
+                    }
+                }
+                er_core::DatasetKind::Dirty => {
+                    for (i, &a) in entities.iter().enumerate() {
+                        for &b in &entities[i + 1..] {
+                            Self::record(a, b, &mut seen, &mut entity_candidates);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut pairs: Vec<(EntityId, EntityId)> = seen.into_iter().collect();
+        pairs.sort_unstable();
+        CandidatePairs {
+            pairs,
+            entity_candidates,
+        }
+    }
+
+    #[inline]
+    fn record(
+        a: EntityId,
+        b: EntityId,
+        seen: &mut FxHashSet<(EntityId, EntityId)>,
+        entity_candidates: &mut [u32],
+    ) {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if seen.insert(key) {
+            entity_candidates[key.0.index()] += 1;
+            entity_candidates[key.1.index()] += 1;
+        }
+    }
+
+    /// Builds a candidate set directly from a list of pairs (used in tests and
+    /// when re-materialising a pruned collection).
+    pub fn from_pairs(num_entities: usize, pairs: impl IntoIterator<Item = (EntityId, EntityId)>) -> Self {
+        let mut seen: FxHashSet<(EntityId, EntityId)> = FxHashSet::default();
+        let mut entity_candidates = vec![0u32; num_entities];
+        for (a, b) in pairs {
+            if a == b {
+                continue;
+            }
+            Self::record(a, b, &mut seen, &mut entity_candidates);
+        }
+        let mut pairs: Vec<(EntityId, EntityId)> = seen.into_iter().collect();
+        pairs.sort_unstable();
+        CandidatePairs {
+            pairs,
+            entity_candidates,
+        }
+    }
+
+    /// Number of distinct candidate pairs, |C|.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if no candidate pairs exist.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Returns the pair with the given id.
+    pub fn pair(&self, id: PairId) -> (EntityId, EntityId) {
+        self.pairs[id.index()]
+    }
+
+    /// Iterates over all pairs together with their pair ids.
+    pub fn iter(&self) -> impl Iterator<Item = (PairId, EntityId, EntityId)> + '_ {
+        self.pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| (PairId::from(i), a, b))
+    }
+
+    /// Slice of all pairs.
+    pub fn pairs(&self) -> &[(EntityId, EntityId)] {
+        &self.pairs
+    }
+
+    /// Number of entities the candidate set was built over (the size of the
+    /// flattened id space, not only the entities that appear in some pair).
+    pub fn num_entities(&self) -> usize {
+        self.entity_candidates.len()
+    }
+
+    /// Number of distinct candidates of one entity — the paper's LCP feature.
+    pub fn candidates_of(&self, entity: EntityId) -> u32 {
+        self.entity_candidates[entity.index()]
+    }
+
+    /// The per-entity candidate counts.
+    pub fn entity_candidate_counts(&self) -> &[u32] {
+        &self.entity_candidates
+    }
+
+    /// Number of candidate pairs that are true duplicates (positive pairs).
+    pub fn count_positives(&self, truth: &GroundTruth) -> usize {
+        self.pairs
+            .iter()
+            .filter(|&&(a, b)| truth.is_match(a, b))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use er_core::DatasetKind;
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().copied().map(EntityId).collect()
+    }
+
+    fn clean_clean_collection() -> BlockCollection {
+        // split = 2: entities 0,1 from E1; 2,3 from E2.
+        BlockCollection {
+            dataset_name: "t".into(),
+            kind: DatasetKind::CleanClean,
+            split: 2,
+            num_entities: 4,
+            blocks: vec![
+                Block::new("a", ids(&[0, 2])),
+                Block::new("b", ids(&[0, 1, 2, 3])),
+                Block::new("c", ids(&[1, 3])),
+            ],
+        }
+    }
+
+    #[test]
+    fn distinct_pairs_deduplicate_across_blocks() {
+        let bc = clean_clean_collection();
+        let cands = CandidatePairs::from_blocks(&bc);
+        // Block b yields 0-2, 0-3, 1-2, 1-3; blocks a and c repeat 0-2 and 1-3.
+        assert_eq!(cands.len(), 4);
+        assert!(cands.pairs().contains(&(EntityId(0), EntityId(3))));
+    }
+
+    #[test]
+    fn clean_clean_never_pairs_same_source() {
+        let bc = clean_clean_collection();
+        let cands = CandidatePairs::from_blocks(&bc);
+        for &(a, b) in cands.pairs() {
+            assert!(bc.is_comparable(a, b), "pair ({a}, {b}) is same-source");
+        }
+    }
+
+    #[test]
+    fn entity_candidate_counts_match_adjacency() {
+        let bc = clean_clean_collection();
+        let cands = CandidatePairs::from_blocks(&bc);
+        // Every E1 entity is a candidate of both E2 entities and vice versa.
+        for e in 0..4u32 {
+            assert_eq!(cands.candidates_of(EntityId(e)), 2, "entity {e}");
+        }
+    }
+
+    #[test]
+    fn dirty_pairs_are_triangular() {
+        let bc = BlockCollection {
+            dataset_name: "t".into(),
+            kind: DatasetKind::Dirty,
+            split: 3,
+            num_entities: 3,
+            blocks: vec![Block::new("a", ids(&[0, 1, 2]))],
+        };
+        let cands = CandidatePairs::from_blocks(&bc);
+        assert_eq!(cands.len(), 3);
+    }
+
+    #[test]
+    fn count_positives_uses_ground_truth() {
+        let bc = clean_clean_collection();
+        let cands = CandidatePairs::from_blocks(&bc);
+        let gt = GroundTruth::from_pairs(vec![(EntityId(0), EntityId(2)), (EntityId(1), EntityId(3))]);
+        assert_eq!(cands.count_positives(&gt), 2);
+    }
+
+    #[test]
+    fn from_pairs_normalizes_and_dedups() {
+        let cands = CandidatePairs::from_pairs(
+            5,
+            vec![
+                (EntityId(3), EntityId(1)),
+                (EntityId(1), EntityId(3)),
+                (EntityId(2), EntityId(2)),
+                (EntityId(0), EntityId(4)),
+            ],
+        );
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands.candidates_of(EntityId(1)), 1);
+        assert_eq!(cands.candidates_of(EntityId(2)), 0);
+    }
+
+    #[test]
+    fn pair_ids_are_stable_and_sorted() {
+        let bc = clean_clean_collection();
+        let a = CandidatePairs::from_blocks(&bc);
+        let b = CandidatePairs::from_blocks(&bc);
+        assert_eq!(a.pairs(), b.pairs());
+        let mut sorted = a.pairs().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, a.pairs());
+        assert_eq!(a.pair(PairId(0)), a.pairs()[0]);
+    }
+}

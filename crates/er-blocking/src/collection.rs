@@ -1,0 +1,162 @@
+//! A block collection: the ordered set of blocks produced for a dataset.
+
+use er_core::{BlockId, DatasetKind, EntityId};
+use serde::{Deserialize, Serialize};
+
+use crate::block::Block;
+
+/// The block collection `B` together with the dataset-level context needed to
+/// interpret it (Clean-Clean split and entity count).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockCollection {
+    /// Name of the dataset the blocks were extracted from.
+    pub dataset_name: String,
+    /// Clean-Clean or Dirty ER.
+    pub kind: DatasetKind,
+    /// E1/E2 boundary in the flattened entity id space.
+    pub split: usize,
+    /// Total number of entity profiles in the dataset.
+    pub num_entities: usize,
+    /// The blocks, in deterministic (key-sorted) order.
+    pub blocks: Vec<Block>,
+}
+
+impl BlockCollection {
+    /// Number of blocks, |B|.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if there are no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Returns a block by id.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Number of comparisons in one block, ||b||.
+    pub fn block_comparisons(&self, id: BlockId) -> u64 {
+        self.blocks[id.index()].num_comparisons(self.kind, self.split)
+    }
+
+    /// Aggregate comparison cardinality ||B|| = Σ_b ||b|| (redundant pairs
+    /// counted once per block).
+    pub fn total_comparisons(&self) -> u64 {
+        self.blocks
+            .iter()
+            .map(|b| b.num_comparisons(self.kind, self.split))
+            .sum()
+    }
+
+    /// Σ_b |b|: the sum of block sizes.  Used by the cardinality-based pruning
+    /// algorithms to derive their thresholds (`K = Σ|b|/2` for CEP and
+    /// `k = max(1, Σ|b| / (|E1|+|E2|))` for CNP).
+    pub fn sum_block_sizes(&self) -> u64 {
+        self.blocks.iter().map(|b| b.size() as u64).sum()
+    }
+
+    /// Average number of block assignments per entity — the redundancy level
+    /// of the collection.
+    pub fn avg_blocks_per_entity(&self) -> f64 {
+        if self.num_entities == 0 {
+            return 0.0;
+        }
+        self.sum_block_sizes() as f64 / self.num_entities as f64
+    }
+
+    /// Iterates blocks with their ids.
+    pub fn iter_with_ids(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId::from(i), b))
+    }
+
+    /// Returns a copy of the collection containing only blocks satisfying
+    /// `keep`, preserving order.
+    pub fn retain_blocks(&self, mut keep: impl FnMut(&Block) -> bool) -> BlockCollection {
+        BlockCollection {
+            dataset_name: self.dataset_name.clone(),
+            kind: self.kind,
+            split: self.split,
+            num_entities: self.num_entities,
+            blocks: self.blocks.iter().filter(|b| keep(b)).cloned().collect(),
+        }
+    }
+
+    /// True if the pair of entities can be compared under this collection's ER
+    /// kind (cross-source for Clean-Clean, distinct for Dirty).
+    pub fn is_comparable(&self, a: EntityId, b: EntityId) -> bool {
+        if a == b {
+            return false;
+        }
+        match self.kind {
+            DatasetKind::CleanClean => {
+                (a.index() < self.split) != (b.index() < self.split)
+            }
+            DatasetKind::Dirty => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().copied().map(EntityId).collect()
+    }
+
+    fn sample() -> BlockCollection {
+        BlockCollection {
+            dataset_name: "toy".into(),
+            kind: DatasetKind::CleanClean,
+            split: 2,
+            num_entities: 5,
+            blocks: vec![
+                Block::new("apple", ids(&[0, 2])),
+                Block::new("samsung", ids(&[1, 3, 4])),
+                Block::new("phone", ids(&[0, 1, 2, 3])),
+            ],
+        }
+    }
+
+    #[test]
+    fn aggregate_cardinalities() {
+        let bc = sample();
+        assert_eq!(bc.num_blocks(), 3);
+        // apple: 1*1, samsung: 1*2, phone: 2*2
+        assert_eq!(bc.total_comparisons(), 1 + 2 + 4);
+        assert_eq!(bc.sum_block_sizes(), 2 + 3 + 4);
+        assert!((bc.avg_blocks_per_entity() - 9.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_lookup_by_id() {
+        let bc = sample();
+        assert_eq!(bc.block(BlockId(1)).key, "samsung");
+        assert_eq!(bc.block_comparisons(BlockId(2)), 4);
+    }
+
+    #[test]
+    fn retain_blocks_filters() {
+        let bc = sample();
+        let small = bc.retain_blocks(|b| b.size() < 4);
+        assert_eq!(small.num_blocks(), 2);
+        assert_eq!(small.blocks[0].key, "apple");
+    }
+
+    #[test]
+    fn comparability_follows_kind() {
+        let bc = sample();
+        assert!(bc.is_comparable(EntityId(0), EntityId(3)));
+        assert!(!bc.is_comparable(EntityId(0), EntityId(1)));
+        let mut dirty = sample();
+        dirty.kind = DatasetKind::Dirty;
+        assert!(dirty.is_comparable(EntityId(0), EntityId(1)));
+        assert!(!dirty.is_comparable(EntityId(1), EntityId(1)));
+    }
+}

@@ -1,0 +1,163 @@
+//! Block Filtering: remove every entity from the largest blocks it appears in.
+//!
+//! Block Filtering keeps each entity only in its `ratio` (by default 80%)
+//! smallest blocks, measured by block size.  The largest blocks contribute
+//! most of the superfluous comparisons while the smallest blocks carry the
+//! most distinctive co-occurrence evidence, so trimming the top 20% per entity
+//! removes a large share of the candidate pairs at a negligible recall cost.
+
+use er_core::{EntityId, FxHashSet};
+
+use crate::block::Block;
+use crate::collection::BlockCollection;
+
+/// The ratio of blocks retained per entity in the paper's setup (each entity
+/// is removed from the largest 20% of its blocks).
+pub const DEFAULT_FILTERING_RATIO: f64 = 0.8;
+
+/// Applies Block Filtering with the given retention ratio in `(0, 1]`.
+///
+/// For each entity, its blocks are ranked by increasing size and the entity
+/// is kept only in the first `ceil(ratio · |B_i|)` of them.  Blocks that stop
+/// producing comparisons afterwards are dropped.
+///
+/// # Panics
+/// Panics if `ratio` is not within `(0, 1]`.
+pub fn block_filtering(blocks: &BlockCollection, ratio: f64) -> BlockCollection {
+    assert!(
+        ratio > 0.0 && ratio <= 1.0,
+        "filtering ratio must be in (0, 1], got {ratio}"
+    );
+
+    // Collect, per entity, the list of (block size, block index) it belongs to.
+    let mut entity_blocks: Vec<Vec<(u32, u32)>> = vec![Vec::new(); blocks.num_entities];
+    for (idx, block) in blocks.blocks.iter().enumerate() {
+        for entity in &block.entities {
+            entity_blocks[entity.index()].push((block.size() as u32, idx as u32));
+        }
+    }
+
+    // Decide, per entity, which blocks it stays in.
+    let mut retained: Vec<FxHashSet<u32>> = vec![FxHashSet::default(); blocks.num_entities];
+    for (entity, assignments) in entity_blocks.iter_mut().enumerate() {
+        if assignments.is_empty() {
+            continue;
+        }
+        // Sort by block size ascending, breaking ties by block index so the
+        // outcome does not depend on iteration order.
+        assignments.sort_unstable();
+        let keep = ((ratio * assignments.len() as f64).ceil() as usize).max(1);
+        for &(_, block_idx) in assignments.iter().take(keep) {
+            retained[entity].insert(block_idx);
+        }
+    }
+
+    // Rebuild blocks with only the retained assignments.
+    let mut new_blocks = Vec::with_capacity(blocks.num_blocks());
+    for (idx, block) in blocks.blocks.iter().enumerate() {
+        let entities: Vec<EntityId> = block
+            .entities
+            .iter()
+            .copied()
+            .filter(|e| retained[e.index()].contains(&(idx as u32)))
+            .collect();
+        let rebuilt = Block::new(block.key.clone(), entities);
+        if rebuilt.is_useful(blocks.kind, blocks.split) {
+            new_blocks.push(rebuilt);
+        }
+    }
+
+    BlockCollection {
+        dataset_name: blocks.dataset_name.clone(),
+        kind: blocks.kind,
+        split: blocks.split,
+        num_entities: blocks.num_entities,
+        blocks: new_blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::DatasetKind;
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().copied().map(EntityId).collect()
+    }
+
+    fn collection(blocks: Vec<Block>) -> BlockCollection {
+        BlockCollection {
+            dataset_name: "t".into(),
+            kind: DatasetKind::Dirty,
+            split: 10,
+            num_entities: 10,
+            blocks,
+        }
+    }
+
+    #[test]
+    fn ratio_one_keeps_all_assignments() {
+        let bc = collection(vec![
+            Block::new("a", ids(&[0, 1, 2])),
+            Block::new("b", ids(&[0, 1])),
+        ]);
+        let filtered = block_filtering(&bc, 1.0);
+        assert_eq!(filtered.num_blocks(), 2);
+        assert_eq!(filtered.sum_block_sizes(), bc.sum_block_sizes());
+    }
+
+    #[test]
+    fn removes_entities_from_their_largest_blocks() {
+        // Entity 0 appears in three blocks of sizes 2, 3, 5.  With ratio 0.5,
+        // ceil(0.5*3)=2 blocks are kept: the two smallest.
+        let bc = collection(vec![
+            Block::new("large", ids(&[0, 1, 2, 3, 4])),
+            Block::new("medium", ids(&[0, 1, 2])),
+            Block::new("small", ids(&[0, 1])),
+        ]);
+        let filtered = block_filtering(&bc, 0.5);
+        let large = filtered.blocks.iter().find(|b| b.key == "large");
+        // Entities 0 and 1 are removed from "large"; entities 2,3,4 have it as
+        // one of their smallest blocks so some remain.
+        if let Some(large) = large {
+            assert!(!large.contains(EntityId(0)));
+            assert!(!large.contains(EntityId(1)));
+        }
+        let small = filtered.blocks.iter().find(|b| b.key == "small").unwrap();
+        assert!(small.contains(EntityId(0)) && small.contains(EntityId(1)));
+    }
+
+    #[test]
+    fn each_entity_keeps_at_least_one_block() {
+        let bc = collection(vec![Block::new("only", ids(&[0, 1]))]);
+        let filtered = block_filtering(&bc, 0.01);
+        assert_eq!(filtered.num_blocks(), 1);
+        assert_eq!(filtered.blocks[0].size(), 2);
+    }
+
+    #[test]
+    fn useless_blocks_are_dropped_after_filtering() {
+        // After filtering, "large" may retain fewer than 2 entities and must
+        // then be dropped entirely.
+        let bc = collection(vec![
+            Block::new("large", ids(&[0, 1, 2, 3, 4, 5])),
+            Block::new("s0", ids(&[0, 6])),
+            Block::new("s1", ids(&[1, 6])),
+            Block::new("s2", ids(&[2, 6])),
+            Block::new("s3", ids(&[3, 6])),
+            Block::new("s4", ids(&[4, 6])),
+            Block::new("s5", ids(&[5, 6])),
+        ]);
+        let filtered = block_filtering(&bc, 0.5);
+        for block in &filtered.blocks {
+            assert!(block.is_useful(bc.kind, bc.split), "useless block {} kept", block.key);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "filtering ratio")]
+    fn invalid_ratio_panics() {
+        let bc = collection(vec![]);
+        let _ = block_filtering(&bc, 0.0);
+    }
+}

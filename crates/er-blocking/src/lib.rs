@@ -1,0 +1,51 @@
+//! Blocking substrate: Token Blocking, Block Purging, Block Filtering,
+//! candidate-pair extraction and block statistics.
+//!
+//! Meta-blocking operates on a *redundancy-positive* block collection: every
+//! entity appears in several blocks and the more blocks two entities share the
+//! more likely they are to match.  This crate produces exactly the input the
+//! paper assumes:
+//!
+//! 1. [`token_blocking`] builds one block per attribute-value token
+//!    (parameter-free, schema-agnostic);
+//! 2. [`block_purging`] drops blocks containing more than half of all entity
+//!    profiles (stop-word-like signatures);
+//! 3. [`block_filtering`] removes every entity from the largest 20% of the
+//!    blocks it appears in;
+//! 4. [`CandidatePairs`] extracts the distinct set of comparisons `C` and the
+//!    per-entity candidate counts used by the LCP feature;
+//! 5. [`BlockStats`] exposes the per-entity block lists and block cardinalities
+//!    that all weighting schemes are computed from.
+
+pub mod block;
+pub mod candidates;
+pub mod collection;
+pub mod filtering;
+pub mod graph;
+pub mod purging;
+pub mod qgrams;
+pub mod stats;
+pub mod suffix_arrays;
+pub mod token_blocking;
+
+pub use block::Block;
+pub use candidates::CandidatePairs;
+pub use collection::BlockCollection;
+pub use filtering::{block_filtering, DEFAULT_FILTERING_RATIO};
+pub use graph::NeighborIndex;
+pub use purging::block_purging;
+pub use qgrams::qgrams_blocking;
+pub use stats::BlockStats;
+pub use suffix_arrays::{suffix_array_blocking, SuffixArrayConfig};
+pub use token_blocking::token_blocking;
+
+use er_core::Dataset;
+
+/// Runs the full blocking workflow used throughout the paper's evaluation:
+/// Token Blocking, then Block Purging, then Block Filtering with the default
+/// ratio of 0.8 (i.e. each entity is removed from its largest 20% of blocks).
+pub fn standard_blocking_workflow(dataset: &Dataset) -> BlockCollection {
+    let blocks = token_blocking(dataset);
+    let purged = block_purging(&blocks);
+    block_filtering(&purged, DEFAULT_FILTERING_RATIO)
+}

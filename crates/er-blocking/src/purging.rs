@@ -1,0 +1,62 @@
+//! Block Purging: remove blocks whose signature is too frequent to carry any
+//! distinguishing information.
+//!
+//! Following the paper, a block is purged when it contains more than half of
+//! all entity profiles in the dataset — such blocks correspond to stop-word
+//! tokens.  The procedure is parameter-free.
+
+use crate::collection::BlockCollection;
+
+/// Discards every block containing more than half of the entity profiles.
+pub fn block_purging(blocks: &BlockCollection) -> BlockCollection {
+    let limit = blocks.num_entities / 2;
+    blocks.retain_blocks(|b| b.size() <= limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use er_core::{DatasetKind, EntityId};
+
+    fn ids(n: u32) -> Vec<EntityId> {
+        (0..n).map(EntityId).collect()
+    }
+
+    fn collection(num_entities: usize, blocks: Vec<Block>) -> BlockCollection {
+        BlockCollection {
+            dataset_name: "t".into(),
+            kind: DatasetKind::Dirty,
+            split: num_entities,
+            num_entities,
+            blocks,
+        }
+    }
+
+    #[test]
+    fn purges_oversized_blocks() {
+        let bc = collection(
+            10,
+            vec![
+                Block::new("stopword", ids(8)),
+                Block::new("rare", ids(3)),
+                Block::new("half", ids(5)),
+            ],
+        );
+        let purged = block_purging(&bc);
+        let keys: Vec<_> = purged.blocks.iter().map(|b| b.key.as_str()).collect();
+        assert_eq!(keys, vec!["rare", "half"]);
+    }
+
+    #[test]
+    fn keeps_everything_when_no_block_is_too_large() {
+        let bc = collection(100, vec![Block::new("a", ids(10)), Block::new("b", ids(2))]);
+        assert_eq!(block_purging(&bc).num_blocks(), 2);
+    }
+
+    #[test]
+    fn empty_collection_stays_empty() {
+        let bc = collection(10, vec![]);
+        assert!(block_purging(&bc).is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Q-Grams Blocking: a redundancy-positive alternative to Token Blocking.
+//!
+//! Every token of every attribute value is decomposed into its character
+//! q-grams and a block is created per distinct q-gram.  Compared with Token
+//! Blocking this is more robust to typos (a misspelled token still shares most
+//! of its q-grams with the correct spelling) at the cost of larger, less
+//! distinctive blocks.  The paper lists it, together with Token Blocking and
+//! Suffix Arrays, as one of the standard generators of redundancy-positive
+//! block collections that meta-blocking can refine.
+
+use er_core::{Dataset, EntityId, FxHashMap, FxHashSet};
+
+use crate::block::Block;
+use crate::collection::BlockCollection;
+
+/// Decomposes a token into its padded character q-grams.
+///
+/// Tokens shorter than `q` are emitted whole, so no signature is lost.
+pub fn qgrams(token: &str, q: usize) -> Vec<String> {
+    assert!(q >= 2, "q must be at least 2");
+    let chars: Vec<char> = token.chars().collect();
+    if chars.len() <= q {
+        return vec![token.to_string()];
+    }
+    chars.windows(q).map(|w| w.iter().collect()).collect()
+}
+
+/// Builds a Q-Grams Blocking collection for a dataset.
+///
+/// Like Token Blocking, blocks that cannot produce a comparison are dropped
+/// and the result is ordered by key for determinism.
+pub fn qgrams_blocking(dataset: &Dataset, q: usize) -> BlockCollection {
+    let mut index: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
+    for (i, profile) in dataset.profiles.iter().enumerate() {
+        let id = EntityId::from(i);
+        let mut signatures: FxHashSet<String> = FxHashSet::default();
+        for token in profile.value_tokens() {
+            for gram in qgrams(&token, q) {
+                signatures.insert(gram);
+            }
+        }
+        for gram in signatures {
+            index.entry(gram).or_default().push(id);
+        }
+    }
+
+    let mut blocks: Vec<Block> = index
+        .into_iter()
+        .map(|(key, entities)| Block::new(key, entities))
+        .filter(|b| b.is_useful(dataset.kind, dataset.split))
+        .collect();
+    blocks.sort_unstable_by(|a, b| a.key.cmp(&b.key));
+
+    BlockCollection {
+        dataset_name: dataset.name.clone(),
+        kind: dataset.kind,
+        split: dataset.split,
+        num_entities: dataset.num_entities(),
+        blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::{EntityCollection, EntityProfile, GroundTruth};
+
+    fn dataset() -> Dataset {
+        let e1 = EntityCollection::new(
+            "a",
+            vec![
+                EntityProfile::new("a0").with_attribute("name", "iphone"),
+                EntityProfile::new("a1").with_attribute("name", "galaxy"),
+            ],
+        );
+        let e2 = EntityCollection::new(
+            "b",
+            vec![
+                // Typo: "iphnoe" shares most trigrams' characters with "iphone".
+                EntityProfile::new("b0").with_attribute("name", "iphnoe"),
+                EntityProfile::new("b1").with_attribute("name", "galaxy"),
+            ],
+        );
+        let gt = GroundTruth::from_pairs(vec![(EntityId(0), EntityId(2)), (EntityId(1), EntityId(3))]);
+        Dataset::clean_clean("qgrams", e1, e2, gt).unwrap()
+    }
+
+    #[test]
+    fn qgrams_of_short_and_long_tokens() {
+        assert_eq!(qgrams("ab", 3), vec!["ab"]);
+        assert_eq!(qgrams("abc", 3), vec!["abc"]);
+        assert_eq!(qgrams("abcd", 3), vec!["abc", "bcd"]);
+        assert_eq!(qgrams("abcde", 2), vec!["ab", "bc", "cd", "de"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be at least 2")]
+    fn q_of_one_is_rejected() {
+        let _ = qgrams("abc", 1);
+    }
+
+    #[test]
+    fn typo_tolerant_co_occurrence() {
+        let ds = dataset();
+        let token_blocks = crate::token_blocking(&ds);
+        let qgram_blocks = qgrams_blocking(&ds, 3);
+        // Token Blocking cannot match "iphone" with "iphnoe"…
+        let token_shares = token_blocks
+            .blocks
+            .iter()
+            .any(|b| b.contains(EntityId(0)) && b.contains(EntityId(2)));
+        assert!(!token_shares);
+        // …but Q-Grams Blocking puts them in at least one common block ("iph").
+        let qgram_shares = qgram_blocks
+            .blocks
+            .iter()
+            .any(|b| b.contains(EntityId(0)) && b.contains(EntityId(2)));
+        assert!(qgram_shares);
+    }
+
+    #[test]
+    fn blocks_are_deterministic_and_useful() {
+        let ds = dataset();
+        let a = qgrams_blocking(&ds, 3);
+        let b = qgrams_blocking(&ds, 3);
+        assert_eq!(a.blocks, b.blocks);
+        assert!(a
+            .blocks
+            .iter()
+            .all(|blk| blk.is_useful(ds.kind, ds.split)));
+    }
+
+    #[test]
+    fn qgram_collections_are_more_redundant_than_token_blocking() {
+        let ds = dataset();
+        let token_blocks = crate::token_blocking(&ds);
+        let qgram_blocks = qgrams_blocking(&ds, 3);
+        assert!(qgram_blocks.sum_block_sizes() >= token_blocks.sum_block_sizes());
+    }
+}

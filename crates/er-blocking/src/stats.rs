@@ -1,0 +1,215 @@
+//! Block statistics: the per-entity and per-block quantities every weighting
+//! scheme is computed from.
+//!
+//! Weighting schemes only ever look at the co-occurrence structure of the
+//! block collection — never at the raw attribute values — so this struct
+//! pre-computes:
+//!
+//! * `B_i`: the sorted list of blocks containing each entity,
+//! * `|b|`: the entity count of each block,
+//! * `||b||`: the comparison count of each block (including redundant pairs),
+//! * `||B||`: the total comparison count, and
+//! * `||e_i||`: the per-entity aggregate comparison count (Σ ||b|| over `B_i`).
+
+use er_core::{BlockId, EntityId};
+use serde::{Deserialize, Serialize};
+
+use crate::collection::BlockCollection;
+
+/// Pre-computed co-occurrence statistics of a block collection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockStats {
+    /// For every entity, the sorted list of blocks containing it (`B_i`).
+    entity_blocks: Vec<Vec<BlockId>>,
+    /// `|b|` per block: number of entities.
+    block_sizes: Vec<u32>,
+    /// `||b||` per block: number of comparisons including redundant ones.
+    block_comparisons: Vec<u64>,
+    /// `||B||`: total number of comparisons across all blocks.
+    total_comparisons: u64,
+    /// `||e_i||` per entity: Σ_{b ∈ B_i} ||b||.
+    entity_comparisons: Vec<u64>,
+    /// Number of blocks, |B|.
+    num_blocks: usize,
+}
+
+impl BlockStats {
+    /// Computes the statistics of a block collection.
+    pub fn new(blocks: &BlockCollection) -> Self {
+        let num_blocks = blocks.num_blocks();
+        let mut entity_blocks: Vec<Vec<BlockId>> = vec![Vec::new(); blocks.num_entities];
+        let mut block_sizes = Vec::with_capacity(num_blocks);
+        let mut block_comparisons = Vec::with_capacity(num_blocks);
+
+        for (id, block) in blocks.iter_with_ids() {
+            block_sizes.push(block.size() as u32);
+            block_comparisons.push(block.num_comparisons(blocks.kind, blocks.split));
+            for entity in &block.entities {
+                entity_blocks[entity.index()].push(id);
+            }
+        }
+        // Blocks are visited in id order, so each entity's list is already
+        // sorted; assert in debug builds.
+        debug_assert!(entity_blocks
+            .iter()
+            .all(|list| list.windows(2).all(|w| w[0] < w[1])));
+
+        let total_comparisons = block_comparisons.iter().sum();
+        let entity_comparisons = entity_blocks
+            .iter()
+            .map(|list| list.iter().map(|b| block_comparisons[b.index()]).sum())
+            .collect();
+
+        BlockStats {
+            entity_blocks,
+            block_sizes,
+            block_comparisons,
+            total_comparisons,
+            entity_comparisons,
+            num_blocks,
+        }
+    }
+
+    /// Number of blocks, |B|.
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Number of entities covered.
+    pub fn num_entities(&self) -> usize {
+        self.entity_blocks.len()
+    }
+
+    /// The blocks containing an entity, `B_i`, sorted by block id.
+    pub fn blocks_of(&self, entity: EntityId) -> &[BlockId] {
+        &self.entity_blocks[entity.index()]
+    }
+
+    /// `|B_i|`: how many blocks contain the entity.
+    pub fn num_blocks_of(&self, entity: EntityId) -> usize {
+        self.entity_blocks[entity.index()].len()
+    }
+
+    /// `|b|`: number of entities in a block.
+    pub fn block_size(&self, block: BlockId) -> u32 {
+        self.block_sizes[block.index()]
+    }
+
+    /// `||b||`: number of comparisons in a block, including redundant ones.
+    pub fn block_comparisons(&self, block: BlockId) -> u64 {
+        self.block_comparisons[block.index()]
+    }
+
+    /// `||B||`: total comparisons across all blocks.
+    pub fn total_comparisons(&self) -> u64 {
+        self.total_comparisons
+    }
+
+    /// `||e_i||`: aggregate comparisons of the blocks containing the entity.
+    pub fn entity_comparisons(&self, entity: EntityId) -> u64 {
+        self.entity_comparisons[entity.index()]
+    }
+
+    /// Number of blocks shared by two entities, `|B_i ∩ B_j|`.
+    pub fn common_blocks(&self, a: EntityId, b: EntityId) -> usize {
+        let mut count = 0;
+        self.for_each_common_block(a, b, |_| count += 1);
+        count
+    }
+
+    /// Calls `f` for every block shared by the two entities, in block-id order.
+    ///
+    /// Implemented as a merge of the two sorted block lists, so the cost is
+    /// `O(|B_i| + |B_j|)` with no allocation — this sits on the hot path of
+    /// every weighting scheme.
+    #[inline]
+    pub fn for_each_common_block(&self, a: EntityId, b: EntityId, mut f: impl FnMut(BlockId)) {
+        let la = &self.entity_blocks[a.index()];
+        let lb = &self.entity_blocks[b.index()];
+        let (mut i, mut j) = (0, 0);
+        while i < la.len() && j < lb.len() {
+            match la[i].cmp(&lb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    f(la[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    /// Returns the shared blocks of two entities as a vector.
+    pub fn common_block_ids(&self, a: EntityId, b: EntityId) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        self.for_each_common_block(a, b, |id| out.push(id));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use er_core::DatasetKind;
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().copied().map(EntityId).collect()
+    }
+
+    fn sample() -> BlockCollection {
+        BlockCollection {
+            dataset_name: "t".into(),
+            kind: DatasetKind::CleanClean,
+            split: 2,
+            num_entities: 4,
+            blocks: vec![
+                Block::new("a", ids(&[0, 2])),
+                Block::new("b", ids(&[0, 1, 2, 3])),
+                Block::new("c", ids(&[1, 3])),
+            ],
+        }
+    }
+
+    #[test]
+    fn per_block_quantities() {
+        let stats = BlockStats::new(&sample());
+        assert_eq!(stats.num_blocks(), 3);
+        assert_eq!(stats.block_size(BlockId(1)), 4);
+        assert_eq!(stats.block_comparisons(BlockId(0)), 1);
+        assert_eq!(stats.block_comparisons(BlockId(1)), 4);
+        assert_eq!(stats.total_comparisons(), 1 + 4 + 1);
+    }
+
+    #[test]
+    fn per_entity_quantities() {
+        let stats = BlockStats::new(&sample());
+        assert_eq!(stats.blocks_of(EntityId(0)), &[BlockId(0), BlockId(1)]);
+        assert_eq!(stats.num_blocks_of(EntityId(3)), 2);
+        assert_eq!(stats.entity_comparisons(EntityId(0)), 1 + 4);
+        assert_eq!(stats.entity_comparisons(EntityId(1)), 4 + 1);
+    }
+
+    #[test]
+    fn common_blocks_by_merge() {
+        let stats = BlockStats::new(&sample());
+        assert_eq!(stats.common_blocks(EntityId(0), EntityId(2)), 2);
+        assert_eq!(stats.common_blocks(EntityId(0), EntityId(3)), 1);
+        assert_eq!(
+            stats.common_block_ids(EntityId(0), EntityId(2)),
+            vec![BlockId(0), BlockId(1)]
+        );
+        assert_eq!(stats.common_blocks(EntityId(0), EntityId(0)), 2);
+    }
+
+    #[test]
+    fn entity_with_no_blocks() {
+        let mut bc = sample();
+        bc.num_entities = 5;
+        let stats = BlockStats::new(&bc);
+        assert_eq!(stats.num_blocks_of(EntityId(4)), 0);
+        assert_eq!(stats.entity_comparisons(EntityId(4)), 0);
+        assert_eq!(stats.common_blocks(EntityId(4), EntityId(0)), 0);
+    }
+}

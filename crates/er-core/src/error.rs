@@ -1,0 +1,76 @@
+//! Error type shared across the workspace.
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the meta-blocking pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A dataset was constructed with inconsistent parameters
+    /// (e.g. more duplicates than entities).
+    InvalidDataset(String),
+    /// A block collection or candidate set is empty where a non-empty one is
+    /// required.
+    EmptyInput(String),
+    /// The training set could not be assembled (e.g. not enough positive
+    /// labelled pairs exist).
+    InsufficientTrainingData {
+        /// How many instances were requested (per class).
+        requested: usize,
+        /// How many were available.
+        available: usize,
+    },
+    /// A classifier was asked to predict before being trained, or training
+    /// diverged.
+    Model(String),
+    /// A configuration value is outside its valid range.
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::InvalidDataset(msg) => write!(f, "invalid dataset: {msg}"),
+            Error::EmptyInput(msg) => write!(f, "empty input: {msg}"),
+            Error::InsufficientTrainingData {
+                requested,
+                available,
+            } => write!(
+                f,
+                "insufficient training data: requested {requested} per class, only {available} available"
+            ),
+            Error::Model(msg) => write!(f, "model error: {msg}"),
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            Error::InvalidDataset("x".into()).to_string(),
+            "invalid dataset: x"
+        );
+        assert_eq!(Error::EmptyInput("y".into()).to_string(), "empty input: y");
+        assert!(Error::InsufficientTrainingData {
+            requested: 25,
+            available: 3
+        }
+        .to_string()
+        .contains("requested 25"));
+        assert_eq!(Error::Model("diverged".into()).to_string(), "model error: diverged");
+        assert!(Error::InvalidParameter("r".into()).to_string().contains("invalid parameter"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&Error::Model("m".into()));
+    }
+}

@@ -1,0 +1,122 @@
+//! A small, fast, deterministic hasher for integer-heavy keys.
+//!
+//! The blocking substrate hashes millions of token strings and entity ids.
+//! The default SipHash is robust against HashDoS but slow for this workload;
+//! the performance guide recommends an Fx-style multiply hash.  To stay within
+//! the allowed dependency set we implement the same algorithm used by
+//! `rustc-hash` here instead of pulling the crate in.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// Fx hasher state: a single 64-bit accumulator combined with
+/// multiply-and-rotate per written word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) | ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_one<T: Hash>(value: &T) -> u64 {
+        let mut hasher = FxHasher::default();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(hash_one(&"token blocking"), hash_one(&"token blocking"));
+        assert_eq!(hash_one(&42u64), hash_one(&42u64));
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(hash_one(&"apple"), hash_one(&"samsung"));
+        assert_ne!(hash_one(&1u64), hash_one(&2u64));
+        assert_ne!(hash_one(&""), hash_one(&"a"));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut map: FxHashMap<String, u32> = FxHashMap::default();
+        map.insert("iphone".to_string(), 1);
+        map.insert("smartphone".to_string(), 2);
+        assert_eq!(map.get("iphone"), Some(&1));
+
+        let mut set: FxHashSet<u32> = FxHashSet::default();
+        for i in 0..1000 {
+            set.insert(i);
+        }
+        assert_eq!(set.len(), 1000);
+        assert!(set.contains(&999));
+    }
+
+    #[test]
+    fn partial_chunks_are_distinguished() {
+        // Strings whose 8-byte prefixes collide must still hash differently.
+        assert_ne!(hash_one(&"abcdefgh1"), hash_one(&"abcdefgh2"));
+        assert_ne!(hash_one(&"abcdefgh"), hash_one(&"abcdefgh\0"));
+    }
+}

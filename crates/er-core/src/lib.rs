@@ -1,0 +1,25 @@
+//! Core entity model and shared primitives for the Generalized Supervised
+//! Meta-blocking reproduction.
+//!
+//! The paper models an *entity profile* as a set of textual name/value pairs;
+//! profiles are grouped into *entity collections* and Entity Resolution is
+//! either Clean-Clean (two duplicate-free collections, find cross matches) or
+//! Dirty (one collection, find internal matches).  This crate provides those
+//! types plus the small utilities shared by every other crate: deterministic
+//! hashing, tokenisation, seeded randomness and a common error type.
+
+pub mod collection;
+pub mod entity;
+pub mod error;
+pub mod fxhash;
+pub mod ids;
+pub mod rng;
+pub mod tokenize;
+
+pub use collection::{Dataset, DatasetKind, EntityCollection, GroundTruth};
+pub use entity::{Attribute, EntityProfile};
+pub use error::{Error, Result};
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
+pub use ids::{BlockId, EntityId, PairId};
+pub use rng::seeded_rng;
+pub use tokenize::tokenize;

@@ -1,0 +1,61 @@
+//! Schema-agnostic tokenisation.
+//!
+//! Token Blocking creates one block per distinct attribute-value token, so the
+//! tokenizer defines the blocking keys.  Following the paper (and SparkER),
+//! values are lower-cased and split on any non-alphanumeric character; empty
+//! tokens are dropped.
+
+/// Splits an attribute value into lowercase alphanumeric tokens.
+pub fn tokenize(value: &str) -> Vec<String> {
+    value
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+/// Tokenizes a value and appends the tokens into `out` without allocating a
+/// fresh vector; used on the hot blocking path.
+pub fn tokenize_into(value: &str, out: &mut Vec<String>) {
+    for t in value.split(|c: char| !c.is_alphanumeric()) {
+        if !t.is_empty() {
+            out.push(t.to_lowercase());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_non_alphanumeric() {
+        assert_eq!(
+            tokenize("Apple iPhone-X (2018)"),
+            vec!["apple", "iphone", "x", "2018"]
+        );
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize("Samsung S20"), vec!["samsung", "s20"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("--- ,,, !!!").is_empty());
+    }
+
+    #[test]
+    fn tokenize_into_appends() {
+        let mut out = vec!["seed".to_string()];
+        tokenize_into("Huawei Mate 20", &mut out);
+        assert_eq!(out, vec!["seed", "huawei", "mate", "20"]);
+    }
+
+    #[test]
+    fn unicode_alphanumerics_are_kept() {
+        assert_eq!(tokenize("café 42"), vec!["café", "42"]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Dirty ER dataset generation (the scalability datasets D10K…D300K).
+//!
+//! A dirty dataset is a single collection containing duplicate *clusters*: a
+//! base record plus one or more noised copies.  The ground truth consists of
+//! every within-cluster pair.  Cluster sizes follow the configuration's
+//! `max_cluster_size`; non-duplicated background entities fill the remainder.
+
+use er_core::{Dataset, EntityCollection, EntityId, EntityProfile, GroundTruth, Result};
+use rand::Rng;
+
+use crate::config::DirtyConfig;
+use crate::noise::apply_noise;
+use crate::vocab::Vocabulary;
+
+const ATTRIBUTE_NAMES: [&str; 3] = ["name", "address", "details"];
+
+fn base_record(cfg: &DirtyConfig, vocab: &Vocabulary, rng: &mut impl Rng) -> Vec<usize> {
+    let len = rng.gen_range(cfg.min_tokens..=cfg.max_tokens);
+    let distinctive = ((len as f64) * cfg.distinctive_fraction).round() as usize;
+    let mut tokens = Vec::with_capacity(len);
+    for _ in 0..distinctive {
+        tokens.push(vocab.sample_tail(rng, 0.5));
+    }
+    for _ in distinctive..len {
+        tokens.push(vocab.sample(rng));
+    }
+    tokens
+}
+
+fn render_profile(external_id: String, tokens: &[usize], vocab: &Vocabulary) -> EntityProfile {
+    let mut profile = EntityProfile::new(external_id);
+    if tokens.is_empty() {
+        return profile;
+    }
+    let per_attr = tokens.len().div_ceil(ATTRIBUTE_NAMES.len()).max(1);
+    for (i, chunk) in tokens.chunks(per_attr).enumerate() {
+        let value = chunk
+            .iter()
+            .map(|&t| vocab.token(t))
+            .collect::<Vec<_>>()
+            .join(" ");
+        profile.push_attribute(ATTRIBUTE_NAMES[i % ATTRIBUTE_NAMES.len()], value);
+    }
+    profile
+}
+
+/// Generates a Dirty ER dataset according to the configuration.
+pub fn generate_dirty(cfg: &DirtyConfig) -> Result<Dataset> {
+    cfg.validate()?;
+    let vocab = Vocabulary::new(cfg.vocab_size, cfg.zipf_exponent);
+    let mut rng = er_core::seeded_rng(cfg.seed);
+
+    let mut profiles: Vec<EntityProfile> = Vec::with_capacity(cfg.num_entities);
+    let mut truth: Vec<(EntityId, EntityId)> = Vec::new();
+    let mut bases: Vec<Vec<usize>> = Vec::new();
+
+    while profiles.len() < cfg.num_entities {
+        // Hard negatives: some records are confusable variants of an earlier
+        // one (they share about half of its tokens without being duplicates).
+        let base = if !bases.is_empty() && rng.gen::<f64>() < cfg.confusable_fraction {
+            let source = bases[rng.gen_range(0..bases.len())].clone();
+            source
+                .iter()
+                .map(|&token| {
+                    if rng.gen::<f64>() < 0.7 {
+                        token
+                    } else if rng.gen::<f64>() < cfg.distinctive_fraction {
+                        vocab.sample_tail(&mut rng, 0.5)
+                    } else {
+                        vocab.sample(&mut rng)
+                    }
+                })
+                .collect()
+        } else {
+            base_record(cfg, &vocab, &mut rng)
+        };
+        bases.push(base.clone());
+        let idx = profiles.len();
+        profiles.push(render_profile(format!("{}-{idx}", cfg.name), &base, &vocab));
+
+        // Decide whether this record spawns a duplicate cluster.
+        if rng.gen::<f64>() < cfg.duplicate_fraction && profiles.len() < cfg.num_entities {
+            let copies = rng.gen_range(1..cfg.max_cluster_size);
+            let mut cluster = vec![EntityId::from(idx)];
+            for _ in 0..copies {
+                if profiles.len() >= cfg.num_entities {
+                    break;
+                }
+                let copy_tokens = apply_noise(&base, &cfg.noise, &vocab, &mut rng);
+                let copy_idx = profiles.len();
+                profiles.push(render_profile(
+                    format!("{}-{copy_idx}", cfg.name),
+                    &copy_tokens,
+                    &vocab,
+                ));
+                cluster.push(EntityId::from(copy_idx));
+            }
+            // All within-cluster pairs are duplicates.
+            for i in 0..cluster.len() {
+                for j in i + 1..cluster.len() {
+                    truth.push((cluster[i], cluster[j]));
+                }
+            }
+        }
+    }
+
+    Dataset::dirty(
+        cfg.name.clone(),
+        EntityCollection::new(cfg.name.clone(), profiles),
+        GroundTruth::from_pairs(truth),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NoiseConfig;
+    use er_core::DatasetKind;
+
+    fn config(num_entities: usize, seed: u64) -> DirtyConfig {
+        DirtyConfig {
+            name: "dirty-test".into(),
+            num_entities,
+            duplicate_fraction: 0.3,
+            max_cluster_size: 4,
+            vocab_size: 3000,
+            zipf_exponent: 1.05,
+            min_tokens: 5,
+            max_tokens: 12,
+            distinctive_fraction: 0.5,
+            confusable_fraction: 0.4,
+            noise: NoiseConfig::light(),
+            seed,
+        }
+    }
+
+    #[test]
+    fn entity_count_matches() {
+        let ds = generate_dirty(&config(500, 1)).unwrap();
+        assert_eq!(ds.kind, DatasetKind::Dirty);
+        assert_eq!(ds.num_entities(), 500);
+    }
+
+    #[test]
+    fn has_duplicates_and_they_are_valid() {
+        let ds = generate_dirty(&config(800, 2)).unwrap();
+        assert!(ds.num_duplicates() > 0);
+        let n = ds.num_entities() as u32;
+        for &(a, b) in ds.ground_truth.pairs() {
+            assert!(a.0 < n && b.0 < n && a != b);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate_dirty(&config(300, 5)).unwrap();
+        let b = generate_dirty(&config(300, 5)).unwrap();
+        assert_eq!(a.profiles, b.profiles);
+        assert_eq!(a.ground_truth.pairs(), b.ground_truth.pairs());
+    }
+
+    #[test]
+    fn duplicate_fraction_influences_truth_size() {
+        let few = generate_dirty(&DirtyConfig {
+            duplicate_fraction: 0.05,
+            ..config(1000, 3)
+        })
+        .unwrap();
+        let many = generate_dirty(&DirtyConfig {
+            duplicate_fraction: 0.45,
+            ..config(1000, 3)
+        })
+        .unwrap();
+        assert!(many.num_duplicates() > few.num_duplicates());
+    }
+
+    #[test]
+    fn larger_datasets_have_more_duplicates() {
+        let small = generate_dirty(&config(300, 4)).unwrap();
+        let large = generate_dirty(&config(1500, 4)).unwrap();
+        assert!(large.num_duplicates() > small.num_duplicates());
+    }
+}

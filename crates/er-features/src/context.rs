@@ -1,0 +1,360 @@
+//! Feature context: per-entity aggregates and per-pair scheme evaluation.
+
+use er_blocking::{BlockStats, CandidatePairs};
+use er_core::EntityId;
+
+use crate::feature_set::FeatureSet;
+use crate::schemes::Scheme;
+
+/// Everything needed to score a candidate pair with any weighting scheme.
+///
+/// The context borrows the block statistics and candidate pairs and
+/// pre-computes the per-entity sums used by the normalised schemes
+/// (WJS and NRS) so that each per-pair evaluation costs a single merge over
+/// the two sorted block lists.
+#[derive(Debug)]
+pub struct FeatureContext<'a> {
+    stats: &'a BlockStats,
+    candidates: &'a CandidatePairs,
+    /// Σ_{b ∈ B_i} 1/||b|| per entity (denominator of WJS).
+    entity_inv_comparisons: Vec<f64>,
+    /// Σ_{b ∈ B_i} 1/|b| per entity (denominator of NRS).
+    entity_inv_sizes: Vec<f64>,
+    /// log-cache of |B| to avoid recomputation.
+    num_blocks: f64,
+    /// ||B|| as f64.
+    total_comparisons: f64,
+}
+
+/// The raw per-pair co-occurrence aggregates from which every scheme is
+/// computed: one merge over the common blocks yields all three sums.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PairCooccurrence {
+    /// |B_i ∩ B_j|: number of common blocks.
+    pub common_blocks: usize,
+    /// Σ_{b ∈ B_i ∩ B_j} 1/||b||.
+    pub inv_comparisons_sum: f64,
+    /// Σ_{b ∈ B_i ∩ B_j} 1/|b|.
+    pub inv_sizes_sum: f64,
+}
+
+impl<'a> FeatureContext<'a> {
+    /// Builds the context for a block collection's statistics and candidate
+    /// pairs.
+    pub fn new(stats: &'a BlockStats, candidates: &'a CandidatePairs) -> Self {
+        let n = stats.num_entities();
+        let mut entity_inv_comparisons = vec![0.0; n];
+        let mut entity_inv_sizes = vec![0.0; n];
+        for e in 0..n {
+            let entity = EntityId::from(e);
+            let mut inv_comp = 0.0;
+            let mut inv_size = 0.0;
+            for &b in stats.blocks_of(entity) {
+                let comparisons = stats.block_comparisons(b);
+                if comparisons > 0 {
+                    inv_comp += 1.0 / comparisons as f64;
+                }
+                let size = stats.block_size(b);
+                if size > 0 {
+                    inv_size += 1.0 / f64::from(size);
+                }
+            }
+            entity_inv_comparisons[e] = inv_comp;
+            entity_inv_sizes[e] = inv_size;
+        }
+        FeatureContext {
+            stats,
+            candidates,
+            entity_inv_comparisons,
+            entity_inv_sizes,
+            num_blocks: stats.num_blocks() as f64,
+            total_comparisons: stats.total_comparisons() as f64,
+        }
+    }
+
+    /// The underlying block statistics.
+    pub fn stats(&self) -> &BlockStats {
+        self.stats
+    }
+
+    /// The candidate pairs the context was built over.
+    pub fn candidates(&self) -> &CandidatePairs {
+        self.candidates
+    }
+
+    /// Computes the per-pair co-occurrence aggregates with a single merge of
+    /// the two sorted block lists.
+    pub fn cooccurrence(&self, a: EntityId, b: EntityId) -> PairCooccurrence {
+        let mut agg = PairCooccurrence::default();
+        self.stats.for_each_common_block(a, b, |block| {
+            agg.common_blocks += 1;
+            let comparisons = self.stats.block_comparisons(block);
+            if comparisons > 0 {
+                agg.inv_comparisons_sum += 1.0 / comparisons as f64;
+            }
+            let size = self.stats.block_size(block);
+            if size > 0 {
+                agg.inv_sizes_sum += 1.0 / f64::from(size);
+            }
+        });
+        agg
+    }
+
+    /// Evaluates a single weighting scheme for a pair.
+    ///
+    /// For [`Scheme::Lcp`], which is defined per entity, the value returned is
+    /// `LCP(e_i)`; use [`FeatureContext::lcp`] for an individual entity or
+    /// [`FeatureContext::pair_features`] to obtain both endpoints' values.
+    pub fn score(&self, scheme: Scheme, a: EntityId, b: EntityId) -> f64 {
+        let agg = self.cooccurrence(a, b);
+        self.score_with(scheme, a, b, &agg)
+    }
+
+    /// Evaluates a scheme given precomputed co-occurrence aggregates.
+    pub fn score_with(
+        &self,
+        scheme: Scheme,
+        a: EntityId,
+        b: EntityId,
+        agg: &PairCooccurrence,
+    ) -> f64 {
+        match scheme {
+            Scheme::CfIbf => {
+                let cb = agg.common_blocks as f64;
+                cb * self.ibf(a) * self.ibf(b)
+            }
+            Scheme::Raccb => agg.inv_comparisons_sum,
+            Scheme::Js => {
+                let cb = agg.common_blocks as f64;
+                let union = self.stats.num_blocks_of(a) as f64
+                    + self.stats.num_blocks_of(b) as f64
+                    - cb;
+                if union > 0.0 {
+                    cb / union
+                } else {
+                    0.0
+                }
+            }
+            Scheme::Lcp => self.lcp(a),
+            Scheme::Ejs => {
+                let js = self.score_with(Scheme::Js, a, b, agg);
+                js * self.inverse_candidate_frequency(a) * self.inverse_candidate_frequency(b)
+            }
+            Scheme::Wjs => {
+                let numerator = agg.inv_comparisons_sum;
+                let denominator = self.entity_inv_comparisons[a.index()]
+                    + self.entity_inv_comparisons[b.index()]
+                    - numerator;
+                if denominator > 0.0 {
+                    numerator / denominator
+                } else {
+                    0.0
+                }
+            }
+            Scheme::Rs => agg.inv_sizes_sum,
+            Scheme::Nrs => {
+                let numerator = agg.inv_sizes_sum;
+                let denominator = self.entity_inv_sizes[a.index()]
+                    + self.entity_inv_sizes[b.index()]
+                    - numerator;
+                if denominator > 0.0 {
+                    numerator / denominator
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// `log(|B| / |B_i|)`, the inverse-block-frequency factor of CF-IBF.
+    fn ibf(&self, entity: EntityId) -> f64 {
+        let blocks_of = self.stats.num_blocks_of(entity) as f64;
+        if blocks_of > 0.0 && self.num_blocks > 0.0 {
+            (self.num_blocks / blocks_of).ln()
+        } else {
+            0.0
+        }
+    }
+
+    /// `log(||B|| / ||e_i||)`, the inverse-candidate-frequency factor of EJS.
+    fn inverse_candidate_frequency(&self, entity: EntityId) -> f64 {
+        let entity_comparisons = self.stats.entity_comparisons(entity) as f64;
+        if entity_comparisons > 0.0 && self.total_comparisons > 0.0 {
+            (self.total_comparisons / entity_comparisons).ln()
+        } else {
+            0.0
+        }
+    }
+
+    /// The LCP value of an entity: its number of distinct candidates.
+    pub fn lcp(&self, entity: EntityId) -> f64 {
+        f64::from(self.candidates.candidates_of(entity))
+    }
+
+    /// Writes the feature vector of a pair for the given feature set into
+    /// `out` (cleared first).  The layout follows the canonical scheme order;
+    /// LCP expands into `LCP(e_i), LCP(e_j)`.
+    pub fn pair_features(&self, a: EntityId, b: EntityId, set: FeatureSet, out: &mut Vec<f64>) {
+        out.clear();
+        let agg = self.cooccurrence(a, b);
+        for scheme in Scheme::ALL {
+            if !set.contains(scheme) {
+                continue;
+            }
+            if scheme == Scheme::Lcp {
+                out.push(self.lcp(a));
+                out.push(self.lcp(b));
+            } else {
+                out.push(self.score_with(scheme, a, b, &agg));
+            }
+        }
+    }
+
+    /// Convenience wrapper returning a freshly allocated feature vector.
+    pub fn pair_feature_vec(&self, a: EntityId, b: EntityId, set: FeatureSet) -> Vec<f64> {
+        let mut out = Vec::with_capacity(set.vector_len());
+        self.pair_features(a, b, set, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_blocking::{Block, BlockCollection};
+    use er_core::DatasetKind;
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().copied().map(EntityId).collect()
+    }
+
+    /// A small Clean-Clean collection with entities 0,1 in E1 and 2,3 in E2.
+    ///
+    /// Blocks: a = {0,2}, b = {0,1,2,3}, c = {1,3}, d = {0,2}.
+    fn fixture() -> (BlockCollection, BlockStats, CandidatePairs) {
+        let bc = BlockCollection {
+            dataset_name: "t".into(),
+            kind: DatasetKind::CleanClean,
+            split: 2,
+            num_entities: 4,
+            blocks: vec![
+                Block::new("a", ids(&[0, 2])),
+                Block::new("b", ids(&[0, 1, 2, 3])),
+                Block::new("c", ids(&[1, 3])),
+                Block::new("d", ids(&[0, 2])),
+            ],
+        };
+        let stats = BlockStats::new(&bc);
+        let cands = CandidatePairs::from_blocks(&bc);
+        (bc, stats, cands)
+    }
+
+    #[test]
+    fn cooccurrence_aggregates() {
+        let (_bc, stats, cands) = fixture();
+        let ctx = FeatureContext::new(&stats, &cands);
+        let agg = ctx.cooccurrence(EntityId(0), EntityId(2));
+        // Common blocks of 0 and 2: a, b, d.
+        assert_eq!(agg.common_blocks, 3);
+        // ||a|| = 1, ||b|| = 4, ||d|| = 1.
+        assert!((agg.inv_comparisons_sum - (1.0 + 0.25 + 1.0)).abs() < 1e-12);
+        // |a| = 2, |b| = 4, |d| = 2.
+        assert!((agg.inv_sizes_sum - (0.5 + 0.25 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_matches_hand_computation() {
+        let (_bc, stats, cands) = fixture();
+        let ctx = FeatureContext::new(&stats, &cands);
+        // B_0 = {a,b,d}, B_2 = {a,b,d} → JS = 3 / (3+3-3) = 1.
+        assert!((ctx.score(Scheme::Js, EntityId(0), EntityId(2)) - 1.0).abs() < 1e-12);
+        // B_0 = {a,b,d}, B_3 = {b,c} → common = {b}; JS = 1 / (3+2-1) = 0.25.
+        assert!((ctx.score(Scheme::Js, EntityId(0), EntityId(3)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cfibf_matches_hand_computation() {
+        let (_bc, stats, cands) = fixture();
+        let ctx = FeatureContext::new(&stats, &cands);
+        // |B| = 4, |B_0| = 3, |B_3| = 2, common(0,3) = 1.
+        let expected = 1.0 * (4.0f64 / 3.0).ln() * (4.0f64 / 2.0).ln();
+        assert!((ctx.score(Scheme::CfIbf, EntityId(0), EntityId(3)) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raccb_and_rs_match_hand_computation() {
+        let (_bc, stats, cands) = fixture();
+        let ctx = FeatureContext::new(&stats, &cands);
+        // Pair (0,3): common block b with ||b|| = 4 and |b| = 4.
+        assert!((ctx.score(Scheme::Raccb, EntityId(0), EntityId(3)) - 0.25).abs() < 1e-12);
+        assert!((ctx.score(Scheme::Rs, EntityId(0), EntityId(3)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wjs_and_nrs_are_normalised_to_unit_interval() {
+        let (_bc, stats, cands) = fixture();
+        let ctx = FeatureContext::new(&stats, &cands);
+        for &(a, b) in cands.pairs() {
+            let wjs = ctx.score(Scheme::Wjs, a, b);
+            let nrs = ctx.score(Scheme::Nrs, a, b);
+            assert!((0.0..=1.0).contains(&wjs), "WJS({a},{b}) = {wjs}");
+            assert!((0.0..=1.0).contains(&nrs), "NRS({a},{b}) = {nrs}");
+        }
+    }
+
+    #[test]
+    fn identical_block_signatures_maximise_wjs_and_nrs() {
+        let (_bc, stats, cands) = fixture();
+        let ctx = FeatureContext::new(&stats, &cands);
+        // Entities 0 and 2 have identical block lists → both normalised
+        // schemes reach 1.
+        assert!((ctx.score(Scheme::Wjs, EntityId(0), EntityId(2)) - 1.0).abs() < 1e-12);
+        assert!((ctx.score(Scheme::Nrs, EntityId(0), EntityId(2)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lcp_counts_distinct_candidates() {
+        let (_bc, stats, cands) = fixture();
+        let ctx = FeatureContext::new(&stats, &cands);
+        // Every E1 entity co-occurs with both E2 entities via block b.
+        assert_eq!(ctx.lcp(EntityId(0)), 2.0);
+        assert_eq!(ctx.lcp(EntityId(3)), 2.0);
+    }
+
+    #[test]
+    fn ejs_scales_jaccard_by_rarity() {
+        let (_bc, stats, cands) = fixture();
+        let ctx = FeatureContext::new(&stats, &cands);
+        let js = ctx.score(Scheme::Js, EntityId(0), EntityId(2));
+        let ejs = ctx.score(Scheme::Ejs, EntityId(0), EntityId(2));
+        // ||B|| = 1+4+1+1 = 7, ||e_0|| = 6, ||e_2|| = 6.
+        let expected = js * (7.0f64 / 6.0).ln() * (7.0f64 / 6.0).ln();
+        assert!((ejs - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_features_layout_follows_canonical_order() {
+        let (_bc, stats, cands) = fixture();
+        let ctx = FeatureContext::new(&stats, &cands);
+        let set = FeatureSet::original();
+        let v = ctx.pair_feature_vec(EntityId(0), EntityId(2), set);
+        assert_eq!(v.len(), 5);
+        assert!((v[0] - ctx.score(Scheme::CfIbf, EntityId(0), EntityId(2))).abs() < 1e-12);
+        assert!((v[1] - ctx.score(Scheme::Raccb, EntityId(0), EntityId(2))).abs() < 1e-12);
+        assert!((v[2] - ctx.score(Scheme::Js, EntityId(0), EntityId(2))).abs() < 1e-12);
+        assert_eq!(v[3], ctx.lcp(EntityId(0)));
+        assert_eq!(v[4], ctx.lcp(EntityId(2)));
+    }
+
+    #[test]
+    fn matching_like_pairs_score_higher_than_random_pairs() {
+        let (_bc, stats, cands) = fixture();
+        let ctx = FeatureContext::new(&stats, &cands);
+        // (0,2) share all blocks; (0,3) share only the big block.
+        for scheme in [Scheme::CfIbf, Scheme::Raccb, Scheme::Js, Scheme::Rs, Scheme::Nrs, Scheme::Wjs, Scheme::Ejs] {
+            let close = ctx.score(scheme, EntityId(0), EntityId(2));
+            let far = ctx.score(scheme, EntityId(0), EntityId(3));
+            assert!(close > far, "{scheme}: {close} !> {far}");
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Feature-matrix generation: materialise the feature vector of every
+//! candidate pair.
+//!
+//! Feature generation dominates the run-time of (Generalized) Supervised
+//! Meta-blocking on the larger datasets (Figures 7, 9 and 10 of the paper), so
+//! the matrix is built in parallel over disjoint pair ranges using scoped
+//! crossbeam threads.
+
+use er_core::PairId;
+use serde::{Deserialize, Serialize};
+
+use crate::context::FeatureContext;
+use crate::feature_set::FeatureSet;
+
+/// A dense, row-major matrix holding one feature vector per candidate pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureMatrix {
+    feature_set: FeatureSet,
+    num_features: usize,
+    num_pairs: usize,
+    values: Vec<f64>,
+}
+
+impl FeatureMatrix {
+    /// Builds the matrix for every candidate pair in the context, single
+    /// threaded.
+    pub fn build(context: &FeatureContext<'_>, set: FeatureSet) -> Self {
+        Self::build_with_threads(context, set, 1)
+    }
+
+    /// Builds the matrix using up to `threads` worker threads.
+    pub fn build_parallel(context: &FeatureContext<'_>, set: FeatureSet) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        Self::build_with_threads(context, set, threads)
+    }
+
+    /// Builds the matrix with an explicit thread count.
+    pub fn build_with_threads(
+        context: &FeatureContext<'_>,
+        set: FeatureSet,
+        threads: usize,
+    ) -> Self {
+        let pairs = context.candidates().pairs();
+        let num_features = set.vector_len();
+        let num_pairs = pairs.len();
+        let mut values = vec![0.0f64; num_features * num_pairs];
+
+        let threads = threads.max(1).min(num_pairs.max(1));
+        if threads <= 1 || num_pairs < 1024 {
+            let mut row = Vec::with_capacity(num_features);
+            for (i, &(a, b)) in pairs.iter().enumerate() {
+                context.pair_features(a, b, set, &mut row);
+                values[i * num_features..(i + 1) * num_features].copy_from_slice(&row);
+            }
+        } else {
+            let chunk_rows = num_pairs.div_ceil(threads);
+            let chunk_len = chunk_rows * num_features;
+            crossbeam::thread::scope(|scope| {
+                for (chunk_index, chunk) in values.chunks_mut(chunk_len).enumerate() {
+                    let start = chunk_index * chunk_rows;
+                    scope.spawn(move |_| {
+                        let mut row = Vec::with_capacity(num_features);
+                        for (offset, slot) in chunk.chunks_mut(num_features).enumerate() {
+                            let (a, b) = pairs[start + offset];
+                            context.pair_features(a, b, set, &mut row);
+                            slot.copy_from_slice(&row);
+                        }
+                    });
+                }
+            })
+            .expect("feature generation worker panicked");
+        }
+
+        FeatureMatrix {
+            feature_set: set,
+            num_features,
+            num_pairs,
+            values,
+        }
+    }
+
+    /// The feature set the matrix was built for.
+    pub fn feature_set(&self) -> FeatureSet {
+        self.feature_set
+    }
+
+    /// Number of columns (features per pair).
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Number of rows (candidate pairs).
+    pub fn num_pairs(&self) -> usize {
+        self.num_pairs
+    }
+
+    /// The feature vector of one pair.
+    pub fn row(&self, pair: PairId) -> &[f64] {
+        let start = pair.index() * self.num_features;
+        &self.values[start..start + self.num_features]
+    }
+
+    /// Iterates over `(PairId, row)` tuples.
+    pub fn rows(&self) -> impl Iterator<Item = (PairId, &[f64])> {
+        self.values
+            .chunks(self.num_features.max(1))
+            .enumerate()
+            .take(self.num_pairs)
+            .map(|(i, row)| (PairId::from(i), row))
+    }
+
+    /// Projects the matrix onto a sub-feature-set, selecting the relevant
+    /// columns without recomputing any scheme.
+    ///
+    /// This is how the 255-combination feature-selection sweep (Tables 3 and
+    /// 4 of the paper) is made affordable: the all-schemes matrix is built
+    /// once per dataset and every combination is a cheap column selection.
+    ///
+    /// # Panics
+    /// Panics if `target` contains a scheme that is absent from this matrix's
+    /// feature set.
+    pub fn project(&self, target: FeatureSet) -> FeatureMatrix {
+        use crate::schemes::Scheme;
+        assert!(
+            target
+                .schemes()
+                .iter()
+                .all(|s| self.feature_set.contains(*s)),
+            "cannot project {} out of {}",
+            target,
+            self.feature_set
+        );
+        // Column offsets of each scheme in the source layout.
+        let mut columns = Vec::with_capacity(target.vector_len());
+        let mut offset = 0usize;
+        for scheme in Scheme::ALL {
+            if !self.feature_set.contains(scheme) {
+                continue;
+            }
+            if target.contains(scheme) {
+                for i in 0..scheme.arity() {
+                    columns.push(offset + i);
+                }
+            }
+            offset += scheme.arity();
+        }
+        let num_features = columns.len();
+        let mut values = Vec::with_capacity(num_features * self.num_pairs);
+        for (_, row) in self.rows() {
+            for &c in &columns {
+                values.push(row[c]);
+            }
+        }
+        FeatureMatrix {
+            feature_set: target,
+            num_features,
+            num_pairs: self.num_pairs,
+            values,
+        }
+    }
+
+    /// Per-column means (used by the feature standardiser).
+    pub fn column_means(&self) -> Vec<f64> {
+        let mut means = vec![0.0; self.num_features];
+        if self.num_pairs == 0 {
+            return means;
+        }
+        for (_, row) in self.rows() {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= self.num_pairs as f64;
+        }
+        means
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_blocking::{Block, BlockCollection, BlockStats, CandidatePairs};
+    use er_core::{DatasetKind, EntityId};
+
+    fn fixture() -> (BlockCollection, Vec<(EntityId, EntityId)>) {
+        let ids = |v: &[u32]| v.iter().copied().map(EntityId).collect::<Vec<_>>();
+        let bc = BlockCollection {
+            dataset_name: "t".into(),
+            kind: DatasetKind::CleanClean,
+            split: 3,
+            num_entities: 6,
+            blocks: vec![
+                Block::new("a", ids(&[0, 3])),
+                Block::new("b", ids(&[0, 1, 3, 4])),
+                Block::new("c", ids(&[1, 4])),
+                Block::new("d", ids(&[2, 5])),
+                Block::new("e", ids(&[0, 1, 2, 3, 4, 5])),
+            ],
+        };
+        let pairs = vec![];
+        (bc, pairs)
+    }
+
+    #[test]
+    fn matrix_shape_matches_candidates_and_feature_set() {
+        let (bc, _) = fixture();
+        let stats = BlockStats::new(&bc);
+        let cands = CandidatePairs::from_blocks(&bc);
+        let ctx = FeatureContext::new(&stats, &cands);
+        let matrix = FeatureMatrix::build(&ctx, FeatureSet::original());
+        assert_eq!(matrix.num_pairs(), cands.len());
+        assert_eq!(matrix.num_features(), 5);
+        assert_eq!(matrix.rows().count(), cands.len());
+    }
+
+    #[test]
+    fn rows_match_direct_computation() {
+        let (bc, _) = fixture();
+        let stats = BlockStats::new(&bc);
+        let cands = CandidatePairs::from_blocks(&bc);
+        let ctx = FeatureContext::new(&stats, &cands);
+        let set = FeatureSet::all_schemes();
+        let matrix = FeatureMatrix::build(&ctx, set);
+        for (id, a, b) in cands.iter() {
+            let expected = ctx.pair_feature_vec(a, b, set);
+            assert_eq!(matrix.row(id), expected.as_slice());
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let (bc, _) = fixture();
+        let stats = BlockStats::new(&bc);
+        let cands = CandidatePairs::from_blocks(&bc);
+        let ctx = FeatureContext::new(&stats, &cands);
+        let set = FeatureSet::blast_optimal();
+        let sequential = FeatureMatrix::build_with_threads(&ctx, set, 1);
+        let parallel = FeatureMatrix::build_with_threads(&ctx, set, 4);
+        for (id, row) in sequential.rows() {
+            assert_eq!(row, parallel.row(id));
+        }
+    }
+
+    #[test]
+    fn projection_matches_direct_build() {
+        let (bc, _) = fixture();
+        let stats = BlockStats::new(&bc);
+        let cands = CandidatePairs::from_blocks(&bc);
+        let ctx = FeatureContext::new(&stats, &cands);
+        let full = FeatureMatrix::build(&ctx, FeatureSet::all_schemes());
+        for target in [
+            FeatureSet::original(),
+            FeatureSet::blast_optimal(),
+            FeatureSet::rcnp_optimal(),
+        ] {
+            let projected = full.project(target);
+            let direct = FeatureMatrix::build(&ctx, target);
+            assert_eq!(projected.num_features(), direct.num_features());
+            for (id, row) in direct.rows() {
+                assert_eq!(projected.row(id), row, "mismatch for {target}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot project")]
+    fn projection_onto_missing_scheme_panics() {
+        let (bc, _) = fixture();
+        let stats = BlockStats::new(&bc);
+        let cands = CandidatePairs::from_blocks(&bc);
+        let ctx = FeatureContext::new(&stats, &cands);
+        let small = FeatureMatrix::build(&ctx, FeatureSet::blast_optimal());
+        let _ = small.project(FeatureSet::original());
+    }
+
+    #[test]
+    fn column_means_average_rows() {
+        let (bc, _) = fixture();
+        let stats = BlockStats::new(&bc);
+        let cands = CandidatePairs::from_blocks(&bc);
+        let ctx = FeatureContext::new(&stats, &cands);
+        let matrix = FeatureMatrix::build(&ctx, FeatureSet::blast_optimal());
+        let means = matrix.column_means();
+        assert_eq!(means.len(), 4);
+        let manual: f64 = matrix.rows().map(|(_, row)| row[0]).sum::<f64>() / matrix.num_pairs() as f64;
+        assert!((means[0] - manual).abs() < 1e-12);
+    }
+}

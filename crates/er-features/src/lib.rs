@@ -1,0 +1,23 @@
+//! Weighting schemes and feature-vector generation for (Generalized)
+//! Supervised Meta-blocking.
+//!
+//! Every candidate pair is represented as a vector of *weighting-scheme*
+//! scores, each proportional to the pair's matching likelihood and derived
+//! purely from the pair's co-occurrence pattern in the block collection.  The
+//! paper uses the four schemes of the original Supervised Meta-blocking work
+//! (CF-IBF, RACCB, JS, LCP) and introduces four new ones (EJS, WJS, RS, NRS).
+//!
+//! [`FeatureContext`] precomputes the per-entity aggregates each scheme needs;
+//! [`FeatureSet`] selects which schemes form the vector (all 255 non-empty
+//! combinations can be enumerated for the feature-selection experiment); and
+//! [`FeatureMatrix`] materialises the vectors for every candidate pair.
+
+pub mod context;
+pub mod feature_set;
+pub mod generator;
+pub mod schemes;
+
+pub use context::FeatureContext;
+pub use feature_set::FeatureSet;
+pub use generator::FeatureMatrix;
+pub use schemes::Scheme;

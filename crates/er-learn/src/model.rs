@@ -1,0 +1,63 @@
+//! Classifier traits.
+
+use er_core::Result;
+
+use crate::dataset::TrainingSet;
+
+/// A binary probabilistic classifier over raw (unscaled) feature vectors.
+///
+/// This is the abstraction Generalized Supervised Meta-blocking builds on:
+/// whatever model is used, every candidate pair must receive a matching
+/// probability in `[0, 1]`.
+pub trait ProbabilisticClassifier: Send + Sync {
+    /// The probability that the pair described by `features` is a match.
+    fn probability(&self, features: &[f64]) -> f64;
+
+    /// Hard classification at the 0.5 threshold (the behaviour of the
+    /// original Supervised Meta-blocking binary classifier, BCl).
+    fn classify(&self, features: &[f64]) -> bool {
+        self.probability(features) >= 0.5
+    }
+}
+
+/// A trainable classifier.
+pub trait Classifier: Sized {
+    /// Configuration type of the training procedure.
+    type Config;
+
+    /// Trains the classifier on a labelled set of raw feature vectors.
+    fn fit(config: &Self::Config, training: &TrainingSet) -> Result<Self>;
+}
+
+impl<T: ProbabilisticClassifier + ?Sized> ProbabilisticClassifier for Box<T> {
+    fn probability(&self, features: &[f64]) -> f64 {
+        (**self).probability(features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant(f64);
+
+    impl ProbabilisticClassifier for Constant {
+        fn probability(&self, _features: &[f64]) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn default_classify_uses_half_threshold() {
+        assert!(Constant(0.7).classify(&[]));
+        assert!(Constant(0.5).classify(&[]));
+        assert!(!Constant(0.49).classify(&[]));
+    }
+
+    #[test]
+    fn boxed_classifier_delegates() {
+        let boxed: Box<dyn ProbabilisticClassifier> = Box::new(Constant(0.9));
+        assert!((boxed.probability(&[]) - 0.9).abs() < 1e-12);
+        assert!(boxed.classify(&[]));
+    }
+}

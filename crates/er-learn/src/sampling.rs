@@ -1,0 +1,180 @@
+//! Balanced undersampling of labelled candidate pairs.
+//!
+//! ER suffers from extreme class imbalance: almost every candidate pair is a
+//! non-match.  The paper therefore builds training sets by undersampling —
+//! picking the same number of positive and negative pairs at random — and
+//! shows that as few as 25 instances per class suffice.
+
+use er_core::{EntityId, Error, GroundTruth, Result};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A balanced sample of labelled candidate pairs, expressed as indices into
+/// the candidate-pair list it was drawn from.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BalancedSample {
+    /// Indices of the sampled pairs in the original candidate list.
+    pub pair_indices: Vec<usize>,
+    /// Labels aligned with `pair_indices` (`true` = match).
+    pub labels: Vec<bool>,
+}
+
+impl BalancedSample {
+    /// Number of sampled instances.
+    pub fn len(&self) -> usize {
+        self.pair_indices.len()
+    }
+
+    /// True if the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pair_indices.is_empty()
+    }
+
+    /// Number of positive instances in the sample.
+    pub fn num_positives(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+}
+
+/// Draws a balanced sample of `per_class` positive and `per_class` negative
+/// candidate pairs.
+///
+/// Returns an error if the candidate list does not contain enough pairs of
+/// either class.
+pub fn balanced_undersample(
+    pairs: &[(EntityId, EntityId)],
+    truth: &GroundTruth,
+    per_class: usize,
+    rng: &mut impl Rng,
+) -> Result<BalancedSample> {
+    if per_class == 0 {
+        return Err(Error::InvalidParameter(
+            "per_class must be at least 1".into(),
+        ));
+    }
+    let mut positives = Vec::new();
+    let mut negatives = Vec::new();
+    for (idx, &(a, b)) in pairs.iter().enumerate() {
+        if truth.is_match(a, b) {
+            positives.push(idx);
+        } else {
+            negatives.push(idx);
+        }
+    }
+    for (class, available) in [(&positives, positives.len()), (&negatives, negatives.len())] {
+        let _ = class;
+        if available < per_class {
+            return Err(Error::InsufficientTrainingData {
+                requested: per_class,
+                available,
+            });
+        }
+    }
+
+    positives.shuffle(rng);
+    negatives.shuffle(rng);
+    let mut pair_indices = Vec::with_capacity(2 * per_class);
+    let mut labels = Vec::with_capacity(2 * per_class);
+    for &idx in positives.iter().take(per_class) {
+        pair_indices.push(idx);
+        labels.push(true);
+    }
+    for &idx in negatives.iter().take(per_class) {
+        pair_indices.push(idx);
+        labels.push(false);
+    }
+    Ok(BalancedSample {
+        pair_indices,
+        labels,
+    })
+}
+
+/// The per-class training-set size used by the original Supervised
+/// Meta-blocking paper: 5% of the positive pairs in the ground truth (at least
+/// one).
+pub fn paper_baseline_per_class(num_duplicates: usize) -> usize {
+    ((num_duplicates as f64) * 0.05).ceil().max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Vec<(EntityId, EntityId)>, GroundTruth) {
+        // 10 pairs, the first 4 are matches.
+        let pairs: Vec<(EntityId, EntityId)> =
+            (0..10u32).map(|i| (EntityId(i), EntityId(i + 100))).collect();
+        let truth = GroundTruth::from_pairs(pairs[..4].to_vec());
+        (pairs, truth)
+    }
+
+    #[test]
+    fn sample_is_balanced() {
+        let (pairs, truth) = toy();
+        let mut rng = er_core::seeded_rng(1);
+        let sample = balanced_undersample(&pairs, &truth, 3, &mut rng).unwrap();
+        assert_eq!(sample.len(), 6);
+        assert_eq!(sample.num_positives(), 3);
+    }
+
+    #[test]
+    fn labels_match_ground_truth() {
+        let (pairs, truth) = toy();
+        let mut rng = er_core::seeded_rng(2);
+        let sample = balanced_undersample(&pairs, &truth, 2, &mut rng).unwrap();
+        for (&idx, &label) in sample.pair_indices.iter().zip(&sample.labels) {
+            let (a, b) = pairs[idx];
+            assert_eq!(truth.is_match(a, b), label);
+        }
+    }
+
+    #[test]
+    fn sampling_is_seed_dependent_but_deterministic() {
+        let (pairs, truth) = toy();
+        let a = balanced_undersample(&pairs, &truth, 3, &mut er_core::seeded_rng(7)).unwrap();
+        let b = balanced_undersample(&pairs, &truth, 3, &mut er_core::seeded_rng(7)).unwrap();
+        assert_eq!(a.pair_indices, b.pair_indices);
+    }
+
+    #[test]
+    fn errors_when_not_enough_positives() {
+        let (pairs, truth) = toy();
+        let mut rng = er_core::seeded_rng(3);
+        let err = balanced_undersample(&pairs, &truth, 5, &mut rng).unwrap_err();
+        match err {
+            Error::InsufficientTrainingData {
+                requested,
+                available,
+            } => {
+                assert_eq!(requested, 5);
+                assert_eq!(available, 4);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_per_class_rejected() {
+        let (pairs, truth) = toy();
+        let mut rng = er_core::seeded_rng(4);
+        assert!(balanced_undersample(&pairs, &truth, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn no_duplicate_indices_in_sample() {
+        let (pairs, truth) = toy();
+        let mut rng = er_core::seeded_rng(5);
+        let sample = balanced_undersample(&pairs, &truth, 4, &mut rng).unwrap();
+        let unique: std::collections::HashSet<_> = sample.pair_indices.iter().collect();
+        assert_eq!(unique.len(), sample.len());
+    }
+
+    #[test]
+    fn paper_baseline_size_is_five_percent() {
+        assert_eq!(paper_baseline_per_class(1000), 50);
+        assert_eq!(paper_baseline_per_class(1075), 54);
+        assert_eq!(paper_baseline_per_class(3), 1);
+        assert_eq!(paper_baseline_per_class(0), 1);
+    }
+}

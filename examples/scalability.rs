@@ -1,0 +1,58 @@
+//! Scalability demo: Dirty ER (deduplication) on growing synthetic datasets.
+//!
+//! Generates the D10K…D300K analogues at a configurable scale, deduplicates
+//! each with BLAST and RCNP (50 labelled instances, logistic regression) and
+//! reports effectiveness, run-time and the speedup measure of the paper's
+//! Figure 18.
+//!
+//! ```bash
+//! cargo run --release --example scalability            # default scale
+//! GSMB_DIRTY_SCALE=0.1 cargo run --release --example scalability
+//! ```
+
+use gsmb::datasets::CatalogOptions;
+use gsmb::eval::scalability::{run_scalability, speedup_series};
+use gsmb::meta::pruning::AlgorithmKind;
+
+fn main() {
+    let dirty_scale = std::env::var("GSMB_DIRTY_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.02);
+    let options = CatalogOptions {
+        dirty_scale,
+        ..CatalogOptions::default()
+    };
+    println!("running the Dirty ER scalability workflow (dirty_scale = {dirty_scale})");
+
+    let algorithms = [AlgorithmKind::Blast, AlgorithmKind::Rcnp];
+    let points = run_scalability(&options, &algorithms, 2).expect("scalability run failed");
+
+    println!(
+        "\n{:<8} {:<7} {:>10} {:>12} {:>8} {:>10} {:>8} {:>9}",
+        "dataset", "algo", "entities", "|C|", "recall", "precision", "F1", "RT(s)"
+    );
+    for point in &points {
+        println!(
+            "{:<8} {:<7} {:>10} {:>12} {:>8.4} {:>10.4} {:>8.4} {:>9.3}",
+            point.dataset,
+            point.algorithm.name(),
+            point.num_entities,
+            point.num_candidates,
+            point.effectiveness.recall,
+            point.effectiveness.precision,
+            point.effectiveness.f1,
+            point.rt_seconds
+        );
+    }
+
+    println!("\nspeedup relative to the smallest dataset (1.0 = linear scalability):");
+    for algorithm in algorithms {
+        let series = speedup_series(&points, algorithm);
+        let rendered: Vec<String> = series
+            .iter()
+            .map(|(name, value)| format!("{name}={value:.2}"))
+            .collect();
+        println!("  {:<7} {}", algorithm.name(), rendered.join("  "));
+    }
+}

@@ -1,0 +1,210 @@
+//! Property-based tests over the core data structures and invariants.
+
+use gsmb::blocking::{block_filtering, block_purging, Block, BlockCollection, BlockStats, CandidatePairs};
+use gsmb::core::{DatasetKind, EntityId, GroundTruth};
+use gsmb::eval::Effectiveness;
+use gsmb::features::{FeatureContext, Scheme};
+use gsmb::learn::{Classifier, LogisticRegression, LogisticRegressionConfig, PlattScaler, ProbabilisticClassifier, Standardizer, TrainingSet};
+use gsmb::meta::pruning::{AlgorithmKind, CardinalityThresholds};
+use gsmb::meta::scoring::CachedScores;
+use proptest::prelude::*;
+
+/// Strategy: a random redundancy-positive Clean-Clean block collection.
+fn arb_block_collection() -> impl Strategy<Value = BlockCollection> {
+    // num entities per source in 3..=12, 3..=20 blocks of 2..=6 entities.
+    (3usize..=12, 3usize..=12, 3usize..=20).prop_flat_map(|(n1, n2, num_blocks)| {
+        let total = n1 + n2;
+        let block = proptest::collection::vec(0..total as u32, 2..=6);
+        proptest::collection::vec(block, num_blocks).prop_map(move |blocks| BlockCollection {
+            dataset_name: "prop".into(),
+            kind: DatasetKind::CleanClean,
+            split: n1,
+            num_entities: total,
+            blocks: blocks
+                .into_iter()
+                .enumerate()
+                .map(|(i, members)| {
+                    Block::new(format!("k{i}"), members.into_iter().map(EntityId).collect())
+                })
+                .filter(|b| b.is_useful(DatasetKind::CleanClean, n1))
+                .collect(),
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Block Purging and Filtering never add comparisons and never invent
+    /// entities.
+    #[test]
+    fn purging_and_filtering_only_shrink(collection in arb_block_collection()) {
+        let purged = block_purging(&collection);
+        prop_assert!(purged.total_comparisons() <= collection.total_comparisons());
+        prop_assert!(purged.num_blocks() <= collection.num_blocks());
+        let filtered = block_filtering(&purged, 0.8);
+        prop_assert!(filtered.total_comparisons() <= purged.total_comparisons());
+        for block in &filtered.blocks {
+            prop_assert!(block.is_useful(filtered.kind, filtered.split));
+            for e in &block.entities {
+                prop_assert!(e.index() < filtered.num_entities);
+            }
+        }
+    }
+
+    /// The candidate-pair set contains each comparable pair at most once and
+    /// its per-entity counts are consistent.
+    #[test]
+    fn candidate_pairs_are_distinct_and_consistent(collection in arb_block_collection()) {
+        let candidates = CandidatePairs::from_blocks(&collection);
+        let mut seen = std::collections::HashSet::new();
+        let mut degree = vec![0u32; collection.num_entities];
+        for &(a, b) in candidates.pairs() {
+            prop_assert!(a < b);
+            prop_assert!(collection.is_comparable(a, b));
+            prop_assert!(seen.insert((a, b)));
+            degree[a.index()] += 1;
+            degree[b.index()] += 1;
+        }
+        for (i, &d) in degree.iter().enumerate() {
+            prop_assert_eq!(d, candidates.candidates_of(EntityId(i as u32)));
+        }
+    }
+
+    /// Weighting schemes are non-negative; the normalised ones stay in [0,1];
+    /// and every scheme is symmetric in its arguments.
+    #[test]
+    fn weighting_schemes_bounds_and_symmetry(collection in arb_block_collection()) {
+        let stats = BlockStats::new(&collection);
+        let candidates = CandidatePairs::from_blocks(&collection);
+        let ctx = FeatureContext::new(&stats, &candidates);
+        for &(a, b) in candidates.pairs().iter().take(50) {
+            for scheme in Scheme::ALL {
+                let v = ctx.score(scheme, a, b);
+                prop_assert!(v.is_finite());
+                prop_assert!(v >= 0.0, "{scheme} produced {v}");
+                if matches!(scheme, Scheme::Js | Scheme::Wjs | Scheme::Nrs) {
+                    prop_assert!(v <= 1.0 + 1e-9, "{scheme} produced {v}");
+                }
+                if scheme != Scheme::Lcp {
+                    let reversed = ctx.score(scheme, b, a);
+                    prop_assert!((v - reversed).abs() < 1e-9, "{scheme} not symmetric");
+                }
+            }
+        }
+    }
+
+    /// Pruning-algorithm invariants for arbitrary probabilities: outputs are
+    /// subsets of the valid pairs, reciprocal variants are subsets of their
+    /// base variants, and CEP respects its budget.
+    #[test]
+    fn pruning_invariants(collection in arb_block_collection(), seed in 0u64..1000) {
+        let candidates = CandidatePairs::from_blocks(&collection);
+        prop_assume!(!candidates.is_empty());
+        let mut rng = gsmb::core::seeded_rng(seed);
+        let probabilities: Vec<f64> = (0..candidates.len())
+            .map(|_| rand::Rng::gen_range(&mut rng, 0.0..=1.0))
+            .collect();
+        let scores = CachedScores::new(probabilities.clone());
+        let thresholds = CardinalityThresholds::from_blocks(&collection);
+
+        let run = |kind: AlgorithmKind| -> std::collections::HashSet<_> {
+            kind.build(&collection)
+                .prune(&candidates, &scores)
+                .into_iter()
+                .collect()
+        };
+
+        let bcl = run(AlgorithmKind::Bcl);
+        let wep = run(AlgorithmKind::Wep);
+        let wnp = run(AlgorithmKind::Wnp);
+        let rwnp = run(AlgorithmKind::Rwnp);
+        let blast = run(AlgorithmKind::Blast);
+        let cep = run(AlgorithmKind::Cep);
+        let cnp = run(AlgorithmKind::Cnp);
+        let rcnp = run(AlgorithmKind::Rcnp);
+
+        // Everything is a subset of the valid pairs (= BCl's output).
+        for (name, result) in [("WEP", &wep), ("WNP", &wnp), ("RWNP", &rwnp), ("BLAST", &blast), ("CEP", &cep), ("CNP", &cnp), ("RCNP", &rcnp)] {
+            prop_assert!(result.is_subset(&bcl), "{name} retained an invalid pair");
+        }
+        prop_assert!(rwnp.is_subset(&wnp));
+        prop_assert!(rcnp.is_subset(&cnp));
+        prop_assert!(cep.len() <= thresholds.global_k);
+        // Retained probabilities are all valid.
+        for &id in bcl.iter() {
+            prop_assert!(probabilities[id.index()] >= 0.5);
+        }
+    }
+
+    /// Effectiveness measures always land in [0,1] and F1 is the harmonic
+    /// mean of recall and precision.
+    #[test]
+    fn effectiveness_bounds(tp in 0usize..100, extra in 0usize..100, dups in 1usize..100) {
+        let tp = tp.min(dups);
+        let eff = Effectiveness::from_counts(tp, tp + extra, dups);
+        prop_assert!((0.0..=1.0).contains(&eff.recall));
+        prop_assert!((0.0..=1.0).contains(&eff.precision));
+        prop_assert!((0.0..=1.0).contains(&eff.f1));
+        if eff.recall + eff.precision > 0.0 {
+            let expected = 2.0 * eff.recall * eff.precision / (eff.recall + eff.precision);
+            prop_assert!((eff.f1 - expected).abs() < 1e-12);
+        }
+    }
+
+    /// Ground truth lookups are order-insensitive.
+    #[test]
+    fn ground_truth_symmetry(pairs in proptest::collection::vec((0u32..50, 0u32..50), 1..40)) {
+        let truth = GroundTruth::from_pairs(
+            pairs.iter().filter(|(a, b)| a != b).map(|&(a, b)| (EntityId(a), EntityId(b))),
+        );
+        for &(a, b) in &pairs {
+            prop_assert_eq!(
+                truth.is_match(EntityId(a), EntityId(b)),
+                truth.is_match(EntityId(b), EntityId(a))
+            );
+        }
+    }
+
+    /// The standardiser maps every training row to finite values and the
+    /// logistic regression always emits probabilities in [0,1].
+    #[test]
+    fn classifier_probabilities_stay_in_unit_interval(
+        rows in proptest::collection::vec(proptest::collection::vec(-100.0f64..100.0, 3), 8..40),
+        flips in proptest::collection::vec(any::<bool>(), 8..40),
+    ) {
+        let n = rows.len().min(flips.len());
+        let mut labels: Vec<bool> = flips[..n].to_vec();
+        // Ensure both classes are present.
+        labels[0] = true;
+        if let Some(l) = labels.get_mut(1) { *l = false; }
+        let training = TrainingSet::from_parts(rows[..n].to_vec(), labels).unwrap();
+        let scaler = Standardizer::fit(training.features().iter().map(|r| r.as_slice()), 3);
+        for row in training.features() {
+            prop_assert!(scaler.transform(row).iter().all(|v| v.is_finite()));
+        }
+        let model = LogisticRegression::fit(&LogisticRegressionConfig::default(), &training).unwrap();
+        for row in training.features() {
+            let p = model.probability(row);
+            prop_assert!((0.0..=1.0).contains(&p), "probability {p}");
+        }
+    }
+
+    /// Platt scaling is monotone in the decision value.
+    #[test]
+    fn platt_scaling_is_monotone(offset in -5.0f64..5.0, spread in 0.5f64..5.0) {
+        let decisions: Vec<f64> = (-10..=10).map(|i| offset + spread * f64::from(i) / 10.0).collect();
+        let labels: Vec<bool> = decisions.iter().map(|&d| d > offset).collect();
+        if labels.iter().all(|&l| l) || labels.iter().all(|&l| !l) {
+            return Ok(());
+        }
+        let scaler = PlattScaler::fit(&decisions, &labels).unwrap();
+        let mut previous = f64::NEG_INFINITY;
+        for i in -20..=20 {
+            let p = scaler.probability(offset + spread * f64::from(i) / 10.0);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p >= previous - 1e-9, "not monotone");
+            previous = p;
+        }
+    }
+}
