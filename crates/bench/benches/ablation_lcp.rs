@@ -88,6 +88,10 @@ fn main() {
     for set in [FeatureSet::blast_optimal(), FeatureSet::rcnp_optimal()] {
         let start = Instant::now();
         let _ = FeatureMatrix::build(&context, set);
-        println!("  {:<40} {:>8.3}s", set.to_string(), start.elapsed().as_secs_f64());
+        println!(
+            "  {:<40} {:>8.3}s",
+            set.to_string(),
+            start.elapsed().as_secs_f64()
+        );
     }
 }

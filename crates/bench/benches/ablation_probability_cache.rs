@@ -13,8 +13,8 @@ use er_core::PairId;
 use er_datasets::DatasetName;
 use er_eval::experiment::{train_and_score, RunConfig};
 use er_features::FeatureSet;
-use er_learn::{Classifier, LogisticRegression, LogisticRegressionConfig, TrainingSet};
 use er_learn::balanced_undersample;
+use er_learn::{Classifier, LogisticRegression, LogisticRegressionConfig, TrainingSet};
 use meta_blocking::pruning::AlgorithmKind;
 use meta_blocking::scoring::ModelScorer;
 

@@ -26,7 +26,7 @@ fn main() {
             per_class: (size / 2).max(1),
             ..Default::default()
         };
-        let Ok((scores, _, _)) = train_and_score(&prepared, &matrix, &config, 0xf16_12) else {
+        let Ok((scores, _, _)) = train_and_score(&prepared, &matrix, &config, 0x000f_1612) else {
             println!("training size {size}: not enough labelled pairs, skipped");
             continue;
         };

@@ -27,8 +27,8 @@ fn main() {
     for algorithm in AlgorithmKind::cardinality_based() {
         let mut per_dataset = Vec::new();
         for dataset in &prepared {
-            let result = run_averaged(dataset, algorithm, &config, repetitions)
-                .expect("experiment failed");
+            let result =
+                run_averaged(dataset, algorithm, &config, repetitions).expect("experiment failed");
             per_dataset.push(result.effectiveness);
         }
         let mean = Effectiveness::mean(&per_dataset);

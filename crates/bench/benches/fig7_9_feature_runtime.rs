@@ -54,7 +54,10 @@ fn measure(
     repetitions: usize,
 ) {
     println!("\n--- {title} ---");
-    println!("{:<50} {:>14} {:>16}", "feature set", datasets[0].0, datasets[1].0);
+    println!(
+        "{:<50} {:>14} {:>16}",
+        "feature set", datasets[0].0, datasets[1].0
+    );
     for &set in sets {
         let mut cells = Vec::new();
         for &(_, prepared) in datasets {
@@ -83,12 +86,54 @@ fn measure(
     }
 }
 
+/// Before/after comparison of the feature engine on this bench's workload:
+/// the retained pre-refactor path (nested-vec stats, per-pair divisions and
+/// logarithms, temp row per pair) against the fused CSR single-pass engine.
+fn engine_comparison(datasets: &[(&str, &PreparedDataset)], repetitions: usize) {
+    use er_features::reference::NaiveFeatureContext;
+    use er_features::FeatureMatrix;
+
+    println!("\n--- Feature-matrix engine: pre-refactor vs fused CSR (sequential) ---");
+    println!(
+        "{:<16} {:>10} {:>14} {:>12} {:>9}",
+        "dataset", "pairs", "pre-refactor", "fused CSR", "speedup"
+    );
+    let set = er_features::FeatureSet::all_schemes();
+    for &(name, prepared) in datasets {
+        let context = prepared.context();
+        let naive_context = NaiveFeatureContext::new(&prepared.blocks, &prepared.candidates);
+        let time = |f: &mut dyn FnMut()| {
+            let start = std::time::Instant::now();
+            for _ in 0..repetitions {
+                f();
+            }
+            start.elapsed().as_secs_f64() / repetitions as f64
+        };
+        let naive = time(&mut || {
+            criterion::black_box(naive_context.build_matrix(set, 1));
+        });
+        let fused = time(&mut || {
+            criterion::black_box(FeatureMatrix::build_with_threads(&context, set, 1));
+        });
+        println!(
+            "{:<16} {:>10} {:>13.3}s {:>11.3}s {:>8.2}x",
+            name,
+            prepared.candidates.len(),
+            naive,
+            fused,
+            naive / fused
+        );
+    }
+}
+
 fn main() {
     banner("Figures 7 & 9: run-time of the top-10 feature sets (largest datasets)");
     let repetitions = bench_repetitions();
     let movies = prepare(DatasetName::Movies);
     let walmart = prepare(DatasetName::WalmartAmazon);
     let datasets = [("Movies", &movies), ("WalmartAmazon", &walmart)];
+
+    engine_comparison(&datasets, repetitions);
 
     measure(
         "Figure 7: BLAST",

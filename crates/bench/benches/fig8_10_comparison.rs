@@ -71,7 +71,10 @@ fn main() {
     }
 
     banner("Figure 10: run-times on the two largest datasets");
-    println!("{:<8} {:>16} {:>18}", "algo", "Movies RT(s)", "WalmartAmazon RT(s)");
+    println!(
+        "{:<8} {:>16} {:>18}",
+        "algo", "Movies RT(s)", "WalmartAmazon RT(s)"
+    );
     for (algorithm, rts) in large_rt {
         let movies = rts
             .iter()

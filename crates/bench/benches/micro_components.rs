@@ -7,8 +7,10 @@ use er_core::{EntityId, PairId};
 use er_datasets::{generate_catalog_dataset, CatalogOptions, DatasetName};
 use er_eval::experiment::PreparedDataset;
 use er_features::{FeatureMatrix, FeatureSet, Scheme};
-use er_learn::{Classifier, LogisticRegression, LogisticRegressionConfig, ProbabilisticClassifier, TrainingSet};
 use er_learn::balanced_undersample;
+use er_learn::{
+    Classifier, LogisticRegression, LogisticRegressionConfig, ProbabilisticClassifier, TrainingSet,
+};
 use meta_blocking::pruning::AlgorithmKind;
 use meta_blocking::scoring::CachedScores;
 
@@ -23,7 +25,13 @@ fn prepared() -> PreparedDataset {
 
 fn bench_common_blocks(c: &mut Criterion) {
     let prepared = prepared();
-    let pairs: Vec<(EntityId, EntityId)> = prepared.candidates.pairs().iter().take(1000).copied().collect();
+    let pairs: Vec<(EntityId, EntityId)> = prepared
+        .candidates
+        .pairs()
+        .iter()
+        .take(1000)
+        .copied()
+        .collect();
     c.bench_function("stats/common_blocks_1000_pairs", |b| {
         b.iter(|| {
             let mut total = 0usize;
@@ -38,7 +46,13 @@ fn bench_common_blocks(c: &mut Criterion) {
 fn bench_feature_vector(c: &mut Criterion) {
     let prepared = prepared();
     let context = prepared.context();
-    let pairs: Vec<(EntityId, EntityId)> = prepared.candidates.pairs().iter().take(1000).copied().collect();
+    let pairs: Vec<(EntityId, EntityId)> = prepared
+        .candidates
+        .pairs()
+        .iter()
+        .take(1000)
+        .copied()
+        .collect();
     let mut group = c.benchmark_group("features/vector_1000_pairs");
     for set in [
         ("original", FeatureSet::original()),
@@ -63,7 +77,13 @@ fn bench_feature_vector(c: &mut Criterion) {
 fn bench_single_scheme(c: &mut Criterion) {
     let prepared = prepared();
     let context = prepared.context();
-    let pairs: Vec<(EntityId, EntityId)> = prepared.candidates.pairs().iter().take(1000).copied().collect();
+    let pairs: Vec<(EntityId, EntityId)> = prepared
+        .candidates
+        .pairs()
+        .iter()
+        .take(1000)
+        .copied()
+        .collect();
     let mut group = c.benchmark_group("features/single_scheme_1000_pairs");
     for scheme in [Scheme::CfIbf, Scheme::Js, Scheme::Wjs, Scheme::Nrs] {
         group.bench_function(scheme.name(), |b| {
@@ -114,7 +134,11 @@ fn bench_classifier_and_pruning(c: &mut Criterion) {
     });
 
     let probabilities: Vec<f64> = (0..matrix.num_pairs())
-        .map(|i| model.probability(matrix.row(PairId::from(i))).clamp(0.0, 1.0))
+        .map(|i| {
+            model
+                .probability(matrix.row(PairId::from(i)))
+                .clamp(0.0, 1.0)
+        })
         .collect();
     let scores = CachedScores::new(probabilities);
     let mut group = c.benchmark_group("pruning");
@@ -141,12 +165,72 @@ fn bench_matrix_build(c: &mut Criterion) {
     group.finish();
 }
 
+/// Before/after: the retained pre-refactor engine against the fused CSR
+/// engine, plus the fused feature → probability path.
+fn bench_engine_comparison(c: &mut Criterion) {
+    use er_features::reference::NaiveFeatureContext;
+
+    let prepared = prepared();
+    let context = prepared.context();
+    let naive_context = NaiveFeatureContext::new(&prepared.blocks, &prepared.candidates);
+    let set = FeatureSet::all_schemes();
+
+    let mut group = c.benchmark_group("features/engine_comparison");
+    group.sample_size(10);
+    group.bench_function("pre_refactor_sequential", |b| {
+        b.iter(|| black_box(naive_context.build_matrix(set, 1)))
+    });
+    group.bench_function("fused_csr_sequential", |b| {
+        b.iter(|| black_box(FeatureMatrix::build_with_threads(&context, set, 1)))
+    });
+    group.bench_function("fused_csr_parallel", |b| {
+        b.iter(|| black_box(FeatureMatrix::build_parallel(&context, set)))
+    });
+    group.bench_function("fused_score_rows", |b| {
+        b.iter(|| {
+            black_box(FeatureMatrix::score_rows(&context, set, 1, |row| {
+                row.iter().sum::<f64>()
+            }))
+        })
+    });
+    group.finish();
+}
+
+/// Before/after: hash-based candidate extraction against the hash-free CSR
+/// enumeration.
+fn bench_candidate_extraction(c: &mut Criterion) {
+    use er_blocking::reference::naive_candidate_pairs;
+    use er_blocking::CandidatePairs;
+
+    let prepared = prepared();
+    let mut group = c.benchmark_group("candidates/extraction");
+    group.sample_size(10);
+    group.bench_function("naive_hash_set", |b| {
+        b.iter(|| black_box(naive_candidate_pairs(&prepared.blocks)))
+    });
+    group.bench_function("csr_sequential", |b| {
+        b.iter(|| black_box(CandidatePairs::from_blocks(&prepared.blocks)))
+    });
+    group.bench_function("csr_parallel", |b| {
+        b.iter(|| {
+            black_box(CandidatePairs::from_blocks_with_stats(
+                &prepared.blocks,
+                &prepared.stats,
+                er_core::available_threads(),
+            ))
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_common_blocks,
     bench_feature_vector,
     bench_single_scheme,
     bench_classifier_and_pruning,
-    bench_matrix_build
+    bench_matrix_build,
+    bench_engine_comparison,
+    bench_candidate_extraction
 );
 criterion_main!(benches);

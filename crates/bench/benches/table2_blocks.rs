@@ -19,5 +19,8 @@ fn main() {
                 .with_extra("blocks", prepared.blocks.num_blocks().to_string()),
         );
     }
-    print!("{}", render_table("Block collections given to meta-blocking", &rows));
+    print!(
+        "{}",
+        render_table("Block collections given to meta-blocking", &rows)
+    );
 }

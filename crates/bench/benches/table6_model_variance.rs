@@ -14,7 +14,10 @@ use er_datasets::{dirty_catalog, generate_dirty};
 use er_eval::experiment::PreparedDataset;
 use er_eval::metrics::Effectiveness;
 use er_features::{FeatureSet, Scheme};
-use er_learn::{balanced_undersample, Classifier, LogisticRegression, LogisticRegressionConfig, ProbabilisticClassifier, TrainingSet};
+use er_learn::{
+    balanced_undersample, Classifier, LogisticRegression, LogisticRegressionConfig,
+    ProbabilisticClassifier, TrainingSet,
+};
 use meta_blocking::pruning::AlgorithmKind;
 use meta_blocking::scoring::CachedScores;
 
@@ -63,7 +66,11 @@ fn main() {
         intercepts.push(model.intercept());
 
         let probabilities: Vec<f64> = (0..matrix.num_pairs())
-            .map(|i| model.probability(matrix.row(PairId::from(i))).clamp(0.0, 1.0))
+            .map(|i| {
+                model
+                    .probability(matrix.row(PairId::from(i)))
+                    .clamp(0.0, 1.0)
+            })
             .collect();
         let scores = CachedScores::new(probabilities);
         let blast = AlgorithmKind::Blast.build(&prepared.blocks);

@@ -59,8 +59,7 @@ pub fn prepare(name: DatasetName) -> PreparedDataset {
     let options = bench_catalog_options();
     let dataset = generate_catalog_dataset(name, &options)
         .unwrap_or_else(|e| panic!("failed to generate {name}: {e}"));
-    PreparedDataset::prepare(dataset)
-        .unwrap_or_else(|e| panic!("failed to prepare {name}: {e}"))
+    PreparedDataset::prepare(dataset).unwrap_or_else(|e| panic!("failed to prepare {name}: {e}"))
 }
 
 /// Prepares every catalog dataset, in Table 1 order.

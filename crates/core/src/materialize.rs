@@ -99,7 +99,10 @@ mod tests {
             kind: DatasetKind::CleanClean,
             split: 2,
             num_entities: 4,
-            blocks: vec![Block::new("b", vec![EntityId(0), EntityId(1), EntityId(2), EntityId(3)])],
+            blocks: vec![Block::new(
+                "b",
+                vec![EntityId(0), EntityId(1), EntityId(2), EntityId(3)],
+            )],
         };
         let candidates = CandidatePairs::from_blocks(&source);
         let truth = GroundTruth::from_pairs(vec![(EntityId(0), EntityId(2))]);

@@ -13,6 +13,15 @@
 //! The outcome records the retained pairs, the probabilities and a run-time
 //! breakdown matching the paper's definition of `RT` (feature generation +
 //! training + scoring + pruning).
+//!
+//! Feature generation and scoring are **fused**: the pipeline never
+//! materialises the full feature matrix.  Training needs feature vectors for
+//! only the ~50 sampled pairs (computed directly from the
+//! [`FeatureContext`]), and every candidate's probability is produced by
+//! [`FeatureMatrix::score_rows`], which streams each pair's fused feature
+//! row straight into the classifier.  The `features` timing therefore covers
+//! index construction (block statistics, candidate CSR, per-entity tables)
+//! and `scoring` covers the fused feature + probability pass.
 
 use std::time::{Duration, Instant};
 
@@ -96,11 +105,12 @@ impl Default for MetaBlockingConfig {
 pub struct Timings {
     /// Blocking workflow (not part of the paper's `RT`, reported separately).
     pub blocking: Duration,
-    /// Feature-vector generation for all candidate pairs.
+    /// Feature-index construction: block statistics, candidate extraction
+    /// and the per-entity aggregate tables.
     pub features: Duration,
     /// Training-set assembly and classifier training.
     pub training: Duration,
-    /// Probability scoring of all candidate pairs.
+    /// The fused feature + probability pass over all candidate pairs.
     pub scoring: Duration,
     /// Pruning.
     pub pruning: Duration,
@@ -184,10 +194,13 @@ impl MetaBlockingPipeline {
             )));
         }
 
-        // Features.
+        let threads = er_core::available_threads();
+        let set = self.config.feature_set;
+
+        // Feature indices: stats CSR, candidate CSR and per-entity tables.
         let feature_start = Instant::now();
         let stats = BlockStats::new(&blocks);
-        let candidates = CandidatePairs::from_blocks(&blocks);
+        let candidates = CandidatePairs::from_blocks_with_stats(&blocks, &stats, threads);
         if candidates.is_empty() {
             return Err(er_core::Error::EmptyInput(format!(
                 "dataset {} produced no candidate pairs",
@@ -195,10 +208,9 @@ impl MetaBlockingPipeline {
             )));
         }
         let context = FeatureContext::new(&stats, &candidates);
-        let features = FeatureMatrix::build_parallel(&context, self.config.feature_set);
         let feature_time = feature_start.elapsed();
 
-        // Training.
+        // Training: feature vectors are needed for the sampled pairs only.
         let training_start = Instant::now();
         let mut rng = er_core::seeded_rng(self.config.seed);
         let sample = balanced_undersample(
@@ -208,17 +220,20 @@ impl MetaBlockingPipeline {
             &mut rng,
         )?;
         let mut training = TrainingSet::new();
+        let mut row = vec![0.0f64; set.vector_len()];
         for (&pair_index, &label) in sample.pair_indices.iter().zip(&sample.labels) {
-            training.push(features.row(PairId::from(pair_index)).to_vec(), label);
+            let (a, b) = candidates.pair(PairId::from(pair_index));
+            context.write_pair_features(a, b, set, &mut row);
+            training.push(row.clone(), label);
         }
         let model = self.config.classifier.fit(&training)?;
         let training_time = training_start.elapsed();
 
-        // Scoring.
+        // Scoring: fused feature + probability pass, no materialised matrix.
         let scoring_start = Instant::now();
-        let probabilities: Vec<f64> = (0..features.num_pairs())
-            .map(|i| model.probability(features.row(PairId::from(i))).clamp(0.0, 1.0))
-            .collect();
+        let probabilities = FeatureMatrix::score_rows(&context, set, threads, |features| {
+            model.probability(features).clamp(0.0, 1.0)
+        });
         let scores = CachedScores::new(probabilities);
         let scoring_time = scoring_start.elapsed();
 
@@ -272,7 +287,10 @@ mod tests {
         assert!(outcome.num_candidates > 0);
         assert!(!outcome.retained.is_empty());
         assert!(outcome.retained.len() <= outcome.num_candidates);
-        assert_eq!(outcome.probabilities.as_slice().len(), outcome.num_candidates);
+        assert_eq!(
+            outcome.probabilities.as_slice().len(),
+            outcome.num_candidates
+        );
     }
 
     #[test]
@@ -326,7 +344,8 @@ mod tests {
     #[test]
     fn too_large_training_request_fails_cleanly() {
         let dataset = tiny_dataset();
-        let outcome = MetaBlockingPipeline::new(config(1_000_000)).run(&dataset, AlgorithmKind::Bcl);
+        let outcome =
+            MetaBlockingPipeline::new(config(1_000_000)).run(&dataset, AlgorithmKind::Bcl);
         assert!(outcome.is_err());
     }
 }

@@ -83,10 +83,8 @@ mod tests {
 
     #[test]
     fn pairs_are_emitted_in_decreasing_probability() {
-        let (candidates, scores) = scored_pairs(
-            8,
-            &[(0, 4, 0.3), (1, 5, 0.9), (2, 6, 0.7), (3, 7, 0.5)],
-        );
+        let (candidates, scores) =
+            scored_pairs(8, &[(0, 4, 0.3), (1, 5, 0.9), (2, 6, 0.7), (3, 7, 0.5)]);
         let schedule = ProgressiveSchedule::new(&candidates, &scores);
         let probabilities: Vec<f64> = schedule.clone().map(|(_, p)| p).collect();
         assert_eq!(probabilities, vec![0.9, 0.7, 0.5, 0.3]);
@@ -94,10 +92,7 @@ mod tests {
 
     #[test]
     fn valid_only_drops_low_probability_pairs() {
-        let (candidates, scores) = scored_pairs(
-            6,
-            &[(0, 3, 0.2), (1, 4, 0.8), (2, 5, 0.45)],
-        );
+        let (candidates, scores) = scored_pairs(6, &[(0, 3, 0.2), (1, 4, 0.8), (2, 5, 0.45)]);
         let schedule = ProgressiveSchedule::valid_only(&candidates, &scores);
         assert_eq!(schedule.remaining(), 1);
         assert_eq!(schedule.ranked()[0].1, 0.8);
@@ -105,8 +100,9 @@ mod tests {
 
     #[test]
     fn batches_respect_the_budget() {
-        let triples: Vec<(u32, u32, f64)> =
-            (0..10u32).map(|i| (i, i + 10, 0.5 + f64::from(i) * 0.03)).collect();
+        let triples: Vec<(u32, u32, f64)> = (0..10u32)
+            .map(|i| (i, i + 10, 0.5 + f64::from(i) * 0.03))
+            .collect();
         let (candidates, scores) = scored_pairs(20, &triples);
         let mut schedule = ProgressiveSchedule::new(&candidates, &scores);
         assert_eq!(schedule.next_batch(4).len(), 4);

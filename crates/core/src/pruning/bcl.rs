@@ -37,15 +37,8 @@ mod tests {
 
     #[test]
     fn retains_exactly_the_valid_pairs() {
-        let (candidates, scores) = scored_pairs(
-            6,
-            &[
-                (0, 3, 0.9),
-                (0, 4, 0.49),
-                (1, 4, 0.5),
-                (2, 5, 0.1),
-            ],
-        );
+        let (candidates, scores) =
+            scored_pairs(6, &[(0, 3, 0.9), (0, 4, 0.49), (1, 4, 0.5), (2, 5, 0.1)]);
         let retained = retained_pairs(&Bcl, &candidates, &scores);
         assert_eq!(retained, vec![(0, 3), (1, 4)]);
     }

@@ -128,10 +128,8 @@ mod tests {
 
     #[test]
     fn ties_are_resolved_deterministically() {
-        let (candidates, scores) = scored_pairs(
-            8,
-            &[(0, 4, 0.8), (1, 5, 0.8), (2, 6, 0.8), (3, 7, 0.8)],
-        );
+        let (candidates, scores) =
+            scored_pairs(8, &[(0, 4, 0.8), (1, 5, 0.8), (2, 6, 0.8), (3, 7, 0.8)]);
         let a = Cep::new(2).prune(&candidates, &scores);
         let b = Cep::new(2).prune(&candidates, &scores);
         assert_eq!(a, b);

@@ -93,10 +93,8 @@ mod tests {
     fn keeps_top_k_per_entity() {
         // Entity 0 has three valid pairs; with k = 1 only its best (0.9)
         // survives via entity 0, but (0,5) survives via entity 5's own queue.
-        let (candidates, scores) = scored_pairs(
-            6,
-            &[(0, 3, 0.9), (0, 4, 0.7), (0, 5, 0.6), (1, 5, 0.55)],
-        );
+        let (candidates, scores) =
+            scored_pairs(6, &[(0, 3, 0.9), (0, 4, 0.7), (0, 5, 0.6), (1, 5, 0.55)]);
         let retained = retained_pairs(&Cnp::new(1), &candidates, &scores);
         assert!(retained.contains(&(0, 3)));
         // (0,4) is entity 4's only pair → kept through entity 4's queue.

@@ -61,9 +61,8 @@ impl CardinalityThresholds {
     pub fn from_blocks(blocks: &BlockCollection) -> Self {
         let sum_sizes = blocks.sum_block_sizes();
         let global_k = (sum_sizes / 2).max(1) as usize;
-        let per_entity_k = ((sum_sizes as f64 / blocks.num_entities.max(1) as f64).floor()
-            as usize)
-            .max(1);
+        let per_entity_k =
+            ((sum_sizes as f64 / blocks.num_entities.max(1) as f64).floor() as usize).max(1);
         CardinalityThresholds {
             global_k,
             per_entity_k,
@@ -154,7 +153,11 @@ impl AlgorithmKind {
     }
 
     /// Builds the algorithm with an explicit BLAST pruning ratio.
-    pub fn build_with(self, blocks: &BlockCollection, blast_ratio: f64) -> Box<dyn PruningAlgorithm> {
+    pub fn build_with(
+        self,
+        blocks: &BlockCollection,
+        blast_ratio: f64,
+    ) -> Box<dyn PruningAlgorithm> {
         let thresholds = CardinalityThresholds::from_blocks(blocks);
         match self {
             AlgorithmKind::Bcl => Box::new(Bcl),

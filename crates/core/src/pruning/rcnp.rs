@@ -60,10 +60,7 @@ mod tests {
         // Hub entity 0 with three pairs, k = 1: only the strongest pair (0,3)
         // is in entity 0's queue.  (0,4) and (0,5) are in their leaves' queues
         // only → CNP keeps them, RCNP prunes them.
-        let (candidates, scores) = scored_pairs(
-            6,
-            &[(0, 3, 0.9), (0, 4, 0.7), (0, 5, 0.6)],
-        );
+        let (candidates, scores) = scored_pairs(6, &[(0, 3, 0.9), (0, 4, 0.7), (0, 5, 0.6)]);
         let cnp = retained_pairs(&Cnp::new(1), &candidates, &scores);
         let rcnp = retained_pairs(&Rcnp::new(1), &candidates, &scores);
         assert_eq!(cnp.len(), 3);
@@ -75,15 +72,23 @@ mod tests {
         let triples: Vec<(u32, u32, f64)> = (0..8u32)
             .flat_map(|i| {
                 (0..4u32).map(move |j| {
-                    (i, 8 + ((i + j) % 8), 0.5 + f64::from((i * 4 + j) % 17) * 0.02)
+                    (
+                        i,
+                        8 + ((i + j) % 8),
+                        0.5 + f64::from((i * 4 + j) % 17) * 0.02,
+                    )
                 })
             })
             .collect();
         let (candidates, scores) = scored_pairs(16, &triples);
-        let cnp: std::collections::HashSet<_> =
-            Cnp::new(2).prune(&candidates, &scores).into_iter().collect();
-        let rcnp: std::collections::HashSet<_> =
-            Rcnp::new(2).prune(&candidates, &scores).into_iter().collect();
+        let cnp: std::collections::HashSet<_> = Cnp::new(2)
+            .prune(&candidates, &scores)
+            .into_iter()
+            .collect();
+        let rcnp: std::collections::HashSet<_> = Rcnp::new(2)
+            .prune(&candidates, &scores)
+            .into_iter()
+            .collect();
         assert!(rcnp.is_subset(&cnp));
         assert!(rcnp.len() < cnp.len());
     }

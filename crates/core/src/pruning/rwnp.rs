@@ -47,10 +47,7 @@ mod tests {
     fn requires_both_endpoint_averages() {
         // (0,4) with 0.6: entity 0 average (0.75) rejects it, entity 4 average
         // (0.6) accepts it → WNP keeps it, RWNP prunes it.
-        let (candidates, scores) = scored_pairs(
-            6,
-            &[(0, 3, 0.9), (0, 4, 0.6), (1, 5, 0.6)],
-        );
+        let (candidates, scores) = scored_pairs(6, &[(0, 3, 0.9), (0, 4, 0.6), (1, 5, 0.6)]);
         let wnp = retained_pairs(&Wnp, &candidates, &scores);
         let rwnp = retained_pairs(&Rwnp, &candidates, &scores);
         assert!(wnp.contains(&(0, 4)));

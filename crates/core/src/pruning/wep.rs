@@ -53,10 +53,8 @@ mod tests {
     fn retains_pairs_at_or_above_the_valid_average() {
         // Valid pairs: 0.6, 0.8, 1.0 → mean 0.8; the 0.4 pair is ignored by
         // the average and pruned.
-        let (candidates, scores) = scored_pairs(
-            8,
-            &[(0, 4, 0.6), (1, 5, 0.8), (2, 6, 1.0), (3, 7, 0.4)],
-        );
+        let (candidates, scores) =
+            scored_pairs(8, &[(0, 4, 0.6), (1, 5, 0.8), (2, 6, 1.0), (3, 7, 0.4)]);
         let retained = retained_pairs(&Wep, &candidates, &scores);
         assert_eq!(retained, vec![(1, 5), (2, 6)]);
     }

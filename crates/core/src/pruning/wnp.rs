@@ -49,10 +49,7 @@ mod tests {
         // Entity 1 has a single pair 0.6 → average 0.6.
         // The 0.6 pair (0,4) fails entity 0's average but there is no other
         // endpoint rescue; the 0.6 pair (1,5) passes entity 1's own average.
-        let (candidates, scores) = scored_pairs(
-            6,
-            &[(0, 3, 0.9), (0, 4, 0.6), (1, 5, 0.6)],
-        );
+        let (candidates, scores) = scored_pairs(6, &[(0, 3, 0.9), (0, 4, 0.6), (1, 5, 0.6)]);
         let retained = retained_pairs(&Wnp, &candidates, &scores);
         assert!(retained.contains(&(0, 3)));
         assert!(retained.contains(&(1, 5)));
@@ -74,10 +71,8 @@ mod tests {
         // Entity 0: pairs 0.9, 0.95, 0.55 → average 0.8.
         // Entity 5 (the weak pair's other endpoint): pairs 0.55, 0.9 → avg 0.725.
         // The 0.55 pair is below both endpoint averages → pruned.
-        let (candidates, scores) = scored_pairs(
-            7,
-            &[(0, 3, 0.9), (0, 4, 0.95), (0, 5, 0.55), (1, 5, 0.9)],
-        );
+        let (candidates, scores) =
+            scored_pairs(7, &[(0, 3, 0.9), (0, 4, 0.95), (0, 5, 0.55), (1, 5, 0.9)]);
         let retained = retained_pairs(&Wnp, &candidates, &scores);
         assert!(!retained.contains(&(0, 5)));
         assert!(retained.contains(&(0, 3)));

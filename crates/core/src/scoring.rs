@@ -50,11 +50,25 @@ impl<'a> ModelScorer<'a> {
         ModelScorer { model, features }
     }
 
-    /// Materialises every probability into a [`CachedScores`].
+    /// Materialises every probability into a [`CachedScores`], scoring rows
+    /// in parallel with the workspace's shared chunk-queue driver.
     pub fn cache(&self) -> CachedScores {
-        let probabilities = (0..self.features.num_pairs())
-            .map(|i| self.probability(PairId::from(i)))
-            .collect();
+        self.cache_with_threads(er_core::available_threads())
+    }
+
+    /// Materialises every probability with an explicit worker-thread count.
+    ///
+    /// The output is deterministic and identical to the sequential pass for
+    /// any thread count (each slot is written independently).
+    pub fn cache_with_threads(&self, threads: usize) -> CachedScores {
+        let num_pairs = self.features.num_pairs();
+        let mut probabilities = vec![0.0f64; num_pairs];
+        let threads = if num_pairs < 1024 { 1 } else { threads.max(1) };
+        er_core::fill_rows_parallel(&mut probabilities, 1, threads, 4096, |first, chunk| {
+            for (offset, slot) in chunk.iter_mut().enumerate() {
+                *slot = self.probability(PairId::from(first + offset));
+            }
+        });
         CachedScores::new(probabilities)
     }
 }
@@ -142,7 +156,8 @@ mod tests {
         let (bc, cands) = fixture();
         let stats = BlockStats::new(&bc);
         let ctx = FeatureContext::new(&stats, &cands);
-        let matrix = FeatureMatrix::build(&ctx, FeatureSet::from_schemes([er_features::Scheme::Js]));
+        let matrix =
+            FeatureMatrix::build(&ctx, FeatureSet::from_schemes([er_features::Scheme::Js]));
         let model = FirstFeature;
         let scorer = ModelScorer::new(&model, &matrix);
         let cached = scorer.cache();
@@ -150,6 +165,25 @@ mod tests {
         for i in 0..scorer.num_pairs() {
             let id = PairId::from(i);
             assert!((scorer.probability(id) - cached.probability(id)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_cache_matches_sequential_cache() {
+        let (bc, cands) = fixture();
+        let stats = BlockStats::new(&bc);
+        let ctx = FeatureContext::new(&stats, &cands);
+        let matrix = FeatureMatrix::build(&ctx, FeatureSet::all_schemes());
+        let model = FirstFeature;
+        let scorer = ModelScorer::new(&model, &matrix);
+        let sequential = scorer.cache_with_threads(1);
+        for threads in [2, 4, 8] {
+            let parallel = scorer.cache_with_threads(threads);
+            assert_eq!(
+                parallel.as_slice(),
+                sequential.as_slice(),
+                "{threads} threads"
+            );
         }
     }
 

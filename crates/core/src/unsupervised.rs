@@ -84,7 +84,13 @@ pub fn prune_unsupervised(
             let averages: Vec<f64> = sums
                 .iter()
                 .zip(&counts)
-                .map(|(&s, &c)| if c > 0 { s / f64::from(c) } else { f64::INFINITY })
+                .map(|(&s, &c)| {
+                    if c > 0 {
+                        s / f64::from(c)
+                    } else {
+                        f64::INFINITY
+                    }
+                })
                 .collect();
             candidates
                 .iter()

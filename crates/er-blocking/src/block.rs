@@ -32,8 +32,7 @@ impl Block {
     ///
     /// Because `entities` is sorted this is a binary search.
     pub fn first_source_count(&self, split: usize) -> usize {
-        self.entities
-            .partition_point(|e| e.index() < split)
+        self.entities.partition_point(|e| e.index() < split)
     }
 
     /// Number of comparisons the block contains, ||b||, including redundant

@@ -5,11 +5,24 @@
 //! candidate-pair set `C` contains each comparable pair exactly once.  This is
 //! the unit every weighting scheme, classifier and pruning algorithm operates
 //! on.
+//!
+//! # Extraction
+//!
+//! Extraction is hash-free: instead of pushing every block comparison through
+//! a global hash set, each entity gathers the partners from its own blocks
+//! into a scratch buffer, sorts and deduplicates it, and appends the run to a
+//! CSR pair index (`offsets[a]..offsets[a + 1]` addresses the pairs whose
+//! smaller endpoint is `a`).  Entities are independent, so the pass is
+//! embarrassingly parallel, and emitting entities in ascending order makes the
+//! pair list bit-identical to the lexicographically sorted order the previous
+//! hash-based implementation produced.  See [`crate::reference`] for that
+//! retained implementation.
 
-use er_core::{EntityId, FxHashSet, GroundTruth, PairId};
+use er_core::{EntityId, GroundTruth, PairId};
 use serde::{Deserialize, Serialize};
 
 use crate::collection::BlockCollection;
+use crate::stats::BlockStats;
 
 /// The distinct comparisons of a block collection.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -17,75 +30,136 @@ pub struct CandidatePairs {
     /// Distinct pairs, each stored with the smaller entity id first and the
     /// list sorted, so pair ids are deterministic.
     pairs: Vec<(EntityId, EntityId)>,
+    /// CSR offsets: the pairs whose smaller endpoint is entity `a` occupy
+    /// `pairs[offsets[a]..offsets[a + 1]]`.  `num_entities + 1` entries.
+    offsets: Vec<u32>,
     /// Number of distinct candidates per entity (the LCP feature values).
     entity_candidates: Vec<u32>,
 }
 
-impl CandidatePairs {
-    /// Extracts the distinct candidate pairs from a block collection.
-    pub fn from_blocks(blocks: &BlockCollection) -> Self {
-        let mut seen: FxHashSet<(EntityId, EntityId)> = FxHashSet::default();
-        let mut entity_candidates = vec![0u32; blocks.num_entities];
+/// Borrowed entity → block CSR adjacency used during extraction.
+#[derive(Clone, Copy)]
+struct AdjView<'a> {
+    offsets: &'a [u32],
+    block_ids: &'a [er_core::BlockId],
+}
 
-        for block in &blocks.blocks {
-            let entities = &block.entities;
-            let split_point = block.first_source_count(blocks.split);
-            match blocks.kind {
-                er_core::DatasetKind::CleanClean => {
-                    let (inner, outer) = entities.split_at(split_point);
-                    for &a in inner {
-                        for &b in outer {
-                            Self::record(a, b, &mut seen, &mut entity_candidates);
-                        }
-                    }
-                }
-                er_core::DatasetKind::Dirty => {
-                    for (i, &a) in entities.iter().enumerate() {
-                        for &b in &entities[i + 1..] {
-                            Self::record(a, b, &mut seen, &mut entity_candidates);
-                        }
-                    }
-                }
+impl<'a> AdjView<'a> {
+    #[inline]
+    fn blocks_of(self, entity: usize) -> &'a [er_core::BlockId] {
+        &self.block_ids[self.offsets[entity] as usize..self.offsets[entity + 1] as usize]
+    }
+}
+
+impl CandidatePairs {
+    /// Extracts the distinct candidate pairs from a block collection on the
+    /// calling thread.
+    pub fn from_blocks(blocks: &BlockCollection) -> Self {
+        let (offsets, block_ids) = crate::stats::build_entity_block_adjacency(blocks);
+        Self::extract(
+            blocks,
+            AdjView {
+                offsets: &offsets,
+                block_ids: &block_ids,
+            },
+            1,
+        )
+    }
+
+    /// Extracts the candidate pairs reusing an already-computed
+    /// [`BlockStats`] CSR adjacency, with up to `threads` workers.
+    ///
+    /// Produces exactly the same pairs, order and counts as
+    /// [`CandidatePairs::from_blocks`] for any thread count.
+    pub fn from_blocks_with_stats(
+        blocks: &BlockCollection,
+        stats: &BlockStats,
+        threads: usize,
+    ) -> Self {
+        let (offsets, block_ids) = stats.entity_block_csr();
+        Self::extract(blocks, AdjView { offsets, block_ids }, threads.max(1))
+    }
+
+    /// The hash-free per-entity extraction shared by both constructors.
+    fn extract(blocks: &BlockCollection, adjacency: AdjView<'_>, threads: usize) -> Self {
+        let num_entities = blocks.num_entities;
+        // For Clean-Clean ER the smaller endpoint of every comparable pair is
+        // an E1 entity, so entities >= split produce no runs of their own.
+        let emitting = match blocks.kind {
+            er_core::DatasetKind::CleanClean => blocks.split.min(num_entities),
+            er_core::DatasetKind::Dirty => num_entities,
+        };
+
+        // One task per contiguous entity range; ~8 tasks per worker keep the
+        // queue balanced when candidate counts are skewed across entities.
+        let num_tasks = if threads <= 1 { 1 } else { threads * 8 };
+        let runs = er_core::map_ranges_parallel(emitting, threads, num_tasks, |range| {
+            let mut run_pairs: Vec<(EntityId, EntityId)> = Vec::new();
+            let mut run_counts: Vec<u32> = Vec::with_capacity(range.len());
+            let mut scratch: Vec<u32> = Vec::new();
+            for a in range {
+                neighbors_above(blocks, adjacency, a, &mut scratch);
+                run_counts.push(scratch.len() as u32);
+                let a_id = EntityId(a as u32);
+                run_pairs.extend(scratch.iter().map(|&p| (a_id, EntityId(p))));
             }
+            (run_pairs, run_counts)
+        });
+
+        let total: usize = runs.iter().map(|(p, _)| p.len()).sum();
+        let mut pairs = Vec::with_capacity(total);
+        let mut entity_candidates = vec![0u32; num_entities];
+        let mut offsets = Vec::with_capacity(num_entities + 1);
+        offsets.push(0u32);
+        for (run_pairs, run_counts) in runs {
+            for count in run_counts {
+                offsets.push(offsets.last().unwrap() + count);
+            }
+            pairs.extend_from_slice(&run_pairs);
+        }
+        offsets.resize(num_entities + 1, *offsets.last().unwrap());
+        for (a, window) in offsets.windows(2).enumerate() {
+            entity_candidates[a] += window[1] - window[0];
+        }
+        for &(_, b) in &pairs {
+            entity_candidates[b.index()] += 1;
         }
 
-        let mut pairs: Vec<(EntityId, EntityId)> = seen.into_iter().collect();
-        pairs.sort_unstable();
         CandidatePairs {
             pairs,
+            offsets,
             entity_candidates,
         }
     }
 
-    #[inline]
-    fn record(
-        a: EntityId,
-        b: EntityId,
-        seen: &mut FxHashSet<(EntityId, EntityId)>,
-        entity_candidates: &mut [u32],
-    ) {
-        let key = if a <= b { (a, b) } else { (b, a) };
-        if seen.insert(key) {
-            entity_candidates[key.0.index()] += 1;
-            entity_candidates[key.1.index()] += 1;
-        }
-    }
-
     /// Builds a candidate set directly from a list of pairs (used in tests and
-    /// when re-materialising a pruned collection).
-    pub fn from_pairs(num_entities: usize, pairs: impl IntoIterator<Item = (EntityId, EntityId)>) -> Self {
-        let mut seen: FxHashSet<(EntityId, EntityId)> = FxHashSet::default();
+    /// when re-materialising a pruned collection).  Hash-free: normalises,
+    /// sorts and deduplicates the list.
+    pub fn from_pairs(
+        num_entities: usize,
+        pairs: impl IntoIterator<Item = (EntityId, EntityId)>,
+    ) -> Self {
+        let mut list: Vec<(EntityId, EntityId)> = pairs
+            .into_iter()
+            .filter(|&(a, b)| a != b)
+            .map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
+            .collect();
+        list.sort_unstable();
+        list.dedup();
+
         let mut entity_candidates = vec![0u32; num_entities];
-        for (a, b) in pairs {
-            if a == b {
-                continue;
-            }
-            Self::record(a, b, &mut seen, &mut entity_candidates);
+        let mut offsets = vec![0u32; num_entities + 1];
+        for &(a, b) in &list {
+            offsets[a.index() + 1] += 1;
+            entity_candidates[a.index()] += 1;
+            entity_candidates[b.index()] += 1;
         }
-        let mut pairs: Vec<(EntityId, EntityId)> = seen.into_iter().collect();
-        pairs.sort_unstable();
+        for i in 0..num_entities {
+            offsets[i + 1] += offsets[i];
+        }
         CandidatePairs {
-            pairs,
+            pairs: list,
+            offsets,
             entity_candidates,
         }
     }
@@ -118,6 +192,18 @@ impl CandidatePairs {
         &self.pairs
     }
 
+    /// The pair-id range whose pairs have `entity` as their smaller endpoint
+    /// (a CSR row of the pair index).
+    pub fn pair_range(&self, entity: EntityId) -> std::ops::Range<usize> {
+        self.offsets[entity.index()] as usize..self.offsets[entity.index() + 1] as usize
+    }
+
+    /// The pairs whose smaller endpoint is `entity`, sorted by the larger
+    /// endpoint.
+    pub fn pairs_of(&self, entity: EntityId) -> &[(EntityId, EntityId)] {
+        &self.pairs[self.pair_range(entity)]
+    }
+
     /// Number of entities the candidate set was built over (the size of the
     /// flattened id space, not only the entities that appear in some pair).
     pub fn num_entities(&self) -> usize {
@@ -143,10 +229,44 @@ impl CandidatePairs {
     }
 }
 
+/// Collects into `scratch` the sorted, deduplicated comparable partners of
+/// entity `a` with a larger id than `a`.
+#[inline]
+fn neighbors_above(
+    blocks: &BlockCollection,
+    adjacency: AdjView<'_>,
+    a: usize,
+    scratch: &mut Vec<u32>,
+) {
+    scratch.clear();
+    match blocks.kind {
+        er_core::DatasetKind::CleanClean => {
+            debug_assert!(a < blocks.split);
+            for &bid in adjacency.blocks_of(a) {
+                let block = &blocks.blocks[bid.index()];
+                let split_point = block.first_source_count(blocks.split);
+                // E2 ids all exceed every E1 id, so the whole outer slice
+                // qualifies as "larger comparable partner".
+                scratch.extend(block.entities[split_point..].iter().map(|e| e.0));
+            }
+        }
+        er_core::DatasetKind::Dirty => {
+            for &bid in adjacency.blocks_of(a) {
+                let block = &blocks.blocks[bid.index()];
+                let start = block.entities.partition_point(|e| e.index() <= a);
+                scratch.extend(block.entities[start..].iter().map(|e| e.0));
+            }
+        }
+    }
+    scratch.sort_unstable();
+    scratch.dedup();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::block::Block;
+    use crate::reference::naive_candidate_pairs;
     use er_core::DatasetKind;
 
     fn ids(v: &[u32]) -> Vec<EntityId> {
@@ -213,7 +333,8 @@ mod tests {
     fn count_positives_uses_ground_truth() {
         let bc = clean_clean_collection();
         let cands = CandidatePairs::from_blocks(&bc);
-        let gt = GroundTruth::from_pairs(vec![(EntityId(0), EntityId(2)), (EntityId(1), EntityId(3))]);
+        let gt =
+            GroundTruth::from_pairs(vec![(EntityId(0), EntityId(2)), (EntityId(1), EntityId(3))]);
         assert_eq!(cands.count_positives(&gt), 2);
     }
 
@@ -231,6 +352,8 @@ mod tests {
         assert_eq!(cands.len(), 2);
         assert_eq!(cands.candidates_of(EntityId(1)), 1);
         assert_eq!(cands.candidates_of(EntityId(2)), 0);
+        assert_eq!(cands.pairs_of(EntityId(1)), &[(EntityId(1), EntityId(3))]);
+        assert_eq!(cands.pair_range(EntityId(0)), 0..1);
     }
 
     #[test]
@@ -243,5 +366,57 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, a.pairs());
         assert_eq!(a.pair(PairId(0)), a.pairs()[0]);
+    }
+
+    #[test]
+    fn matches_naive_reference_bit_for_bit() {
+        for bc in [
+            clean_clean_collection(),
+            BlockCollection {
+                dataset_name: "d".into(),
+                kind: DatasetKind::Dirty,
+                split: 6,
+                num_entities: 6,
+                blocks: vec![
+                    Block::new("a", ids(&[0, 1, 2, 5])),
+                    Block::new("b", ids(&[1, 2, 3])),
+                    Block::new("c", ids(&[0, 4, 5])),
+                ],
+            },
+        ] {
+            let (naive_pairs, naive_counts) = naive_candidate_pairs(&bc);
+            let cands = CandidatePairs::from_blocks(&bc);
+            assert_eq!(cands.pairs(), naive_pairs.as_slice());
+            assert_eq!(cands.entity_candidate_counts(), naive_counts.as_slice());
+        }
+    }
+
+    #[test]
+    fn parallel_extraction_is_deterministic() {
+        let bc = clean_clean_collection();
+        let stats = BlockStats::new(&bc);
+        let sequential = CandidatePairs::from_blocks(&bc);
+        for threads in [1, 2, 4, 7] {
+            let parallel = CandidatePairs::from_blocks_with_stats(&bc, &stats, threads);
+            assert_eq!(parallel.pairs(), sequential.pairs(), "{threads} threads");
+            assert_eq!(
+                parallel.entity_candidate_counts(),
+                sequential.entity_candidate_counts()
+            );
+        }
+    }
+
+    #[test]
+    fn csr_offsets_partition_the_pair_list() {
+        let bc = clean_clean_collection();
+        let cands = CandidatePairs::from_blocks(&bc);
+        let mut walked = Vec::new();
+        for e in 0..bc.num_entities {
+            for &(a, b) in cands.pairs_of(EntityId(e as u32)) {
+                assert_eq!(a, EntityId(e as u32));
+                walked.push((a, b));
+            }
+        }
+        assert_eq!(walked.as_slice(), cands.pairs());
     }
 }

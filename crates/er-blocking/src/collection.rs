@@ -94,9 +94,7 @@ impl BlockCollection {
             return false;
         }
         match self.kind {
-            DatasetKind::CleanClean => {
-                (a.index() < self.split) != (b.index() < self.split)
-            }
+            DatasetKind::CleanClean => (a.index() < self.split) != (b.index() < self.split),
             DatasetKind::Dirty => true,
         }
     }

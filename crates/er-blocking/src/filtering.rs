@@ -150,7 +150,11 @@ mod tests {
         ]);
         let filtered = block_filtering(&bc, 0.5);
         for block in &filtered.blocks {
-            assert!(block.is_useful(bc.kind, bc.split), "useless block {} kept", block.key);
+            assert!(
+                block.is_useful(bc.kind, bc.split),
+                "useless block {} kept",
+                block.key
+            );
         }
     }
 

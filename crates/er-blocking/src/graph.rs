@@ -114,7 +114,9 @@ mod tests {
     fn total_degree_is_twice_pair_count() {
         let cands = CandidatePairs::from_pairs(
             6,
-            (0..5u32).map(|i| (EntityId(i), EntityId(i + 1))).collect::<Vec<_>>(),
+            (0..5u32)
+                .map(|i| (EntityId(i), EntityId(i + 1)))
+                .collect::<Vec<_>>(),
         );
         let idx = NeighborIndex::new(6, &cands);
         let total: usize = (0..6u32).map(|i| idx.degree(EntityId(i))).sum();

@@ -24,6 +24,7 @@ pub mod filtering;
 pub mod graph;
 pub mod purging;
 pub mod qgrams;
+pub mod reference;
 pub mod stats;
 pub mod suffix_arrays;
 pub mod token_blocking;

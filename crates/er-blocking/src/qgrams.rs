@@ -81,7 +81,8 @@ mod tests {
                 EntityProfile::new("b1").with_attribute("name", "galaxy"),
             ],
         );
-        let gt = GroundTruth::from_pairs(vec![(EntityId(0), EntityId(2)), (EntityId(1), EntityId(3))]);
+        let gt =
+            GroundTruth::from_pairs(vec![(EntityId(0), EntityId(2)), (EntityId(1), EntityId(3))]);
         Dataset::clean_clean("qgrams", e1, e2, gt).unwrap()
     }
 
@@ -124,10 +125,7 @@ mod tests {
         let a = qgrams_blocking(&ds, 3);
         let b = qgrams_blocking(&ds, 3);
         assert_eq!(a.blocks, b.blocks);
-        assert!(a
-            .blocks
-            .iter()
-            .all(|blk| blk.is_useful(ds.kind, ds.split)));
+        assert!(a.blocks.iter().all(|blk| blk.is_useful(ds.kind, ds.split)));
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Naive reference implementations retained for equivalence testing and
+//! benchmarking.
+//!
+//! The production [`crate::BlockStats`] and [`crate::CandidatePairs`] use a
+//! flat CSR layout and hash-free per-entity enumeration.  This module keeps
+//! faithful copies of the pre-refactor implementations — nested
+//! `Vec<Vec<_>>` adjacency and a global `FxHashSet` deduplicator — so
+//! property tests can assert the optimised structures produce identical
+//! results and benchmarks can quantify the speedup.  Nothing here should be
+//! used on a hot path.
+
+use er_core::{BlockId, EntityId, FxHashSet};
+
+use crate::collection::BlockCollection;
+
+/// The pre-CSR block statistics: one heap-allocated block list per entity,
+/// no precomputed reciprocals.  API mirrors [`crate::BlockStats`].
+#[derive(Debug, Clone)]
+pub struct NaiveBlockStats {
+    entity_blocks: Vec<Vec<BlockId>>,
+    block_sizes: Vec<u32>,
+    block_comparisons: Vec<u64>,
+    total_comparisons: u64,
+    entity_comparisons: Vec<u64>,
+    num_blocks: usize,
+}
+
+impl NaiveBlockStats {
+    /// Builds the statistics exactly as the original implementation did.
+    pub fn new(blocks: &BlockCollection) -> Self {
+        let num_blocks = blocks.num_blocks();
+        let mut entity_blocks: Vec<Vec<BlockId>> = vec![Vec::new(); blocks.num_entities];
+        let mut block_sizes = Vec::with_capacity(num_blocks);
+        let mut block_comparisons = Vec::with_capacity(num_blocks);
+
+        for (id, block) in blocks.iter_with_ids() {
+            block_sizes.push(block.size() as u32);
+            block_comparisons.push(block.num_comparisons(blocks.kind, blocks.split));
+            for entity in &block.entities {
+                entity_blocks[entity.index()].push(id);
+            }
+        }
+        let total_comparisons = block_comparisons.iter().sum();
+        let entity_comparisons = entity_blocks
+            .iter()
+            .map(|list| list.iter().map(|b| block_comparisons[b.index()]).sum())
+            .collect();
+
+        NaiveBlockStats {
+            entity_blocks,
+            block_sizes,
+            block_comparisons,
+            total_comparisons,
+            entity_comparisons,
+            num_blocks,
+        }
+    }
+
+    /// Number of blocks, |B|.
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Number of entities covered.
+    pub fn num_entities(&self) -> usize {
+        self.entity_blocks.len()
+    }
+
+    /// The sorted block list of one entity.
+    pub fn blocks_of(&self, entity: EntityId) -> &[BlockId] {
+        &self.entity_blocks[entity.index()]
+    }
+
+    /// `|B_i|`: how many blocks contain the entity.
+    pub fn num_blocks_of(&self, entity: EntityId) -> usize {
+        self.entity_blocks[entity.index()].len()
+    }
+
+    /// `|b|`: number of entities in a block.
+    pub fn block_size(&self, block: BlockId) -> u32 {
+        self.block_sizes[block.index()]
+    }
+
+    /// `||b||`: number of comparisons in a block.
+    pub fn block_comparisons(&self, block: BlockId) -> u64 {
+        self.block_comparisons[block.index()]
+    }
+
+    /// `||B||`: total comparisons across all blocks.
+    pub fn total_comparisons(&self) -> u64 {
+        self.total_comparisons
+    }
+
+    /// `||e_i||`: aggregate comparisons of the entity's blocks.
+    pub fn entity_comparisons(&self, entity: EntityId) -> u64 {
+        self.entity_comparisons[entity.index()]
+    }
+
+    /// Calls `f` for every block shared by the two entities, in block-id
+    /// order, via the original sorted-merge loop.
+    #[inline]
+    pub fn for_each_common_block(&self, a: EntityId, b: EntityId, mut f: impl FnMut(BlockId)) {
+        let la = &self.entity_blocks[a.index()];
+        let lb = &self.entity_blocks[b.index()];
+        let (mut i, mut j) = (0, 0);
+        while i < la.len() && j < lb.len() {
+            match la[i].cmp(&lb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    f(la[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    /// Number of blocks shared by two entities.
+    pub fn common_blocks(&self, a: EntityId, b: EntityId) -> usize {
+        let mut count = 0;
+        self.for_each_common_block(a, b, |_| count += 1);
+        count
+    }
+}
+
+/// The original hash-based candidate extraction: every block comparison is
+/// normalised and pushed through a global `FxHashSet`.
+///
+/// Returns the sorted distinct pairs plus the per-entity candidate counts, in
+/// exactly the representation [`crate::CandidatePairs`] exposes.
+pub fn naive_candidate_pairs(blocks: &BlockCollection) -> (Vec<(EntityId, EntityId)>, Vec<u32>) {
+    let mut seen: FxHashSet<(EntityId, EntityId)> = FxHashSet::default();
+    let mut entity_candidates = vec![0u32; blocks.num_entities];
+
+    let mut record = |a: EntityId, b: EntityId, counts: &mut [u32]| {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if seen.insert(key) {
+            counts[key.0.index()] += 1;
+            counts[key.1.index()] += 1;
+        }
+    };
+
+    for block in &blocks.blocks {
+        let entities = &block.entities;
+        let split_point = block.first_source_count(blocks.split);
+        match blocks.kind {
+            er_core::DatasetKind::CleanClean => {
+                let (inner, outer) = entities.split_at(split_point);
+                for &a in inner {
+                    for &b in outer {
+                        record(a, b, &mut entity_candidates);
+                    }
+                }
+            }
+            er_core::DatasetKind::Dirty => {
+                for (i, &a) in entities.iter().enumerate() {
+                    for &b in &entities[i + 1..] {
+                        record(a, b, &mut entity_candidates);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut pairs: Vec<(EntityId, EntityId)> = seen.into_iter().collect();
+    pairs.sort_unstable();
+    (pairs, entity_candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use er_core::DatasetKind;
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().copied().map(EntityId).collect()
+    }
+
+    fn sample() -> BlockCollection {
+        BlockCollection {
+            dataset_name: "t".into(),
+            kind: DatasetKind::CleanClean,
+            split: 2,
+            num_entities: 4,
+            blocks: vec![
+                Block::new("a", ids(&[0, 2])),
+                Block::new("b", ids(&[0, 1, 2, 3])),
+                Block::new("c", ids(&[1, 3])),
+            ],
+        }
+    }
+
+    #[test]
+    fn naive_extraction_dedups_across_blocks() {
+        let (pairs, counts) = naive_candidate_pairs(&sample());
+        assert_eq!(pairs.len(), 4);
+        assert!(pairs.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(counts, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn naive_stats_mirror_old_api() {
+        let stats = NaiveBlockStats::new(&sample());
+        assert_eq!(stats.num_blocks(), 3);
+        assert_eq!(stats.num_entities(), 4);
+        assert_eq!(stats.blocks_of(EntityId(0)), &[BlockId(0), BlockId(1)]);
+        assert_eq!(stats.block_size(BlockId(1)), 4);
+        assert_eq!(stats.total_comparisons(), 6);
+        assert_eq!(stats.entity_comparisons(EntityId(0)), 5);
+        assert_eq!(stats.common_blocks(EntityId(0), EntityId(2)), 2);
+    }
+}

@@ -10,8 +10,22 @@
 //! * `||b||`: the comparison count of each block (including redundant pairs),
 //! * `||B||`: the total comparison count, and
 //! * `||e_i||`: the per-entity aggregate comparison count (Σ ||b|| over `B_i`).
+//!
+//! # Layout
+//!
+//! The entity → block adjacency is stored as a flat CSR (compressed sparse
+//! row) index: one `offsets` array with `num_entities + 1` slots and one
+//! contiguous `block_ids` arena.  Entity `i`'s sorted block list is the slice
+//! `block_ids[offsets[i]..offsets[i + 1]]`.  Compared to the previous
+//! `Vec<Vec<BlockId>>` layout this removes one pointer indirection per entity
+//! and keeps consecutive entities' lists adjacent in memory, which matters
+//! because the common-block merge loop under every weighting scheme streams
+//! through these lists for millions of candidate pairs.
+//!
+//! The per-block reciprocals `1/||b||` and `1/|b|` are precomputed once so the
+//! hot merge loop performs zero divisions.
 
-use er_core::{BlockId, EntityId};
+use er_core::{BlockId, DatasetKind, EntityId};
 use serde::{Deserialize, Serialize};
 
 use crate::collection::BlockCollection;
@@ -19,54 +33,95 @@ use crate::collection::BlockCollection;
 /// Pre-computed co-occurrence statistics of a block collection.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BlockStats {
-    /// For every entity, the sorted list of blocks containing it (`B_i`).
-    entity_blocks: Vec<Vec<BlockId>>,
+    /// CSR offsets into `block_ids`; `num_entities + 1` entries.
+    offsets: Vec<u32>,
+    /// CSR arena: concatenated sorted block lists of all entities.
+    block_ids: Vec<BlockId>,
+    /// Reverse CSR offsets into `block_entities`; `num_blocks + 1` entries.
+    block_offsets: Vec<u32>,
+    /// Reverse CSR arena: concatenated sorted entity lists of all blocks.
+    block_entities: Vec<EntityId>,
+    /// Per block, how many of its entities belong to the first source
+    /// (everything for Dirty ER).
+    first_source_counts: Vec<u32>,
     /// `|b|` per block: number of entities.
     block_sizes: Vec<u32>,
     /// `||b||` per block: number of comparisons including redundant ones.
     block_comparisons: Vec<u64>,
+    /// `1 / ||b||` per block (0 when the block has no comparisons).
+    inv_comparisons: Vec<f64>,
+    /// `1 / |b|` per block (0 when the block is empty).
+    inv_sizes: Vec<f64>,
     /// `||B||`: total number of comparisons across all blocks.
     total_comparisons: u64,
     /// `||e_i||` per entity: Σ_{b ∈ B_i} ||b||.
     entity_comparisons: Vec<u64>,
     /// Number of blocks, |B|.
     num_blocks: usize,
+    /// The ER kind of the underlying collection.
+    kind: DatasetKind,
+    /// E1/E2 boundary in the flattened entity id space.
+    split: usize,
 }
 
 impl BlockStats {
     /// Computes the statistics of a block collection.
     pub fn new(blocks: &BlockCollection) -> Self {
         let num_blocks = blocks.num_blocks();
-        let mut entity_blocks: Vec<Vec<BlockId>> = vec![Vec::new(); blocks.num_entities];
+        let num_entities = blocks.num_entities;
+
         let mut block_sizes = Vec::with_capacity(num_blocks);
         let mut block_comparisons = Vec::with_capacity(num_blocks);
+        let mut inv_comparisons = Vec::with_capacity(num_blocks);
+        let mut inv_sizes = Vec::with_capacity(num_blocks);
+        let mut block_offsets = Vec::with_capacity(num_blocks + 1);
+        let mut first_source_counts = Vec::with_capacity(num_blocks);
+        let mut block_entities = Vec::new();
 
-        for (id, block) in blocks.iter_with_ids() {
-            block_sizes.push(block.size() as u32);
-            block_comparisons.push(block.num_comparisons(blocks.kind, blocks.split));
-            for entity in &block.entities {
-                entity_blocks[entity.index()].push(id);
-            }
+        block_offsets.push(0u32);
+        for block in &blocks.blocks {
+            let size = block.size() as u32;
+            let comparisons = block.num_comparisons(blocks.kind, blocks.split);
+            block_sizes.push(size);
+            block_comparisons.push(comparisons);
+            inv_comparisons.push(if comparisons > 0 {
+                1.0 / comparisons as f64
+            } else {
+                0.0
+            });
+            inv_sizes.push(if size > 0 { 1.0 / f64::from(size) } else { 0.0 });
+            first_source_counts.push(block.first_source_count(blocks.split) as u32);
+            block_entities.extend_from_slice(&block.entities);
+            block_offsets.push(block_entities.len() as u32);
         }
-        // Blocks are visited in id order, so each entity's list is already
-        // sorted; assert in debug builds.
-        debug_assert!(entity_blocks
-            .iter()
-            .all(|list| list.windows(2).all(|w| w[0] < w[1])));
+
+        let (offsets, block_ids) = build_entity_block_adjacency(blocks);
 
         let total_comparisons = block_comparisons.iter().sum();
-        let entity_comparisons = entity_blocks
-            .iter()
-            .map(|list| list.iter().map(|b| block_comparisons[b.index()]).sum())
+        let entity_comparisons = (0..num_entities)
+            .map(|e| {
+                block_ids[offsets[e] as usize..offsets[e + 1] as usize]
+                    .iter()
+                    .map(|b| block_comparisons[b.index()])
+                    .sum()
+            })
             .collect();
 
         BlockStats {
-            entity_blocks,
+            offsets,
+            block_ids,
+            block_offsets,
+            block_entities,
+            first_source_counts,
             block_sizes,
             block_comparisons,
+            inv_comparisons,
+            inv_sizes,
             total_comparisons,
             entity_comparisons,
             num_blocks,
+            kind: blocks.kind,
+            split: blocks.split,
         }
     }
 
@@ -77,27 +132,79 @@ impl BlockStats {
 
     /// Number of entities covered.
     pub fn num_entities(&self) -> usize {
-        self.entity_blocks.len()
+        self.offsets.len() - 1
     }
 
     /// The blocks containing an entity, `B_i`, sorted by block id.
+    #[inline]
     pub fn blocks_of(&self, entity: EntityId) -> &[BlockId] {
-        &self.entity_blocks[entity.index()]
+        let start = self.offsets[entity.index()] as usize;
+        let end = self.offsets[entity.index() + 1] as usize;
+        &self.block_ids[start..end]
     }
 
     /// `|B_i|`: how many blocks contain the entity.
+    #[inline]
     pub fn num_blocks_of(&self, entity: EntityId) -> usize {
-        self.entity_blocks[entity.index()].len()
+        (self.offsets[entity.index() + 1] - self.offsets[entity.index()]) as usize
+    }
+
+    /// The raw CSR index: `(offsets, block_ids)` with entity `i`'s block list
+    /// at `block_ids[offsets[i]..offsets[i + 1]]`.
+    pub fn entity_block_csr(&self) -> (&[u32], &[BlockId]) {
+        (&self.offsets, &self.block_ids)
+    }
+
+    /// The ER kind of the underlying collection.
+    pub fn kind(&self) -> DatasetKind {
+        self.kind
+    }
+
+    /// The E1/E2 boundary of the flattened entity id space.
+    pub fn split(&self) -> usize {
+        self.split
+    }
+
+    /// The sorted entities of a block (flat reverse-CSR slice).
+    #[inline]
+    pub fn entities_of(&self, block: BlockId) -> &[EntityId] {
+        let start = self.block_offsets[block.index()] as usize;
+        let end = self.block_offsets[block.index() + 1] as usize;
+        &self.block_entities[start..end]
+    }
+
+    /// How many of the block's entities belong to the first source.  The
+    /// slice `entities_of(b)[first_source_count(b)..]` is the block's E2 side
+    /// (empty split for Dirty ER, where every entity is "first source").
+    #[inline]
+    pub fn first_source_count(&self, block: BlockId) -> u32 {
+        self.first_source_counts[block.index()]
     }
 
     /// `|b|`: number of entities in a block.
+    #[inline]
     pub fn block_size(&self, block: BlockId) -> u32 {
         self.block_sizes[block.index()]
     }
 
     /// `||b||`: number of comparisons in a block, including redundant ones.
+    #[inline]
     pub fn block_comparisons(&self, block: BlockId) -> u64 {
         self.block_comparisons[block.index()]
+    }
+
+    /// The precomputed `1/||b||` table, indexed by block id (0 for blocks
+    /// without comparisons).
+    #[inline]
+    pub fn inv_comparisons_table(&self) -> &[f64] {
+        &self.inv_comparisons
+    }
+
+    /// The precomputed `1/|b|` table, indexed by block id (0 for empty
+    /// blocks).
+    #[inline]
+    pub fn inv_sizes_table(&self) -> &[f64] {
+        &self.inv_sizes
     }
 
     /// `||B||`: total comparisons across all blocks.
@@ -106,6 +213,7 @@ impl BlockStats {
     }
 
     /// `||e_i||`: aggregate comparisons of the blocks containing the entity.
+    #[inline]
     pub fn entity_comparisons(&self, entity: EntityId) -> u64 {
         self.entity_comparisons[entity.index()]
     }
@@ -124,18 +232,19 @@ impl BlockStats {
     /// every weighting scheme.
     #[inline]
     pub fn for_each_common_block(&self, a: EntityId, b: EntityId, mut f: impl FnMut(BlockId)) {
-        let la = &self.entity_blocks[a.index()];
-        let lb = &self.entity_blocks[b.index()];
+        let la = self.blocks_of(a);
+        let lb = self.blocks_of(b);
         let (mut i, mut j) = (0, 0);
         while i < la.len() && j < lb.len() {
-            match la[i].cmp(&lb[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    f(la[i]);
-                    i += 1;
-                    j += 1;
-                }
+            let (x, y) = (la[i], lb[j]);
+            if x < y {
+                i += 1;
+            } else if y < x {
+                j += 1;
+            } else {
+                f(x);
+                i += 1;
+                j += 1;
             }
         }
     }
@@ -148,10 +257,50 @@ impl BlockStats {
     }
 }
 
+/// Builds the entity → block CSR adjacency of a collection: `(offsets,
+/// block_ids)` with entity `i`'s sorted block list at
+/// `block_ids[offsets[i]..offsets[i + 1]]`.
+///
+/// Shared by [`BlockStats::new`] and the standalone candidate extraction in
+/// [`crate::candidates`] so the adjacency layout is defined exactly once.
+pub(crate) fn build_entity_block_adjacency(blocks: &BlockCollection) -> (Vec<u32>, Vec<BlockId>) {
+    let num_entities = blocks.num_entities;
+    let mut degrees = vec![0u32; num_entities];
+    for block in &blocks.blocks {
+        for entity in &block.entities {
+            degrees[entity.index()] += 1;
+        }
+    }
+    let mut offsets = Vec::with_capacity(num_entities + 1);
+    let mut acc = 0u32;
+    offsets.push(0);
+    for &d in &degrees {
+        acc += d;
+        offsets.push(acc);
+    }
+    // Fill the arena; blocks are visited in id order, so each entity's slice
+    // comes out sorted.
+    let mut cursors: Vec<u32> = offsets[..num_entities].to_vec();
+    let mut block_ids = vec![BlockId(0); acc as usize];
+    for (id, block) in blocks.iter_with_ids() {
+        for entity in &block.entities {
+            let cursor = &mut cursors[entity.index()];
+            block_ids[*cursor as usize] = id;
+            *cursor += 1;
+        }
+    }
+    debug_assert!((0..num_entities).all(|e| {
+        let list = &block_ids[offsets[e] as usize..offsets[e + 1] as usize];
+        list.windows(2).all(|w| w[0] < w[1])
+    }));
+    (offsets, block_ids)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::block::Block;
+    use crate::reference::NaiveBlockStats;
     use er_core::DatasetKind;
 
     fn ids(v: &[u32]) -> Vec<EntityId> {
@@ -178,7 +327,6 @@ mod tests {
         assert_eq!(stats.num_blocks(), 3);
         assert_eq!(stats.block_size(BlockId(1)), 4);
         assert_eq!(stats.block_comparisons(BlockId(0)), 1);
-        assert_eq!(stats.block_comparisons(BlockId(1)), 4);
         assert_eq!(stats.total_comparisons(), 1 + 4 + 1);
     }
 
@@ -211,5 +359,62 @@ mod tests {
         assert_eq!(stats.num_blocks_of(EntityId(4)), 0);
         assert_eq!(stats.entity_comparisons(EntityId(4)), 0);
         assert_eq!(stats.common_blocks(EntityId(4), EntityId(0)), 0);
+    }
+
+    #[test]
+    fn reverse_csr_exposes_block_membership() {
+        let bc = sample();
+        let stats = BlockStats::new(&bc);
+        assert_eq!(stats.kind(), DatasetKind::CleanClean);
+        assert_eq!(stats.split(), 2);
+        assert_eq!(stats.entities_of(BlockId(0)), &[EntityId(0), EntityId(2)]);
+        assert_eq!(
+            stats.entities_of(BlockId(1)),
+            &[EntityId(0), EntityId(1), EntityId(2), EntityId(3)]
+        );
+        assert_eq!(stats.first_source_count(BlockId(1)), 2);
+        // The E2 side of block b.
+        let fsc = stats.first_source_count(BlockId(1)) as usize;
+        assert_eq!(
+            &stats.entities_of(BlockId(1))[fsc..],
+            &[EntityId(2), EntityId(3)]
+        );
+    }
+
+    #[test]
+    fn reciprocal_tables_match_cardinalities() {
+        let stats = BlockStats::new(&sample());
+        for b in 0..stats.num_blocks() {
+            let id = BlockId(b as u32);
+            let comparisons = stats.block_comparisons(id);
+            let expected = if comparisons > 0 {
+                1.0 / comparisons as f64
+            } else {
+                0.0
+            };
+            assert_eq!(stats.inv_comparisons_table()[b], expected);
+            assert_eq!(
+                stats.inv_sizes_table()[b],
+                1.0 / f64::from(stats.block_size(id))
+            );
+        }
+    }
+
+    #[test]
+    fn csr_matches_naive_adjacency() {
+        let bc = sample();
+        let stats = BlockStats::new(&bc);
+        let naive = NaiveBlockStats::new(&bc);
+        for e in 0..bc.num_entities {
+            let entity = EntityId(e as u32);
+            assert_eq!(stats.blocks_of(entity), naive.blocks_of(entity));
+            assert_eq!(
+                stats.entity_comparisons(entity),
+                naive.entity_comparisons(entity)
+            );
+        }
+        let (offsets, arena) = stats.entity_block_csr();
+        assert_eq!(offsets.len(), bc.num_entities + 1);
+        assert_eq!(arena.len(), *offsets.last().unwrap() as usize);
     }
 }

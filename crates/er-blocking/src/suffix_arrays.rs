@@ -46,7 +46,10 @@ pub fn suffixes(token: &str, min_length: usize) -> Vec<String> {
 /// Builds a Suffix Arrays block collection for a dataset.
 pub fn suffix_array_blocking(dataset: &Dataset, config: SuffixArrayConfig) -> BlockCollection {
     assert!(config.min_length >= 2, "min_length must be at least 2");
-    assert!(config.max_block_size >= 2, "max_block_size must allow a pair");
+    assert!(
+        config.max_block_size >= 2,
+        "max_block_size must allow a pair"
+    );
 
     let mut index: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
     for (i, profile) in dataset.profiles.iter().enumerate() {
@@ -100,7 +103,8 @@ mod tests {
                 EntityProfile::new("b1").with_attribute("code", "zz999111"),
             ],
         );
-        let gt = GroundTruth::from_pairs(vec![(EntityId(0), EntityId(2)), (EntityId(1), EntityId(3))]);
+        let gt =
+            GroundTruth::from_pairs(vec![(EntityId(0), EntityId(2)), (EntityId(1), EntityId(3))]);
         Dataset::clean_clean("suffixes", e1, e2, gt).unwrap()
     }
 

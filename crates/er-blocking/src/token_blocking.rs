@@ -56,8 +56,7 @@ mod tests {
                 EntityProfile::new("e2")
                     .with_attribute("model", "Samsung S20")
                     .with_attribute("group", "smartphone"),
-                EntityProfile::new("e5")
-                    .with_attribute("descr", "smartphone"),
+                EntityProfile::new("e5").with_attribute("descr", "smartphone"),
                 EntityProfile::new("e6")
                     .with_attribute("name", "Huawei Mate 20")
                     .with_attribute("type", "smartphone"),
@@ -73,8 +72,10 @@ mod tests {
                 EntityProfile::new("e4")
                     .with_attribute("type", "Samsung 20")
                     .with_attribute("descr", "smartphone"),
-                EntityProfile::new("e7")
-                    .with_attribute("offer", "Samsung foldable your perfect mate phone today 20 discount"),
+                EntityProfile::new("e7").with_attribute(
+                    "offer",
+                    "Samsung foldable your perfect mate phone today 20 discount",
+                ),
             ],
         );
         // Flattened ids: e1=0, e2=1, e5=2, e6=3, e3=4, e4=5, e7=6.

@@ -252,9 +252,19 @@ mod tests {
     }
 
     fn small_clean_clean() -> Dataset {
-        let e1 = EntityCollection::new("a", vec![profile("a0", "apple iphone"), profile("a1", "samsung s20")]);
-        let e2 = EntityCollection::new("b", vec![profile("b0", "iphone 10 apple"), profile("b1", "samsung 20")]);
-        let gt = GroundTruth::from_pairs(vec![(EntityId(0), EntityId(2)), (EntityId(1), EntityId(3))]);
+        let e1 = EntityCollection::new(
+            "a",
+            vec![profile("a0", "apple iphone"), profile("a1", "samsung s20")],
+        );
+        let e2 = EntityCollection::new(
+            "b",
+            vec![
+                profile("b0", "iphone 10 apple"),
+                profile("b1", "samsung 20"),
+            ],
+        );
+        let gt =
+            GroundTruth::from_pairs(vec![(EntityId(0), EntityId(2)), (EntityId(1), EntityId(3))]);
         Dataset::clean_clean("toy", e1, e2, gt).unwrap()
     }
 
@@ -271,7 +281,8 @@ mod tests {
 
     #[test]
     fn ground_truth_is_order_insensitive() {
-        let gt = GroundTruth::from_pairs(vec![(EntityId(5), EntityId(2)), (EntityId(2), EntityId(5))]);
+        let gt =
+            GroundTruth::from_pairs(vec![(EntityId(5), EntityId(2)), (EntityId(2), EntityId(5))]);
         assert_eq!(gt.len(), 1);
         assert!(gt.is_match(EntityId(2), EntityId(5)));
         assert!(gt.is_match(EntityId(5), EntityId(2)));

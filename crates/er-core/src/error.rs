@@ -64,8 +64,13 @@ mod tests {
         }
         .to_string()
         .contains("requested 25"));
-        assert_eq!(Error::Model("diverged".into()).to_string(), "model error: diverged");
-        assert!(Error::InvalidParameter("r".into()).to_string().contains("invalid parameter"));
+        assert_eq!(
+            Error::Model("diverged".into()).to_string(),
+            "model error: diverged"
+        );
+        assert!(Error::InvalidParameter("r".into())
+            .to_string()
+            .contains("invalid parameter"));
     }
 
     #[test]

@@ -13,6 +13,7 @@ pub mod entity;
 pub mod error;
 pub mod fxhash;
 pub mod ids;
+pub mod parallel;
 pub mod rng;
 pub mod tokenize;
 
@@ -21,5 +22,8 @@ pub use entity::{Attribute, EntityProfile};
 pub use error::{Error, Result};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use ids::{BlockId, EntityId, PairId};
+pub use parallel::{
+    available_threads, fill_rows_parallel, for_each_task_with_state, map_ranges_parallel,
+};
 pub use rng::seeded_rng;
 pub use tokenize::tokenize;

@@ -19,8 +19,7 @@ pub fn seeded_rng(seed: u64) -> StdRng {
 /// (e.g. one per repetition) without the streams overlapping.
 pub fn derive_seed(base: u64, stream: u64) -> u64 {
     // SplitMix64 step: a well-mixed, cheap seed derivation.
-    let mut z = base
-        .wrapping_add(0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = base.wrapping_add(0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)

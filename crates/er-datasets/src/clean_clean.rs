@@ -94,10 +94,7 @@ pub fn generate_clean_clean(cfg: &CleanCleanConfig) -> Result<Dataset> {
         let copy = apply_noise(&base, &cfg.noise, &vocab, &mut rng);
         e1_profiles.push(render_profile(format!("{}-a{d}", cfg.name), &base, &vocab));
         e2_profiles.push(render_profile(format!("{}-b{d}", cfg.name), &copy, &vocab));
-        truth.push((
-            EntityId::from(d),
-            EntityId::from(cfg.e1_size + d),
-        ));
+        truth.push((EntityId::from(d), EntityId::from(cfg.e1_size + d)));
         bases.push(base);
     }
 
@@ -113,11 +110,19 @@ pub fn generate_clean_clean(cfg: &CleanCleanConfig) -> Result<Dataset> {
     };
     for i in cfg.num_duplicates..cfg.e1_size {
         let tokens = background(&mut rng, &bases);
-        e1_profiles.push(render_profile(format!("{}-a{i}", cfg.name), &tokens, &vocab));
+        e1_profiles.push(render_profile(
+            format!("{}-a{i}", cfg.name),
+            &tokens,
+            &vocab,
+        ));
     }
     for i in cfg.num_duplicates..cfg.e2_size {
         let tokens = background(&mut rng, &bases);
-        e2_profiles.push(render_profile(format!("{}-b{i}", cfg.name), &tokens, &vocab));
+        e2_profiles.push(render_profile(
+            format!("{}-b{i}", cfg.name),
+            &tokens,
+            &vocab,
+        ));
     }
 
     Dataset::clean_clean(

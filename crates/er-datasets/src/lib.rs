@@ -18,7 +18,9 @@ pub mod dirty;
 pub mod noise;
 pub mod vocab;
 
-pub use catalog::{clean_clean_catalog, dirty_catalog, generate_catalog_dataset, CatalogOptions, DatasetName};
+pub use catalog::{
+    clean_clean_catalog, dirty_catalog, generate_catalog_dataset, CatalogOptions, DatasetName,
+};
 pub use clean_clean::generate_clean_clean;
 pub use config::{CleanCleanConfig, DirtyConfig, NoiseConfig};
 pub use dirty::generate_dirty;

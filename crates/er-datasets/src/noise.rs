@@ -96,7 +96,10 @@ mod tests {
         };
         let light = count_preserved(&NoiseConfig::light(), &mut rng);
         let heavy = count_preserved(&NoiseConfig::heavy(), &mut rng);
-        assert!(light > heavy, "light {light} should preserve more than heavy {heavy}");
+        assert!(
+            light > heavy,
+            "light {light} should preserve more than heavy {heavy}"
+        );
     }
 
     #[test]

@@ -61,7 +61,9 @@ impl Vocabulary {
     /// (index 0 is the most frequent token).
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
         let x: f64 = rng.gen();
-        self.cumulative.partition_point(|&c| c < x).min(self.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < x)
+            .min(self.len() - 1)
     }
 
     /// Samples a token index uniformly from the rarest `tail_fraction` of the

@@ -47,7 +47,8 @@ impl PreparedDataset {
             )));
         }
         let stats = BlockStats::new(&blocks);
-        let candidates = CandidatePairs::from_blocks(&blocks);
+        let candidates =
+            CandidatePairs::from_blocks_with_stats(&blocks, &stats, er_core::available_threads());
         if candidates.is_empty() {
             return Err(er_core::Error::EmptyInput(format!(
                 "dataset {} produced no candidate pairs",
@@ -213,7 +214,11 @@ pub fn train_and_score(
 
     let scoring_start = Instant::now();
     let probabilities: Vec<f64> = (0..matrix.num_pairs())
-        .map(|i| model.probability(matrix.row(PairId::from(i))).clamp(0.0, 1.0))
+        .map(|i| {
+            model
+                .probability(matrix.row(PairId::from(i)))
+                .clamp(0.0, 1.0)
+        })
         .collect();
     let scores = CachedScores::new(probabilities);
     let scoring_time = scoring_start.elapsed();
@@ -324,7 +329,10 @@ mod tests {
         let quality = prepared.block_quality();
         // The input block collection must be recall-oriented and imprecise.
         assert!(quality.recall > 0.5, "blocking recall too low: {quality}");
-        assert!(quality.precision < 0.5, "blocking precision suspicious: {quality}");
+        assert!(
+            quality.precision < 0.5,
+            "blocking precision suspicious: {quality}"
+        );
     }
 
     #[test]

@@ -114,8 +114,8 @@ impl CommonBlockDistribution {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::{run_once, RunConfig};
     use crate::experiment::train_and_score;
+    use crate::experiment::{run_once, RunConfig};
     use er_datasets::{generate_catalog_dataset, CatalogOptions, DatasetName};
     use er_features::FeatureSet;
     use meta_blocking::pruning::AlgorithmKind;

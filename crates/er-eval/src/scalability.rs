@@ -94,10 +94,8 @@ pub fn run_scalability(
 /// Computes the speedup series of one algorithm relative to its smallest
 /// dataset (the D10K analogue), preserving input order.
 pub fn speedup_series(points: &[ScalabilityPoint], algorithm: AlgorithmKind) -> Vec<(String, f64)> {
-    let series: Vec<&ScalabilityPoint> = points
-        .iter()
-        .filter(|p| p.algorithm == algorithm)
-        .collect();
+    let series: Vec<&ScalabilityPoint> =
+        points.iter().filter(|p| p.algorithm == algorithm).collect();
     let Some(base) = series.first() else {
         return Vec::new();
     };
@@ -159,7 +157,12 @@ mod tests {
         assert_eq!(points.len(), 5 * algorithms.len());
         for p in &points {
             assert!(p.num_candidates > 0);
-            assert!(p.effectiveness.recall > 0.0, "{}: {}", p.dataset, p.effectiveness);
+            assert!(
+                p.effectiveness.recall > 0.0,
+                "{}: {}",
+                p.dataset,
+                p.effectiveness
+            );
         }
         let series = speedup_series(&points, AlgorithmKind::Blast);
         assert_eq!(series.len(), 4);

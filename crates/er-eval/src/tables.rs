@@ -86,10 +86,7 @@ pub fn render_table(title: &str, rows: &[TableRow]) -> String {
             .unwrap_or_else(|| format!("{:>9}", "-"));
         let mut line = format!(
             "{:<label_width$}  {:>8.4}  {:>10.4}  {:>8.4}  {rt}",
-            row.label,
-            row.effectiveness.recall,
-            row.effectiveness.precision,
-            row.effectiveness.f1
+            row.label, row.effectiveness.recall, row.effectiveness.precision, row.effectiveness.f1
         );
         for key in &extra_keys {
             let value = row

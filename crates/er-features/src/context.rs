@@ -9,9 +9,11 @@ use crate::schemes::Scheme;
 /// Everything needed to score a candidate pair with any weighting scheme.
 ///
 /// The context borrows the block statistics and candidate pairs and
-/// pre-computes the per-entity sums used by the normalised schemes
-/// (WJS and NRS) so that each per-pair evaluation costs a single merge over
-/// the two sorted block lists.
+/// pre-computes every per-entity quantity any scheme needs — the WJS/NRS
+/// normalisation sums, the CF-IBF `log(|B|/|B_i|)` factors, the EJS
+/// `log(||B||/||e_i||)` factors and the LCP counts — so that each per-pair
+/// evaluation costs a single merge over the two sorted CSR block lists with
+/// no divisions and no logarithms.
 #[derive(Debug)]
 pub struct FeatureContext<'a> {
     stats: &'a BlockStats,
@@ -20,10 +22,10 @@ pub struct FeatureContext<'a> {
     entity_inv_comparisons: Vec<f64>,
     /// Σ_{b ∈ B_i} 1/|b| per entity (denominator of NRS).
     entity_inv_sizes: Vec<f64>,
-    /// log-cache of |B| to avoid recomputation.
-    num_blocks: f64,
-    /// ||B|| as f64.
-    total_comparisons: f64,
+    /// `log(|B| / |B_i|)` per entity (the CF-IBF factor).
+    entity_ibf: Vec<f64>,
+    /// `log(||B|| / ||e_i||)` per entity (the EJS factor).
+    entity_icf: Vec<f64>,
 }
 
 /// The raw per-pair co-occurrence aggregates from which every scheme is
@@ -43,32 +45,47 @@ impl<'a> FeatureContext<'a> {
     /// pairs.
     pub fn new(stats: &'a BlockStats, candidates: &'a CandidatePairs) -> Self {
         let n = stats.num_entities();
+        let num_blocks = stats.num_blocks() as f64;
+        let total_comparisons = stats.total_comparisons() as f64;
+        let inv_comp_table = stats.inv_comparisons_table();
+        let inv_size_table = stats.inv_sizes_table();
+
         let mut entity_inv_comparisons = vec![0.0; n];
         let mut entity_inv_sizes = vec![0.0; n];
+        let mut entity_ibf = vec![0.0; n];
+        let mut entity_icf = vec![0.0; n];
         for e in 0..n {
             let entity = EntityId::from(e);
+            let list = stats.blocks_of(entity);
             let mut inv_comp = 0.0;
             let mut inv_size = 0.0;
-            for &b in stats.blocks_of(entity) {
-                let comparisons = stats.block_comparisons(b);
-                if comparisons > 0 {
-                    inv_comp += 1.0 / comparisons as f64;
-                }
-                let size = stats.block_size(b);
-                if size > 0 {
-                    inv_size += 1.0 / f64::from(size);
-                }
+            for &b in list {
+                inv_comp += inv_comp_table[b.index()];
+                inv_size += inv_size_table[b.index()];
             }
             entity_inv_comparisons[e] = inv_comp;
             entity_inv_sizes[e] = inv_size;
+
+            let blocks_of = list.len() as f64;
+            entity_ibf[e] = if blocks_of > 0.0 && num_blocks > 0.0 {
+                (num_blocks / blocks_of).ln()
+            } else {
+                0.0
+            };
+            let entity_comparisons = stats.entity_comparisons(entity) as f64;
+            entity_icf[e] = if entity_comparisons > 0.0 && total_comparisons > 0.0 {
+                (total_comparisons / entity_comparisons).ln()
+            } else {
+                0.0
+            };
         }
         FeatureContext {
             stats,
             candidates,
             entity_inv_comparisons,
             entity_inv_sizes,
-            num_blocks: stats.num_blocks() as f64,
-            total_comparisons: stats.total_comparisons() as f64,
+            entity_ibf,
+            entity_icf,
         }
     }
 
@@ -83,19 +100,18 @@ impl<'a> FeatureContext<'a> {
     }
 
     /// Computes the per-pair co-occurrence aggregates with a single merge of
-    /// the two sorted block lists.
+    /// the two sorted CSR block lists
+    /// ([`BlockStats::for_each_common_block`]), reading the precomputed
+    /// reciprocal tables (no division in the loop).
+    #[inline]
     pub fn cooccurrence(&self, a: EntityId, b: EntityId) -> PairCooccurrence {
+        let inv_comp = self.stats.inv_comparisons_table();
+        let inv_size = self.stats.inv_sizes_table();
         let mut agg = PairCooccurrence::default();
         self.stats.for_each_common_block(a, b, |block| {
             agg.common_blocks += 1;
-            let comparisons = self.stats.block_comparisons(block);
-            if comparisons > 0 {
-                agg.inv_comparisons_sum += 1.0 / comparisons as f64;
-            }
-            let size = self.stats.block_size(block);
-            if size > 0 {
-                agg.inv_sizes_sum += 1.0 / f64::from(size);
-            }
+            agg.inv_comparisons_sum += inv_comp[block.index()];
+            agg.inv_sizes_sum += inv_size[block.index()];
         });
         agg
     }
@@ -111,6 +127,10 @@ impl<'a> FeatureContext<'a> {
     }
 
     /// Evaluates a scheme given precomputed co-occurrence aggregates.
+    ///
+    /// This is the retained per-scheme reference path; the fused
+    /// [`FeatureContext::write_pair_features`] computes whole vectors without
+    /// re-deriving shared sub-expressions.
     pub fn score_with(
         &self,
         scheme: Scheme,
@@ -126,9 +146,8 @@ impl<'a> FeatureContext<'a> {
             Scheme::Raccb => agg.inv_comparisons_sum,
             Scheme::Js => {
                 let cb = agg.common_blocks as f64;
-                let union = self.stats.num_blocks_of(a) as f64
-                    + self.stats.num_blocks_of(b) as f64
-                    - cb;
+                let union =
+                    self.stats.num_blocks_of(a) as f64 + self.stats.num_blocks_of(b) as f64 - cb;
                 if union > 0.0 {
                     cb / union
                 } else {
@@ -154,9 +173,8 @@ impl<'a> FeatureContext<'a> {
             Scheme::Rs => agg.inv_sizes_sum,
             Scheme::Nrs => {
                 let numerator = agg.inv_sizes_sum;
-                let denominator = self.entity_inv_sizes[a.index()]
-                    + self.entity_inv_sizes[b.index()]
-                    - numerator;
+                let denominator =
+                    self.entity_inv_sizes[a.index()] + self.entity_inv_sizes[b.index()] - numerator;
                 if denominator > 0.0 {
                     numerator / denominator
                 } else {
@@ -166,34 +184,127 @@ impl<'a> FeatureContext<'a> {
         }
     }
 
-    /// `log(|B| / |B_i|)`, the inverse-block-frequency factor of CF-IBF.
+    /// `log(|B| / |B_i|)`, the inverse-block-frequency factor of CF-IBF
+    /// (precomputed per entity).
+    #[inline]
     fn ibf(&self, entity: EntityId) -> f64 {
-        let blocks_of = self.stats.num_blocks_of(entity) as f64;
-        if blocks_of > 0.0 && self.num_blocks > 0.0 {
-            (self.num_blocks / blocks_of).ln()
-        } else {
-            0.0
-        }
+        self.entity_ibf[entity.index()]
     }
 
-    /// `log(||B|| / ||e_i||)`, the inverse-candidate-frequency factor of EJS.
+    /// `log(||B|| / ||e_i||)`, the inverse-candidate-frequency factor of EJS
+    /// (precomputed per entity).
+    #[inline]
     fn inverse_candidate_frequency(&self, entity: EntityId) -> f64 {
-        let entity_comparisons = self.stats.entity_comparisons(entity) as f64;
-        if entity_comparisons > 0.0 && self.total_comparisons > 0.0 {
-            (self.total_comparisons / entity_comparisons).ln()
-        } else {
-            0.0
-        }
+        self.entity_icf[entity.index()]
     }
 
     /// The LCP value of an entity: its number of distinct candidates.
+    #[inline]
     pub fn lcp(&self, entity: EntityId) -> f64 {
         f64::from(self.candidates.candidates_of(entity))
+    }
+
+    /// Writes the feature vector of a pair directly into `out`, which must be
+    /// exactly `set.vector_len()` long.
+    ///
+    /// This is the fused hot path: one merge produces the co-occurrence
+    /// aggregates, every selected scheme is written in canonical order, and
+    /// shared sub-expressions (JS inside EJS, the union size) are computed
+    /// once instead of per scheme.
+    #[inline]
+    pub fn write_pair_features(&self, a: EntityId, b: EntityId, set: FeatureSet, out: &mut [f64]) {
+        let agg = self.cooccurrence(a, b);
+        self.write_pair_features_with(a, b, &agg, set, out);
+    }
+
+    /// Writes the feature vector of a pair from already-computed
+    /// co-occurrence aggregates (the entity-major scoreboard pass in
+    /// [`crate::FeatureMatrix`] accumulates them without any merge).
+    #[inline]
+    pub fn write_pair_features_with(
+        &self,
+        a: EntityId,
+        b: EntityId,
+        agg: &PairCooccurrence,
+        set: FeatureSet,
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(out.len(), set.vector_len());
+        let cb = agg.common_blocks as f64;
+        let (ai, bi) = (a.index(), b.index());
+
+        // JS is needed by both the Js and Ejs columns; derive it once.
+        let needs_js = set.contains(Scheme::Js) || set.contains(Scheme::Ejs);
+        let js = if needs_js {
+            let union =
+                self.stats.num_blocks_of(a) as f64 + self.stats.num_blocks_of(b) as f64 - cb;
+            if union > 0.0 {
+                cb / union
+            } else {
+                0.0
+            }
+        } else {
+            0.0
+        };
+
+        let mut cursor = 0;
+        let mut push = |slot: &mut usize, value: f64| {
+            out[*slot] = value;
+            *slot += 1;
+        };
+        if set.contains(Scheme::CfIbf) {
+            push(&mut cursor, cb * self.entity_ibf[ai] * self.entity_ibf[bi]);
+        }
+        if set.contains(Scheme::Raccb) {
+            push(&mut cursor, agg.inv_comparisons_sum);
+        }
+        if set.contains(Scheme::Js) {
+            push(&mut cursor, js);
+        }
+        if set.contains(Scheme::Lcp) {
+            push(&mut cursor, self.lcp(a));
+            push(&mut cursor, self.lcp(b));
+        }
+        if set.contains(Scheme::Ejs) {
+            push(&mut cursor, js * self.entity_icf[ai] * self.entity_icf[bi]);
+        }
+        if set.contains(Scheme::Wjs) {
+            let numerator = agg.inv_comparisons_sum;
+            let denominator =
+                self.entity_inv_comparisons[ai] + self.entity_inv_comparisons[bi] - numerator;
+            push(
+                &mut cursor,
+                if denominator > 0.0 {
+                    numerator / denominator
+                } else {
+                    0.0
+                },
+            );
+        }
+        if set.contains(Scheme::Rs) {
+            push(&mut cursor, agg.inv_sizes_sum);
+        }
+        if set.contains(Scheme::Nrs) {
+            let numerator = agg.inv_sizes_sum;
+            let denominator = self.entity_inv_sizes[ai] + self.entity_inv_sizes[bi] - numerator;
+            push(
+                &mut cursor,
+                if denominator > 0.0 {
+                    numerator / denominator
+                } else {
+                    0.0
+                },
+            );
+        }
+        debug_assert_eq!(cursor, out.len());
     }
 
     /// Writes the feature vector of a pair for the given feature set into
     /// `out` (cleared first).  The layout follows the canonical scheme order;
     /// LCP expands into `LCP(e_i), LCP(e_j)`.
+    ///
+    /// Retained reference path: evaluates each scheme independently through
+    /// [`FeatureContext::score_with`].
     pub fn pair_features(&self, a: EntityId, b: EntityId, set: FeatureSet, out: &mut Vec<f64>) {
         out.clear();
         let agg = self.cooccurrence(a, b);
@@ -347,11 +458,33 @@ mod tests {
     }
 
     #[test]
+    fn fused_writer_matches_reference_for_every_feature_set() {
+        let (_bc, stats, cands) = fixture();
+        let ctx = FeatureContext::new(&stats, &cands);
+        for set in FeatureSet::all_combinations() {
+            let mut fused = vec![0.0; set.vector_len()];
+            for &(a, b) in cands.pairs() {
+                ctx.write_pair_features(a, b, set, &mut fused);
+                let reference = ctx.pair_feature_vec(a, b, set);
+                assert_eq!(fused, reference, "{set} pair ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
     fn matching_like_pairs_score_higher_than_random_pairs() {
         let (_bc, stats, cands) = fixture();
         let ctx = FeatureContext::new(&stats, &cands);
         // (0,2) share all blocks; (0,3) share only the big block.
-        for scheme in [Scheme::CfIbf, Scheme::Raccb, Scheme::Js, Scheme::Rs, Scheme::Nrs, Scheme::Wjs, Scheme::Ejs] {
+        for scheme in [
+            Scheme::CfIbf,
+            Scheme::Raccb,
+            Scheme::Js,
+            Scheme::Rs,
+            Scheme::Nrs,
+            Scheme::Wjs,
+            Scheme::Ejs,
+        ] {
             let close = ctx.score(scheme, EntityId(0), EntityId(2));
             let far = ctx.score(scheme, EntityId(0), EntityId(3));
             assert!(close > far, "{scheme}: {close} !> {far}");

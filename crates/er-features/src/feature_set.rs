@@ -130,7 +130,13 @@ mod tests {
         );
         assert_eq!(
             FeatureSet::rcnp_optimal().schemes(),
-            vec![Scheme::CfIbf, Scheme::Raccb, Scheme::Js, Scheme::Lcp, Scheme::Wjs]
+            vec![
+                Scheme::CfIbf,
+                Scheme::Raccb,
+                Scheme::Js,
+                Scheme::Lcp,
+                Scheme::Wjs
+            ]
         );
     }
 

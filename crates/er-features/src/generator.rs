@@ -3,14 +3,38 @@
 //!
 //! Feature generation dominates the run-time of (Generalized) Supervised
 //! Meta-blocking on the larger datasets (Figures 7, 9 and 10 of the paper), so
-//! the matrix is built in parallel over disjoint pair ranges using scoped
-//! crossbeam threads.
+//! this module is built around one fused, entity-major single pass:
+//!
+//! 1. Candidate pairs are grouped by their smaller endpoint (the
+//!    [`er_blocking::CandidatePairs`] CSR index), so each task processes a
+//!    contiguous run of output rows.
+//! 2. For each entity the pass walks its blocks once through the flat
+//!    [`er_blocking::BlockStats`] index and *accumulates* every partner's
+//!    co-occurrence aggregates on a scoreboard — no per-pair merge of block
+//!    lists, no hashing, no divisions (the reciprocal tables are precomputed).
+//!    Contributions arrive in ascending block-id order, which makes the
+//!    floating-point sums bit-identical to the per-pair merge.
+//! 3. Every selected scheme column is then written straight into the
+//!    destination slice ([`FeatureContext::write_pair_features_with`]), and
+//!    [`FeatureMatrix::score_rows`] fuses the same pass with a per-row scoring
+//!    function so probability-only callers never materialise the matrix.
+//!
+//! Tasks are pulled from a shared cursor by worker threads carrying their own
+//! scoreboard ([`er_core::for_each_task_with_state`]) — work stealing instead
+//! of fixed per-thread partitions.
 
-use er_core::PairId;
+use er_core::{EntityId, PairId};
 use serde::{Deserialize, Serialize};
 
-use crate::context::FeatureContext;
+use crate::context::{FeatureContext, PairCooccurrence};
 use crate::feature_set::FeatureSet;
+
+/// Rows per work-queue chunk: large enough to amortise queue locking, small
+/// enough that stealing keeps skewed tails balanced.
+const CHUNK_ROWS: usize = 4096;
+
+/// Below this many pairs the parallel drivers fall back to one thread.
+const PARALLEL_THRESHOLD: usize = 1024;
 
 /// A dense, row-major matrix holding one feature vector per candidate pair.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -28,54 +52,98 @@ impl FeatureMatrix {
         Self::build_with_threads(context, set, 1)
     }
 
-    /// Builds the matrix using up to `threads` worker threads.
+    /// Builds the matrix using the default worker-thread count.
     pub fn build_parallel(context: &FeatureContext<'_>, set: FeatureSet) -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(8);
-        Self::build_with_threads(context, set, threads)
+        Self::build_with_threads(context, set, er_core::available_threads())
     }
 
-    /// Builds the matrix with an explicit thread count.
+    /// Builds the matrix with an explicit thread count via the fused
+    /// entity-major single-pass engine.
     pub fn build_with_threads(
         context: &FeatureContext<'_>,
         set: FeatureSet,
         threads: usize,
     ) -> Self {
+        let num_features = set.vector_len();
+        let num_pairs = context.candidates().len();
+        let mut values = vec![0.0f64; num_features * num_pairs];
+
+        fused_entity_major_pass(
+            context,
+            set,
+            threads,
+            num_features,
+            &mut values,
+            |_context, _pair, row, slot| slot.copy_from_slice(row),
+        );
+
+        FeatureMatrix {
+            feature_set: set,
+            num_features,
+            num_pairs,
+            values,
+        }
+    }
+
+    /// Builds the matrix through the retained naive reference path: one
+    /// temporary row vector per pair, every scheme evaluated independently
+    /// via [`FeatureContext::score_with`].  Kept for equivalence tests and
+    /// the before/after benchmark comparison; never use it on a hot path.
+    pub fn build_reference(context: &FeatureContext<'_>, set: FeatureSet) -> Self {
         let pairs = context.candidates().pairs();
         let num_features = set.vector_len();
         let num_pairs = pairs.len();
         let mut values = vec![0.0f64; num_features * num_pairs];
-
-        let threads = threads.max(1).min(num_pairs.max(1));
-        if threads <= 1 || num_pairs < 1024 {
-            let mut row = Vec::with_capacity(num_features);
-            for (i, &(a, b)) in pairs.iter().enumerate() {
-                context.pair_features(a, b, set, &mut row);
-                values[i * num_features..(i + 1) * num_features].copy_from_slice(&row);
-            }
-        } else {
-            let chunk_rows = num_pairs.div_ceil(threads);
-            let chunk_len = chunk_rows * num_features;
-            crossbeam::thread::scope(|scope| {
-                for (chunk_index, chunk) in values.chunks_mut(chunk_len).enumerate() {
-                    let start = chunk_index * chunk_rows;
-                    scope.spawn(move |_| {
-                        let mut row = Vec::with_capacity(num_features);
-                        for (offset, slot) in chunk.chunks_mut(num_features).enumerate() {
-                            let (a, b) = pairs[start + offset];
-                            context.pair_features(a, b, set, &mut row);
-                            slot.copy_from_slice(&row);
-                        }
-                    });
-                }
-            })
-            .expect("feature generation worker panicked");
+        let mut row = Vec::with_capacity(num_features);
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            context.pair_features(a, b, set, &mut row);
+            values[i * num_features..(i + 1) * num_features].copy_from_slice(&row);
         }
-
         FeatureMatrix {
             feature_set: set,
+            num_features,
+            num_pairs,
+            values,
+        }
+    }
+
+    /// Computes `score` over every candidate pair's feature vector without
+    /// materialising the matrix: each worker fills its scratch row via the
+    /// fused entity-major pass and immediately reduces it to one `f64`.
+    ///
+    /// This is the fused feature → probability path the pipeline uses when
+    /// only probabilities are needed; the output is deterministic and
+    /// identical to building the matrix first and scoring row by row.
+    pub fn score_rows(
+        context: &FeatureContext<'_>,
+        set: FeatureSet,
+        threads: usize,
+        score: impl Fn(&[f64]) -> f64 + Sync,
+    ) -> Vec<f64> {
+        let num_pairs = context.candidates().len();
+        let mut out = vec![0.0f64; num_pairs];
+        fused_entity_major_pass(
+            context,
+            set,
+            threads,
+            1,
+            &mut out,
+            |_context, _pair, row, slot| slot[0] = score(row),
+        );
+        out
+    }
+
+    /// Assembles a matrix from raw parts (used by the retained naive
+    /// reference engine in [`crate::reference`]).
+    pub(crate) fn from_parts(
+        feature_set: FeatureSet,
+        num_features: usize,
+        num_pairs: usize,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(values.len(), num_features * num_pairs);
+        FeatureMatrix {
+            feature_set,
             num_features,
             num_pairs,
             values,
@@ -104,12 +172,18 @@ impl FeatureMatrix {
     }
 
     /// Iterates over `(PairId, row)` tuples.
+    ///
+    /// Always yields exactly [`FeatureMatrix::num_pairs`] rows — including
+    /// the degenerate `num_features == 0` matrix, where every row is the
+    /// empty slice.
     pub fn rows(&self) -> impl Iterator<Item = (PairId, &[f64])> {
-        self.values
-            .chunks(self.num_features.max(1))
-            .enumerate()
-            .take(self.num_pairs)
-            .map(|(i, row)| (PairId::from(i), row))
+        (0..self.num_pairs).map(|i| {
+            let start = i * self.num_features;
+            (
+                PairId::from(i),
+                &self.values[start..start + self.num_features],
+            )
+        })
     }
 
     /// Projects the matrix onto a sub-feature-set, selecting the relevant
@@ -180,15 +254,203 @@ impl FeatureMatrix {
     }
 }
 
+/// Clamps a requested thread count to something useful for `num_pairs` rows.
+fn effective_threads(threads: usize, num_pairs: usize) -> usize {
+    if num_pairs < PARALLEL_THRESHOLD {
+        1
+    } else {
+        threads.clamp(1, num_pairs)
+    }
+}
+
+/// Per-worker accumulation state of the entity-major pass: one slot per
+/// entity, indexed by partner id, plus the list of slots touched for the
+/// current entity (so resets cost O(#partners), not O(num_entities)).
+struct Scoreboard {
+    common: Vec<u32>,
+    inv_comp: Vec<f64>,
+    inv_size: Vec<f64>,
+    touched: Vec<u32>,
+}
+
+/// The fused entity-major engine shared by [`FeatureMatrix::build_with_threads`]
+/// and [`FeatureMatrix::score_rows`].
+///
+/// Processes candidate pairs grouped by their smaller endpoint `a`: walks
+/// `a`'s blocks once through the flat [`er_blocking::BlockStats`] reverse
+/// index, accumulating every partner's `(common blocks, Σ1/||b||, Σ1/|b|)`
+/// on the worker's scoreboard, then emits one `row_width`-wide output row
+/// per candidate of `a` and resets exactly the touched slots.  Because
+/// blocks are visited in ascending id order the accumulated sums are
+/// bit-identical to a per-pair merge of the sorted block lists.
+///
+/// `emit` receives `(context, (a, b), feature_row, output_slot)`.
+fn fused_entity_major_pass<E>(
+    context: &FeatureContext<'_>,
+    set: FeatureSet,
+    threads: usize,
+    row_width: usize,
+    out: &mut [f64],
+    emit: E,
+) where
+    E: Fn(&FeatureContext<'_>, (EntityId, EntityId), &[f64], &mut [f64]) + Sync,
+{
+    let candidates = context.candidates();
+    let stats = context.stats();
+    let num_pairs = candidates.len();
+    if num_pairs == 0 || row_width == 0 {
+        return;
+    }
+    debug_assert_eq!(out.len(), num_pairs * row_width);
+    let num_entities = candidates.num_entities();
+    let num_features = set.vector_len();
+    let threads = effective_threads(threads, num_pairs);
+
+    // Entity-aligned tasks of roughly CHUNK_ROWS output rows each: the pair
+    // CSR groups rows by smaller endpoint, so task boundaries on entity
+    // boundaries give every task a contiguous output range.
+    let mut tasks: Vec<(u32, u32, usize)> = Vec::new();
+    {
+        let (mut lo, mut row_lo, mut rows) = (0usize, 0usize, 0usize);
+        for e in 0..num_entities {
+            rows += candidates.pair_range(EntityId(e as u32)).len();
+            if rows >= CHUNK_ROWS {
+                tasks.push((lo as u32, (e + 1) as u32, row_lo));
+                row_lo += rows;
+                rows = 0;
+                lo = e + 1;
+            }
+        }
+        if rows > 0 {
+            tasks.push((lo as u32, num_entities as u32, row_lo));
+        }
+    }
+
+    // Pre-split the output into one disjoint slice per task; workers take
+    // their slice by task index.
+    let mut slices: Vec<Option<&mut [f64]>> = Vec::with_capacity(tasks.len());
+    {
+        let mut rest = out;
+        for (i, &(_, _, row_lo)) in tasks.iter().enumerate() {
+            let row_hi = tasks.get(i + 1).map(|t| t.2).unwrap_or(num_pairs);
+            let (chunk, tail) = rest.split_at_mut((row_hi - row_lo) * row_width);
+            slices.push(Some(chunk));
+            rest = tail;
+        }
+    }
+    let slices = std::sync::Mutex::new(slices);
+
+    let inv_comp_table = stats.inv_comparisons_table();
+    let inv_size_table = stats.inv_sizes_table();
+    let kind = stats.kind();
+
+    let split = stats.split();
+
+    er_core::for_each_task_with_state(
+        tasks.len(),
+        threads,
+        || {
+            (
+                Scoreboard {
+                    common: vec![0u32; num_entities],
+                    inv_comp: vec![0.0; num_entities],
+                    inv_size: vec![0.0; num_entities],
+                    touched: Vec::new(),
+                },
+                vec![0.0f64; num_features],
+            )
+        },
+        |task, (board, row)| {
+            let chunk = slices.lock().expect("task slices poisoned")[task]
+                .take()
+                .expect("task dispatched twice");
+            let (lo, hi, _) = tasks[task];
+            let mut cursor = 0usize;
+            for e in lo..hi {
+                let a = EntityId(e);
+                if candidates.pair_range(a).is_empty() {
+                    continue;
+                }
+                // Accumulate partner aggregates by walking a's blocks once.
+                for &bid in stats.blocks_of(a) {
+                    let block_inv_comp = inv_comp_table[bid.index()];
+                    let block_inv_size = inv_size_table[bid.index()];
+                    let members = stats.entities_of(bid);
+                    let partners = match kind {
+                        er_core::DatasetKind::CleanClean => {
+                            &members[stats.first_source_count(bid) as usize..]
+                        }
+                        er_core::DatasetKind::Dirty => {
+                            let start = members.partition_point(|p| p.index() <= e as usize);
+                            &members[start..]
+                        }
+                    };
+                    for &p in partners {
+                        let pi = p.index();
+                        if board.common[pi] == 0 {
+                            board.touched.push(pi as u32);
+                        }
+                        board.common[pi] += 1;
+                        board.inv_comp[pi] += block_inv_comp;
+                        board.inv_size[pi] += block_inv_size;
+                    }
+                }
+                // Emit one row per candidate of a.  The accumulation above
+                // only enumerates a's second-source block partners for
+                // Clean-Clean ER, so a candidate set that was built with
+                // `CandidatePairs::from_pairs` may contain pairs the board
+                // has no data for (both endpoints in E1); those fall back to
+                // the per-pair merge so every candidate set yields exactly
+                // the reference values.
+                for &(_, b) in candidates.pairs_of(a) {
+                    let bi = b.index();
+                    let board_covers_pair = match kind {
+                        er_core::DatasetKind::CleanClean => bi >= split,
+                        er_core::DatasetKind::Dirty => true,
+                    };
+                    let agg = if board_covers_pair {
+                        PairCooccurrence {
+                            common_blocks: board.common[bi] as usize,
+                            inv_comparisons_sum: board.inv_comp[bi],
+                            inv_sizes_sum: board.inv_size[bi],
+                        }
+                    } else {
+                        context.cooccurrence(a, b)
+                    };
+                    context.write_pair_features_with(a, b, &agg, set, row);
+                    emit(
+                        context,
+                        (a, b),
+                        row,
+                        &mut chunk[cursor * row_width..(cursor + 1) * row_width],
+                    );
+                    cursor += 1;
+                }
+                // Reset every touched slot — the touched set can be a strict
+                // superset of a's candidates (e.g. a pruned `from_pairs`
+                // subset), so resetting along the candidate list would leak
+                // state into later entities.
+                for &pi in &board.touched {
+                    board.common[pi as usize] = 0;
+                    board.inv_comp[pi as usize] = 0.0;
+                    board.inv_size[pi as usize] = 0.0;
+                }
+                board.touched.clear();
+            }
+            debug_assert_eq!(cursor * row_width, chunk.len());
+        },
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use er_blocking::{Block, BlockCollection, BlockStats, CandidatePairs};
     use er_core::{DatasetKind, EntityId};
 
-    fn fixture() -> (BlockCollection, Vec<(EntityId, EntityId)>) {
+    fn fixture() -> BlockCollection {
         let ids = |v: &[u32]| v.iter().copied().map(EntityId).collect::<Vec<_>>();
-        let bc = BlockCollection {
+        BlockCollection {
             dataset_name: "t".into(),
             kind: DatasetKind::CleanClean,
             split: 3,
@@ -200,14 +462,12 @@ mod tests {
                 Block::new("d", ids(&[2, 5])),
                 Block::new("e", ids(&[0, 1, 2, 3, 4, 5])),
             ],
-        };
-        let pairs = vec![];
-        (bc, pairs)
+        }
     }
 
     #[test]
     fn matrix_shape_matches_candidates_and_feature_set() {
-        let (bc, _) = fixture();
+        let bc = fixture();
         let stats = BlockStats::new(&bc);
         let cands = CandidatePairs::from_blocks(&bc);
         let ctx = FeatureContext::new(&stats, &cands);
@@ -219,7 +479,7 @@ mod tests {
 
     #[test]
     fn rows_match_direct_computation() {
-        let (bc, _) = fixture();
+        let bc = fixture();
         let stats = BlockStats::new(&bc);
         let cands = CandidatePairs::from_blocks(&bc);
         let ctx = FeatureContext::new(&stats, &cands);
@@ -232,8 +492,28 @@ mod tests {
     }
 
     #[test]
+    fn fused_build_matches_reference_build() {
+        let bc = fixture();
+        let stats = BlockStats::new(&bc);
+        let cands = CandidatePairs::from_blocks(&bc);
+        let ctx = FeatureContext::new(&stats, &cands);
+        for set in [
+            FeatureSet::original(),
+            FeatureSet::blast_optimal(),
+            FeatureSet::all_schemes(),
+        ] {
+            let fused = FeatureMatrix::build(&ctx, set);
+            let reference = FeatureMatrix::build_reference(&ctx, set);
+            assert_eq!(fused.num_pairs(), reference.num_pairs());
+            for (id, row) in reference.rows() {
+                assert_eq!(fused.row(id), row, "{set}");
+            }
+        }
+    }
+
+    #[test]
     fn parallel_build_matches_sequential() {
-        let (bc, _) = fixture();
+        let bc = fixture();
         let stats = BlockStats::new(&bc);
         let cands = CandidatePairs::from_blocks(&bc);
         let ctx = FeatureContext::new(&stats, &cands);
@@ -246,8 +526,92 @@ mod tests {
     }
 
     #[test]
+    fn score_rows_matches_materialised_scoring() {
+        let bc = fixture();
+        let stats = BlockStats::new(&bc);
+        let cands = CandidatePairs::from_blocks(&bc);
+        let ctx = FeatureContext::new(&stats, &cands);
+        let set = FeatureSet::all_schemes();
+        let matrix = FeatureMatrix::build(&ctx, set);
+        let score = |row: &[f64]| row.iter().sum::<f64>() / row.len() as f64;
+        for threads in [1, 4] {
+            let fused = FeatureMatrix::score_rows(&ctx, set, threads, score);
+            assert_eq!(fused.len(), matrix.num_pairs());
+            for (id, row) in matrix.rows() {
+                assert_eq!(fused[id.index()], score(row), "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_pass_handles_pruned_candidate_subsets() {
+        // Regression: the scoreboard used to reset only the slots of pairs
+        // present in the candidate CSR, so a `from_pairs` subset (the
+        // documented re-materialisation path) leaked accumulated state from
+        // one entity into the next.  Also exercises the merge fallback for
+        // pairs the board never accumulates (same-source Clean-Clean pairs).
+        let bc = fixture();
+        let stats = BlockStats::new(&bc);
+        let full = CandidatePairs::from_blocks(&bc);
+        let mut kept: Vec<(EntityId, EntityId)> = full.pairs().iter().copied().step_by(2).collect();
+        kept.push((EntityId(0), EntityId(1))); // both E1: board has no data
+        let subset = CandidatePairs::from_pairs(bc.num_entities, kept);
+        let ctx = FeatureContext::new(&stats, &subset);
+        let set = FeatureSet::all_schemes();
+
+        let reference = FeatureMatrix::build_reference(&ctx, set);
+        for threads in [1, 4] {
+            let fused = FeatureMatrix::build_with_threads(&ctx, set, threads);
+            for (id, row) in reference.rows() {
+                assert_eq!(fused.row(id), row, "{threads} threads, pair {id:?}");
+            }
+            let scored = FeatureMatrix::score_rows(&ctx, set, threads, |row| row[0]);
+            for (id, row) in reference.rows() {
+                assert_eq!(scored[id.index()], row[0], "{threads} threads");
+            }
+        }
+
+        // Same exercise on a Dirty collection.
+        let mut dirty = fixture();
+        dirty.kind = DatasetKind::Dirty;
+        dirty.split = dirty.num_entities;
+        let dirty_stats = BlockStats::new(&dirty);
+        let dirty_full = CandidatePairs::from_blocks(&dirty);
+        let dirty_subset = CandidatePairs::from_pairs(
+            dirty.num_entities,
+            dirty_full.pairs().iter().copied().step_by(2),
+        );
+        let dirty_ctx = FeatureContext::new(&dirty_stats, &dirty_subset);
+        let dirty_reference = FeatureMatrix::build_reference(&dirty_ctx, set);
+        let dirty_fused = FeatureMatrix::build(&dirty_ctx, set);
+        for (id, row) in dirty_reference.rows() {
+            assert_eq!(dirty_fused.row(id), row, "dirty pair {id:?}");
+        }
+    }
+
+    #[test]
+    fn zero_feature_matrix_still_yields_every_row() {
+        // `FeatureSet` cannot be empty through its public API, but a
+        // degenerate matrix (deserialised, or built by future callers) must
+        // still satisfy `rows().count() == num_pairs()`.  Regression test:
+        // the former `values.chunks(num_features.max(1))` implementation
+        // yielded 0 rows for `num_features == 0` while `num_pairs()` said 5.
+        let matrix = FeatureMatrix {
+            feature_set: FeatureSet::original(),
+            num_features: 0,
+            num_pairs: 5,
+            values: Vec::new(),
+        };
+        assert_eq!(matrix.rows().count(), 5);
+        for (i, (id, row)) in matrix.rows().enumerate() {
+            assert_eq!(id, PairId::from(i));
+            assert!(row.is_empty());
+        }
+    }
+
+    #[test]
     fn projection_matches_direct_build() {
-        let (bc, _) = fixture();
+        let bc = fixture();
         let stats = BlockStats::new(&bc);
         let cands = CandidatePairs::from_blocks(&bc);
         let ctx = FeatureContext::new(&stats, &cands);
@@ -269,7 +633,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot project")]
     fn projection_onto_missing_scheme_panics() {
-        let (bc, _) = fixture();
+        let bc = fixture();
         let stats = BlockStats::new(&bc);
         let cands = CandidatePairs::from_blocks(&bc);
         let ctx = FeatureContext::new(&stats, &cands);
@@ -279,14 +643,15 @@ mod tests {
 
     #[test]
     fn column_means_average_rows() {
-        let (bc, _) = fixture();
+        let bc = fixture();
         let stats = BlockStats::new(&bc);
         let cands = CandidatePairs::from_blocks(&bc);
         let ctx = FeatureContext::new(&stats, &cands);
         let matrix = FeatureMatrix::build(&ctx, FeatureSet::blast_optimal());
         let means = matrix.column_means();
         assert_eq!(means.len(), 4);
-        let manual: f64 = matrix.rows().map(|(_, row)| row[0]).sum::<f64>() / matrix.num_pairs() as f64;
+        let manual: f64 =
+            matrix.rows().map(|(_, row)| row[0]).sum::<f64>() / matrix.num_pairs() as f64;
         assert!((means[0] - manual).abs() < 1e-12);
     }
 }

@@ -15,6 +15,7 @@
 pub mod context;
 pub mod feature_set;
 pub mod generator;
+pub mod reference;
 pub mod schemes;
 
 pub use context::FeatureContext;

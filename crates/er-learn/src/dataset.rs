@@ -152,8 +152,7 @@ mod tests {
     #[test]
     fn iter_yields_rows_in_order() {
         let set = sample();
-        let collected: Vec<(Vec<f64>, bool)> =
-            set.iter().map(|(f, l)| (f.to_vec(), l)).collect();
+        let collected: Vec<(Vec<f64>, bool)> = set.iter().map(|(f, l)| (f.to_vec(), l)).collect();
         assert_eq!(collected[0], (vec![1.0, 0.5], true));
         assert_eq!(collected[1], (vec![0.2, 0.1], false));
     }

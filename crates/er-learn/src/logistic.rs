@@ -87,10 +87,7 @@ impl Classifier for LogisticRegression {
         }
 
         let num_features = training.num_features();
-        let scaler = Standardizer::fit(
-            training.features().iter().map(Vec::as_slice),
-            num_features,
-        );
+        let scaler = Standardizer::fit(training.features().iter().map(Vec::as_slice), num_features);
         let rows: Vec<Vec<f64>> = training
             .features()
             .iter()
@@ -109,12 +106,7 @@ impl Classifier for LogisticRegression {
             let mut grad_w = vec![0.0; num_features];
             let mut grad_b = 0.0;
             for (row, &y) in rows.iter().zip(&labels) {
-                let z = intercept
-                    + row
-                        .iter()
-                        .zip(&weights)
-                        .map(|(x, w)| x * w)
-                        .sum::<f64>();
+                let z = intercept + row.iter().zip(&weights).map(|(x, w)| x * w).sum::<f64>();
                 let err = sigmoid(z) - y;
                 for (g, x) in grad_w.iter_mut().zip(row) {
                     *g += err * x;

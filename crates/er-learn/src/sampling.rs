@@ -103,8 +103,9 @@ mod tests {
 
     fn toy() -> (Vec<(EntityId, EntityId)>, GroundTruth) {
         // 10 pairs, the first 4 are matches.
-        let pairs: Vec<(EntityId, EntityId)> =
-            (0..10u32).map(|i| (EntityId(i), EntityId(i + 100))).collect();
+        let pairs: Vec<(EntityId, EntityId)> = (0..10u32)
+            .map(|i| (EntityId(i), EntityId(i + 100)))
+            .collect();
         let truth = GroundTruth::from_pairs(pairs[..4].to_vec());
         (pairs, truth)
     }

@@ -87,13 +87,21 @@ mod tests {
 
     #[test]
     fn standardised_columns_have_zero_mean_unit_variance() {
-        let rows = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0], vec![4.0, 40.0]];
+        let rows = [
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+            vec![4.0, 40.0],
+        ];
         let scaler = Standardizer::fit(rows.iter().map(Vec::as_slice), 2);
         let transformed: Vec<Vec<f64>> = rows.iter().map(|r| scaler.transform(r)).collect();
         for col in 0..2 {
             let mean: f64 = transformed.iter().map(|r| r[col]).sum::<f64>() / 4.0;
-            let var: f64 =
-                transformed.iter().map(|r| (r[col] - mean).powi(2)).sum::<f64>() / 3.0;
+            let var: f64 = transformed
+                .iter()
+                .map(|r| (r[col] - mean).powi(2))
+                .sum::<f64>()
+                / 3.0;
             assert!(mean.abs() < 1e-12, "column {col} mean {mean}");
             assert!((var - 1.0).abs() < 1e-9, "column {col} variance {var}");
         }
@@ -101,14 +109,14 @@ mod tests {
 
     #[test]
     fn constant_feature_maps_to_zero() {
-        let rows = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let rows = [vec![5.0], vec![5.0], vec![5.0]];
         let scaler = Standardizer::fit(rows.iter().map(Vec::as_slice), 1);
         assert_eq!(scaler.transform(&[5.0]), vec![0.0]);
     }
 
     #[test]
     fn transform_in_place_matches_transform() {
-        let rows = vec![vec![1.0, -1.0], vec![3.0, 4.0]];
+        let rows = [vec![1.0, -1.0], vec![3.0, 4.0]];
         let scaler = Standardizer::fit(rows.iter().map(Vec::as_slice), 2);
         let mut row = vec![2.0, 1.0];
         let expected = scaler.transform(&row);

@@ -79,10 +79,7 @@ impl Classifier for LinearSvm {
         }
 
         let num_features = training.num_features();
-        let scaler = Standardizer::fit(
-            training.features().iter().map(Vec::as_slice),
-            num_features,
-        );
+        let scaler = Standardizer::fit(training.features().iter().map(Vec::as_slice), num_features);
         let rows: Vec<Vec<f64>> = training
             .features()
             .iter()
@@ -107,13 +104,7 @@ impl Classifier for LinearSvm {
                 let eta = 1.0 / (config.lambda * step_count as f64);
                 let row = &rows[i];
                 let y = targets[i];
-                let margin = y
-                    * (bias
-                        + row
-                            .iter()
-                            .zip(&weights)
-                            .map(|(x, w)| x * w)
-                            .sum::<f64>());
+                let margin = y * (bias + row.iter().zip(&weights).map(|(x, w)| x * w).sum::<f64>());
                 // L2 shrinkage on the weights (not the bias).
                 let shrink = 1.0 - eta * config.lambda;
                 for w in &mut weights {
@@ -135,13 +126,7 @@ impl Classifier for LinearSvm {
         // Calibrate the decision values on the training set.
         let decisions: Vec<f64> = rows
             .iter()
-            .map(|row| {
-                bias + row
-                    .iter()
-                    .zip(&weights)
-                    .map(|(x, w)| x * w)
-                    .sum::<f64>()
-            })
+            .map(|row| bias + row.iter().zip(&weights).map(|(x, w)| x * w).sum::<f64>())
             .collect();
         let platt = PlattScaler::fit(&decisions, training.labels())?;
 

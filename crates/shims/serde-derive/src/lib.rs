@@ -1,0 +1,23 @@
+//! No-op stand-in for `serde_derive`.
+//!
+//! The build environment has no network access, so the workspace cannot pull
+//! the real `serde`/`serde_derive` crates.  Nothing in this repository
+//! actually serialises data — the derives only annotate types for future use —
+//! so the derive macros expand to nothing while still accepting the `#[serde]`
+//! helper attribute.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and emits
+/// no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attributes) and
+/// emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

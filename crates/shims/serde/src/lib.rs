@@ -1,0 +1,20 @@
+//! Minimal stand-in for `serde`.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched.  The workspace only uses `#[derive(Serialize, Deserialize)]` as
+//! forward-looking annotations (no serialisation is performed anywhere), so
+//! this shim provides the two marker traits plus the no-op derive macros.
+//! Swap the `serde` entry in the workspace `Cargo.toml` back to the registry
+//! crate to restore real serialisation support.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<T> Serialize for T {}
+
+impl<'de, T> Deserialize<'de> for T {}

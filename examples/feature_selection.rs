@@ -27,8 +27,14 @@ fn main() {
 
     let candidates = [
         ("original (CF-IBF, RACCB, JS, LCP)", FeatureSet::original()),
-        ("BLAST-optimal (CF-IBF, RACCB, RS, NRS)", FeatureSet::blast_optimal()),
-        ("RCNP-optimal (CF-IBF, RACCB, JS, LCP, WJS)", FeatureSet::rcnp_optimal()),
+        (
+            "BLAST-optimal (CF-IBF, RACCB, RS, NRS)",
+            FeatureSet::blast_optimal(),
+        ),
+        (
+            "RCNP-optimal (CF-IBF, RACCB, JS, LCP, WJS)",
+            FeatureSet::rcnp_optimal(),
+        ),
         ("all eight schemes", FeatureSet::all_schemes()),
     ];
 
@@ -44,8 +50,7 @@ fn main() {
                 per_class: 25,
                 ..Default::default()
             };
-            let result =
-                run_averaged(&prepared, algorithm, &config, 3).expect("experiment failed");
+            let result = run_averaged(&prepared, algorithm, &config, 3).expect("experiment failed");
             println!(
                 "{:<45} {:>8.4} {:>10.4} {:>8.4} {:>9.3}",
                 label,

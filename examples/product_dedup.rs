@@ -14,7 +14,10 @@ use gsmb::blocking::{standard_blocking_workflow, BlockStats, CandidatePairs};
 use gsmb::core::{Dataset, EntityCollection, EntityId, EntityProfile, GroundTruth, PairId};
 use gsmb::eval::Effectiveness;
 use gsmb::features::{FeatureContext, FeatureMatrix, FeatureSet};
-use gsmb::learn::{balanced_undersample, Classifier, LogisticRegression, LogisticRegressionConfig, ProbabilisticClassifier, TrainingSet};
+use gsmb::learn::{
+    balanced_undersample, Classifier, LogisticRegression, LogisticRegressionConfig,
+    ProbabilisticClassifier, TrainingSet,
+};
 use gsmb::meta::pruning::AlgorithmKind;
 use gsmb::meta::scoring::CachedScores;
 
@@ -105,7 +108,11 @@ fn main() {
 
     // 4. Score every candidate pair and prune with BLAST.
     let probabilities: Vec<f64> = (0..matrix.num_pairs())
-        .map(|i| model.probability(matrix.row(PairId::from(i))).clamp(0.0, 1.0))
+        .map(|i| {
+            model
+                .probability(matrix.row(PairId::from(i)))
+                .clamp(0.0, 1.0)
+        })
         .collect();
     let scores = CachedScores::new(probabilities);
     let pruner = AlgorithmKind::Blast.build(&blocks);
@@ -133,5 +140,9 @@ fn main() {
         &dataset.ground_truth,
         dataset.num_duplicates(),
     );
-    println!("\n{} of {} candidate pairs retained — {quality}", retained.len(), candidates.len());
+    println!(
+        "\n{} of {} candidate pairs retained — {quality}",
+        retained.len(),
+        candidates.len()
+    );
 }

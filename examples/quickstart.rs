@@ -14,8 +14,8 @@ fn main() {
     // 1. A Clean-Clean ER dataset: two product catalogues with ~1k entities
     //    each and a known ground truth (an AbtBuy-like analogue).
     let options = CatalogOptions::default();
-    let dataset = generate_catalog_dataset(DatasetName::AbtBuy, &options)
-        .expect("dataset generation failed");
+    let dataset =
+        generate_catalog_dataset(DatasetName::AbtBuy, &options).expect("dataset generation failed");
     println!(
         "dataset {}: |E1| = {}, |E2| = {}, |D| = {}",
         dataset.name,
@@ -34,8 +34,11 @@ fn main() {
 
     // 3. Compare the input block collection with the pruned output.
     let input_pairs: Vec<_> = outcome.candidates.pairs().to_vec();
-    let input_quality =
-        Effectiveness::evaluate(&input_pairs, &dataset.ground_truth, dataset.num_duplicates());
+    let input_quality = Effectiveness::evaluate(
+        &input_pairs,
+        &dataset.ground_truth,
+        dataset.num_duplicates(),
+    );
     let output_quality = Effectiveness::evaluate(
         &outcome.retained_pairs(),
         &dataset.ground_truth,

@@ -38,9 +38,13 @@ fn run_on_blocks(
 
     let mut rng = gsmb::core::seeded_rng(11);
     let per_class = (candidates.count_positives(&dataset.ground_truth) / 2).clamp(5, 25);
-    let sample =
-        balanced_undersample(candidates.pairs(), &dataset.ground_truth, per_class, &mut rng)
-            .unwrap();
+    let sample = balanced_undersample(
+        candidates.pairs(),
+        &dataset.ground_truth,
+        per_class,
+        &mut rng,
+    )
+    .unwrap();
     let mut training = TrainingSet::new();
     for (&idx, &label) in sample.pair_indices.iter().zip(&sample.labels) {
         training.push(matrix.row(PairId::from(idx)).to_vec(), label);
@@ -49,14 +53,22 @@ fn run_on_blocks(
         .fit(&training)
         .unwrap();
     let probabilities: Vec<f64> = (0..matrix.num_pairs())
-        .map(|i| model.probability(matrix.row(PairId::from(i))).clamp(0.0, 1.0))
+        .map(|i| {
+            model
+                .probability(matrix.row(PairId::from(i)))
+                .clamp(0.0, 1.0)
+        })
         .collect();
     let scores = gsmb::meta::scoring::CachedScores::new(probabilities);
     let pruner = AlgorithmKind::Blast.build(&blocks);
     let retained = pruner.prune(&candidates, &scores);
     let retained_pairs: Vec<_> = retained.iter().map(|&id| candidates.pair(id)).collect();
     (
-        Effectiveness::evaluate(&retained_pairs, &dataset.ground_truth, dataset.num_duplicates()),
+        Effectiveness::evaluate(
+            &retained_pairs,
+            &dataset.ground_truth,
+            dataset.num_duplicates(),
+        ),
         candidates.len(),
     )
 }
@@ -84,7 +96,10 @@ fn suffix_array_blocking_supports_the_full_workflow() {
     let blocks = block_filtering(&block_purging(&raw), 0.8);
     let (quality, num_candidates) = run_on_blocks(&dataset, blocks);
     assert!(num_candidates > 0);
-    assert!(quality.recall > 0.4, "suffix-array recall too low: {quality}");
+    assert!(
+        quality.recall > 0.4,
+        "suffix-array recall too low: {quality}"
+    );
 }
 
 #[test]
@@ -105,12 +120,19 @@ fn materialized_output_matches_pruning_summary() {
     assert_eq!(output.num_blocks(), retained.len());
     assert_eq!(output.total_comparisons() as usize, retained.len());
 
-    let summary = PruningSummary::new(&prepared.candidates, &retained, &prepared.dataset.ground_truth);
+    let summary = PruningSummary::new(
+        &prepared.candidates,
+        &retained,
+        &prepared.dataset.ground_truth,
+    );
     assert_eq!(
         summary.retained_positives + summary.retained_negatives,
         retained.len()
     );
-    assert!(summary.negative_reduction() > 0.5, "pruning should remove most negatives");
+    assert!(
+        summary.negative_reduction() > 0.5,
+        "pruning should remove most negatives"
+    );
 
     // The run_with_matrix effectiveness must agree with the summary counts.
     let run = run_with_matrix(
@@ -158,5 +180,8 @@ fn progressive_schedule_front_loads_the_duplicates() {
 
     // The valid-only schedule never emits probabilities below 0.5.
     let valid = ProgressiveSchedule::valid_only(&prepared.candidates, &scores);
-    assert!(valid.ranked().iter().all(|&(id, p)| p >= 0.5 && scores.is_valid(id)));
+    assert!(valid
+        .ranked()
+        .iter()
+        .all(|&(id, p)| p >= 0.5 && scores.is_valid(id)));
 }

@@ -33,7 +33,11 @@ fn averaged(
     };
     let results: Vec<Effectiveness> = prepared
         .iter()
-        .map(|p| run_averaged(p, algorithm, &config, 3).unwrap().effectiveness)
+        .map(|p| {
+            run_averaged(p, algorithm, &config, 3)
+                .unwrap()
+                .effectiveness
+        })
         .collect();
     Effectiveness::mean(&results)
 }
@@ -63,7 +67,10 @@ fn weight_based_selection_claims() {
 
     assert!(wep.precision > bcl.precision, "WEP {wep} vs BCl {bcl}");
     assert!(rwnp.precision > bcl.precision, "RWNP {rwnp} vs BCl {bcl}");
-    assert!(wep.recall <= bcl.recall + 1e-9, "WEP cannot beat BCl recall");
+    assert!(
+        wep.recall <= bcl.recall + 1e-9,
+        "WEP cannot beat BCl recall"
+    );
     assert!(blast.f1 > bcl.f1, "BLAST {blast} must beat BCl {bcl} on F1");
     assert!(
         blast.recall >= bcl.recall * 0.97,
@@ -82,7 +89,10 @@ fn cardinality_based_selection_claims() {
 
     assert!(rcnp.precision > cnp.precision, "RCNP {rcnp} vs CNP {cnp}");
     assert!(rcnp.f1 > cnp.f1, "RCNP {rcnp} vs CNP {cnp}");
-    assert!(rcnp.recall <= cnp.recall + 1e-9, "RCNP prunes deeper than CNP");
+    assert!(
+        rcnp.recall <= cnp.recall + 1e-9,
+        "RCNP prunes deeper than CNP"
+    );
     assert!(
         rcnp.recall > cnp.recall * 0.8,
         "RCNP's recall loss must stay small: {rcnp} vs {cnp}"

@@ -107,8 +107,7 @@ fn weight_based_algorithms_nest_as_expected() {
 #[test]
 fn cardinality_algorithms_respect_their_budgets() {
     let prepared = prepared(DatasetName::TmdbTvdb);
-    let thresholds =
-        gsmb::meta::pruning::CardinalityThresholds::from_blocks(&prepared.blocks);
+    let thresholds = gsmb::meta::pruning::CardinalityThresholds::from_blocks(&prepared.blocks);
     let config = RunConfig {
         per_class: 15,
         ..Default::default()
@@ -122,7 +121,10 @@ fn cardinality_algorithms_respect_their_budgets() {
     );
     let rcnp = run_once(&prepared, AlgorithmKind::Rcnp, &config).unwrap();
     let cnp = run_once(&prepared, AlgorithmKind::Cnp, &config).unwrap();
-    assert!(rcnp.retained <= cnp.retained, "RCNP must prune deeper than CNP");
+    assert!(
+        rcnp.retained <= cnp.retained,
+        "RCNP must prune deeper than CNP"
+    );
 }
 
 #[test]
