@@ -1,0 +1,114 @@
+//! Micro-bench: the unified parallel block-building engine.
+//!
+//! Sweeps thread counts through the sharded-interner CSR builder and compares
+//! against the retained sequential reference builders
+//! (`er_blocking::reference`), for all three redundancy-positive schemes, on
+//! the two largest Clean-Clean catalog datasets (the Figure 7/9 workload).
+//! Every engine run is checked for bit-identical output against the
+//! reference before timing, so the speedups below never trade determinism
+//! for throughput.
+
+use bench::{banner, bench_catalog_options, bench_repetitions};
+use er_blocking::reference;
+use er_blocking::{
+    qgrams_blocking_csr, standard_blocking_workflow_csr, suffix_array_blocking_csr,
+    token_blocking_csr, BlockCollection, SuffixArrayConfig,
+};
+use er_core::Dataset;
+use er_datasets::{generate_catalog_dataset, DatasetName};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn time(repetitions: usize, mut f: impl FnMut()) -> f64 {
+    let start = std::time::Instant::now();
+    for _ in 0..repetitions {
+        f();
+    }
+    start.elapsed().as_secs_f64() / repetitions as f64
+}
+
+/// Benchmarks one scheme: the sequential reference against the engine at
+/// every thread count, asserting bit-identical block output.
+fn sweep(
+    scheme: &str,
+    dataset: &Dataset,
+    repetitions: usize,
+    reference: &dyn Fn(&Dataset) -> BlockCollection,
+    engine: &dyn Fn(&Dataset, usize) -> BlockCollection,
+) {
+    let expected = reference(dataset);
+    for threads in THREAD_COUNTS {
+        let produced = engine(dataset, threads);
+        assert_eq!(
+            produced.blocks, expected.blocks,
+            "{scheme}: engine output diverged at {threads} threads"
+        );
+    }
+
+    let base = time(repetitions, || {
+        criterion::black_box(reference(dataset));
+    });
+    print!("{scheme:<14} {base:>11.3}s");
+    for threads in THREAD_COUNTS {
+        let t = time(repetitions, || {
+            criterion::black_box(engine(dataset, threads));
+        });
+        print!(" {:>7.3}s ({:>4.2}x)", t, base / t);
+    }
+    println!();
+}
+
+fn main() {
+    banner("Micro-bench: parallel block building (reference vs engine, by thread count)");
+    let repetitions = bench_repetitions();
+    let options = bench_catalog_options();
+    let suffix_config = SuffixArrayConfig::default();
+
+    for name in DatasetName::largest_two() {
+        let dataset = generate_catalog_dataset(name, &options)
+            .unwrap_or_else(|e| panic!("failed to generate {name}: {e}"));
+        println!("\n--- {} ({} entities) ---", name, dataset.num_entities());
+        println!(
+            "{:<14} {:>12} {:>16} {:>16} {:>16} {:>16}",
+            "scheme", "reference", "t=1", "t=2", "t=4", "t=8"
+        );
+        sweep(
+            "token",
+            &dataset,
+            repetitions,
+            &reference::token_blocking,
+            &|ds, t| token_blocking_csr(ds, t).to_block_collection(),
+        );
+        sweep(
+            "qgrams(3)",
+            &dataset,
+            repetitions,
+            &|ds| reference::qgrams_blocking(ds, 3),
+            &|ds, t| qgrams_blocking_csr(ds, 3, t).to_block_collection(),
+        );
+        sweep(
+            "suffix(4,50)",
+            &dataset,
+            repetitions,
+            &|ds| reference::suffix_array_blocking(ds, suffix_config),
+            &|ds, t| suffix_array_blocking_csr(ds, suffix_config, t).to_block_collection(),
+        );
+
+        // The full standard workflow (blocking + purging + filtering), CSR
+        // end-to-end, without materialising the nested view.
+        let base = time(repetitions, || {
+            criterion::black_box(er_blocking::block_filtering(
+                &er_blocking::block_purging(&reference::token_blocking(&dataset)),
+                er_blocking::DEFAULT_FILTERING_RATIO,
+            ));
+        });
+        print!("{:<14} {base:>11.3}s", "workflow");
+        for threads in THREAD_COUNTS {
+            let t = time(repetitions, || {
+                criterion::black_box(standard_blocking_workflow_csr(&dataset, threads));
+            });
+            print!(" {:>7.3}s ({:>4.2}x)", t, base / t);
+        }
+        println!();
+    }
+}

@@ -25,7 +25,7 @@
 
 use std::time::{Duration, Instant};
 
-use er_blocking::{standard_blocking_workflow, BlockCollection, BlockStats, CandidatePairs};
+use er_blocking::{standard_blocking_workflow_csr, BlockCollection, BlockStats, CandidatePairs};
 use er_core::{Dataset, PairId, Result};
 use er_features::{FeatureContext, FeatureMatrix, FeatureSet};
 use er_learn::{
@@ -86,6 +86,11 @@ pub struct MetaBlockingConfig {
     pub blast_ratio: f64,
     /// Seed controlling the training-pair sampling.
     pub seed: u64,
+    /// Worker threads for the parallel stages (blocking, candidate
+    /// extraction, scoring).  `None` uses [`er_core::available_threads`].
+    /// Every stage is deterministic, so the thread count never changes the
+    /// output.
+    pub threads: Option<usize>,
 }
 
 impl Default for MetaBlockingConfig {
@@ -96,7 +101,17 @@ impl Default for MetaBlockingConfig {
             classifier: ClassifierKind::default(),
             blast_ratio: Blast::DEFAULT_RATIO,
             seed: 0x6d62_0001,
+            threads: None,
         }
+    }
+}
+
+impl MetaBlockingConfig {
+    /// The effective worker-thread count.
+    pub fn effective_threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(er_core::available_threads)
+            .max(1)
     }
 }
 
@@ -171,11 +186,39 @@ impl MetaBlockingPipeline {
     }
 
     /// Runs the full workflow on a dataset.
+    ///
+    /// Blocking runs through the parallel CSR engine
+    /// ([`standard_blocking_workflow_csr`]); block statistics and candidate
+    /// pairs are derived straight from the CSR representation, so no block
+    /// key is cloned on the hot path.  The nested [`BlockCollection`] view is
+    /// materialised once for the outcome.
     pub fn run(&self, dataset: &Dataset, algorithm: AlgorithmKind) -> Result<MetaBlockingOutcome> {
+        let threads = self.config.effective_threads();
         let start = Instant::now();
-        let blocks = standard_blocking_workflow(dataset);
+        let csr = standard_blocking_workflow_csr(dataset, threads);
+        if csr.is_empty() {
+            return Err(er_core::Error::EmptyInput(format!(
+                "dataset {} produced no blocks",
+                dataset.name
+            )));
+        }
+        // The compat view the outcome exposes; counted as blocking time for
+        // parity with the pre-CSR path, which built this representation.
+        let blocks = csr.to_block_collection();
         let blocking_time = start.elapsed();
-        self.run_on_blocks(dataset, blocks, algorithm, blocking_time)
+
+        let feature_start = Instant::now();
+        let stats = BlockStats::from_csr(&csr);
+        let candidates = CandidatePairs::from_stats(&stats, threads);
+        self.finish(
+            dataset,
+            blocks,
+            stats,
+            candidates,
+            algorithm,
+            blocking_time,
+            feature_start,
+        )
     }
 
     /// Runs the workflow on a pre-computed block collection (used when several
@@ -194,19 +237,43 @@ impl MetaBlockingPipeline {
             )));
         }
 
-        let threads = er_core::available_threads();
-        let set = self.config.feature_set;
-
-        // Feature indices: stats CSR, candidate CSR and per-entity tables.
+        let threads = self.config.effective_threads();
         let feature_start = Instant::now();
         let stats = BlockStats::new(&blocks);
         let candidates = CandidatePairs::from_blocks_with_stats(&blocks, &stats, threads);
+        self.finish(
+            dataset,
+            blocks,
+            stats,
+            candidates,
+            algorithm,
+            blocking_time,
+            feature_start,
+        )
+    }
+
+    /// The shared tail of both entry points: feature context, training,
+    /// fused scoring and pruning.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        dataset: &Dataset,
+        blocks: BlockCollection,
+        stats: BlockStats,
+        candidates: CandidatePairs,
+        algorithm: AlgorithmKind,
+        blocking_time: Duration,
+        feature_start: Instant,
+    ) -> Result<MetaBlockingOutcome> {
         if candidates.is_empty() {
             return Err(er_core::Error::EmptyInput(format!(
                 "dataset {} produced no candidate pairs",
                 dataset.name
             )));
         }
+
+        let threads = self.config.effective_threads();
+        let set = self.config.feature_set;
         let context = FeatureContext::new(&stats, &candidates);
         let feature_time = feature_start.elapsed();
 
@@ -330,6 +397,31 @@ mod tests {
             .run(&dataset, AlgorithmKind::Blast)
             .unwrap();
         assert_eq!(a.retained, b.retained);
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_outcome() {
+        let dataset = tiny_dataset();
+        let baseline = MetaBlockingPipeline::new(MetaBlockingConfig {
+            threads: Some(1),
+            ..config(25)
+        })
+        .run(&dataset, AlgorithmKind::Blast)
+        .unwrap();
+        for threads in [2, 4] {
+            let outcome = MetaBlockingPipeline::new(MetaBlockingConfig {
+                threads: Some(threads),
+                ..config(25)
+            })
+            .run(&dataset, AlgorithmKind::Blast)
+            .unwrap();
+            assert_eq!(outcome.blocks.blocks, baseline.blocks.blocks);
+            assert_eq!(outcome.retained, baseline.retained, "{threads} threads");
+            assert_eq!(
+                outcome.probabilities.as_slice(),
+                baseline.probabilities.as_slice()
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,492 @@
+//! The unified parallel block-building engine.
+//!
+//! All three redundancy-positive blocking schemes (Token Blocking, Q-Grams,
+//! Suffix Arrays) are the same computation with a different per-token key
+//! expansion: tokenize every profile, derive blocking keys from the tokens,
+//! group entities by key, drop useless blocks, sort by key.  This module
+//! factors that computation into one engine driven by a [`KeyGenerator`]:
+//!
+//! 1. **Parallel key emission.** Entities are split into contiguous ranges
+//!    pulled by workers through the shared work-stealing driver
+//!    (`er_core::map_ranges_parallel`).  Each worker streams its profiles'
+//!    tokens through `er_core::tokenize::for_each_token` — no per-profile
+//!    `Vec<String>`, no per-token `String`: already-lowercase tokens are
+//!    borrowed slices, case folding reuses one scratch buffer — and expands
+//!    tokens into keys.  Keys are emitted as `&str` slices — sub-token keys
+//!    (q-grams, suffixes) are byte-range views into the token, so expansion
+//!    allocates nothing.
+//! 2. **Sharded interning.** Every key is interned into a `u32` slot of one
+//!    of 128 hash-sharded maps (shard chosen by key hash, one mutex per
+//!    shard, no global lock).  A key string is allocated exactly once
+//!    globally, on first sight; per-entity deduplication happens on the
+//!    interned ids, not on strings.
+//! 3. **CSR materialisation.** Postings `(key, entity)` are buffered
+//!    per-worker and scattered into one flat entity arena via a counting
+//!    sort.  Because ranges are concatenated in ascending entity order, each
+//!    block's entity list comes out sorted without a per-block sort.
+//!
+//! # Determinism
+//!
+//! Worker scheduling only affects *provisional* key ids; final block ids are
+//! assigned by sorting the interned keys lexicographically, and entity lists
+//! are ordered by construction.  The output is therefore bit-identical to the
+//! sequential reference builders in [`crate::reference`] for any thread
+//! count — a property the workspace property tests assert for all three
+//! schemes.
+
+use std::sync::{Arc, Mutex};
+
+use er_core::{Dataset, EntityId, FxHashMap, FxHasher};
+
+use crate::csr::{CsrBlockCollection, KeyStore};
+
+/// Number of interner shards.  A power of two well above the worker cap (8)
+/// keeps the probability of two workers contending on one shard low.
+const SHARD_COUNT: usize = 128;
+/// Shards are selected by the top bits of the key hash (the best-mixed bits
+/// of the Fx multiply hash).
+const SHARD_SHIFT: u32 = 64 - SHARD_COUNT.trailing_zeros();
+
+/// Reusable per-worker scratch handed to [`KeyGenerator::for_each_key`]:
+/// the char-boundary table of the current token.
+#[derive(Debug, Default)]
+pub struct KeyScratch {
+    positions: Vec<u32>,
+}
+
+impl KeyScratch {
+    /// Fills `positions` with the byte offset of every char boundary of
+    /// `token`, including the trailing `token.len()` sentinel, and returns
+    /// the slice.  The char at index `i` spans bytes
+    /// `positions[i]..positions[i + 1]`.
+    pub fn char_boundaries(&mut self, token: &str) -> &[u32] {
+        self.positions.clear();
+        for (offset, _) in token.char_indices() {
+            self.positions.push(offset as u32);
+        }
+        self.positions.push(token.len() as u32);
+        &self.positions
+    }
+}
+
+/// A blocking scheme, expressed as its per-token key expansion.
+///
+/// The engine lowercases the profile's tokens before calling `for_each_key`
+/// and deduplicates the emitted keys per entity afterwards (on interned ids),
+/// so implementations only describe the token → keys mapping.
+pub trait KeyGenerator: Sync {
+    /// Emits every blocking key derived from one token.  Keys may borrow from
+    /// `token` (the engine interns them immediately).
+    fn for_each_key(&self, token: &str, scratch: &mut KeyScratch, emit: &mut dyn FnMut(&str));
+
+    /// Blocks with more entities than this are discarded after construction
+    /// (the Suffix Arrays frequency cap).  `None` keeps every block.
+    fn max_block_size(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Token Blocking: every token is its own key.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TokenKeys;
+
+impl KeyGenerator for TokenKeys {
+    #[inline]
+    fn for_each_key(&self, token: &str, _scratch: &mut KeyScratch, emit: &mut dyn FnMut(&str)) {
+        emit(token);
+    }
+}
+
+/// Q-Grams Blocking: every character q-gram of the token is a key; tokens of
+/// at most `q` characters are emitted whole.
+#[derive(Debug, Clone, Copy)]
+pub struct QGramKeys {
+    q: usize,
+}
+
+impl QGramKeys {
+    /// Creates the generator.
+    ///
+    /// # Panics
+    /// Panics if `q < 2`.
+    pub fn new(q: usize) -> Self {
+        assert!(q >= 2, "q must be at least 2");
+        QGramKeys { q }
+    }
+}
+
+impl KeyGenerator for QGramKeys {
+    #[inline]
+    fn for_each_key(&self, token: &str, scratch: &mut KeyScratch, emit: &mut dyn FnMut(&str)) {
+        let bounds = scratch.char_boundaries(token);
+        let chars = bounds.len() - 1;
+        if chars <= self.q {
+            emit(token);
+            return;
+        }
+        for start in 0..=chars - self.q {
+            emit(&token[bounds[start] as usize..bounds[start + self.q] as usize]);
+        }
+    }
+}
+
+/// Suffix Arrays Blocking: every suffix of at least `min_length` characters
+/// is a key, and blocks larger than `max_block_size` are discarded.
+#[derive(Debug, Clone, Copy)]
+pub struct SuffixKeys {
+    min_length: usize,
+    max_block_size: usize,
+}
+
+impl SuffixKeys {
+    /// Creates the generator.
+    ///
+    /// # Panics
+    /// Panics if `min_length < 2` or `max_block_size < 2`.
+    pub fn new(min_length: usize, max_block_size: usize) -> Self {
+        assert!(min_length >= 2, "min_length must be at least 2");
+        assert!(max_block_size >= 2, "max_block_size must allow a pair");
+        SuffixKeys {
+            min_length,
+            max_block_size,
+        }
+    }
+}
+
+impl KeyGenerator for SuffixKeys {
+    #[inline]
+    fn for_each_key(&self, token: &str, scratch: &mut KeyScratch, emit: &mut dyn FnMut(&str)) {
+        let bounds = scratch.char_boundaries(token);
+        let chars = bounds.len() - 1;
+        if chars < self.min_length {
+            return;
+        }
+        for start in 0..=chars - self.min_length {
+            emit(&token[bounds[start] as usize..]);
+        }
+    }
+
+    fn max_block_size(&self) -> Option<usize> {
+        Some(self.max_block_size)
+    }
+}
+
+/// Hashes a key with the workspace Fx hasher (used only for shard selection,
+/// so it just has to be deterministic and well-mixed).
+#[inline]
+fn hash_key(key: &str) -> u64 {
+    use std::hash::Hasher;
+    let mut hasher = FxHasher::default();
+    hasher.write(key.as_bytes());
+    hasher.finish()
+}
+
+/// The sharded key interner: `SHARD_COUNT` independent `key → slot` maps,
+/// each behind its own mutex.  Workers lock only the shard their key hashes
+/// to, so concurrent interning of different keys almost never contends.
+struct ShardedInterner {
+    shards: Vec<Mutex<FxHashMap<Box<str>, u32>>>,
+}
+
+impl ShardedInterner {
+    fn new() -> Self {
+        ShardedInterner {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+        }
+    }
+
+    /// Interns a key, returning a provisional id packing `(shard, slot)`.
+    /// Provisional ids are *not* stable across runs (slot order depends on
+    /// scheduling); they are remapped to deterministic key-sorted ids during
+    /// materialisation.
+    #[inline]
+    fn intern(&self, key: &str) -> u64 {
+        let shard = (hash_key(key) >> SHARD_SHIFT) as usize;
+        let mut map = self.shards[shard].lock().expect("interner shard poisoned");
+        let slot = match map.get(key) {
+            Some(&slot) => slot,
+            None => {
+                let slot = map.len() as u32;
+                map.insert(key.into(), slot);
+                slot
+            }
+        };
+        ((shard as u64) << 32) | u64::from(slot)
+    }
+
+    /// Consumes the interner, returning every key in provisional-id order
+    /// (`dense id = base[shard] + slot`) plus the per-shard bases.
+    fn into_key_table(self) -> (Vec<Box<str>>, Vec<u32>) {
+        let maps: Vec<FxHashMap<Box<str>, u32>> = self
+            .shards
+            .into_iter()
+            .map(|m| m.into_inner().expect("interner shard poisoned"))
+            .collect();
+        let mut bases = Vec::with_capacity(SHARD_COUNT);
+        let mut total = 0u32;
+        for map in &maps {
+            bases.push(total);
+            total += map.len() as u32;
+        }
+        let mut keys: Vec<Option<Box<str>>> = vec![None; total as usize];
+        for (shard, map) in maps.into_iter().enumerate() {
+            let base = bases[shard] as usize;
+            for (key, slot) in map {
+                keys[base + slot as usize] = Some(key);
+            }
+        }
+        let keys = keys
+            .into_iter()
+            .map(|k| k.expect("interner slot unfilled"))
+            .collect();
+        (keys, bases)
+    }
+}
+
+/// Builds the block collection of `dataset` under the scheme described by
+/// `generator`, using up to `threads` workers.
+///
+/// The output is deterministic and bit-identical to the sequential reference
+/// builders for any thread count: blocks are ordered lexicographically by
+/// key, entity lists are sorted ascending, and blocks that cannot produce a
+/// comparison (or exceed the generator's size cap) are dropped.
+pub fn build_blocks<G: KeyGenerator + ?Sized>(
+    dataset: &Dataset,
+    generator: &G,
+    threads: usize,
+) -> CsrBlockCollection {
+    let num_entities = dataset.num_entities();
+    let threads = threads.max(1);
+    let interner = ShardedInterner::new();
+    let profiles = &dataset.profiles;
+
+    // Phase 1: parallel key emission + interning.  One posting buffer per
+    // contiguous entity range; ~8 ranges per worker keep the queue balanced
+    // when profile sizes are skewed.
+    let num_tasks = if threads <= 1 { 1 } else { threads * 8 };
+    let runs: Vec<Vec<(u64, u32)>> =
+        er_core::map_ranges_parallel(num_entities, threads, num_tasks, |range| {
+            let mut case_scratch = String::new();
+            let mut key_ids: Vec<u64> = Vec::new();
+            let mut scratch = KeyScratch::default();
+            let mut postings: Vec<(u64, u32)> = Vec::new();
+            for e in range {
+                key_ids.clear();
+                for attribute in &profiles[e].attributes {
+                    // Zero-alloc scratch tokenisation: no fresh `Vec<String>`
+                    // per profile, no fresh `String` per token — lowercase
+                    // tokens are borrowed slices, case folding reuses one
+                    // buffer.
+                    er_core::tokenize::for_each_token(
+                        &attribute.value,
+                        &mut case_scratch,
+                        |token| {
+                            generator.for_each_key(token, &mut scratch, &mut |key| {
+                                key_ids.push(interner.intern(key));
+                            });
+                        },
+                    );
+                }
+                // Per-entity key dedup on interned ids — an entity joins each
+                // block at most once, so block entity lists never need dedup.
+                key_ids.sort_unstable();
+                key_ids.dedup();
+                let entity = e as u32;
+                postings.extend(key_ids.iter().map(|&key| (key, entity)));
+            }
+            postings
+        });
+
+    // Phase 2: deterministic id assignment.  Sort the interned keys
+    // lexicographically; `rank` maps dense provisional ids to final ids.
+    let (all_keys, bases) = interner.into_key_table();
+    let key_count = all_keys.len();
+    let mut order: Vec<u32> = (0..key_count as u32).collect();
+    order.sort_unstable_by(|&a, &b| all_keys[a as usize].cmp(&all_keys[b as usize]));
+    let mut rank = vec![0u32; key_count];
+    for (final_id, &dense) in order.iter().enumerate() {
+        rank[dense as usize] = final_id as u32;
+    }
+    let dense_of = |packed: u64| -> usize {
+        (bases[(packed >> 32) as usize] + (packed & 0xffff_ffff) as u32) as usize
+    };
+
+    // Phase 3: counting-sort scatter into the entity arena.  Iterating runs
+    // in range order emits entities in ascending order per key, so every
+    // block's slice is sorted by construction.
+    let mut offsets = vec![0u32; key_count + 1];
+    for run in &runs {
+        for &(packed, _) in run {
+            offsets[rank[dense_of(packed)] as usize + 1] += 1;
+        }
+    }
+    for i in 0..key_count {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut cursors: Vec<u32> = offsets[..key_count].to_vec();
+    let mut arena = vec![EntityId(0); offsets[key_count] as usize];
+    for run in &runs {
+        for &(packed, entity) in run {
+            let block = rank[dense_of(packed)] as usize;
+            arena[cursors[block] as usize] = EntityId(entity);
+            cursors[block] += 1;
+        }
+    }
+
+    // Phase 4: filter + compact.  Keep only blocks that fit the generator's
+    // size cap and produce at least one comparison; surviving keys move into
+    // the arena-backed store in final (lexicographic) order.
+    let split = dataset.split;
+    let kind = dataset.kind;
+    let cap = generator.max_block_size().unwrap_or(usize::MAX);
+    let mut keys = KeyStore::with_capacity(key_count / 2, 0);
+    let mut key_ids = Vec::new();
+    let mut entity_offsets = vec![0u32];
+    let mut entities = Vec::with_capacity(arena.len());
+    let mut first_counts = Vec::new();
+    for j in 0..key_count {
+        let slice = &arena[offsets[j] as usize..offsets[j + 1] as usize];
+        debug_assert!(slice.windows(2).all(|w| w[0] < w[1]));
+        if slice.len() > cap {
+            continue;
+        }
+        let (first, comparisons) = crate::csr::slice_cardinalities(slice, kind, split);
+        if comparisons == 0 {
+            continue;
+        }
+        key_ids.push(keys.push(&all_keys[order[j] as usize]));
+        entities.extend_from_slice(slice);
+        entity_offsets.push(entities.len() as u32);
+        first_counts.push(first);
+    }
+
+    CsrBlockCollection::from_raw(
+        dataset.name.clone(),
+        kind,
+        split,
+        num_entities,
+        Arc::new(keys),
+        key_ids,
+        entity_offsets,
+        entities,
+        first_counts,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::{EntityCollection, EntityProfile, GroundTruth};
+
+    fn dataset() -> Dataset {
+        let e1 = EntityCollection::new(
+            "a",
+            vec![
+                EntityProfile::new("a0")
+                    .with_attribute("name", "Apple iPhone X")
+                    .with_attribute("type", "smartphone"),
+                EntityProfile::new("a1").with_attribute("name", "Samsung Galaxy S20"),
+            ],
+        );
+        let e2 = EntityCollection::new(
+            "b",
+            vec![
+                EntityProfile::new("b0").with_attribute("title", "iphone 10 apple smartphone"),
+                EntityProfile::new("b1").with_attribute("title", "galaxy s20 by samsung"),
+            ],
+        );
+        let gt =
+            GroundTruth::from_pairs(vec![(EntityId(0), EntityId(2)), (EntityId(1), EntityId(3))]);
+        Dataset::clean_clean("builder", e1, e2, gt).unwrap()
+    }
+
+    #[test]
+    fn engine_matches_sequential_reference_for_every_scheme() {
+        let ds = dataset();
+        for threads in [1, 2, 4] {
+            let token = build_blocks(&ds, &TokenKeys, threads).to_block_collection();
+            assert_eq!(token.blocks, crate::reference::token_blocking(&ds).blocks);
+
+            let grams = build_blocks(&ds, &QGramKeys::new(3), threads).to_block_collection();
+            assert_eq!(
+                grams.blocks,
+                crate::reference::qgrams_blocking(&ds, 3).blocks
+            );
+
+            let config = crate::SuffixArrayConfig::default();
+            let suffix = build_blocks(
+                &ds,
+                &SuffixKeys::new(config.min_length, config.max_block_size),
+                threads,
+            )
+            .to_block_collection();
+            assert_eq!(
+                suffix.blocks,
+                crate::reference::suffix_array_blocking(&ds, config).blocks
+            );
+        }
+    }
+
+    #[test]
+    fn qgram_generator_mirrors_qgrams_function() {
+        let gen = QGramKeys::new(3);
+        let mut scratch = KeyScratch::default();
+        for token in ["ab", "abc", "abcd", "caféteria"] {
+            let mut emitted = Vec::new();
+            gen.for_each_key(token, &mut scratch, &mut |k| emitted.push(k.to_string()));
+            assert_eq!(emitted, crate::qgrams::qgrams(token, 3), "token {token}");
+        }
+    }
+
+    #[test]
+    fn suffix_generator_mirrors_suffixes_function() {
+        let gen = SuffixKeys::new(3, 50);
+        let mut scratch = KeyScratch::default();
+        for token in ["ab", "abc", "abcdef", "naïveté"] {
+            let mut emitted = Vec::new();
+            gen.for_each_key(token, &mut scratch, &mut |k| emitted.push(k.to_string()));
+            assert_eq!(
+                emitted,
+                crate::suffix_arrays::suffixes(token, 3),
+                "token {token}"
+            );
+        }
+    }
+
+    #[test]
+    fn interner_assigns_one_slot_per_distinct_key() {
+        let interner = ShardedInterner::new();
+        let a = interner.intern("apple");
+        let b = interner.intern("samsung");
+        assert_eq!(a, interner.intern("apple"));
+        assert_ne!(a, b);
+        let (keys, bases) = interner.into_key_table();
+        assert_eq!(keys.len(), 2);
+        assert_eq!(bases.len(), SHARD_COUNT);
+        assert!(keys.iter().any(|k| &**k == "apple"));
+    }
+
+    #[test]
+    fn empty_dataset_produces_empty_collection() {
+        let e1 = EntityCollection::new("a", vec![EntityProfile::new("a0")]);
+        let e2 = EntityCollection::new("b", vec![EntityProfile::new("b0")]);
+        let ds = Dataset::clean_clean("empty", e1, e2, GroundTruth::default()).unwrap();
+        let csr = build_blocks(&ds, &TokenKeys, 4);
+        assert!(csr.is_empty());
+        assert_eq!(csr.num_entities, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be at least 2")]
+    fn qgram_generator_rejects_q_one() {
+        let _ = QGramKeys::new(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_length must be at least 2")]
+    fn suffix_generator_rejects_short_min_length() {
+        let _ = SuffixKeys::new(1, 10);
+    }
+}

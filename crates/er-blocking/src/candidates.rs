@@ -51,13 +51,42 @@ impl<'a> AdjView<'a> {
     }
 }
 
+/// Borrowed per-block entity storage: either the nested `Vec<Block>` view or
+/// the flat reverse CSR inside [`BlockStats`].
+#[derive(Clone, Copy)]
+enum BlockSource<'a> {
+    Nested(&'a BlockCollection),
+    Stats(&'a BlockStats),
+}
+
+impl<'a> BlockSource<'a> {
+    #[inline]
+    fn entities_of(self, block: er_core::BlockId) -> &'a [EntityId] {
+        match self {
+            BlockSource::Nested(blocks) => &blocks.blocks[block.index()].entities,
+            BlockSource::Stats(stats) => stats.entities_of(block),
+        }
+    }
+
+    #[inline]
+    fn first_source_count(self, block: er_core::BlockId, split: usize) -> usize {
+        match self {
+            BlockSource::Nested(blocks) => blocks.blocks[block.index()].first_source_count(split),
+            BlockSource::Stats(stats) => stats.first_source_count(block) as usize,
+        }
+    }
+}
+
 impl CandidatePairs {
     /// Extracts the distinct candidate pairs from a block collection on the
     /// calling thread.
     pub fn from_blocks(blocks: &BlockCollection) -> Self {
         let (offsets, block_ids) = crate::stats::build_entity_block_adjacency(blocks);
         Self::extract(
-            blocks,
+            blocks.kind,
+            blocks.split,
+            blocks.num_entities,
+            BlockSource::Nested(blocks),
             AdjView {
                 offsets: &offsets,
                 block_ids: &block_ids,
@@ -77,16 +106,46 @@ impl CandidatePairs {
         threads: usize,
     ) -> Self {
         let (offsets, block_ids) = stats.entity_block_csr();
-        Self::extract(blocks, AdjView { offsets, block_ids }, threads.max(1))
+        Self::extract(
+            blocks.kind,
+            blocks.split,
+            blocks.num_entities,
+            BlockSource::Nested(blocks),
+            AdjView { offsets, block_ids },
+            threads.max(1),
+        )
     }
 
-    /// The hash-free per-entity extraction shared by both constructors.
-    fn extract(blocks: &BlockCollection, adjacency: AdjView<'_>, threads: usize) -> Self {
-        let num_entities = blocks.num_entities;
+    /// Extracts the candidate pairs from the block statistics alone, with up
+    /// to `threads` workers.  [`BlockStats`] carries both CSR directions plus
+    /// the per-block first-source counts, so no [`BlockCollection`] (and no
+    /// key string) is ever touched — this is the entry point of the
+    /// CSR-native pipeline.
+    pub fn from_stats(stats: &BlockStats, threads: usize) -> Self {
+        let (offsets, block_ids) = stats.entity_block_csr();
+        Self::extract(
+            stats.kind(),
+            stats.split(),
+            stats.num_entities(),
+            BlockSource::Stats(stats),
+            AdjView { offsets, block_ids },
+            threads.max(1),
+        )
+    }
+
+    /// The hash-free per-entity extraction shared by all constructors.
+    fn extract(
+        kind: er_core::DatasetKind,
+        split: usize,
+        num_entities: usize,
+        source: BlockSource<'_>,
+        adjacency: AdjView<'_>,
+        threads: usize,
+    ) -> Self {
         // For Clean-Clean ER the smaller endpoint of every comparable pair is
         // an E1 entity, so entities >= split produce no runs of their own.
-        let emitting = match blocks.kind {
-            er_core::DatasetKind::CleanClean => blocks.split.min(num_entities),
+        let emitting = match kind {
+            er_core::DatasetKind::CleanClean => split.min(num_entities),
             er_core::DatasetKind::Dirty => num_entities,
         };
 
@@ -98,7 +157,7 @@ impl CandidatePairs {
             let mut run_counts: Vec<u32> = Vec::with_capacity(range.len());
             let mut scratch: Vec<u32> = Vec::new();
             for a in range {
-                neighbors_above(blocks, adjacency, a, &mut scratch);
+                neighbors_above(kind, split, source, adjacency, a, &mut scratch);
                 run_counts.push(scratch.len() as u32);
                 let a_id = EntityId(a as u32);
                 run_pairs.extend(scratch.iter().map(|&p| (a_id, EntityId(p))));
@@ -233,28 +292,30 @@ impl CandidatePairs {
 /// entity `a` with a larger id than `a`.
 #[inline]
 fn neighbors_above(
-    blocks: &BlockCollection,
+    kind: er_core::DatasetKind,
+    split: usize,
+    source: BlockSource<'_>,
     adjacency: AdjView<'_>,
     a: usize,
     scratch: &mut Vec<u32>,
 ) {
     scratch.clear();
-    match blocks.kind {
+    match kind {
         er_core::DatasetKind::CleanClean => {
-            debug_assert!(a < blocks.split);
+            debug_assert!(a < split);
             for &bid in adjacency.blocks_of(a) {
-                let block = &blocks.blocks[bid.index()];
-                let split_point = block.first_source_count(blocks.split);
+                let entities = source.entities_of(bid);
+                let split_point = source.first_source_count(bid, split);
                 // E2 ids all exceed every E1 id, so the whole outer slice
                 // qualifies as "larger comparable partner".
-                scratch.extend(block.entities[split_point..].iter().map(|e| e.0));
+                scratch.extend(entities[split_point..].iter().map(|e| e.0));
             }
         }
         er_core::DatasetKind::Dirty => {
             for &bid in adjacency.blocks_of(a) {
-                let block = &blocks.blocks[bid.index()];
-                let start = block.entities.partition_point(|e| e.index() <= a);
-                scratch.extend(block.entities[start..].iter().map(|e| e.0));
+                let entities = source.entities_of(bid);
+                let start = entities.partition_point(|e| e.index() <= a);
+                scratch.extend(entities[start..].iter().map(|e| e.0));
             }
         }
     }
@@ -403,6 +464,34 @@ mod tests {
                 parallel.entity_candidate_counts(),
                 sequential.entity_candidate_counts()
             );
+        }
+    }
+
+    #[test]
+    fn stats_only_extraction_matches_block_backed_extraction() {
+        for bc in [
+            clean_clean_collection(),
+            BlockCollection {
+                dataset_name: "d".into(),
+                kind: DatasetKind::Dirty,
+                split: 5,
+                num_entities: 5,
+                blocks: vec![
+                    Block::new("a", ids(&[0, 1, 4])),
+                    Block::new("b", ids(&[1, 2, 3])),
+                ],
+            },
+        ] {
+            let stats = BlockStats::new(&bc);
+            let from_blocks = CandidatePairs::from_blocks(&bc);
+            for threads in [1, 3] {
+                let from_stats = CandidatePairs::from_stats(&stats, threads);
+                assert_eq!(from_stats.pairs(), from_blocks.pairs());
+                assert_eq!(
+                    from_stats.entity_candidate_counts(),
+                    from_blocks.entity_candidate_counts()
+                );
+            }
         }
     }
 

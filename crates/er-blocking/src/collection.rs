@@ -77,6 +77,11 @@ impl BlockCollection {
 
     /// Returns a copy of the collection containing only blocks satisfying
     /// `keep`, preserving order.
+    ///
+    /// This clones every surviving block (key `String` included); when the
+    /// collection is owned, prefer [`BlockCollection::retain_blocks_in_place`],
+    /// and on the hot path use the arena-backed
+    /// [`crate::CsrBlockCollection::retain`], which never clones a key.
     pub fn retain_blocks(&self, mut keep: impl FnMut(&Block) -> bool) -> BlockCollection {
         BlockCollection {
             dataset_name: self.dataset_name.clone(),
@@ -85,6 +90,18 @@ impl BlockCollection {
             num_entities: self.num_entities,
             blocks: self.blocks.iter().filter(|b| keep(b)).cloned().collect(),
         }
+    }
+
+    /// Drops every block not satisfying `keep`, preserving order, without
+    /// cloning any surviving block or its key.
+    pub fn retain_blocks_in_place(&mut self, mut keep: impl FnMut(&Block) -> bool) {
+        self.blocks.retain(|b| keep(b));
+    }
+
+    /// Lifts the collection into the flat CSR representation (see
+    /// [`crate::CsrBlockCollection`]).
+    pub fn to_csr(&self) -> crate::CsrBlockCollection {
+        crate::CsrBlockCollection::from_block_collection(self)
     }
 
     /// True if the pair of entities can be compared under this collection's ER
@@ -145,6 +162,22 @@ mod tests {
         let small = bc.retain_blocks(|b| b.size() < 4);
         assert_eq!(small.num_blocks(), 2);
         assert_eq!(small.blocks[0].key, "apple");
+    }
+
+    #[test]
+    fn retain_blocks_in_place_matches_cloning_retain() {
+        let bc = sample();
+        let cloned = bc.retain_blocks(|b| b.size() < 4);
+        let mut in_place = sample();
+        in_place.retain_blocks_in_place(|b| b.size() < 4);
+        assert_eq!(in_place.blocks, cloned.blocks);
+    }
+
+    #[test]
+    fn csr_round_trip_via_collection() {
+        let bc = sample();
+        let back = bc.to_csr().to_block_collection();
+        assert_eq!(back.blocks, bc.blocks);
     }
 
     #[test]

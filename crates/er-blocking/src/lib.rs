@@ -18,8 +18,10 @@
 //!    that all weighting schemes are computed from.
 
 pub mod block;
+pub mod builder;
 pub mod candidates;
 pub mod collection;
+pub mod csr;
 pub mod filtering;
 pub mod graph;
 pub mod purging;
@@ -30,23 +32,37 @@ pub mod suffix_arrays;
 pub mod token_blocking;
 
 pub use block::Block;
+pub use builder::{build_blocks, KeyGenerator, KeyScratch, QGramKeys, SuffixKeys, TokenKeys};
 pub use candidates::CandidatePairs;
 pub use collection::BlockCollection;
-pub use filtering::{block_filtering, DEFAULT_FILTERING_RATIO};
+pub use csr::{CsrBlockCollection, KeyStore};
+pub use filtering::{block_filtering, block_filtering_csr, DEFAULT_FILTERING_RATIO};
 pub use graph::NeighborIndex;
-pub use purging::block_purging;
-pub use qgrams::qgrams_blocking;
+pub use purging::{block_purging, block_purging_csr};
+pub use qgrams::{qgrams_blocking, qgrams_blocking_csr};
 pub use stats::BlockStats;
-pub use suffix_arrays::{suffix_array_blocking, SuffixArrayConfig};
-pub use token_blocking::token_blocking;
+pub use suffix_arrays::{suffix_array_blocking, suffix_array_blocking_csr, SuffixArrayConfig};
+pub use token_blocking::{token_blocking, token_blocking_csr};
 
 use er_core::Dataset;
 
 /// Runs the full blocking workflow used throughout the paper's evaluation:
 /// Token Blocking, then Block Purging, then Block Filtering with the default
 /// ratio of 0.8 (i.e. each entity is removed from its largest 20% of blocks).
+///
+/// Internally this is the CSR workflow below plus one conversion to the
+/// nested compatibility view; callers that can consume
+/// [`CsrBlockCollection`] directly should prefer
+/// [`standard_blocking_workflow_csr`], which never clones a key string.
 pub fn standard_blocking_workflow(dataset: &Dataset) -> BlockCollection {
-    let blocks = token_blocking(dataset);
-    let purged = block_purging(&blocks);
-    block_filtering(&purged, DEFAULT_FILTERING_RATIO)
+    standard_blocking_workflow_csr(dataset, er_core::available_threads()).to_block_collection()
+}
+
+/// The allocation-lean standard workflow: parallel Token Blocking through the
+/// [`builder`] engine, then CSR-native Block Purging and Block Filtering
+/// (pure index operations sharing one key arena).
+pub fn standard_blocking_workflow_csr(dataset: &Dataset, threads: usize) -> CsrBlockCollection {
+    let blocks = token_blocking_csr(dataset, threads);
+    let purged = block_purging_csr(&blocks);
+    block_filtering_csr(&purged, DEFAULT_FILTERING_RATIO)
 }

@@ -6,11 +6,20 @@
 //! tokens.  The procedure is parameter-free.
 
 use crate::collection::BlockCollection;
+use crate::csr::CsrBlockCollection;
 
 /// Discards every block containing more than half of the entity profiles.
 pub fn block_purging(blocks: &BlockCollection) -> BlockCollection {
     let limit = blocks.num_entities / 2;
     blocks.retain_blocks(|b| b.size() <= limit)
+}
+
+/// CSR-native Block Purging: the same rule as [`block_purging`], but as a
+/// pure index operation — the surviving blocks share the input's key arena,
+/// so no key string is cloned.
+pub fn block_purging_csr(blocks: &CsrBlockCollection) -> CsrBlockCollection {
+    let limit = blocks.num_entities / 2;
+    blocks.retain(|b| blocks.block_size(b) <= limit)
 }
 
 #[cfg(test)]

@@ -8,10 +8,11 @@
 //! Suffix Arrays, as one of the standard generators of redundancy-positive
 //! block collections that meta-blocking can refine.
 
-use er_core::{Dataset, EntityId, FxHashMap, FxHashSet};
+use er_core::Dataset;
 
-use crate::block::Block;
+use crate::builder::{build_blocks, QGramKeys};
 use crate::collection::BlockCollection;
+use crate::csr::CsrBlockCollection;
 
 /// Decomposes a token into its padded character q-grams.
 ///
@@ -25,45 +26,32 @@ pub fn qgrams(token: &str, q: usize) -> Vec<String> {
     chars.windows(q).map(|w| w.iter().collect()).collect()
 }
 
-/// Builds a Q-Grams Blocking collection for a dataset.
+/// Builds a Q-Grams Blocking collection for a dataset through the parallel
+/// [`crate::builder`] engine, returning the nested compatibility view.
 ///
 /// Like Token Blocking, blocks that cannot produce a comparison are dropped
-/// and the result is ordered by key for determinism.
+/// and the result is ordered by key for determinism (bit-identical to the
+/// sequential [`crate::reference::qgrams_blocking`] builder).
+///
+/// # Panics
+/// Panics if `q < 2` (as [`qgrams`] always has).
 pub fn qgrams_blocking(dataset: &Dataset, q: usize) -> BlockCollection {
-    let mut index: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
-    for (i, profile) in dataset.profiles.iter().enumerate() {
-        let id = EntityId::from(i);
-        let mut signatures: FxHashSet<String> = FxHashSet::default();
-        for token in profile.value_tokens() {
-            for gram in qgrams(&token, q) {
-                signatures.insert(gram);
-            }
-        }
-        for gram in signatures {
-            index.entry(gram).or_default().push(id);
-        }
-    }
+    qgrams_blocking_csr(dataset, q, er_core::available_threads()).to_block_collection()
+}
 
-    let mut blocks: Vec<Block> = index
-        .into_iter()
-        .map(|(key, entities)| Block::new(key, entities))
-        .filter(|b| b.is_useful(dataset.kind, dataset.split))
-        .collect();
-    blocks.sort_unstable_by(|a, b| a.key.cmp(&b.key));
-
-    BlockCollection {
-        dataset_name: dataset.name.clone(),
-        kind: dataset.kind,
-        split: dataset.split,
-        num_entities: dataset.num_entities(),
-        blocks,
-    }
+/// Builds a Q-Grams Blocking collection as a CSR collection with up to
+/// `threads` workers.
+///
+/// # Panics
+/// Panics if `q < 2`.
+pub fn qgrams_blocking_csr(dataset: &Dataset, q: usize, threads: usize) -> CsrBlockCollection {
+    build_blocks(dataset, &QGramKeys::new(q), threads)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use er_core::{EntityCollection, EntityProfile, GroundTruth};
+    use er_core::{EntityCollection, EntityId, EntityProfile, GroundTruth};
 
     fn dataset() -> Dataset {
         let e1 = EntityCollection::new(

@@ -2,16 +2,98 @@
 //! benchmarking.
 //!
 //! The production [`crate::BlockStats`] and [`crate::CandidatePairs`] use a
-//! flat CSR layout and hash-free per-entity enumeration.  This module keeps
-//! faithful copies of the pre-refactor implementations — nested
-//! `Vec<Vec<_>>` adjacency and a global `FxHashSet` deduplicator — so
-//! property tests can assert the optimised structures produce identical
-//! results and benchmarks can quantify the speedup.  Nothing here should be
-//! used on a hot path.
+//! flat CSR layout and hash-free per-entity enumeration, and the blocking
+//! schemes run through the parallel [`crate::builder`] engine.  This module
+//! keeps faithful copies of the pre-refactor implementations — sequential
+//! single-hash-map block builders, nested `Vec<Vec<_>>` adjacency and a
+//! global `FxHashSet` pair deduplicator — so property tests can assert the
+//! optimised paths produce identical results and benchmarks can quantify the
+//! speedup.  Nothing here should be used on a hot path.
 
-use er_core::{BlockId, EntityId, FxHashSet};
+use er_core::{BlockId, Dataset, EntityId, FxHashMap, FxHashSet};
 
+use crate::block::Block;
 use crate::collection::BlockCollection;
+use crate::suffix_arrays::SuffixArrayConfig;
+
+/// The sequential pre-engine Token Blocking builder: one global
+/// `FxHashMap<String, Vec<EntityId>>` filled entity by entity, then filtered
+/// and sorted.
+pub fn token_blocking(dataset: &Dataset) -> BlockCollection {
+    let mut index: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
+    for (i, profile) in dataset.profiles.iter().enumerate() {
+        let id = EntityId::from(i);
+        for token in profile.value_tokens() {
+            index.entry(token).or_default().push(id);
+        }
+    }
+    finish_blocks(dataset, index, usize::MAX)
+}
+
+/// The sequential pre-engine Q-Grams Blocking builder.
+pub fn qgrams_blocking(dataset: &Dataset, q: usize) -> BlockCollection {
+    let mut index: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
+    for (i, profile) in dataset.profiles.iter().enumerate() {
+        let id = EntityId::from(i);
+        let mut signatures: FxHashSet<String> = FxHashSet::default();
+        for token in profile.value_tokens() {
+            for gram in crate::qgrams::qgrams(&token, q) {
+                signatures.insert(gram);
+            }
+        }
+        for gram in signatures {
+            index.entry(gram).or_default().push(id);
+        }
+    }
+    finish_blocks(dataset, index, usize::MAX)
+}
+
+/// The sequential pre-engine Suffix Arrays builder.
+pub fn suffix_array_blocking(dataset: &Dataset, config: SuffixArrayConfig) -> BlockCollection {
+    assert!(config.min_length >= 2, "min_length must be at least 2");
+    assert!(
+        config.max_block_size >= 2,
+        "max_block_size must allow a pair"
+    );
+    let mut index: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
+    for (i, profile) in dataset.profiles.iter().enumerate() {
+        let id = EntityId::from(i);
+        let mut signatures: FxHashSet<String> = FxHashSet::default();
+        for token in profile.value_tokens() {
+            for suffix in crate::suffix_arrays::suffixes(&token, config.min_length) {
+                signatures.insert(suffix);
+            }
+        }
+        for suffix in signatures {
+            index.entry(suffix).or_default().push(id);
+        }
+    }
+    finish_blocks(dataset, index, config.max_block_size)
+}
+
+/// The shared tail of the sequential builders: drop oversized and useless
+/// blocks, sort by key.
+fn finish_blocks(
+    dataset: &Dataset,
+    index: FxHashMap<String, Vec<EntityId>>,
+    max_block_size: usize,
+) -> BlockCollection {
+    let mut blocks: Vec<Block> = index
+        .into_iter()
+        .filter(|(_, entities)| entities.len() <= max_block_size)
+        .map(|(key, entities)| Block::new(key, entities))
+        .filter(|b| b.is_useful(dataset.kind, dataset.split))
+        .collect();
+    blocks.sort_unstable_by(|a, b| a.key.cmp(&b.key));
+
+    BlockCollection {
+        dataset_name: dataset.name.clone(),
+        kind: dataset.kind,
+        split: dataset.split,
+        num_entities: dataset.num_entities(),
+        blocks,
+    }
+}
 
 /// The pre-CSR block statistics: one heap-allocated block list per entity,
 /// no precomputed reciprocals.  API mirrors [`crate::BlockStats`].

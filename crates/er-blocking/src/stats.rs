@@ -29,6 +29,7 @@ use er_core::{BlockId, DatasetKind, EntityId};
 use serde::{Deserialize, Serialize};
 
 use crate::collection::BlockCollection;
+use crate::csr::CsrBlockCollection;
 
 /// Pre-computed co-occurrence statistics of a block collection.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -96,6 +97,91 @@ impl BlockStats {
         }
 
         let (offsets, block_ids) = build_entity_block_adjacency(blocks);
+
+        let total_comparisons = block_comparisons.iter().sum();
+        let entity_comparisons = (0..num_entities)
+            .map(|e| {
+                block_ids[offsets[e] as usize..offsets[e + 1] as usize]
+                    .iter()
+                    .map(|b| block_comparisons[b.index()])
+                    .sum()
+            })
+            .collect();
+
+        BlockStats {
+            offsets,
+            block_ids,
+            block_offsets,
+            block_entities,
+            first_source_counts,
+            block_sizes,
+            block_comparisons,
+            inv_comparisons,
+            inv_sizes,
+            total_comparisons,
+            entity_comparisons,
+            num_blocks,
+            kind: blocks.kind,
+            split: blocks.split,
+        }
+    }
+
+    /// Computes the statistics straight from a CSR collection — the same
+    /// quantities as [`BlockStats::new`] on the nested view (blocks keep
+    /// their ids), but without materialising `Vec<Block>` or touching any
+    /// key string.
+    pub fn from_csr(blocks: &CsrBlockCollection) -> Self {
+        let num_blocks = blocks.num_blocks();
+        let num_entities = blocks.num_entities;
+
+        let mut block_sizes = Vec::with_capacity(num_blocks);
+        let mut block_comparisons = Vec::with_capacity(num_blocks);
+        let mut inv_comparisons = Vec::with_capacity(num_blocks);
+        let mut inv_sizes = Vec::with_capacity(num_blocks);
+        let mut block_offsets = Vec::with_capacity(num_blocks + 1);
+        let mut first_source_counts = Vec::with_capacity(num_blocks);
+        let mut block_entities = Vec::new();
+
+        block_offsets.push(0u32);
+        for b in 0..num_blocks {
+            let size = blocks.block_size(b) as u32;
+            let comparisons = blocks.block_comparisons(b);
+            block_sizes.push(size);
+            block_comparisons.push(comparisons);
+            inv_comparisons.push(if comparisons > 0 {
+                1.0 / comparisons as f64
+            } else {
+                0.0
+            });
+            inv_sizes.push(if size > 0 { 1.0 / f64::from(size) } else { 0.0 });
+            first_source_counts.push(blocks.first_source_count(b) as u32);
+            block_entities.extend_from_slice(blocks.entities(b));
+            block_offsets.push(block_entities.len() as u32);
+        }
+
+        // Entity → block adjacency: identical layout to the nested path
+        // (blocks visited in id order, so every entity's slice is sorted).
+        let mut degrees = vec![0u32; num_entities];
+        for &entity in &block_entities {
+            degrees[entity.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_entities + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursors: Vec<u32> = offsets[..num_entities].to_vec();
+        let mut block_ids = vec![BlockId(0); acc as usize];
+        for b in 0..num_blocks {
+            let id = BlockId::from(b);
+            for entity in blocks.entities(b) {
+                let cursor = &mut cursors[entity.index()];
+                block_ids[*cursor as usize] = id;
+                *cursor += 1;
+            }
+        }
 
         let total_comparisons = block_comparisons.iter().sum();
         let entity_comparisons = (0..num_entities)
@@ -396,6 +482,41 @@ mod tests {
             assert_eq!(
                 stats.inv_sizes_table()[b],
                 1.0 / f64::from(stats.block_size(id))
+            );
+        }
+    }
+
+    #[test]
+    fn from_csr_matches_nested_constructor() {
+        let bc = sample();
+        let from_nested = BlockStats::new(&bc);
+        let from_csr = BlockStats::from_csr(&bc.to_csr());
+        assert_eq!(from_csr.num_blocks(), from_nested.num_blocks());
+        assert_eq!(from_csr.kind(), from_nested.kind());
+        assert_eq!(from_csr.split(), from_nested.split());
+        assert_eq!(
+            from_csr.total_comparisons(),
+            from_nested.total_comparisons()
+        );
+        for e in 0..bc.num_entities {
+            let entity = EntityId(e as u32);
+            assert_eq!(from_csr.blocks_of(entity), from_nested.blocks_of(entity));
+            assert_eq!(
+                from_csr.entity_comparisons(entity),
+                from_nested.entity_comparisons(entity)
+            );
+        }
+        for b in 0..bc.num_blocks() {
+            let id = BlockId(b as u32);
+            assert_eq!(from_csr.entities_of(id), from_nested.entities_of(id));
+            assert_eq!(from_csr.block_size(id), from_nested.block_size(id));
+            assert_eq!(
+                from_csr.first_source_count(id),
+                from_nested.first_source_count(id)
+            );
+            assert_eq!(
+                from_csr.inv_comparisons_table()[b],
+                from_nested.inv_comparisons_table()[b]
             );
         }
     }

@@ -7,10 +7,11 @@
 //! classic formulation also discards suffixes that occur in more than
 //! `max_block_size` entities, which this implementation supports directly.
 
-use er_core::{Dataset, EntityId, FxHashMap, FxHashSet};
+use er_core::Dataset;
 
-use crate::block::Block;
+use crate::builder::{build_blocks, SuffixKeys};
 use crate::collection::BlockCollection;
+use crate::csr::CsrBlockCollection;
 
 /// Configuration of Suffix Arrays Blocking.
 #[derive(Debug, Clone, Copy)]
@@ -43,49 +44,38 @@ pub fn suffixes(token: &str, min_length: usize) -> Vec<String> {
         .collect()
 }
 
-/// Builds a Suffix Arrays block collection for a dataset.
+/// Builds a Suffix Arrays block collection for a dataset through the parallel
+/// [`crate::builder`] engine, returning the nested compatibility view
+/// (bit-identical to the sequential
+/// [`crate::reference::suffix_array_blocking`] builder).
+///
+/// # Panics
+/// Panics if `config.min_length < 2` or `config.max_block_size < 2`.
 pub fn suffix_array_blocking(dataset: &Dataset, config: SuffixArrayConfig) -> BlockCollection {
-    assert!(config.min_length >= 2, "min_length must be at least 2");
-    assert!(
-        config.max_block_size >= 2,
-        "max_block_size must allow a pair"
-    );
+    suffix_array_blocking_csr(dataset, config, er_core::available_threads()).to_block_collection()
+}
 
-    let mut index: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
-    for (i, profile) in dataset.profiles.iter().enumerate() {
-        let id = EntityId::from(i);
-        let mut signatures: FxHashSet<String> = FxHashSet::default();
-        for token in profile.value_tokens() {
-            for suffix in suffixes(&token, config.min_length) {
-                signatures.insert(suffix);
-            }
-        }
-        for suffix in signatures {
-            index.entry(suffix).or_default().push(id);
-        }
-    }
-
-    let mut blocks: Vec<Block> = index
-        .into_iter()
-        .filter(|(_, entities)| entities.len() <= config.max_block_size)
-        .map(|(key, entities)| Block::new(key, entities))
-        .filter(|b| b.is_useful(dataset.kind, dataset.split))
-        .collect();
-    blocks.sort_unstable_by(|a, b| a.key.cmp(&b.key));
-
-    BlockCollection {
-        dataset_name: dataset.name.clone(),
-        kind: dataset.kind,
-        split: dataset.split,
-        num_entities: dataset.num_entities(),
-        blocks,
-    }
+/// Builds a Suffix Arrays block collection as a CSR collection with up to
+/// `threads` workers.
+///
+/// # Panics
+/// Panics if `config.min_length < 2` or `config.max_block_size < 2`.
+pub fn suffix_array_blocking_csr(
+    dataset: &Dataset,
+    config: SuffixArrayConfig,
+    threads: usize,
+) -> CsrBlockCollection {
+    build_blocks(
+        dataset,
+        &SuffixKeys::new(config.min_length, config.max_block_size),
+        threads,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use er_core::{EntityCollection, EntityProfile, GroundTruth};
+    use er_core::{EntityCollection, EntityId, EntityProfile, GroundTruth};
 
     fn dataset() -> Dataset {
         let e1 = EntityCollection::new(

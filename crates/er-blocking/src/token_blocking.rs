@@ -5,44 +5,34 @@
 //! kept only if it yields at least one comparison (i.e. it has entities from
 //! both sources for Clean-Clean ER, or at least two entities for Dirty ER).
 
-use er_core::{Dataset, EntityId, FxHashMap};
+use er_core::Dataset;
 
-use crate::block::Block;
+use crate::builder::{build_blocks, TokenKeys};
 use crate::collection::BlockCollection;
+use crate::csr::CsrBlockCollection;
 
-/// Builds the Token Blocking collection for a dataset.
+/// Builds the Token Blocking collection for a dataset through the parallel
+/// [`crate::builder`] engine, returning the nested compatibility view.
 ///
 /// Blocks are emitted in lexicographic key order so the result is fully
-/// deterministic.
+/// deterministic (and bit-identical to the sequential
+/// [`crate::reference::token_blocking`] builder, regardless of thread count).
 pub fn token_blocking(dataset: &Dataset) -> BlockCollection {
-    let mut index: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
-    for (i, profile) in dataset.profiles.iter().enumerate() {
-        let id = EntityId::from(i);
-        for token in profile.value_tokens() {
-            index.entry(token).or_default().push(id);
-        }
-    }
+    token_blocking_csr(dataset, er_core::available_threads()).to_block_collection()
+}
 
-    let mut blocks: Vec<Block> = index
-        .into_iter()
-        .map(|(key, entities)| Block::new(key, entities))
-        .filter(|b| b.is_useful(dataset.kind, dataset.split))
-        .collect();
-    blocks.sort_unstable_by(|a, b| a.key.cmp(&b.key));
-
-    BlockCollection {
-        dataset_name: dataset.name.clone(),
-        kind: dataset.kind,
-        split: dataset.split,
-        num_entities: dataset.num_entities(),
-        blocks,
-    }
+/// Builds the Token Blocking collection as a CSR collection with up to
+/// `threads` workers — the allocation-lean entry point used by the standard
+/// workflow.
+pub fn token_blocking_csr(dataset: &Dataset, threads: usize) -> CsrBlockCollection {
+    build_blocks(dataset, &TokenKeys, threads)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use er_core::{EntityCollection, EntityProfile, GroundTruth};
+    use crate::block::Block;
+    use er_core::{EntityCollection, EntityId, EntityProfile, GroundTruth};
 
     /// Builds the running example of Figure 1 in the paper: seven smartphone
     /// profiles split over two sources.

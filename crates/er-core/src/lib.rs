@@ -26,4 +26,4 @@ pub use parallel::{
     available_threads, fill_rows_parallel, for_each_task_with_state, map_ranges_parallel,
 };
 pub use rng::seeded_rng;
-pub use tokenize::tokenize;
+pub use tokenize::{tokenize, tokenize_into};

@@ -9,7 +9,7 @@
 
 use std::time::{Duration, Instant};
 
-use er_blocking::{standard_blocking_workflow, BlockCollection, BlockStats, CandidatePairs};
+use er_blocking::{standard_blocking_workflow_csr, BlockCollection, BlockStats, CandidatePairs};
 use er_core::{Dataset, PairId, Result};
 use er_features::{FeatureContext, FeatureMatrix, FeatureSet};
 use er_learn::{balanced_undersample, TrainingSet};
@@ -35,20 +35,23 @@ pub struct PreparedDataset {
 }
 
 impl PreparedDataset {
-    /// Runs the standard blocking workflow on a dataset.
+    /// Runs the standard blocking workflow on a dataset through the parallel
+    /// CSR engine; statistics and candidates are derived from the CSR
+    /// representation, and the nested [`BlockCollection`] view is
+    /// materialised once for the experiments that still consume it.
     pub fn prepare(dataset: Dataset) -> Result<Self> {
+        let threads = er_core::available_threads();
         let start = Instant::now();
-        let blocks = standard_blocking_workflow(&dataset);
+        let csr = standard_blocking_workflow_csr(&dataset, threads);
         let blocking_time = start.elapsed();
-        if blocks.is_empty() {
+        if csr.is_empty() {
             return Err(er_core::Error::EmptyInput(format!(
                 "dataset {} produced no blocks",
                 dataset.name
             )));
         }
-        let stats = BlockStats::new(&blocks);
-        let candidates =
-            CandidatePairs::from_blocks_with_stats(&blocks, &stats, er_core::available_threads());
+        let stats = BlockStats::from_csr(&csr);
+        let candidates = CandidatePairs::from_stats(&stats, threads);
         if candidates.is_empty() {
             return Err(er_core::Error::EmptyInput(format!(
                 "dataset {} produced no candidate pairs",
@@ -57,7 +60,7 @@ impl PreparedDataset {
         }
         Ok(PreparedDataset {
             dataset,
-            blocks,
+            blocks: csr.to_block_collection(),
             stats,
             candidates,
             blocking_time,

@@ -5,11 +5,15 @@
 //! runs `CASES` randomized collections derived from a fixed seed, printing
 //! the failing case seed on assertion failure.
 
-use gsmb::blocking::reference::{naive_candidate_pairs, NaiveBlockStats};
+use gsmb::blocking::reference::{self, naive_candidate_pairs, NaiveBlockStats};
 use gsmb::blocking::{
-    block_filtering, block_purging, Block, BlockCollection, BlockStats, CandidatePairs,
+    block_filtering, block_purging, qgrams_blocking_csr, standard_blocking_workflow_csr,
+    suffix_array_blocking_csr, token_blocking_csr, Block, BlockCollection, BlockStats,
+    CandidatePairs, SuffixArrayConfig,
 };
-use gsmb::core::{seeded_rng, DatasetKind, EntityId, GroundTruth};
+use gsmb::core::{
+    seeded_rng, Dataset, DatasetKind, EntityCollection, EntityId, EntityProfile, GroundTruth,
+};
 use gsmb::eval::Effectiveness;
 use gsmb::features::reference::NaiveFeatureContext;
 use gsmb::features::{FeatureContext, FeatureMatrix, FeatureSet, Scheme};
@@ -82,6 +86,167 @@ fn for_random_collections_both_kinds(test_seed: u64, mut check: impl FnMut(&Bloc
         let collection = random_collection(&mut rng, kind);
         check(&collection, seed);
     }
+}
+
+/// Vocabulary for random entity profiles: short and long tokens, digits,
+/// shared stems (for q-gram/suffix overlap) and non-ASCII characters.
+const VOCAB: &[&str] = &[
+    "apple",
+    "samsung",
+    "galaxy",
+    "iphone",
+    "iphnoe",
+    "smartphone",
+    "smartphones",
+    "foldable",
+    "mate",
+    "ultimate",
+    "20",
+    "2048",
+    "s20",
+    "café",
+    "cafeteria",
+    "naïveté",
+    "x",
+    "pro",
+];
+
+/// A random entity profile with 1–3 attributes of 1–4 vocabulary tokens,
+/// joined by assorted separators to exercise the tokenizer.
+fn random_profile(rng: &mut StdRng, id: usize) -> EntityProfile {
+    let mut profile = EntityProfile::new(format!("p{id}"));
+    for a in 0..rng.gen_range(1usize..=3) {
+        let mut value = String::new();
+        for t in 0..rng.gen_range(1usize..=4) {
+            if t > 0 {
+                value.push_str([" ", "-", ", ", " / "][rng.gen_range(0usize..4)]);
+            }
+            value.push_str(VOCAB[rng.gen_range(0..VOCAB.len())]);
+        }
+        profile.push_attribute(format!("a{a}"), value);
+    }
+    profile
+}
+
+/// A random Clean-Clean or Dirty dataset over the shared vocabulary.
+fn random_dataset(rng: &mut StdRng, kind: DatasetKind) -> Dataset {
+    match kind {
+        DatasetKind::CleanClean => {
+            let n1 = rng.gen_range(3usize..=10);
+            let n2 = rng.gen_range(3usize..=10);
+            let e1 = EntityCollection::new("a", (0..n1).map(|i| random_profile(rng, i)).collect());
+            let e2 =
+                EntityCollection::new("b", (0..n2).map(|i| random_profile(rng, n1 + i)).collect());
+            Dataset::clean_clean("prop-cc", e1, e2, GroundTruth::default()).unwrap()
+        }
+        DatasetKind::Dirty => {
+            let n = rng.gen_range(4usize..=16);
+            let coll = EntityCollection::new("d", (0..n).map(|i| random_profile(rng, i)).collect());
+            Dataset::dirty("prop-dirty", coll, GroundTruth::default()).unwrap()
+        }
+    }
+}
+
+/// Runs `check` over `CASES` seeded random datasets alternating Clean-Clean
+/// and Dirty ER.
+fn for_random_datasets(test_seed: u64, mut check: impl FnMut(&Dataset, u64)) {
+    for case in 0..CASES {
+        let seed = gsmb::core::rng::derive_seed(test_seed, case);
+        let mut rng = seeded_rng(seed);
+        let kind = if case % 2 == 0 {
+            DatasetKind::CleanClean
+        } else {
+            DatasetKind::Dirty
+        };
+        let dataset = random_dataset(&mut rng, kind);
+        check(&dataset, seed);
+    }
+}
+
+/// The parallel block-building engine produces bit-identical output to the
+/// retained sequential builders, for all three schemes, on Clean-Clean and
+/// Dirty collections alike, at every thread count.
+#[test]
+fn parallel_blocking_matches_sequential_reference() {
+    let suffix_config = SuffixArrayConfig {
+        min_length: 3,
+        max_block_size: 8,
+    };
+    for_random_datasets(0x5020, |dataset, seed| {
+        let token_ref = reference::token_blocking(dataset);
+        let qgram_ref = reference::qgrams_blocking(dataset, 3);
+        let suffix_ref = reference::suffix_array_blocking(dataset, suffix_config);
+        for threads in [1, 2, 4, 8] {
+            let token = token_blocking_csr(dataset, threads).to_block_collection();
+            assert_eq!(
+                token.blocks, token_ref.blocks,
+                "seed {seed} threads {threads}"
+            );
+            let qgram = qgrams_blocking_csr(dataset, 3, threads).to_block_collection();
+            assert_eq!(
+                qgram.blocks, qgram_ref.blocks,
+                "seed {seed} threads {threads}"
+            );
+            let suffix =
+                suffix_array_blocking_csr(dataset, suffix_config, threads).to_block_collection();
+            assert_eq!(
+                suffix.blocks, suffix_ref.blocks,
+                "seed {seed} threads {threads}"
+            );
+        }
+    });
+}
+
+/// The CSR-native standard workflow (parallel Token Blocking + CSR Purging +
+/// CSR Filtering) equals the nested Vec<Block> workflow, and the statistics
+/// and candidates derived from the CSR representation equal the ones derived
+/// from the nested view.
+#[test]
+fn csr_workflow_matches_nested_workflow() {
+    for_random_datasets(0x5021, |dataset, seed| {
+        let nested = block_filtering(
+            &block_purging(&reference::token_blocking(dataset)),
+            gsmb::blocking::DEFAULT_FILTERING_RATIO,
+        );
+        for threads in [1, 4] {
+            let csr = standard_blocking_workflow_csr(dataset, threads);
+            let view = csr.to_block_collection();
+            assert_eq!(view.blocks, nested.blocks, "seed {seed} threads {threads}");
+            assert_eq!(view.num_entities, nested.num_entities, "seed {seed}");
+
+            let stats_csr = BlockStats::from_csr(&csr);
+            let stats_nested = BlockStats::new(&nested);
+            assert_eq!(
+                stats_csr.total_comparisons(),
+                stats_nested.total_comparisons(),
+                "seed {seed}"
+            );
+            for e in 0..nested.num_entities {
+                let entity = EntityId(e as u32);
+                assert_eq!(
+                    stats_csr.blocks_of(entity),
+                    stats_nested.blocks_of(entity),
+                    "seed {seed} entity {e}"
+                );
+                assert_eq!(
+                    stats_csr.entity_comparisons(entity),
+                    stats_nested.entity_comparisons(entity),
+                    "seed {seed} entity {e}"
+                );
+            }
+
+            if !nested.is_empty() {
+                let from_stats = CandidatePairs::from_stats(&stats_csr, threads);
+                let from_blocks = CandidatePairs::from_blocks(&nested);
+                assert_eq!(from_stats.pairs(), from_blocks.pairs(), "seed {seed}");
+                assert_eq!(
+                    from_stats.entity_candidate_counts(),
+                    from_blocks.entity_candidate_counts(),
+                    "seed {seed}"
+                );
+            }
+        }
+    });
 }
 
 /// Block Purging and Filtering never add comparisons and never invent
