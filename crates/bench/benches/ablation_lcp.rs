@@ -21,7 +21,7 @@ use er_features::{FeatureMatrix, FeatureSet, Scheme};
 fn naive_lcp(prepared: &PreparedDataset, entity: EntityId) -> usize {
     let mut distinct: FxHashSet<EntityId> = FxHashSet::default();
     for &block in prepared.stats.blocks_of(entity) {
-        for &other in &prepared.blocks.block(block).entities {
+        for &other in prepared.blocks.entities(block.index()) {
             if prepared.blocks.is_comparable(entity, other) {
                 distinct.insert(other);
             }

@@ -46,7 +46,7 @@ fn main() {
         .expect("training failed");
 
     for algorithm in [AlgorithmKind::Wep, AlgorithmKind::Blast] {
-        let pruner = algorithm.build(&prepared.blocks);
+        let pruner = algorithm.build_csr(&prepared.blocks);
 
         let scorer = ModelScorer::new(&model, &matrix);
         let start = Instant::now();

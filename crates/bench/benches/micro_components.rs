@@ -143,7 +143,7 @@ fn bench_classifier_and_pruning(c: &mut Criterion) {
     let scores = CachedScores::new(probabilities);
     let mut group = c.benchmark_group("pruning");
     for algorithm in AlgorithmKind::all() {
-        let pruner = algorithm.build(&prepared.blocks);
+        let pruner = algorithm.build_csr(&prepared.blocks);
         group.bench_function(algorithm.name(), |b| {
             b.iter(|| black_box(pruner.prune(&prepared.candidates, &scores)).len())
         });
@@ -172,7 +172,8 @@ fn bench_engine_comparison(c: &mut Criterion) {
 
     let prepared = prepared();
     let context = prepared.context();
-    let naive_context = NaiveFeatureContext::new(&prepared.blocks, &prepared.candidates);
+    let nested = prepared.blocks.to_block_collection();
+    let naive_context = NaiveFeatureContext::new(&nested, &prepared.candidates);
     let set = FeatureSet::all_schemes();
 
     let mut group = c.benchmark_group("features/engine_comparison");
@@ -203,18 +204,19 @@ fn bench_candidate_extraction(c: &mut Criterion) {
     use er_blocking::CandidatePairs;
 
     let prepared = prepared();
+    let nested = prepared.blocks.to_block_collection();
     let mut group = c.benchmark_group("candidates/extraction");
     group.sample_size(10);
     group.bench_function("naive_hash_set", |b| {
-        b.iter(|| black_box(naive_candidate_pairs(&prepared.blocks)))
+        b.iter(|| black_box(naive_candidate_pairs(&nested)))
     });
     group.bench_function("csr_sequential", |b| {
-        b.iter(|| black_box(CandidatePairs::from_blocks(&prepared.blocks)))
+        b.iter(|| black_box(CandidatePairs::from_blocks(&nested)))
     });
     group.bench_function("csr_parallel", |b| {
         b.iter(|| {
             black_box(CandidatePairs::from_blocks_with_stats(
-                &prepared.blocks,
+                &nested,
                 &prepared.stats,
                 er_core::available_threads(),
             ))

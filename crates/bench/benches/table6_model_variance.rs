@@ -73,7 +73,7 @@ fn main() {
             })
             .collect();
         let scores = CachedScores::new(probabilities);
-        let blast = AlgorithmKind::Blast.build(&prepared.blocks);
+        let blast = AlgorithmKind::Blast.build_csr(&prepared.blocks);
         let retained = blast.prune(&prepared.candidates, &scores);
         let retained_pairs: Vec<_> = retained
             .iter()

@@ -11,6 +11,9 @@
 //!   Meta-blocking paper;
 //! * [`pipeline`] — the end-to-end `blocking → features → training → scoring →
 //!   pruning` workflow with run-time accounting;
+//! * [`streaming`] — the incremental counterpart: bootstrap a classifier on a
+//!   seed corpus, ingest live batches through `er_stream`, and progressively
+//!   re-rank candidates;
 //! * [`unsupervised`] — classic (single-weight) meta-blocking baselines for
 //!   reference.
 //!
@@ -32,10 +35,12 @@ pub mod pipeline;
 pub mod progressive;
 pub mod pruning;
 pub mod scoring;
+pub mod streaming;
 pub mod unsupervised;
 
-pub use materialize::{materialize_blocks, PruningSummary};
+pub use materialize::{materialize_blocks, materialize_blocks_csr, PruningSummary};
 pub use pipeline::{ClassifierKind, MetaBlockingConfig, MetaBlockingOutcome, MetaBlockingPipeline};
-pub use progressive::ProgressiveSchedule;
+pub use progressive::{ProgressiveSchedule, StreamingSchedule};
 pub use pruning::{AlgorithmKind, CardinalityThresholds, PruningAlgorithm};
 pub use scoring::{CachedScores, ModelScorer, ProbabilitySource, VALIDITY_THRESHOLD};
+pub use streaming::StreamingPipeline;

@@ -6,14 +6,49 @@
 //! consumes.  This module builds `B'` and computes the block-collection-level
 //! statistics the paper reports (|P_B|, |N_B| and the reduction ratio).
 
-use er_blocking::{Block, BlockCollection, CandidatePairs};
-use er_core::{GroundTruth, PairId};
+use er_blocking::{Block, BlockCollection, CandidatePairs, CsrBlockCollection};
+use er_core::{DatasetKind, GroundTruth, PairId};
 use serde::{Deserialize, Serialize};
 
 /// Builds the output block collection `B'`: one two-entity block per retained
 /// pair, keyed by the pair's position in the retained list.
 pub fn materialize_blocks(
     source: &BlockCollection,
+    candidates: &CandidatePairs,
+    retained: &[PairId],
+) -> BlockCollection {
+    materialize_from_shape(
+        &source.dataset_name,
+        source.kind,
+        source.split,
+        source.num_entities,
+        candidates,
+        retained,
+    )
+}
+
+/// [`materialize_blocks`] for a CSR source collection (the representation
+/// the pipeline and the prepared experiment datasets carry end-to-end).
+pub fn materialize_blocks_csr(
+    source: &CsrBlockCollection,
+    candidates: &CandidatePairs,
+    retained: &[PairId],
+) -> BlockCollection {
+    materialize_from_shape(
+        &source.dataset_name,
+        source.kind,
+        source.split,
+        source.num_entities,
+        candidates,
+        retained,
+    )
+}
+
+fn materialize_from_shape(
+    dataset_name: &str,
+    kind: DatasetKind,
+    split: usize,
+    num_entities: usize,
     candidates: &CandidatePairs,
     retained: &[PairId],
 ) -> BlockCollection {
@@ -26,10 +61,10 @@ pub fn materialize_blocks(
         })
         .collect();
     BlockCollection {
-        dataset_name: source.dataset_name.clone(),
-        kind: source.kind,
-        split: source.split,
-        num_entities: source.num_entities,
+        dataset_name: dataset_name.to_string(),
+        kind,
+        split,
+        num_entities,
         blocks,
     }
 }

@@ -25,7 +25,9 @@
 
 use std::time::{Duration, Instant};
 
-use er_blocking::{standard_blocking_workflow_csr, BlockCollection, BlockStats, CandidatePairs};
+use er_blocking::{
+    standard_blocking_workflow_csr, BlockCollection, BlockStats, CandidatePairs, CsrBlockCollection,
+};
 use er_core::{Dataset, PairId, Result};
 use er_features::{FeatureContext, FeatureMatrix, FeatureSet};
 use er_learn::{
@@ -144,8 +146,10 @@ pub struct MetaBlockingOutcome {
     pub dataset_name: String,
     /// The algorithm that produced the outcome.
     pub algorithm: AlgorithmKind,
-    /// The blocking output the pipeline operated on.
-    pub blocks: BlockCollection,
+    /// The blocking output the pipeline operated on, in the CSR
+    /// representation the whole pipeline now runs end-to-end (use
+    /// [`CsrBlockCollection::to_block_collection`] for the nested view).
+    pub blocks: CsrBlockCollection,
     /// The distinct candidate pairs of the block collection.
     pub candidates: CandidatePairs,
     /// Number of candidate pairs (|C|).
@@ -188,10 +192,10 @@ impl MetaBlockingPipeline {
     /// Runs the full workflow on a dataset.
     ///
     /// Blocking runs through the parallel CSR engine
-    /// ([`standard_blocking_workflow_csr`]); block statistics and candidate
-    /// pairs are derived straight from the CSR representation, so no block
-    /// key is cloned on the hot path.  The nested [`BlockCollection`] view is
-    /// materialised once for the outcome.
+    /// ([`standard_blocking_workflow_csr`]); block statistics, candidate
+    /// pairs and pruning thresholds are all derived straight from the CSR
+    /// representation — the nested [`BlockCollection`] view is never
+    /// materialised.
     pub fn run(&self, dataset: &Dataset, algorithm: AlgorithmKind) -> Result<MetaBlockingOutcome> {
         let threads = self.config.effective_threads();
         let start = Instant::now();
@@ -202,9 +206,6 @@ impl MetaBlockingPipeline {
                 dataset.name
             )));
         }
-        // The compat view the outcome exposes; counted as blocking time for
-        // parity with the pre-CSR path, which built this representation.
-        let blocks = csr.to_block_collection();
         let blocking_time = start.elapsed();
 
         let feature_start = Instant::now();
@@ -212,7 +213,7 @@ impl MetaBlockingPipeline {
         let candidates = CandidatePairs::from_stats(&stats, threads);
         self.finish(
             dataset,
-            blocks,
+            csr,
             stats,
             candidates,
             algorithm,
@@ -243,7 +244,7 @@ impl MetaBlockingPipeline {
         let candidates = CandidatePairs::from_blocks_with_stats(&blocks, &stats, threads);
         self.finish(
             dataset,
-            blocks,
+            CsrBlockCollection::from_block_collection(&blocks),
             stats,
             candidates,
             algorithm,
@@ -258,7 +259,7 @@ impl MetaBlockingPipeline {
     fn finish(
         &self,
         dataset: &Dataset,
-        blocks: BlockCollection,
+        blocks: CsrBlockCollection,
         stats: BlockStats,
         candidates: CandidatePairs,
         algorithm: AlgorithmKind,
@@ -306,7 +307,7 @@ impl MetaBlockingPipeline {
 
         // Pruning.
         let pruning_start = Instant::now();
-        let pruner = algorithm.build_with(&blocks, self.config.blast_ratio);
+        let pruner = algorithm.build_with_csr(&blocks, self.config.blast_ratio);
         let retained = pruner.prune(&candidates, &scores);
         let pruning_time = pruning_start.elapsed();
 
@@ -415,7 +416,10 @@ mod tests {
             })
             .run(&dataset, AlgorithmKind::Blast)
             .unwrap();
-            assert_eq!(outcome.blocks.blocks, baseline.blocks.blocks);
+            assert_eq!(
+                outcome.blocks.to_block_collection().blocks,
+                baseline.blocks.to_block_collection().blocks
+            );
             assert_eq!(outcome.retained, baseline.retained, "{threads} threads");
             assert_eq!(
                 outcome.probabilities.as_slice(),

@@ -7,9 +7,21 @@
 //! comparison budget, as many duplicates as possible are found early.  The
 //! probabilistic weights produced by the trained classifier are exactly the
 //! ranking signal this needs.
+//!
+//! Two schedules cover the two ways candidates arrive:
+//!
+//! * [`ProgressiveSchedule`] ranks a complete, batch-scored candidate set
+//!   once;
+//! * [`StreamingSchedule`] re-ranks on every ingested batch: delta pairs
+//!   from `er_stream::DeltaBatch` are absorbed into a priority queue, so
+//!   the matcher always drains the highest-probability pair the stream has
+//!   produced so far.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 use er_blocking::CandidatePairs;
-use er_core::PairId;
+use er_core::{EntityId, FxHashSet, PairId};
 
 use crate::scoring::ProbabilitySource;
 
@@ -75,6 +87,121 @@ impl Iterator for ProgressiveSchedule {
     }
 }
 
+/// A scored pair in the streaming priority queue, ordered by probability
+/// descending with ties broken by ascending pair so draining is
+/// deterministic.
+#[derive(Debug, Clone, Copy)]
+struct RankedPair {
+    probability: f64,
+    pair: (EntityId, EntityId),
+}
+
+impl Ord for RankedPair {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Probabilities are clamped to [0, 1] upstream, so total_cmp is a
+        // plain numeric order here; the max-heap pops the largest first.
+        self.probability
+            .total_cmp(&other.probability)
+            .then_with(|| other.pair.cmp(&self.pair))
+    }
+}
+
+impl PartialOrd for RankedPair {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for RankedPair {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for RankedPair {}
+
+/// Progressive re-ranking over a stream: absorbs every ingested batch's
+/// delta pairs (with their classifier probabilities) and always emits the
+/// highest-probability pair not yet handed to the matcher.
+///
+/// Retractions (pairs orphaned when a block crossed a size cap) are
+/// tombstoned: a retracted pair still in the queue is silently skipped; a
+/// pair already emitted cannot be recalled — the consumer simply compared
+/// one pair that the final corpus would not have scheduled.
+#[derive(Debug, Clone, Default)]
+pub struct StreamingSchedule {
+    heap: BinaryHeap<RankedPair>,
+    tombstones: FxHashSet<(EntityId, EntityId)>,
+    emitted: usize,
+}
+
+impl StreamingSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        StreamingSchedule::default()
+    }
+
+    /// Absorbs one batch of scored pairs (the `pairs`/`probabilities`
+    /// columns of an `er_stream::DeltaBatch`).
+    ///
+    /// # Panics
+    /// Panics if the two slices differ in length — streaming emission
+    /// always scores every pair it reports.
+    pub fn absorb(&mut self, pairs: &[(EntityId, EntityId)], probabilities: &[f64]) {
+        assert_eq!(
+            pairs.len(),
+            probabilities.len(),
+            "every absorbed pair needs a probability"
+        );
+        self.heap.extend(
+            pairs
+                .iter()
+                .zip(probabilities)
+                .map(|(&pair, &probability)| RankedPair { probability, pair }),
+        );
+    }
+
+    /// Marks pairs as retracted; they will never be emitted (pairs already
+    /// drained are unaffected).
+    pub fn retract(&mut self, pairs: &[(EntityId, EntityId)]) {
+        self.tombstones.extend(pairs.iter().copied());
+    }
+
+    /// Emits the next pair in decreasing probability order, skipping
+    /// retracted pairs.
+    pub fn pop(&mut self) -> Option<((EntityId, EntityId), f64)> {
+        while let Some(ranked) = self.heap.pop() {
+            if self.tombstones.contains(&ranked.pair) {
+                continue;
+            }
+            self.emitted += 1;
+            return Some((ranked.pair, ranked.probability));
+        }
+        None
+    }
+
+    /// Emits the next batch of up to `budget` pairs.
+    pub fn next_batch(&mut self, budget: usize) -> Vec<((EntityId, EntityId), f64)> {
+        let mut out = Vec::with_capacity(budget.min(self.heap.len()));
+        while out.len() < budget {
+            let Some(item) = self.pop() else { break };
+            out.push(item);
+        }
+        out
+    }
+
+    /// Upper bound on the pairs still queued (tombstoned pairs are counted
+    /// until they are skipped on emission).
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Number of pairs emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +237,48 @@ mod tests {
         assert_eq!(schedule.next_batch(100).len(), 6);
         assert_eq!(schedule.remaining(), 0);
         assert!(schedule.next_batch(5).is_empty());
+    }
+
+    #[test]
+    fn streaming_schedule_interleaves_batches_by_probability() {
+        use er_core::EntityId;
+        let mut schedule = StreamingSchedule::new();
+        let pair = |a: u32, b: u32| (EntityId(a), EntityId(b));
+        schedule.absorb(&[pair(0, 1), pair(0, 2)], &[0.4, 0.9]);
+        schedule.absorb(&[pair(1, 3), pair(2, 3)], &[0.7, 0.1]);
+        assert_eq!(schedule.pending(), 4);
+        let drained = schedule.next_batch(10);
+        let probabilities: Vec<f64> = drained.iter().map(|&(_, p)| p).collect();
+        assert_eq!(probabilities, vec![0.9, 0.7, 0.4, 0.1]);
+        assert_eq!(drained[0].0, pair(0, 2));
+        assert_eq!(schedule.emitted(), 4);
+        assert!(schedule.pop().is_none());
+    }
+
+    #[test]
+    fn streaming_schedule_ties_break_by_ascending_pair() {
+        use er_core::EntityId;
+        let mut schedule = StreamingSchedule::new();
+        let pair = |a: u32, b: u32| (EntityId(a), EntityId(b));
+        schedule.absorb(&[pair(5, 7), pair(1, 9), pair(1, 4)], &[0.5, 0.5, 0.5]);
+        let order: Vec<_> = schedule.next_batch(3).into_iter().map(|(p, _)| p).collect();
+        assert_eq!(order, vec![pair(1, 4), pair(1, 9), pair(5, 7)]);
+    }
+
+    #[test]
+    fn streaming_schedule_skips_retracted_pairs() {
+        use er_core::EntityId;
+        let mut schedule = StreamingSchedule::new();
+        let pair = |a: u32, b: u32| (EntityId(a), EntityId(b));
+        schedule.absorb(&[pair(0, 1), pair(0, 2), pair(1, 2)], &[0.8, 0.6, 0.4]);
+        schedule.retract(&[pair(0, 2)]);
+        let drained: Vec<_> = schedule
+            .next_batch(10)
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
+        assert_eq!(drained, vec![pair(0, 1), pair(1, 2)]);
+        assert_eq!(schedule.emitted(), 2);
     }
 
     #[test]

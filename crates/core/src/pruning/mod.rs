@@ -29,7 +29,7 @@ pub use rwnp::Rwnp;
 pub use wep::Wep;
 pub use wnp::Wnp;
 
-use er_blocking::{BlockCollection, CandidatePairs};
+use er_blocking::{BlockCollection, CandidatePairs, CsrBlockCollection};
 use er_core::PairId;
 use serde::{Deserialize, Serialize};
 
@@ -59,10 +59,20 @@ pub struct CardinalityThresholds {
 impl CardinalityThresholds {
     /// Derives both thresholds from a block collection.
     pub fn from_blocks(blocks: &BlockCollection) -> Self {
-        let sum_sizes = blocks.sum_block_sizes();
+        Self::from_parts(blocks.sum_block_sizes(), blocks.num_entities)
+    }
+
+    /// Derives both thresholds straight from a CSR collection — identical
+    /// values to [`CardinalityThresholds::from_blocks`] on the nested view,
+    /// without materialising it.
+    pub fn from_csr(blocks: &CsrBlockCollection) -> Self {
+        Self::from_parts(blocks.sum_block_sizes(), blocks.num_entities)
+    }
+
+    fn from_parts(sum_sizes: u64, num_entities: usize) -> Self {
         let global_k = (sum_sizes / 2).max(1) as usize;
         let per_entity_k =
-            ((sum_sizes as f64 / blocks.num_entities.max(1) as f64).floor() as usize).max(1);
+            ((sum_sizes as f64 / num_entities.max(1) as f64).floor() as usize).max(1);
         CardinalityThresholds {
             global_k,
             per_entity_k,
@@ -158,7 +168,30 @@ impl AlgorithmKind {
         blocks: &BlockCollection,
         blast_ratio: f64,
     ) -> Box<dyn PruningAlgorithm> {
-        let thresholds = CardinalityThresholds::from_blocks(blocks);
+        self.build_from_thresholds(CardinalityThresholds::from_blocks(blocks), blast_ratio)
+    }
+
+    /// Builds the algorithm from a CSR collection with the default BLAST
+    /// ratio (no nested view required).
+    pub fn build_csr(self, blocks: &CsrBlockCollection) -> Box<dyn PruningAlgorithm> {
+        self.build_with_csr(blocks, Blast::DEFAULT_RATIO)
+    }
+
+    /// Builds the algorithm from a CSR collection with an explicit BLAST
+    /// pruning ratio.
+    pub fn build_with_csr(
+        self,
+        blocks: &CsrBlockCollection,
+        blast_ratio: f64,
+    ) -> Box<dyn PruningAlgorithm> {
+        self.build_from_thresholds(CardinalityThresholds::from_csr(blocks), blast_ratio)
+    }
+
+    fn build_from_thresholds(
+        self,
+        thresholds: CardinalityThresholds,
+        blast_ratio: f64,
+    ) -> Box<dyn PruningAlgorithm> {
         match self {
             AlgorithmKind::Bcl => Box::new(Bcl),
             AlgorithmKind::Wep => Box::new(Wep),

@@ -1,0 +1,209 @@
+//! The end-to-end streaming pipeline: bootstrap a classifier on a seed
+//! corpus, then ingest live batches and progressively re-rank candidates.
+//!
+//! This is the streaming counterpart of [`crate::pipeline`]: where the batch
+//! pipeline runs `blocking → features → training → scoring → pruning` once,
+//! the streaming pipeline trains the classifier **once** on a seed corpus
+//! and then, per ingested batch, lets `er_stream` update the blocking index
+//! incrementally and emit only the delta candidate pairs — already scored
+//! with the trained model — which feed a [`StreamingSchedule`] so a matcher
+//! can always drain the most promising comparison discovered so far
+//! (Progressive ER under a comparison budget).
+//!
+//! For Clean-Clean ER the seed corpus must contain all of E1 (the entity id
+//! space is append-only, so later arrivals belong to E2); any prefix works
+//! for Dirty ER.
+
+use er_blocking::{build_blocks, BlockStats, CandidatePairs, CsrBlockCollection, TokenKeys};
+use er_core::{Dataset, EntityProfile, PairId, Result};
+use er_features::{FeatureContext, FeatureMatrix};
+use er_learn::{balanced_undersample, TrainingSet};
+use er_stream::{DeltaBatch, StreamingConfig, StreamingMetaBlocker};
+
+use crate::pipeline::MetaBlockingConfig;
+use crate::progressive::StreamingSchedule;
+
+/// A bootstrapped streaming meta-blocking pipeline over Token Blocking.
+pub struct StreamingPipeline {
+    blocker: StreamingMetaBlocker<TokenKeys>,
+    schedule: StreamingSchedule,
+}
+
+impl StreamingPipeline {
+    /// Trains the configured classifier on `seed_corpus` (batch-built, with
+    /// the same sampling and feature path as the batch pipeline), seeds the
+    /// streaming index with the corpus, and returns a pipeline ready to
+    /// ingest the rest of the stream.
+    ///
+    /// The seed corpus must yield at least one candidate pair per class for
+    /// training; `config.per_class` applies as in the batch pipeline.
+    pub fn bootstrap(config: &MetaBlockingConfig, seed_corpus: &Dataset) -> Result<Self> {
+        let threads = config.effective_threads();
+        let set = config.feature_set;
+
+        let csr = build_blocks(seed_corpus, &TokenKeys, threads);
+        if csr.is_empty() {
+            return Err(er_core::Error::EmptyInput(format!(
+                "seed corpus {} produced no blocks",
+                seed_corpus.name
+            )));
+        }
+        let stats = BlockStats::from_csr(&csr);
+        let candidates = CandidatePairs::from_stats(&stats, threads);
+        if candidates.is_empty() {
+            return Err(er_core::Error::EmptyInput(format!(
+                "seed corpus {} produced no candidate pairs",
+                seed_corpus.name
+            )));
+        }
+        let context = FeatureContext::new(&stats, &candidates);
+        let mut rng = er_core::seeded_rng(config.seed);
+        let sample = balanced_undersample(
+            candidates.pairs(),
+            &seed_corpus.ground_truth,
+            config.per_class,
+            &mut rng,
+        )?;
+        let mut training = TrainingSet::new();
+        let mut row = vec![0.0f64; set.vector_len()];
+        for (&pair_index, &label) in sample.pair_indices.iter().zip(&sample.labels) {
+            let (a, b) = candidates.pair(PairId::from(pair_index));
+            context.write_pair_features(a, b, set, &mut row);
+            training.push(row.clone(), label);
+        }
+        let model = config.classifier.fit(&training)?;
+
+        // The seed corpus is already indexed by the batch pass above — score
+        // its candidate pairs once through the fused batch path instead of
+        // re-deriving every pair's features during seeding.
+        let seed_probabilities = FeatureMatrix::score_rows(&context, set, threads, |row| {
+            model.probability(row).clamp(0.0, 1.0)
+        });
+
+        let stream_config = StreamingConfig {
+            dataset_name: seed_corpus.name.clone(),
+            kind: seed_corpus.kind,
+            split: seed_corpus.split,
+            feature_set: set,
+            threads,
+        };
+        let mut pipeline = StreamingPipeline {
+            blocker: StreamingMetaBlocker::new(stream_config, TokenKeys).with_model(model),
+            schedule: StreamingSchedule::new(),
+        };
+        // Seed the index through the unscored ingestion path (same postings,
+        // statistics and LCP counters; no duplicate feature pass) and seed
+        // the schedule with the batch-scored pairs.
+        pipeline.blocker.ingest_unscored(&seed_corpus.profiles);
+        pipeline
+            .schedule
+            .absorb(candidates.pairs(), &seed_probabilities);
+        Ok(pipeline)
+    }
+
+    /// Ingests one batch of new entities: the blocking index updates
+    /// incrementally, the delta pairs are scored with the bootstrapped
+    /// model, and the progressive schedule re-ranks (absorbing the new
+    /// pairs, tombstoning any retractions).  Returns the raw delta.
+    pub fn ingest(&mut self, profiles: &[EntityProfile]) -> DeltaBatch {
+        let delta = self.blocker.ingest(profiles);
+        self.schedule.absorb(&delta.pairs, &delta.probabilities);
+        self.schedule.retract(&delta.retracted);
+        delta
+    }
+
+    /// Emits the next up-to-`budget` comparisons in decreasing probability
+    /// order across everything ingested so far.
+    pub fn next_batch(
+        &mut self,
+        budget: usize,
+    ) -> Vec<((er_core::EntityId, er_core::EntityId), f64)> {
+        self.schedule.next_batch(budget)
+    }
+
+    /// The progressive schedule.
+    pub fn schedule(&self) -> &StreamingSchedule {
+        &self.schedule
+    }
+
+    /// The underlying streaming blocker.
+    pub fn blocker(&self) -> &StreamingMetaBlocker<TokenKeys> {
+        &self.blocker
+    }
+
+    /// Number of entities ingested so far (seed included).
+    pub fn num_entities(&self) -> usize {
+        self.blocker.num_entities()
+    }
+
+    /// Folds the accumulated deltas into a fresh baseline CSR and returns
+    /// the batch-equivalent view of the whole ingested corpus.
+    pub fn compact(&mut self) -> CsrBlockCollection {
+        self.blocker.compact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_datasets::{generate_catalog_dataset, CatalogOptions, DatasetName};
+    use er_stream::dataset_prefix;
+
+    fn dataset() -> Dataset {
+        generate_catalog_dataset(DatasetName::DblpAcm, &CatalogOptions::tiny()).unwrap()
+    }
+
+    fn config() -> MetaBlockingConfig {
+        MetaBlockingConfig {
+            per_class: 15,
+            threads: Some(2),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn bootstrap_then_stream_covers_the_whole_corpus() {
+        let ds = dataset();
+        // Seed: all of E1 plus the first half of E2.
+        let seed_count = ds.split + (ds.num_entities() - ds.split) / 2;
+        let seed = dataset_prefix(&ds, seed_count);
+        let mut pipeline = StreamingPipeline::bootstrap(&config(), &seed).unwrap();
+        assert_eq!(pipeline.num_entities(), seed_count);
+        assert!(pipeline.schedule().pending() > 0);
+
+        // Stream the remaining E2 entities in small batches.
+        let mut streamed_pairs = 0usize;
+        for chunk in ds.profiles[seed_count..].chunks(7) {
+            let delta = pipeline.ingest(chunk);
+            assert_eq!(delta.probabilities.len(), delta.len());
+            streamed_pairs += delta.len();
+        }
+        assert_eq!(pipeline.num_entities(), ds.num_entities());
+        assert!(streamed_pairs > 0, "streaming found no new candidates");
+
+        // The compacted state equals a one-shot batch build.
+        let compacted = pipeline.compact();
+        let batch = build_blocks(&ds, &TokenKeys, 2);
+        assert_eq!(
+            compacted.to_block_collection().blocks,
+            batch.to_block_collection().blocks
+        );
+    }
+
+    #[test]
+    fn schedule_drains_in_decreasing_probability() {
+        let ds = dataset();
+        let seed = dataset_prefix(&ds, ds.split + 20);
+        let mut pipeline = StreamingPipeline::bootstrap(&config(), &seed).unwrap();
+        pipeline.ingest(&ds.profiles[pipeline.num_entities()..]);
+        let mut last = f64::INFINITY;
+        let mut drained = 0usize;
+        while let Some((_, p)) = pipeline.schedule.pop() {
+            assert!(p <= last + 1e-15, "schedule emitted out of order");
+            last = p;
+            drained += 1;
+        }
+        assert!(drained > 0);
+        assert_eq!(pipeline.schedule().emitted(), drained);
+    }
+}

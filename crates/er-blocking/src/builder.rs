@@ -245,6 +245,50 @@ impl ShardedInterner {
     }
 }
 
+/// Returns the indices of `keys` in ascending lexicographic order — the
+/// deterministic block-id assignment shared by the batch builder (phase 2
+/// below) and the `er-stream` per-epoch compaction.
+///
+/// With more than one worker the index range is split into contiguous
+/// chunks, each chunk is sorted on its own worker, and the sorted runs are
+/// folded by a k-way merge on the calling thread.  Interned keys are
+/// distinct, so comparisons never tie and the resulting order — hence every
+/// block id downstream — is identical for any thread count.
+pub fn sorted_key_order<K: AsRef<str> + Sync>(keys: &[K], threads: usize) -> Vec<u32> {
+    let n = keys.len();
+    let key = |i: u32| keys[i as usize].as_ref();
+    // Below ~64k keys the chunk sorts finish faster than the threads spawn.
+    if threads <= 1 || n < 65_536 {
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by(|&a, &b| key(a).cmp(key(b)));
+        return order;
+    }
+    let runs: Vec<Vec<u32>> = er_core::map_ranges_parallel(n, threads, threads, |range| {
+        let mut run: Vec<u32> = (range.start as u32..range.end as u32).collect();
+        run.sort_unstable_by(|&a, &b| key(a).cmp(key(b)));
+        run
+    });
+    // K-way merge of the sorted runs; k is the worker count (≤ 8), so a
+    // linear scan over the run heads beats a heap.
+    let mut cursors = vec![0usize; runs.len()];
+    let mut order = Vec::with_capacity(n);
+    loop {
+        let mut best: Option<(usize, &str)> = None;
+        for (r, run) in runs.iter().enumerate() {
+            if let Some(&head) = run.get(cursors[r]) {
+                let head_key = key(head);
+                if best.is_none_or(|(_, k)| head_key < k) {
+                    best = Some((r, head_key));
+                }
+            }
+        }
+        let Some((r, _)) = best else { break };
+        order.push(runs[r][cursors[r]]);
+        cursors[r] += 1;
+    }
+    order
+}
+
 /// Builds the block collection of `dataset` under the scheme described by
 /// `generator`, using up to `threads` workers.
 ///
@@ -300,11 +344,11 @@ pub fn build_blocks<G: KeyGenerator + ?Sized>(
         });
 
     // Phase 2: deterministic id assignment.  Sort the interned keys
-    // lexicographically; `rank` maps dense provisional ids to final ids.
+    // lexicographically (parallel chunk sort + k-way merge); `rank` maps
+    // dense provisional ids to final ids.
     let (all_keys, bases) = interner.into_key_table();
     let key_count = all_keys.len();
-    let mut order: Vec<u32> = (0..key_count as u32).collect();
-    order.sort_unstable_by(|&a, &b| all_keys[a as usize].cmp(&all_keys[b as usize]));
+    let order = sorted_key_order(&all_keys, threads);
     let mut rank = vec![0u32; key_count];
     for (final_id, &dense) in order.iter().enumerate() {
         rank[dense as usize] = final_id as u32;
@@ -315,7 +359,13 @@ pub fn build_blocks<G: KeyGenerator + ?Sized>(
 
     // Phase 3: counting-sort scatter into the entity arena.  Iterating runs
     // in range order emits entities in ascending order per key, so every
-    // block's slice is sorted by construction.
+    // block's slice is sorted by construction.  The scatter itself stays
+    // sequential by design: it is a pure memory-bandwidth pass (two
+    // streaming reads and one random write per posting, no comparisons),
+    // and the obvious parallelisation — partitioning by key range — has to
+    // re-read every posting run once per partition, multiplying the read
+    // traffic by the worker count.  Revisit only if multi-core profiles of
+    // `micro_blocking` show this pass dominating after the parallel sort.
     let mut offsets = vec![0u32; key_count + 1];
     for run in &runs {
         for &(packed, _) in run {
@@ -466,6 +516,25 @@ mod tests {
         assert_eq!(keys.len(), 2);
         assert_eq!(bases.len(), SHARD_COUNT);
         assert!(keys.iter().any(|k| &**k == "apple"));
+    }
+
+    #[test]
+    fn sorted_key_order_matches_sequential_sort_for_any_thread_count() {
+        // Enough keys to cross the parallel threshold, with a shuffled,
+        // collision-ish distribution (shared prefixes, varied lengths).
+        let keys: Vec<String> = (0..70_000u32)
+            .map(|i| format!("k{:x}-{}", i.wrapping_mul(2654435761) % 4096, i))
+            .collect();
+        let expected = {
+            let mut order: Vec<u32> = (0..keys.len() as u32).collect();
+            order.sort_unstable_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
+            order
+        };
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(sorted_key_order(&keys, threads), expected, "{threads}");
+        }
+        let empty: Vec<String> = Vec::new();
+        assert!(sorted_key_order(&empty, 4).is_empty());
     }
 
     #[test]

@@ -107,13 +107,7 @@ impl BlockCollection {
     /// True if the pair of entities can be compared under this collection's ER
     /// kind (cross-source for Clean-Clean, distinct for Dirty).
     pub fn is_comparable(&self, a: EntityId, b: EntityId) -> bool {
-        if a == b {
-            return false;
-        }
-        match self.kind {
-            DatasetKind::CleanClean => (a.index() < self.split) != (b.index() < self.split),
-            DatasetKind::Dirty => true,
-        }
+        self.kind.comparable(self.split, a, b)
     }
 }
 

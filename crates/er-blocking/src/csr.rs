@@ -25,9 +25,11 @@ use crate::block::Block;
 use crate::collection::BlockCollection;
 
 /// `||b||` from a block's first-source count and size — the single home of
-/// the CleanClean/Dirty comparison formula.
+/// the CleanClean/Dirty comparison formula.  Public so that incremental
+/// consumers (the `er-stream` index) update block cardinalities with exactly
+/// the batch engine's arithmetic.
 #[inline]
-pub(crate) fn comparisons_from_first(kind: DatasetKind, first: u32, size: usize) -> u64 {
+pub fn comparisons_from_first(kind: DatasetKind, first: u32, size: usize) -> u64 {
     match kind {
         DatasetKind::CleanClean => u64::from(first) * (size as u64 - u64::from(first)),
         DatasetKind::Dirty => {
@@ -39,11 +41,7 @@ pub(crate) fn comparisons_from_first(kind: DatasetKind, first: u32, size: usize)
 
 /// First-source count and `||b||` of one sorted entity slice.
 #[inline]
-pub(crate) fn slice_cardinalities(
-    slice: &[EntityId],
-    kind: DatasetKind,
-    split: usize,
-) -> (u32, u64) {
+pub fn slice_cardinalities(slice: &[EntityId], kind: DatasetKind, split: usize) -> (u32, u64) {
     let first = slice.partition_point(|e| e.index() < split) as u32;
     (first, comparisons_from_first(kind, first, slice.len()))
 }
@@ -125,11 +123,14 @@ pub struct CsrBlockCollection {
 
 impl CsrBlockCollection {
     /// Assembles a collection whose first-source counts were already computed
-    /// by the caller (the parallel builder).  `entity_offsets` must have one
-    /// more entry than `key_ids`, and every block's entity slice must be
-    /// sorted and duplicate-free.
+    /// by the caller (the parallel builder and the `er-stream` compaction).
+    /// `entity_offsets` must have one more entry than `key_ids`, every
+    /// block's entity slice must be sorted and duplicate-free, and
+    /// `first_counts[b]` must equal the number of entities of block `b` with
+    /// an index below `split` — callers that cannot guarantee this should go
+    /// through [`CsrBlockCollection::from_block_collection`] instead.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn from_raw(
+    pub fn from_raw(
         dataset_name: String,
         kind: DatasetKind,
         split: usize,
@@ -216,6 +217,13 @@ impl CsrBlockCollection {
     /// `Σ_b |b|`: the sum of block sizes.
     pub fn sum_block_sizes(&self) -> u64 {
         self.entities.len() as u64
+    }
+
+    /// True if two entities may be compared at all: cross-source for
+    /// Clean-Clean ER, merely distinct for Dirty ER.
+    #[inline]
+    pub fn is_comparable(&self, a: EntityId, b: EntityId) -> bool {
+        self.kind.comparable(self.split, a, b)
     }
 
     /// Returns a collection containing only the blocks satisfying `keep`,

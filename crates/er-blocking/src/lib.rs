@@ -32,10 +32,12 @@ pub mod suffix_arrays;
 pub mod token_blocking;
 
 pub use block::Block;
-pub use builder::{build_blocks, KeyGenerator, KeyScratch, QGramKeys, SuffixKeys, TokenKeys};
+pub use builder::{
+    build_blocks, sorted_key_order, KeyGenerator, KeyScratch, QGramKeys, SuffixKeys, TokenKeys,
+};
 pub use candidates::CandidatePairs;
 pub use collection::BlockCollection;
-pub use csr::{CsrBlockCollection, KeyStore};
+pub use csr::{comparisons_from_first, slice_cardinalities, CsrBlockCollection, KeyStore};
 pub use filtering::{block_filtering, block_filtering_csr, DEFAULT_FILTERING_RATIO};
 pub use graph::NeighborIndex;
 pub use purging::{block_purging, block_purging_csr};

@@ -46,6 +46,24 @@ pub enum DatasetKind {
     Dirty,
 }
 
+impl DatasetKind {
+    /// True if two entities may be compared at all under this ER kind:
+    /// cross-source for Clean-Clean (`split` is the E1/E2 boundary in the
+    /// flattened id space), merely distinct for Dirty.
+    ///
+    /// The single home of the comparability rule — datasets, block
+    /// collections (nested and CSR) and the streaming index all delegate
+    /// here, so the batch and streaming engines can never disagree on it.
+    #[inline]
+    pub fn comparable(self, split: usize, a: EntityId, b: EntityId) -> bool {
+        a != b
+            && match self {
+                DatasetKind::CleanClean => (a.index() < split) != (b.index() < split),
+                DatasetKind::Dirty => true,
+            }
+    }
+}
+
 /// The set of true duplicate pairs.
 ///
 /// Pairs are stored with the smaller [`EntityId`] first so lookups are
@@ -234,7 +252,7 @@ impl Dataset {
     /// True if a pair of entities is allowed to be compared at all
     /// (cross-source for Clean-Clean, distinct for Dirty).
     pub fn is_comparable(&self, a: EntityId, b: EntityId) -> bool {
-        a != b && self.is_cross_source(a, b)
+        self.kind.comparable(self.split, a, b)
     }
 
     /// Iterates over all entity ids.

@@ -9,7 +9,7 @@
 
 use std::time::{Duration, Instant};
 
-use er_blocking::{standard_blocking_workflow_csr, BlockCollection, BlockStats, CandidatePairs};
+use er_blocking::{standard_blocking_workflow_csr, BlockStats, CandidatePairs, CsrBlockCollection};
 use er_core::{Dataset, PairId, Result};
 use er_features::{FeatureContext, FeatureMatrix, FeatureSet};
 use er_learn::{balanced_undersample, TrainingSet};
@@ -24,8 +24,10 @@ use crate::metrics::Effectiveness;
 pub struct PreparedDataset {
     /// The generated dataset.
     pub dataset: Dataset,
-    /// The block collection after Token Blocking, Purging and Filtering.
-    pub blocks: BlockCollection,
+    /// The block collection after Token Blocking, Purging and Filtering, in
+    /// the CSR representation every experiment consumes directly (use
+    /// [`CsrBlockCollection::to_block_collection`] for the nested view).
+    pub blocks: CsrBlockCollection,
     /// Pre-computed block statistics.
     pub stats: BlockStats,
     /// The distinct candidate pairs.
@@ -36,9 +38,9 @@ pub struct PreparedDataset {
 
 impl PreparedDataset {
     /// Runs the standard blocking workflow on a dataset through the parallel
-    /// CSR engine; statistics and candidates are derived from the CSR
-    /// representation, and the nested [`BlockCollection`] view is
-    /// materialised once for the experiments that still consume it.
+    /// CSR engine; statistics, candidates and the retained block collection
+    /// all stay in the CSR representation — no nested `Vec<Block>` view is
+    /// materialised.
     pub fn prepare(dataset: Dataset) -> Result<Self> {
         let threads = er_core::available_threads();
         let start = Instant::now();
@@ -60,7 +62,7 @@ impl PreparedDataset {
         }
         Ok(PreparedDataset {
             dataset,
-            blocks: csr.to_block_collection(),
+            blocks: csr,
             stats,
             candidates,
             blocking_time,
@@ -241,7 +243,7 @@ pub fn run_with_matrix(
     let (scores, training_time, scoring_time) = train_and_score(prepared, matrix, config, seed)?;
 
     let pruning_start = Instant::now();
-    let pruner = algorithm.build_with(&prepared.blocks, config.blast_ratio);
+    let pruner = algorithm.build_with_csr(&prepared.blocks, config.blast_ratio);
     let retained = pruner.prune(&prepared.candidates, &scores);
     let pruning_time = pruning_start.elapsed();
 

@@ -40,6 +40,114 @@ pub struct PairCooccurrence {
     pub inv_sizes_sum: f64,
 }
 
+/// The per-entity aggregates every weighting scheme reads.
+///
+/// [`FeatureContext`] precomputes these for the whole corpus; incremental
+/// consumers (the `er-stream` delta scorer) compute them only for the
+/// entities touched by a batch and feed the same fused writer,
+/// [`write_features_from`] — so the scheme formulas live in exactly one
+/// place no matter which engine evaluates them.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EntityAggregates {
+    /// `|B_i|`: number of blocks containing the entity, as an `f64` (the JS
+    /// union formula consumes it in floating point).
+    pub num_blocks: f64,
+    /// Σ_{b ∈ B_i} 1/||b|| (denominator of WJS).
+    pub inv_comparisons: f64,
+    /// Σ_{b ∈ B_i} 1/|b| (denominator of NRS).
+    pub inv_sizes: f64,
+    /// `ln(|B| / |B_i|)`: the CF-IBF inverse-block-frequency factor.
+    pub ibf: f64,
+    /// `ln(||B|| / ||e_i||)`: the EJS inverse-candidate-frequency factor.
+    pub icf: f64,
+    /// LCP: the entity's number of distinct candidates.
+    pub lcp: f64,
+}
+
+/// Writes the feature vector of a pair from its co-occurrence aggregates and
+/// the two endpoints' per-entity aggregates.  `out` must be exactly
+/// `set.vector_len()` long; columns follow the canonical scheme order with
+/// LCP expanding into `LCP(e_i), LCP(e_j)`.
+///
+/// This is the single home of the per-pair scheme formulas: the corpus-wide
+/// [`FeatureContext::write_pair_features_with`] and the incremental
+/// `er-stream` scorer both delegate here, so their outputs are bit-identical
+/// whenever their aggregates are.
+#[inline]
+pub fn write_features_from(
+    a: &EntityAggregates,
+    b: &EntityAggregates,
+    agg: &PairCooccurrence,
+    set: FeatureSet,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(out.len(), set.vector_len());
+    let cb = agg.common_blocks as f64;
+
+    // JS is needed by both the Js and Ejs columns; derive it once.
+    let needs_js = set.contains(Scheme::Js) || set.contains(Scheme::Ejs);
+    let js = if needs_js {
+        let union = a.num_blocks + b.num_blocks - cb;
+        if union > 0.0 {
+            cb / union
+        } else {
+            0.0
+        }
+    } else {
+        0.0
+    };
+
+    let mut cursor = 0;
+    let mut push = |slot: &mut usize, value: f64| {
+        out[*slot] = value;
+        *slot += 1;
+    };
+    if set.contains(Scheme::CfIbf) {
+        push(&mut cursor, cb * a.ibf * b.ibf);
+    }
+    if set.contains(Scheme::Raccb) {
+        push(&mut cursor, agg.inv_comparisons_sum);
+    }
+    if set.contains(Scheme::Js) {
+        push(&mut cursor, js);
+    }
+    if set.contains(Scheme::Lcp) {
+        push(&mut cursor, a.lcp);
+        push(&mut cursor, b.lcp);
+    }
+    if set.contains(Scheme::Ejs) {
+        push(&mut cursor, js * a.icf * b.icf);
+    }
+    if set.contains(Scheme::Wjs) {
+        let numerator = agg.inv_comparisons_sum;
+        let denominator = a.inv_comparisons + b.inv_comparisons - numerator;
+        push(
+            &mut cursor,
+            if denominator > 0.0 {
+                numerator / denominator
+            } else {
+                0.0
+            },
+        );
+    }
+    if set.contains(Scheme::Rs) {
+        push(&mut cursor, agg.inv_sizes_sum);
+    }
+    if set.contains(Scheme::Nrs) {
+        let numerator = agg.inv_sizes_sum;
+        let denominator = a.inv_sizes + b.inv_sizes - numerator;
+        push(
+            &mut cursor,
+            if denominator > 0.0 {
+                numerator / denominator
+            } else {
+                0.0
+            },
+        );
+    }
+    debug_assert_eq!(cursor, out.len());
+}
+
 impl<'a> FeatureContext<'a> {
     /// Builds the context for a block collection's statistics and candidate
     /// pairs.
@@ -217,6 +325,21 @@ impl<'a> FeatureContext<'a> {
         self.write_pair_features_with(a, b, &agg, set, out);
     }
 
+    /// The precomputed per-entity aggregates of one entity, in the shape the
+    /// shared fused writer ([`write_features_from`]) consumes.
+    #[inline]
+    pub fn entity_aggregates(&self, entity: EntityId) -> EntityAggregates {
+        let i = entity.index();
+        EntityAggregates {
+            num_blocks: self.stats.num_blocks_of(entity) as f64,
+            inv_comparisons: self.entity_inv_comparisons[i],
+            inv_sizes: self.entity_inv_sizes[i],
+            ibf: self.entity_ibf[i],
+            icf: self.entity_icf[i],
+            lcp: self.lcp(entity),
+        }
+    }
+
     /// Writes the feature vector of a pair from already-computed
     /// co-occurrence aggregates (the entity-major scoreboard pass in
     /// [`crate::FeatureMatrix`] accumulates them without any merge).
@@ -229,74 +352,13 @@ impl<'a> FeatureContext<'a> {
         set: FeatureSet,
         out: &mut [f64],
     ) {
-        debug_assert_eq!(out.len(), set.vector_len());
-        let cb = agg.common_blocks as f64;
-        let (ai, bi) = (a.index(), b.index());
-
-        // JS is needed by both the Js and Ejs columns; derive it once.
-        let needs_js = set.contains(Scheme::Js) || set.contains(Scheme::Ejs);
-        let js = if needs_js {
-            let union =
-                self.stats.num_blocks_of(a) as f64 + self.stats.num_blocks_of(b) as f64 - cb;
-            if union > 0.0 {
-                cb / union
-            } else {
-                0.0
-            }
-        } else {
-            0.0
-        };
-
-        let mut cursor = 0;
-        let mut push = |slot: &mut usize, value: f64| {
-            out[*slot] = value;
-            *slot += 1;
-        };
-        if set.contains(Scheme::CfIbf) {
-            push(&mut cursor, cb * self.entity_ibf[ai] * self.entity_ibf[bi]);
-        }
-        if set.contains(Scheme::Raccb) {
-            push(&mut cursor, agg.inv_comparisons_sum);
-        }
-        if set.contains(Scheme::Js) {
-            push(&mut cursor, js);
-        }
-        if set.contains(Scheme::Lcp) {
-            push(&mut cursor, self.lcp(a));
-            push(&mut cursor, self.lcp(b));
-        }
-        if set.contains(Scheme::Ejs) {
-            push(&mut cursor, js * self.entity_icf[ai] * self.entity_icf[bi]);
-        }
-        if set.contains(Scheme::Wjs) {
-            let numerator = agg.inv_comparisons_sum;
-            let denominator =
-                self.entity_inv_comparisons[ai] + self.entity_inv_comparisons[bi] - numerator;
-            push(
-                &mut cursor,
-                if denominator > 0.0 {
-                    numerator / denominator
-                } else {
-                    0.0
-                },
-            );
-        }
-        if set.contains(Scheme::Rs) {
-            push(&mut cursor, agg.inv_sizes_sum);
-        }
-        if set.contains(Scheme::Nrs) {
-            let numerator = agg.inv_sizes_sum;
-            let denominator = self.entity_inv_sizes[ai] + self.entity_inv_sizes[bi] - numerator;
-            push(
-                &mut cursor,
-                if denominator > 0.0 {
-                    numerator / denominator
-                } else {
-                    0.0
-                },
-            );
-        }
-        debug_assert_eq!(cursor, out.len());
+        write_features_from(
+            &self.entity_aggregates(a),
+            &self.entity_aggregates(b),
+            agg,
+            set,
+            out,
+        );
     }
 
     /// Writes the feature vector of a pair for the given feature set into

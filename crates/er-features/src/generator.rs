@@ -26,7 +26,7 @@
 use er_core::{EntityId, PairId};
 use serde::{Deserialize, Serialize};
 
-use crate::context::{FeatureContext, PairCooccurrence};
+use crate::context::{write_features_from, FeatureContext, PairCooccurrence};
 use crate::feature_set::FeatureSet;
 
 /// Rows per work-queue chunk: large enough to amortise queue locking, small
@@ -401,7 +401,10 @@ fn fused_entity_major_pass<E>(
                 // `CandidatePairs::from_pairs` may contain pairs the board
                 // has no data for (both endpoints in E1); those fall back to
                 // the per-pair merge so every candidate set yields exactly
-                // the reference values.
+                // the reference values.  a's per-entity aggregates are fixed
+                // across its whole partner run — gather them once, not per
+                // pair.
+                let a_aggregates = context.entity_aggregates(a);
                 for &(_, b) in candidates.pairs_of(a) {
                     let bi = b.index();
                     let board_covers_pair = match kind {
@@ -417,7 +420,13 @@ fn fused_entity_major_pass<E>(
                     } else {
                         context.cooccurrence(a, b)
                     };
-                    context.write_pair_features_with(a, b, &agg, set, row);
+                    write_features_from(
+                        &a_aggregates,
+                        &context.entity_aggregates(b),
+                        &agg,
+                        set,
+                        row,
+                    );
                     emit(
                         context,
                         (a, b),

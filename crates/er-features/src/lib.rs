@@ -18,7 +18,7 @@ pub mod generator;
 pub mod reference;
 pub mod schemes;
 
-pub use context::FeatureContext;
+pub use context::{write_features_from, EntityAggregates, FeatureContext, PairCooccurrence};
 pub use feature_set::FeatureSet;
 pub use generator::FeatureMatrix;
 pub use schemes::Scheme;

@@ -1,0 +1,469 @@
+//! The streaming meta-blocking pipeline: ingest entity batches, emit delta
+//! candidate pairs with feature vectors and classifier probabilities.
+
+use er_blocking::{CsrBlockCollection, KeyGenerator, KeyScratch};
+use er_core::{Dataset, DatasetKind, EntityId, EntityProfile, FxHashMap, GroundTruth};
+use er_features::{write_features_from, EntityAggregates, FeatureSet, PairCooccurrence};
+use er_learn::ProbabilisticClassifier;
+
+use crate::index::{PartnerBoard, StreamingIndex};
+
+/// Configuration of a [`StreamingMetaBlocker`].
+#[derive(Debug, Clone)]
+pub struct StreamingConfig {
+    /// Name recorded on every emitted block collection.
+    pub dataset_name: String,
+    /// Clean-Clean or Dirty ER.
+    pub kind: DatasetKind,
+    /// Fixed E1/E2 boundary of the entity id space (Clean-Clean only):
+    /// ingested entities with an id below `split` belong to E1.  Ignored for
+    /// Dirty ER, where the boundary is always the current corpus size.
+    pub split: usize,
+    /// The weighting schemes forming each delta pair's feature vector.
+    pub feature_set: FeatureSet,
+    /// Worker threads for partner gathering and compaction.  Deterministic:
+    /// the thread count never changes any output.
+    pub threads: usize,
+}
+
+impl StreamingConfig {
+    /// A configuration matching a dataset's shape (name, kind, split), with
+    /// the paper's BLAST-optimal feature set and the default thread count.
+    pub fn for_dataset(dataset: &Dataset) -> Self {
+        StreamingConfig {
+            dataset_name: dataset.name.clone(),
+            kind: dataset.kind,
+            split: dataset.split,
+            feature_set: FeatureSet::blast_optimal(),
+            threads: er_core::available_threads(),
+        }
+    }
+}
+
+/// The incremental output of one [`StreamingMetaBlocker::ingest`] call.
+///
+/// `pairs[i]`'s feature vector is `features[i * width..(i + 1) * width]`
+/// with `width = feature_set.vector_len()`; `probabilities[i]` is its
+/// classifier probability when a model is attached (empty otherwise).
+/// Pairs are grouped by their newly ingested (larger) endpoint in ascending
+/// id order, partners ascending within each group.
+#[derive(Debug, Clone)]
+pub struct DeltaBatch {
+    /// The compaction epoch the batch was ingested in.
+    pub epoch: u64,
+    /// Id of the first entity of the batch.
+    pub first_id: EntityId,
+    /// Number of entities ingested by this call.
+    pub num_ingested: usize,
+    /// Width of each feature row (`feature_set.vector_len()`).
+    pub feature_width: usize,
+    /// The new candidate pairs, smaller entity first.
+    pub pairs: Vec<(EntityId, EntityId)>,
+    /// Row-major feature matrix of the new pairs.
+    pub features: Vec<f64>,
+    /// Classifier probability per pair (empty when no model is attached).
+    pub probabilities: Vec<f64>,
+    /// Previously emitted pairs that ceased to be candidates because a
+    /// block crossed the scheme's size cap during this batch.
+    pub retracted: Vec<(EntityId, EntityId)>,
+}
+
+impl DeltaBatch {
+    /// Number of new candidate pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if the batch produced no new candidate pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The feature vector of the `i`-th pair.
+    pub fn feature_row(&self, i: usize) -> &[f64] {
+        &self.features[i * self.feature_width..(i + 1) * self.feature_width]
+    }
+}
+
+/// A mutable meta-blocking pipeline over a growing corpus.
+///
+/// Entities are ingested in batches and assigned sequential ids; each batch
+/// returns only the *delta* candidate pairs (every pair has at least one
+/// endpoint in the batch — under insertions no pair between pre-existing
+/// entities can appear), scored against the end-of-batch corpus state.
+/// [`StreamingMetaBlocker::compact`] folds the accumulated deltas into a
+/// fresh baseline CSR whose block collection is bit-identical to a one-shot
+/// [`er_blocking::build_blocks`] over all ingested entities.
+///
+/// Per-batch delta emission is a *progressive* signal: with a size-capped
+/// scheme (Suffix Arrays) a pair may be emitted while its only shared block
+/// is still under the cap and retracted later when the block crosses it —
+/// the retraction travels in a subsequent [`DeltaBatch::retracted`] list,
+/// and the post-compact state is always exact.
+pub struct StreamingMetaBlocker<G: KeyGenerator> {
+    generator: G,
+    index: StreamingIndex,
+    feature_set: FeatureSet,
+    threads: usize,
+    model: Option<Box<dyn ProbabilisticClassifier>>,
+}
+
+impl<G: KeyGenerator> StreamingMetaBlocker<G> {
+    /// Creates an empty streaming blocker for the given scheme.
+    pub fn new(config: StreamingConfig, generator: G) -> Self {
+        let cap = generator.max_block_size().unwrap_or(usize::MAX);
+        StreamingMetaBlocker {
+            index: StreamingIndex::new(config.dataset_name, config.kind, config.split, cap),
+            generator,
+            feature_set: config.feature_set,
+            threads: config.threads.max(1),
+            model: None,
+        }
+    }
+
+    /// Attaches the classifier whose probabilities every delta pair is
+    /// scored with.
+    pub fn with_model(mut self, model: Box<dyn ProbabilisticClassifier>) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// The underlying mutable index.
+    pub fn index(&self) -> &StreamingIndex {
+        &self.index
+    }
+
+    /// Number of entities ingested so far.
+    pub fn num_entities(&self) -> usize {
+        self.index.num_entities()
+    }
+
+    /// The feature set delta pairs are scored with.
+    pub fn feature_set(&self) -> FeatureSet {
+        self.feature_set
+    }
+
+    /// Ingests one batch of new entity profiles (ids assigned sequentially
+    /// from the current corpus size) and returns the delta candidate pairs
+    /// with their feature vectors and, when a model is attached, their
+    /// classifier probabilities.
+    ///
+    /// Cost scales with the batch: key emission and posting updates touch
+    /// only the batch's keys; partner gathering walks only the blocks of the
+    /// new entities; feature tables are recomputed only for entities that
+    /// appear in a delta pair.  Nothing re-reads the rest of the corpus.
+    pub fn ingest(&mut self, profiles: &[EntityProfile]) -> DeltaBatch {
+        self.ingest_impl(profiles, true)
+    }
+
+    /// [`StreamingMetaBlocker::ingest`] without the feature/probability
+    /// phase: the index, block statistics and candidate (LCP) counters
+    /// update exactly as usual, but the returned batch carries empty
+    /// `features`/`probabilities`.
+    ///
+    /// Use this to seed the index from a corpus whose candidate pairs were
+    /// already scored by a batch pass (see
+    /// `meta_blocking::StreamingPipeline::bootstrap`) — re-deriving them
+    /// here would only repeat that work.
+    pub fn ingest_unscored(&mut self, profiles: &[EntityProfile]) -> DeltaBatch {
+        self.ingest_impl(profiles, false)
+    }
+
+    fn ingest_impl(&mut self, profiles: &[EntityProfile], score: bool) -> DeltaBatch {
+        let batch_start = self.index.num_entities();
+        let first_id = EntityId(batch_start as u32);
+        let mut retracted: Vec<(EntityId, EntityId)> = Vec::new();
+
+        // Phase A (sequential): tokenize, intern, update postings and block
+        // statistics in place.
+        {
+            let index = &mut self.index;
+            let generator = &self.generator;
+            let mut case_scratch = String::new();
+            let mut key_scratch = KeyScratch::default();
+            let mut raw_keys: Vec<u32> = Vec::new();
+            for profile in profiles {
+                raw_keys.clear();
+                for attribute in &profile.attributes {
+                    er_core::tokenize::for_each_token(
+                        &attribute.value,
+                        &mut case_scratch,
+                        |token| {
+                            generator.for_each_key(token, &mut key_scratch, &mut |key| {
+                                raw_keys.push(index.intern(key));
+                            });
+                        },
+                    );
+                }
+                index.insert_entity(&mut raw_keys, batch_start, &mut retracted);
+            }
+        }
+
+        // Phase B (parallel): per new entity, gather the smaller comparable
+        // partners sharing a live block, with their co-occurrence aggregates
+        // (the scoped scoreboard pass).  Ranges are reassembled in order, so
+        // the output is deterministic for any thread count.
+        let index = &self.index;
+        let threads = self.threads;
+        let num_tasks = if threads <= 1 { 1 } else { threads * 4 };
+        /// One new entity with its scored partners, as produced by phase B.
+        type EntityPartners = (EntityId, Vec<(EntityId, PairCooccurrence)>);
+        let groups: Vec<Vec<EntityPartners>> =
+            er_core::map_ranges_parallel(profiles.len(), threads, num_tasks, |range| {
+                let mut board = PartnerBoard::default();
+                range
+                    .map(|i| {
+                        let e = EntityId((batch_start + i) as u32);
+                        (e, index.collect_delta_pairs(e, &mut board))
+                    })
+                    .collect()
+            });
+
+        // Phase C (sequential): register the new pairs (LCP counters first —
+        // features read the end-of-batch counts), then compute the per-entity
+        // aggregate tables for exactly the affected entities.
+        let mut pairs: Vec<(EntityId, EntityId)> = Vec::new();
+        let mut cooccurrences: Vec<PairCooccurrence> = Vec::new();
+        for group in &groups {
+            for (e, partners) in group {
+                for (p, agg) in partners {
+                    self.index.record_candidate(*p, *e);
+                    pairs.push((*p, *e));
+                    cooccurrences.push(*agg);
+                }
+            }
+        }
+        let width = self.feature_set.vector_len();
+        let mut features = Vec::new();
+        let mut probabilities = Vec::new();
+        if score {
+            let mut tables: FxHashMap<u32, EntityAggregates> = FxHashMap::default();
+            for &(p, e) in &pairs {
+                let index = &self.index;
+                tables
+                    .entry(p.0)
+                    .or_insert_with(|| index.entity_aggregates(p));
+                tables
+                    .entry(e.0)
+                    .or_insert_with(|| index.entity_aggregates(e));
+            }
+
+            // Phase D: fused feature rows (and probabilities when a model is
+            // attached) through the shared per-pair writer.
+            features = vec![0.0f64; pairs.len() * width];
+            for (i, (&(p, e), agg)) in pairs.iter().zip(&cooccurrences).enumerate() {
+                write_features_from(
+                    &tables[&p.0],
+                    &tables[&e.0],
+                    agg,
+                    self.feature_set,
+                    &mut features[i * width..(i + 1) * width],
+                );
+            }
+            if let Some(model) = &self.model {
+                probabilities = features
+                    .chunks(width.max(1))
+                    .take(pairs.len())
+                    .map(|row| model.probability(row).clamp(0.0, 1.0))
+                    .collect();
+            }
+        }
+
+        DeltaBatch {
+            epoch: self.index.epoch(),
+            first_id,
+            num_ingested: profiles.len(),
+            feature_width: width,
+            pairs,
+            features,
+            probabilities,
+            retracted,
+        }
+    }
+
+    /// The batch view of the current corpus (no state change): bit-identical
+    /// to [`er_blocking::build_blocks`] over every ingested entity.
+    pub fn view(&self) -> CsrBlockCollection {
+        self.index.view(self.threads)
+    }
+
+    /// Ends the epoch: folds the accumulated posting deltas into a fresh
+    /// baseline CSR and returns the compacted batch view.
+    pub fn compact(&mut self) -> CsrBlockCollection {
+        self.index.compact(self.threads)
+    }
+}
+
+/// The first `n` entities of a dataset as a standalone dataset: the corpus a
+/// streaming blocker holds after ingesting the profile sequence up to `n`.
+/// Ground-truth pairs with an endpoint beyond the prefix are dropped; the
+/// Clean-Clean split is clamped to the prefix length.
+pub fn dataset_prefix(dataset: &Dataset, n: usize) -> Dataset {
+    let n = n.min(dataset.num_entities());
+    Dataset {
+        name: dataset.name.clone(),
+        kind: dataset.kind,
+        profiles: dataset.profiles[..n].to_vec(),
+        split: dataset.split.min(n),
+        ground_truth: GroundTruth::from_pairs(
+            dataset
+                .ground_truth
+                .pairs()
+                .iter()
+                .copied()
+                .filter(|&(a, b)| a.index() < n && b.index() < n),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_blocking::{build_blocks, TokenKeys};
+    use er_core::EntityCollection;
+
+    fn profile(id: &str, value: &str) -> EntityProfile {
+        EntityProfile::new(id).with_attribute("name", value)
+    }
+
+    fn dirty_dataset() -> Dataset {
+        let profiles = vec![
+            profile("0", "apple iphone ten"),
+            profile("1", "apple iphone x"),
+            profile("2", "samsung galaxy phone"),
+            profile("3", "galaxy phone samsung"),
+            profile("4", "nokia brick"),
+        ];
+        let gt =
+            GroundTruth::from_pairs(vec![(EntityId(0), EntityId(1)), (EntityId(2), EntityId(3))]);
+        Dataset::dirty("d", EntityCollection::new("d", profiles), gt).unwrap()
+    }
+
+    fn config(dataset: &Dataset) -> StreamingConfig {
+        StreamingConfig {
+            feature_set: FeatureSet::all_schemes(),
+            threads: 1,
+            ..StreamingConfig::for_dataset(dataset)
+        }
+    }
+
+    #[test]
+    fn ingest_emits_each_pair_exactly_once() {
+        let ds = dirty_dataset();
+        let mut blocker = StreamingMetaBlocker::new(config(&ds), TokenKeys);
+        let mut emitted: Vec<(EntityId, EntityId)> = Vec::new();
+        for profile in &ds.profiles {
+            let batch = blocker.ingest(std::slice::from_ref(profile));
+            assert!(batch.retracted.is_empty());
+            emitted.extend_from_slice(&batch.pairs);
+        }
+        let mut sorted = emitted.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), emitted.len(), "duplicate emission");
+        // The union must equal the batch candidate set.
+        let csr = blocker.compact();
+        let stats = er_blocking::BlockStats::from_csr(&csr);
+        let batch_pairs = er_blocking::CandidatePairs::from_stats(&stats, 1);
+        assert_eq!(sorted.as_slice(), batch_pairs.pairs());
+    }
+
+    #[test]
+    fn compact_matches_batch_build() {
+        let ds = dirty_dataset();
+        let mut blocker = StreamingMetaBlocker::new(config(&ds), TokenKeys);
+        blocker.ingest(&ds.profiles[..2]);
+        blocker.ingest(&ds.profiles[2..]);
+        let streamed = blocker.compact();
+        let batch = build_blocks(&ds, &TokenKeys, 1);
+        assert_eq!(
+            streamed.to_block_collection().blocks,
+            batch.to_block_collection().blocks
+        );
+        assert_eq!(streamed.num_entities, batch.num_entities);
+        assert_eq!(streamed.split, batch.split);
+    }
+
+    #[test]
+    fn delta_features_match_a_batch_rebuild_of_the_current_corpus() {
+        let ds = dirty_dataset();
+        let set = FeatureSet::all_schemes();
+        let mut blocker = StreamingMetaBlocker::new(config(&ds), TokenKeys);
+        for n in 1..=ds.num_entities() {
+            let batch = blocker.ingest(std::slice::from_ref(&ds.profiles[n - 1]));
+            // Rebuild the prefix corpus from scratch and compare rows.
+            let prefix = dataset_prefix(&ds, n);
+            let csr = build_blocks(&prefix, &TokenKeys, 1);
+            if csr.is_empty() {
+                assert!(batch.is_empty());
+                continue;
+            }
+            let stats = er_blocking::BlockStats::from_csr(&csr);
+            let candidates = er_blocking::CandidatePairs::from_stats(&stats, 1);
+            let context = er_features::FeatureContext::new(&stats, &candidates);
+            let mut expected = vec![0.0f64; set.vector_len()];
+            for (i, &(a, b)) in batch.pairs.iter().enumerate() {
+                context.write_pair_features(a, b, set, &mut expected);
+                assert_eq!(batch.feature_row(i), expected.as_slice(), "pair ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn unscored_ingest_updates_the_index_exactly_like_scored_ingest() {
+        let ds = dirty_dataset();
+        let mut scored = StreamingMetaBlocker::new(config(&ds), TokenKeys);
+        let mut unscored = StreamingMetaBlocker::new(config(&ds), TokenKeys);
+        let a = scored.ingest(&ds.profiles);
+        let b = unscored.ingest_unscored(&ds.profiles);
+        assert_eq!(a.pairs, b.pairs);
+        assert_eq!(a.retracted, b.retracted);
+        assert!(b.features.is_empty());
+        assert!(b.probabilities.is_empty());
+        for e in 0..ds.num_entities() {
+            let entity = EntityId(e as u32);
+            assert_eq!(
+                scored.index().candidates_of(entity),
+                unscored.index().candidates_of(entity)
+            );
+        }
+        assert_eq!(
+            scored.compact().to_block_collection().blocks,
+            unscored.compact().to_block_collection().blocks
+        );
+    }
+
+    #[test]
+    fn probabilities_come_from_the_attached_model() {
+        struct Half;
+        impl ProbabilisticClassifier for Half {
+            fn probability(&self, features: &[f64]) -> f64 {
+                0.25 + features[0].min(0.5)
+            }
+        }
+        let ds = dirty_dataset();
+        let mut blocker =
+            StreamingMetaBlocker::new(config(&ds), TokenKeys).with_model(Box::new(Half));
+        let batch = blocker.ingest(&ds.profiles);
+        assert_eq!(batch.probabilities.len(), batch.len());
+        for (i, &p) in batch.probabilities.iter().enumerate() {
+            assert!((p - (0.25 + batch.feature_row(i)[0].min(0.5))).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn dataset_prefix_clamps_split_and_truth() {
+        let e1 = EntityCollection::new("a", vec![profile("a0", "x y"), profile("a1", "y z")]);
+        let e2 = EntityCollection::new("b", vec![profile("b0", "x y"), profile("b1", "z q")]);
+        let gt =
+            GroundTruth::from_pairs(vec![(EntityId(0), EntityId(2)), (EntityId(1), EntityId(3))]);
+        let ds = Dataset::clean_clean("cc", e1, e2, gt).unwrap();
+        let prefix = dataset_prefix(&ds, 3);
+        assert_eq!(prefix.num_entities(), 3);
+        assert_eq!(prefix.split, 2);
+        assert_eq!(prefix.ground_truth.pairs(), &[(EntityId(0), EntityId(2))]);
+        let tiny = dataset_prefix(&ds, 1);
+        assert_eq!(tiny.split, 1);
+        assert!(tiny.ground_truth.is_empty());
+    }
+}

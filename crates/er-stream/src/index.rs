@@ -1,0 +1,662 @@
+//! The mutable blocking index behind [`crate::StreamingMetaBlocker`].
+//!
+//! A [`StreamingIndex`] holds the complete blocking state of a growing
+//! corpus in a delta-over-baseline layout:
+//!
+//! * an interned key dictionary (`key → u32`, every key string allocated
+//!   once plus one lookup copy),
+//! * per-key posting lists split into a **compacted baseline CSR** (the
+//!   state at the last [`StreamingIndex::compact`] epoch) and a per-key
+//!   **delta vector** of entities ingested since,
+//! * per-key statistics (`|b|`, first-source counts, `||b||` and the
+//!   reciprocal tables) updated in place on every insertion, together with
+//!   the global live-block aggregates (`|B|`, `||B||`),
+//! * the entity → key adjacency as an append-only CSR (an entity's key set
+//!   is fixed at ingestion, so rows are only ever appended), and
+//! * the per-entity distinct-candidate counts (the LCP feature), maintained
+//!   incrementally from the emitted delta pairs and their retractions.
+//!
+//! # Liveness
+//!
+//! The batch engine ([`er_blocking::build_blocks`]) drops blocks that cannot
+//! produce a comparison or exceed the scheme's size cap.  The streaming
+//! index cannot discard those postings — a Clean-Clean block whose members
+//! are all from E1 produces zero comparisons today but becomes useful the
+//! moment an E2 entity joins it — so every key keeps its full posting list
+//! and carries a *live* flag instead: live blocks are exactly the blocks the
+//! batch engine would emit for the current corpus.  Because `||b||` never
+//! decreases under insertions, a block leaves the live set only by crossing
+//! the size cap, and that transition triggers the retraction scan that keeps
+//! the candidate invariant exact (see [`StreamingIndex::insert_entity`]).
+//!
+//! # Determinism
+//!
+//! Per-entity key lists are stored in lexicographic key order — the order in
+//! which the batch engine assigns block ids — so every floating-point
+//! accumulation over a key list (partner scoreboards, per-entity aggregate
+//! tables) adds terms in exactly the order the batch
+//! [`er_features::FeatureContext`] would, making streaming feature values
+//! bit-identical to a batch rebuild of the current corpus.
+
+use std::sync::Arc;
+
+use er_blocking::{comparisons_from_first, sorted_key_order, CsrBlockCollection, KeyStore};
+use er_core::{DatasetKind, EntityId, FxHashMap};
+use er_features::{EntityAggregates, PairCooccurrence};
+
+/// Reusable per-worker scoreboard for delta-pair aggregation: one
+/// [`PairCooccurrence`] slot per partner touched by the current new entity.
+///
+/// Backed by a hash map rather than a corpus-sized dense array so that the
+/// per-batch cost of [`StreamingIndex::collect_delta_pairs`] scales with the
+/// number of partners, not with the number of entities ever ingested.
+#[derive(Debug, Default)]
+pub struct PartnerBoard {
+    acc: FxHashMap<u32, PairCooccurrence>,
+}
+
+impl PartnerBoard {
+    /// Drains the board into a partner list sorted by entity id.
+    fn drain_sorted(&mut self) -> Vec<(EntityId, PairCooccurrence)> {
+        let mut partners: Vec<(EntityId, PairCooccurrence)> = self
+            .acc
+            .drain()
+            .map(|(p, agg)| (EntityId(p), agg))
+            .collect();
+        partners.sort_unstable_by_key(|&(p, _)| p);
+        partners
+    }
+}
+
+/// The mutable blocking index: interned keys, delta-over-baseline postings,
+/// in-place block statistics and incremental candidate counts.
+#[derive(Debug)]
+pub struct StreamingIndex {
+    dataset_name: String,
+    kind: DatasetKind,
+    /// E1/E2 boundary of the id space (Clean-Clean only; ignored for Dirty).
+    split: usize,
+    /// The scheme's block-size cap (`usize::MAX` when the scheme has none).
+    cap: usize,
+    num_entities: usize,
+    /// Interned key strings, indexed by stream key id.
+    keys: Vec<Box<str>>,
+    /// Key → stream id lookup (holds the one extra copy of each key).
+    lookup: FxHashMap<Box<str>, u32>,
+    /// Baseline CSR offsets (state at the last compaction); keys interned
+    /// after the last compaction lie beyond `base_offsets.len() - 1` and
+    /// have an empty baseline slice.
+    base_offsets: Vec<u32>,
+    /// Baseline CSR arena: concatenated postings at the last compaction.
+    base_entities: Vec<EntityId>,
+    /// Per key, the entities ingested since the last compaction.
+    delta: Vec<Vec<EntityId>>,
+    /// `|b|` per key.
+    sizes: Vec<u32>,
+    /// First-source member count per key (equals `|b|` for Dirty ER).
+    first_counts: Vec<u32>,
+    /// `||b||` per key.
+    comparisons: Vec<u64>,
+    /// `1/||b||` per key (0 when the block has no comparisons).
+    inv_comparisons: Vec<f64>,
+    /// `1/|b|` per key (0 when the block is empty).
+    inv_sizes: Vec<f64>,
+    /// Whether the batch engine would emit this block for the current corpus.
+    live: Vec<bool>,
+    /// `|B|` over live blocks.
+    num_live: usize,
+    /// `||B||` over live blocks.
+    total_live_comparisons: u64,
+    /// Entity → key adjacency offsets (`num_entities + 1` entries).
+    entity_offsets: Vec<u32>,
+    /// Adjacency arena: each entity's key ids in lexicographic key order.
+    entity_keys: Vec<u32>,
+    /// Distinct-candidate count per entity (the LCP feature), kept exact
+    /// under emissions and cap retractions.
+    entity_candidates: Vec<u32>,
+    /// Number of completed compactions.
+    epoch: u64,
+}
+
+impl StreamingIndex {
+    /// Creates an empty index.
+    ///
+    /// `split` is the fixed E1/E2 boundary of the entity id space for
+    /// Clean-Clean ER (entities with an id below it belong to E1); it is
+    /// ignored for Dirty ER.  `cap` is the blocking scheme's maximum block
+    /// size ([`er_blocking::KeyGenerator::max_block_size`]), `usize::MAX`
+    /// when the scheme has none.
+    pub fn new(
+        dataset_name: impl Into<String>,
+        kind: DatasetKind,
+        split: usize,
+        cap: usize,
+    ) -> Self {
+        StreamingIndex {
+            dataset_name: dataset_name.into(),
+            kind,
+            split,
+            cap,
+            num_entities: 0,
+            keys: Vec::new(),
+            lookup: FxHashMap::default(),
+            base_offsets: vec![0],
+            base_entities: Vec::new(),
+            delta: Vec::new(),
+            sizes: Vec::new(),
+            first_counts: Vec::new(),
+            comparisons: Vec::new(),
+            inv_comparisons: Vec::new(),
+            inv_sizes: Vec::new(),
+            live: Vec::new(),
+            num_live: 0,
+            total_live_comparisons: 0,
+            entity_offsets: vec![0],
+            entity_keys: Vec::new(),
+            entity_candidates: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Number of entities ingested so far.
+    pub fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    /// Number of distinct keys ever interned (live or not).
+    pub fn num_keys(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `|B|`: the number of blocks the batch engine would emit right now.
+    pub fn num_live_blocks(&self) -> usize {
+        self.num_live
+    }
+
+    /// `||B||`: total comparisons over the live blocks.
+    pub fn total_comparisons(&self) -> u64 {
+        self.total_live_comparisons
+    }
+
+    /// Number of completed compactions.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The ER kind of the stream.
+    pub fn kind(&self) -> DatasetKind {
+        self.kind
+    }
+
+    /// The current number of distinct candidates of an entity (LCP).
+    pub fn candidates_of(&self, entity: EntityId) -> u32 {
+        self.entity_candidates[entity.index()]
+    }
+
+    /// Interns a key, returning its stream id (stable across compactions).
+    pub fn intern(&mut self, key: &str) -> u32 {
+        if let Some(&id) = self.lookup.get(key) {
+            return id;
+        }
+        let id = self.keys.len() as u32;
+        self.keys.push(key.into());
+        self.lookup.insert(key.into(), id);
+        self.delta.push(Vec::new());
+        self.sizes.push(0);
+        self.first_counts.push(0);
+        self.comparisons.push(0);
+        self.inv_comparisons.push(0.0);
+        self.inv_sizes.push(0.0);
+        self.live.push(false);
+        id
+    }
+
+    /// The baseline posting slice of a key (empty for keys interned after
+    /// the last compaction).
+    #[inline]
+    fn base_slice(&self, key: u32) -> &[EntityId] {
+        let k = key as usize;
+        if k + 1 < self.base_offsets.len() {
+            &self.base_entities[self.base_offsets[k] as usize..self.base_offsets[k + 1] as usize]
+        } else {
+            &[]
+        }
+    }
+
+    /// Iterates a key's full posting list (baseline, then delta) in
+    /// ascending entity-id order.
+    #[inline]
+    fn members(&self, key: u32) -> impl Iterator<Item = EntityId> + '_ {
+        self.base_slice(key)
+            .iter()
+            .copied()
+            .chain(self.delta[key as usize].iter().copied())
+    }
+
+    /// An entity's key ids in lexicographic key order.
+    #[inline]
+    fn keys_of(&self, entity: usize) -> &[u32] {
+        &self.entity_keys
+            [self.entity_offsets[entity] as usize..self.entity_offsets[entity + 1] as usize]
+    }
+
+    /// True if two entities may be compared (delegates to the workspace's
+    /// single comparability rule, [`DatasetKind::comparable`]).
+    #[inline]
+    fn pair_comparable(&self, a: EntityId, b: EntityId) -> bool {
+        self.kind.comparable(self.split, a, b)
+    }
+
+    /// Inserts the next entity (id `num_entities`) given the raw key ids
+    /// emitted for its profile (duplicates allowed).  Updates postings,
+    /// per-key statistics and liveness in place; any pair of *pre-batch*
+    /// entities that stops being a candidate because a block crossed the
+    /// size cap is appended to `retracted` (and its LCP counts are
+    /// decremented).  `batch_start` is the id of the first entity of the
+    /// current batch: pairs involving in-batch entities are never retracted
+    /// here because they are only emitted later, against end-of-batch state.
+    ///
+    /// Returns the id assigned to the entity.
+    pub fn insert_entity(
+        &mut self,
+        raw_keys: &mut Vec<u32>,
+        batch_start: usize,
+        retracted: &mut Vec<(EntityId, EntityId)>,
+    ) -> EntityId {
+        raw_keys.sort_unstable();
+        raw_keys.dedup();
+        // Lexicographic order: downstream float accumulations must add terms
+        // in the batch engine's block-id order (see module docs).
+        raw_keys.sort_unstable_by(|&a, &b| self.keys[a as usize].cmp(&self.keys[b as usize]));
+
+        let e = EntityId(self.num_entities as u32);
+        self.num_entities += 1;
+        self.entity_candidates.push(0);
+
+        let mut cap_deaths: Vec<u32> = Vec::new();
+        for &k in raw_keys.iter() {
+            let ki = k as usize;
+            self.delta[ki].push(e);
+            let was_live = self.live[ki];
+            let old_comparisons = self.comparisons[ki];
+            self.sizes[ki] += 1;
+            if self.kind == DatasetKind::Dirty || e.index() < self.split {
+                self.first_counts[ki] += 1;
+            }
+            let size = self.sizes[ki];
+            let comparisons =
+                comparisons_from_first(self.kind, self.first_counts[ki], size as usize);
+            self.comparisons[ki] = comparisons;
+            self.inv_comparisons[ki] = if comparisons > 0 {
+                1.0 / comparisons as f64
+            } else {
+                0.0
+            };
+            self.inv_sizes[ki] = 1.0 / f64::from(size);
+            let now_live = comparisons > 0 && size as usize <= self.cap;
+            if was_live {
+                self.num_live -= 1;
+                self.total_live_comparisons -= old_comparisons;
+            }
+            if now_live {
+                self.num_live += 1;
+                self.total_live_comparisons += comparisons;
+            }
+            self.live[ki] = now_live;
+            // `||b||` never decreases under insertion, so live → dead means
+            // the block crossed the size cap.
+            if was_live && !now_live {
+                cap_deaths.push(k);
+            }
+        }
+
+        self.entity_keys.extend_from_slice(raw_keys);
+        self.entity_offsets.push(self.entity_keys.len() as u32);
+
+        if !cap_deaths.is_empty() {
+            // One insertion can push several blocks over the cap at once; a
+            // pair belonging to two of them (and nothing else live) shows up
+            // in both scans, so collect first and deduplicate before
+            // touching the counters.
+            let mut dying: Vec<(EntityId, EntityId)> = Vec::new();
+            for key in cap_deaths {
+                self.scan_retractions(key, batch_start, &mut dying);
+            }
+            dying.sort_unstable();
+            dying.dedup();
+            for &(a, b) in &dying {
+                self.entity_candidates[a.index()] -= 1;
+                self.entity_candidates[b.index()] -= 1;
+            }
+            retracted.extend(dying);
+        }
+        e
+    }
+
+    /// A block just crossed the size cap: every candidate pair it supported
+    /// alone ceases to exist in the batch view of the corpus.  Scans the
+    /// pre-batch members pairwise and collects the pairs that share no other
+    /// live key (the caller deduplicates across same-insert deaths before
+    /// decrementing the LCP counters).  The scan is bounded by the cap (at
+    /// most `cap + 1` members ever participate) and runs at most once per
+    /// key, so its amortised cost stays batch-proportional.
+    fn scan_retractions(
+        &self,
+        key: u32,
+        batch_start: usize,
+        dying: &mut Vec<(EntityId, EntityId)>,
+    ) {
+        let members: Vec<EntityId> = self
+            .members(key)
+            .take_while(|m| m.index() < batch_start)
+            .collect();
+        for i in 0..members.len() {
+            for j in i + 1..members.len() {
+                let (a, b) = (members[i], members[j]);
+                if !self.pair_comparable(a, b) {
+                    continue;
+                }
+                if self.shares_other_live_key(a, b, key) {
+                    continue;
+                }
+                dying.push((a, b));
+            }
+        }
+    }
+
+    /// True if the two entities share a live key other than `excluded`
+    /// (merge over the two lexicographically sorted key lists).
+    fn shares_other_live_key(&self, a: EntityId, b: EntityId, excluded: u32) -> bool {
+        let la = self.keys_of(a.index());
+        let lb = self.keys_of(b.index());
+        let (mut i, mut j) = (0, 0);
+        while i < la.len() && j < lb.len() {
+            let (x, y) = (la[i], lb[j]);
+            if x == y {
+                if x != excluded && self.live[x as usize] {
+                    return true;
+                }
+                i += 1;
+                j += 1;
+            } else if self.keys[x as usize] < self.keys[y as usize] {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        false
+    }
+
+    /// Gathers the delta pairs of one newly ingested entity: every strictly
+    /// smaller comparable entity sharing at least one live block, together
+    /// with the pair's co-occurrence aggregates — the scoreboard pass of the
+    /// batch feature engine, scoped to a single entity.
+    ///
+    /// Requires every entity of the batch to be inserted first (partners are
+    /// judged against end-of-batch block state); restricting partners to
+    /// smaller ids makes each in-batch pair come out of exactly one call.
+    /// Contributions accumulate in lexicographic key order, so the sums are
+    /// bit-identical to a batch [`er_features::FeatureContext`] merge.
+    pub fn collect_delta_pairs(
+        &self,
+        e: EntityId,
+        board: &mut PartnerBoard,
+    ) -> Vec<(EntityId, PairCooccurrence)> {
+        let ei = e.index();
+        for &k in self.keys_of(ei) {
+            let ki = k as usize;
+            if !self.live[ki] {
+                continue;
+            }
+            let inv_comparisons = self.inv_comparisons[ki];
+            let inv_sizes = self.inv_sizes[ki];
+            for p in self.members(k) {
+                let pi = p.index();
+                if pi >= ei {
+                    // Postings are ascending: no smaller partner follows.
+                    break;
+                }
+                if !self.pair_comparable(p, e) {
+                    continue;
+                }
+                let slot = board.acc.entry(p.0).or_default();
+                slot.common_blocks += 1;
+                slot.inv_comparisons_sum += inv_comparisons;
+                slot.inv_sizes_sum += inv_sizes;
+            }
+        }
+        board.drain_sorted()
+    }
+
+    /// Records one freshly emitted candidate pair (both LCP counters).
+    pub fn record_candidate(&mut self, a: EntityId, b: EntityId) {
+        self.entity_candidates[a.index()] += 1;
+        self.entity_candidates[b.index()] += 1;
+    }
+
+    /// The per-entity aggregates of one entity over the *live* blocks — the
+    /// quantities [`er_features::FeatureContext`] precomputes corpus-wide,
+    /// recomputed here in `O(|B_i|)` for exactly the entities a batch
+    /// touches.  Terms are added in lexicographic key order, so the values
+    /// are bit-identical to the batch tables for the same corpus.
+    pub fn entity_aggregates(&self, entity: EntityId) -> EntityAggregates {
+        let mut live_blocks = 0usize;
+        let mut inv_comparisons = 0.0f64;
+        let mut inv_sizes = 0.0f64;
+        let mut entity_comparisons = 0u64;
+        for &k in self.keys_of(entity.index()) {
+            let ki = k as usize;
+            if !self.live[ki] {
+                continue;
+            }
+            live_blocks += 1;
+            inv_comparisons += self.inv_comparisons[ki];
+            inv_sizes += self.inv_sizes[ki];
+            entity_comparisons += self.comparisons[ki];
+        }
+        let blocks_of = live_blocks as f64;
+        let num_blocks = self.num_live as f64;
+        let ibf = if blocks_of > 0.0 && num_blocks > 0.0 {
+            (num_blocks / blocks_of).ln()
+        } else {
+            0.0
+        };
+        let own = entity_comparisons as f64;
+        let total = self.total_live_comparisons as f64;
+        let icf = if own > 0.0 && total > 0.0 {
+            (total / own).ln()
+        } else {
+            0.0
+        };
+        EntityAggregates {
+            num_blocks: blocks_of,
+            inv_comparisons,
+            inv_sizes,
+            ibf,
+            icf,
+            lcp: f64::from(self.entity_candidates[entity.index()]),
+        }
+    }
+
+    /// The batch view of the current corpus: exactly the
+    /// [`CsrBlockCollection`] that [`er_blocking::build_blocks`] would
+    /// produce for the entities ingested so far (lexicographic block order,
+    /// cap and zero-comparison blocks dropped, sorted entity lists).
+    ///
+    /// `threads` parallelises the key sort; the output is identical for any
+    /// thread count.
+    pub fn view(&self, threads: usize) -> CsrBlockCollection {
+        let order = sorted_key_order(&self.keys, threads);
+        let mut store = KeyStore::with_capacity(self.keys.len() / 2, 0);
+        let mut key_ids = Vec::new();
+        let mut entity_offsets = vec![0u32];
+        let mut entities: Vec<EntityId> = Vec::new();
+        let mut first_counts = Vec::new();
+        for &k in &order {
+            let ki = k as usize;
+            if self.sizes[ki] as usize > self.cap || self.comparisons[ki] == 0 {
+                continue;
+            }
+            key_ids.push(store.push(&self.keys[ki]));
+            entities.extend_from_slice(self.base_slice(k));
+            entities.extend_from_slice(&self.delta[ki]);
+            entity_offsets.push(entities.len() as u32);
+            first_counts.push(self.first_counts[ki]);
+        }
+        let split = match self.kind {
+            DatasetKind::CleanClean => self.split.min(self.num_entities),
+            DatasetKind::Dirty => self.num_entities,
+        };
+        CsrBlockCollection::from_raw(
+            self.dataset_name.clone(),
+            self.kind,
+            split,
+            self.num_entities,
+            Arc::new(store),
+            key_ids,
+            entity_offsets,
+            entities,
+            first_counts,
+        )
+    }
+
+    /// Ends the epoch: folds every delta posting into a fresh baseline CSR
+    /// (stream key ids stay stable) and returns the batch view of the
+    /// compacted state via [`StreamingIndex::view`].
+    pub fn compact(&mut self, threads: usize) -> CsrBlockCollection {
+        let key_count = self.keys.len();
+        let grown: usize = self.delta.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(key_count + 1);
+        offsets.push(0u32);
+        let mut entities = Vec::with_capacity(self.base_entities.len() + grown);
+        for k in 0..key_count {
+            entities.extend_from_slice(self.base_slice(k as u32));
+            entities.extend_from_slice(&self.delta[k]);
+            self.delta[k].clear();
+            offsets.push(entities.len() as u32);
+        }
+        self.base_offsets = offsets;
+        self.base_entities = entities;
+        self.epoch += 1;
+        self.view(threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index(kind: DatasetKind, split: usize, cap: usize) -> StreamingIndex {
+        StreamingIndex::new("t", kind, split, cap)
+    }
+
+    /// Interns the keys and inserts the entity, returning any retractions.
+    fn insert(
+        idx: &mut StreamingIndex,
+        keys: &[&str],
+        batch_start: usize,
+    ) -> (EntityId, Vec<(EntityId, EntityId)>) {
+        let mut ids: Vec<u32> = keys.iter().map(|k| idx.intern(k)).collect();
+        let mut retracted = Vec::new();
+        let e = idx.insert_entity(&mut ids, batch_start, &mut retracted);
+        (e, retracted)
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_stable() {
+        let mut idx = index(DatasetKind::Dirty, 0, usize::MAX);
+        let a = idx.intern("apple");
+        let b = idx.intern("pear");
+        assert_eq!(idx.intern("apple"), a);
+        assert_ne!(a, b);
+        assert_eq!(idx.num_keys(), 2);
+    }
+
+    #[test]
+    fn dirty_stats_update_in_place() {
+        let mut idx = index(DatasetKind::Dirty, 0, usize::MAX);
+        insert(&mut idx, &["a", "b"], 0);
+        insert(&mut idx, &["a"], 1);
+        insert(&mut idx, &["a", "b"], 2);
+        // Block "a" has 3 members → 3 comparisons; "b" has 2 → 1.
+        assert_eq!(idx.num_live_blocks(), 2);
+        assert_eq!(idx.total_comparisons(), 4);
+    }
+
+    #[test]
+    fn clean_clean_blocks_go_live_only_cross_source() {
+        let mut idx = index(DatasetKind::CleanClean, 2, usize::MAX);
+        insert(&mut idx, &["k"], 0);
+        insert(&mut idx, &["k"], 1);
+        // Both members are E1 → no comparisons, block not live.
+        assert_eq!(idx.num_live_blocks(), 0);
+        insert(&mut idx, &["k"], 2);
+        // E2 member arrives → ||k|| = 2 · 1 = 2.
+        assert_eq!(idx.num_live_blocks(), 1);
+        assert_eq!(idx.total_comparisons(), 2);
+    }
+
+    #[test]
+    fn cap_crossing_retracts_orphaned_pairs() {
+        // Cap 2: pairs supported only by a block of size 3 must retract.
+        let mut idx = index(DatasetKind::Dirty, 0, 2);
+        let (e0, _) = insert(&mut idx, &["x", "shared"], 0);
+        let (e1, _) = insert(&mut idx, &["x", "shared"], 1);
+        idx.record_candidate(e0, e1); // as the blocker would after emission
+        let (e2, _) = insert(&mut idx, &["y"], 2);
+        assert!(idx.num_live_blocks() > 0);
+        // Entity 3 pushes "x" to size 3 (> cap).  e0–e1 still share the
+        // live "shared" block, so nothing retracts.
+        let (_, retracted) = insert(&mut idx, &["x"], 3);
+        assert!(retracted.is_empty());
+        assert_eq!(idx.candidates_of(e0), 1);
+        let _ = e2;
+
+        // Same again, but without a second shared key: retraction fires.
+        let mut idx = index(DatasetKind::Dirty, 0, 2);
+        let (a0, _) = insert(&mut idx, &["x"], 0);
+        let (a1, _) = insert(&mut idx, &["x"], 1);
+        idx.record_candidate(a0, a1);
+        let (_, retracted) = insert(&mut idx, &["x"], 2);
+        assert_eq!(retracted, vec![(a0, a1)]);
+        assert_eq!(idx.candidates_of(a0), 0);
+        assert_eq!(idx.candidates_of(a1), 0);
+    }
+
+    #[test]
+    fn delta_pairs_cover_only_smaller_comparable_partners() {
+        let mut idx = index(DatasetKind::CleanClean, 2, usize::MAX);
+        insert(&mut idx, &["k", "m"], 0);
+        insert(&mut idx, &["k"], 1);
+        let (e2, _) = insert(&mut idx, &["k", "m"], 2);
+        let mut board = PartnerBoard::default();
+        let partners = idx.collect_delta_pairs(e2, &mut board);
+        // Both E1 entities share the live "k" block with e2; entity 0 also
+        // shares "m" (live once e2 joined it).
+        assert_eq!(partners.len(), 2);
+        assert_eq!(partners[0].0, EntityId(0));
+        assert_eq!(partners[0].1.common_blocks, 2);
+        assert_eq!(partners[1].0, EntityId(1));
+        assert_eq!(partners[1].1.common_blocks, 1);
+    }
+
+    #[test]
+    fn compact_folds_deltas_and_preserves_the_view() {
+        let mut idx = index(DatasetKind::Dirty, 0, usize::MAX);
+        insert(&mut idx, &["b", "a"], 0);
+        insert(&mut idx, &["a"], 1);
+        let before = idx.view(1);
+        let compacted = idx.compact(1);
+        assert_eq!(idx.epoch(), 1);
+        assert_eq!(
+            before.to_block_collection().blocks,
+            compacted.to_block_collection().blocks
+        );
+        // Ingest more after compaction; the view still merges base + delta.
+        insert(&mut idx, &["a", "b"], 2);
+        let after = idx.view(1);
+        assert_eq!(after.num_blocks(), 2);
+        assert_eq!(after.key(0), "a");
+        assert_eq!(after.entities(0), &[EntityId(0), EntityId(1), EntityId(2)]);
+    }
+}

@@ -1,0 +1,38 @@
+//! Incremental (streaming) meta-blocking over the CSR block engine.
+//!
+//! Every other crate in this workspace is batch-oriented: a new entity
+//! forces a full rebuild of blocks, statistics, candidates and scores.  This
+//! crate adds the missing subsystem for live corpora — catalog updates,
+//! progressive ER query streams — by maintaining the blocking state as a
+//! **mutable index** and emitting, per ingested batch, only the *delta*
+//! candidate pairs with their feature vectors and classifier probabilities:
+//!
+//! * [`StreamingIndex`] — interned key dictionary (reusing the `er_core`
+//!   hashing), per-key posting deltas layered over a compacted
+//!   [`er_blocking::CsrBlockCollection`] baseline, in-place block statistics
+//!   and incremental LCP counts;
+//! * [`StreamingMetaBlocker`] — the pipeline: tokenize a batch through any
+//!   [`er_blocking::KeyGenerator`] scheme, update the index, gather delta
+//!   pairs via a scoped scoreboard pass, score them through the shared
+//!   [`er_features::write_features_from`] writer and an attached
+//!   [`er_learn::ProbabilisticClassifier`];
+//! * [`DeltaBatch`] — the per-batch emission (pairs, features,
+//!   probabilities, cap retractions);
+//! * [`StreamingMetaBlocker::compact`] — ends the epoch by folding the
+//!   deltas into a fresh baseline CSR that is **bit-identical** to a
+//!   one-shot [`er_blocking::build_blocks`] over all ingested entities, for
+//!   any split of the input into batches and any thread count (property
+//!   tested in `tests/equivalence.rs`).
+//!
+//! Under pure insertions no candidate pair between pre-existing entities can
+//! appear (both key sets are fixed), so every delta pair has at least one
+//! endpoint in the batch and per-batch cost scales with the batch, not the
+//! corpus.  The one exception to monotonicity is a size-capped scheme
+//! (Suffix Arrays): a block crossing the cap can orphan previously emitted
+//! pairs, which are reported in [`DeltaBatch::retracted`].
+
+pub mod blocker;
+pub mod index;
+
+pub use blocker::{dataset_prefix, DeltaBatch, StreamingConfig, StreamingMetaBlocker};
+pub use index::{PartnerBoard, StreamingIndex};

@@ -18,6 +18,8 @@
 //!   balanced sampling;
 //! * [`meta`] (`meta-blocking`) — the pruning algorithms and the end-to-end
 //!   pipeline (the paper's contribution);
+//! * [`stream`] (`er-stream`) — incremental meta-blocking: ingest entity
+//!   batches, emit delta candidates, compact back to the batch state;
 //! * [`eval`] (`er-eval`) — metrics and the experiment harness behind every
 //!   table and figure.
 //!
@@ -47,4 +49,5 @@ pub use er_datasets as datasets;
 pub use er_eval as eval;
 pub use er_features as features;
 pub use er_learn as learn;
+pub use er_stream as stream;
 pub use meta_blocking as meta;

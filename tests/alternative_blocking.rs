@@ -16,7 +16,7 @@ use gsmb::eval::Effectiveness;
 use gsmb::features::{FeatureContext, FeatureMatrix, FeatureSet};
 use gsmb::learn::balanced_undersample;
 use gsmb::learn::TrainingSet;
-use gsmb::meta::materialize::{materialize_blocks, PruningSummary};
+use gsmb::meta::materialize::{materialize_blocks_csr, PruningSummary};
 use gsmb::meta::progressive::ProgressiveSchedule;
 use gsmb::meta::pruning::AlgorithmKind;
 use gsmb::meta::scoring::ProbabilitySource;
@@ -113,10 +113,10 @@ fn materialized_output_matches_pruning_summary() {
     };
     let (matrix, _) = prepared.build_features(config.feature_set);
     let (scores, _, _) = train_and_score(&prepared, &matrix, &config, 3).unwrap();
-    let pruner = AlgorithmKind::Rcnp.build(&prepared.blocks);
+    let pruner = AlgorithmKind::Rcnp.build_csr(&prepared.blocks);
     let retained = pruner.prune(&prepared.candidates, &scores);
 
-    let output = materialize_blocks(&prepared.blocks, &prepared.candidates, &retained);
+    let output = materialize_blocks_csr(&prepared.blocks, &prepared.candidates, &retained);
     assert_eq!(output.num_blocks(), retained.len());
     assert_eq!(output.total_comparisons() as usize, retained.len());
 

@@ -107,7 +107,7 @@ fn weight_based_algorithms_nest_as_expected() {
 #[test]
 fn cardinality_algorithms_respect_their_budgets() {
     let prepared = prepared(DatasetName::TmdbTvdb);
-    let thresholds = gsmb::meta::pruning::CardinalityThresholds::from_blocks(&prepared.blocks);
+    let thresholds = gsmb::meta::pruning::CardinalityThresholds::from_csr(&prepared.blocks);
     let config = RunConfig {
         per_class: 15,
         ..Default::default()
