@@ -18,15 +18,25 @@
 //! curve may deviate slightly from the batch one — that gap is exactly the
 //! price of emitting candidates before the corpus is complete.  The two
 //! sides also rank different candidate pools: the batch pipeline runs the
-//! standard workflow (purging + filtering) while the streaming index ranks
-//! the raw Token Blocking candidates, so the streaming side emits more
-//! pairs in total — the recall-at-equal-budget comparison is still
+//! standard workflow (purging + filtering) while the raw streaming index
+//! ranks the raw Token Blocking candidates, so the streaming side emits
+//! more pairs in total — the recall-at-equal-budget comparison is still
 //! apples-to-apples, since the budget counts comparisons performed.
+//!
+//! A second, **churn** scenario interleaves deletions with the ingest
+//! stream and compares the *cleaned* streaming schedule (purging/filtering
+//! maintained incrementally by `meta_blocking::LiveView`) against the
+//! classical operational answer to churn: periodically re-running the whole
+//! batch pipeline and ranking from the latest rebuild.  The periodic
+//! rebuild is blind to everything that arrived or vanished since its last
+//! run — its budget is partly spent on pairs whose entities are already
+//! gone and it cannot schedule entities it has never seen — while the
+//! streaming schedule tracks every mutation batch exactly.
 
 use bench::{banner, bench_catalog_options};
 use er_core::EntityId;
 use er_datasets::{generate_catalog_dataset, DatasetName};
-use er_stream::dataset_prefix;
+use er_stream::{dataset_prefix, surviving_dataset};
 use meta_blocking::pipeline::{MetaBlockingConfig, MetaBlockingPipeline};
 use meta_blocking::pruning::AlgorithmKind;
 use meta_blocking::{ProgressiveSchedule, StreamingPipeline};
@@ -133,5 +143,123 @@ fn main() {
                 stream,
             );
         }
+
+        churn_scenario(name, &dataset, &config);
+    }
+}
+
+/// Interleaved insert/delete churn: the cleaned streaming schedule vs a
+/// periodic full batch rebuild (every `REBUILD_PERIOD` ingest chunks).
+fn churn_scenario(name: DatasetName, dataset: &er_core::Dataset, config: &MetaBlockingConfig) {
+    const CHUNK: usize = 32;
+    const REMOVALS_PER_CHUNK: usize = 8;
+    const REBUILD_PERIOD: usize = 4;
+
+    let n = dataset.num_entities();
+    let e2 = n - dataset.split;
+    let seed_count = dataset.split + e2 / 2;
+    let seed = dataset_prefix(dataset, seed_count);
+    let mut streaming = StreamingPipeline::bootstrap_cleaned(config, &seed)
+        .unwrap_or_else(|e| panic!("{name}: cleaned bootstrap failed: {e}"));
+
+    let mut removed: Vec<EntityId> = Vec::new();
+    let mut next_victim = dataset.split; // churn rotates through old E2 ids
+    let mut cursor = seed_count;
+    let mut chunk_index = 0usize;
+    let mut rebuilds = 0usize;
+    let mut periodic: Option<Vec<(EntityId, EntityId)>> = None;
+    while cursor < n {
+        let take = CHUNK.min(n - cursor);
+        streaming.ingest(&dataset.profiles[cursor..cursor + take]);
+        cursor += take;
+        chunk_index += 1;
+
+        // Churn: a spread of already-ingested E2 entities leaves the corpus.
+        let mut batch: Vec<EntityId> = Vec::new();
+        while batch.len() < REMOVALS_PER_CHUNK && next_victim + 3 < cursor {
+            batch.push(EntityId(next_victim as u32));
+            next_victim += 3;
+        }
+        if !batch.is_empty() {
+            streaming.remove(&batch);
+            removed.extend_from_slice(&batch);
+        }
+
+        // The periodic baseline re-runs the whole batch pipeline on the
+        // corpus as of this boundary; between rebuilds it is stale.
+        if chunk_index.is_multiple_of(REBUILD_PERIOD) {
+            let corpus = surviving_dataset(&dataset_prefix(dataset, cursor), &removed, &[]);
+            let outcome = MetaBlockingPipeline::new(config.clone())
+                .run(&corpus, AlgorithmKind::Blast)
+                .unwrap_or_else(|e| panic!("{name}: periodic rebuild failed: {e}"));
+            let schedule = ProgressiveSchedule::new(&outcome.candidates, &outcome.probabilities);
+            periodic = Some(
+                schedule
+                    .ranked()
+                    .iter()
+                    .map(|&(id, _)| outcome.candidates.pair(id))
+                    .collect(),
+            );
+            rebuilds += 1;
+        }
+    }
+
+    // Evaluate both emission orders against the *surviving* corpus: pairs
+    // touching removed entities can never match, so budget spent on them is
+    // wasted — exactly the staleness cost of the periodic rebuild.
+    let survivors = surviving_dataset(dataset, &removed, &[]);
+    let periodic_emissions = periodic.expect("stream too short for a rebuild");
+    let mut stream_emissions: Vec<(EntityId, EntityId)> = Vec::new();
+    loop {
+        let drained = streaming.next_batch(4096);
+        if drained.is_empty() {
+            break;
+        }
+        stream_emissions.extend(drained.into_iter().map(|(pair, _)| pair));
+    }
+
+    let oracle = MetaBlockingPipeline::new(config.clone())
+        .run(&survivors, AlgorithmKind::Blast)
+        .unwrap_or_else(|e| panic!("{name}: oracle rebuild failed: {e}"));
+    let num_candidates = oracle.num_candidates;
+    let budgets: Vec<usize> = BUDGET_FRACTIONS
+        .iter()
+        .map(|f| ((num_candidates as f64 * f) as usize).max(1))
+        .chain([num_candidates.max(stream_emissions.len())])
+        .collect();
+    let periodic_curve = recall_curve(
+        &periodic_emissions,
+        &survivors.ground_truth,
+        survivors.num_duplicates(),
+        &budgets,
+    );
+    let stream_curve = recall_curve(
+        &stream_emissions,
+        &survivors.ground_truth,
+        survivors.num_duplicates(),
+        &budgets,
+    );
+
+    println!(
+        "\n--- {} churn: {} removed, {} rebuilds, |D surviving| = {} ---",
+        name,
+        removed.len(),
+        rebuilds,
+        survivors.num_duplicates()
+    );
+    println!(
+        "{:<18} {:>16} {:>18}",
+        "budget", "periodic rebuild", "cleaned streaming"
+    );
+    for ((&budget, periodic), stream) in budgets.iter().zip(&periodic_curve).zip(&stream_curve) {
+        println!(
+            "{:<18} {:>16.3} {:>18.3}",
+            format!(
+                "{budget} ({:.0}%)",
+                budget as f64 / num_candidates as f64 * 100.0
+            ),
+            periodic,
+            stream,
+        );
     }
 }

@@ -30,6 +30,7 @@
 //! assert!(outcome.retained.len() <= outcome.num_candidates);
 //! ```
 
+pub mod live_view;
 pub mod materialize;
 pub mod pipeline;
 pub mod progressive;
@@ -38,6 +39,7 @@ pub mod scoring;
 pub mod streaming;
 pub mod unsupervised;
 
+pub use live_view::{LiveView, ViewDelta};
 pub use materialize::{materialize_blocks, materialize_blocks_csr, PruningSummary};
 pub use pipeline::{ClassifierKind, MetaBlockingConfig, MetaBlockingOutcome, MetaBlockingPipeline};
 pub use progressive::{ProgressiveSchedule, StreamingSchedule};

@@ -1,0 +1,394 @@
+//! A purging/filtering-aware live view over the streaming index.
+//!
+//! The raw streaming emission ranks Token Blocking candidates; the batch
+//! pipeline, however, cleans its blocks first — Block Purging drops
+//! stop-word blocks (more than half the corpus) and Block Filtering removes
+//! every entity from its largest 20% of blocks.  [`LiveView`] maintains the
+//! **cleaned** candidate set incrementally so that a streaming consumer
+//! ranks exactly the pairs the batch `standard_blocking_workflow` would
+//! produce for the current surviving corpus:
+//!
+//! * per key, a *cleaned-survivor* flag (`live ∧ |b| ≤ purging_limit`),
+//!   with the handful of oversized (purged) blocks tracked separately so a
+//!   growing corpus can release them without a full scan;
+//! * per entity, its **kept** block set: the `ceil(0.8 · |B_i|)` smallest
+//!   cleaned blocks, ties broken in lexicographic key order — exactly the
+//!   `block_filtering_csr` rule via the shared
+//!   [`er_blocking::filtering_keep_count`] quota;
+//! * the cleaned candidate adjacency: `(a, b)` is a cleaned candidate iff
+//!   the pair is comparable and some block keeps *both* endpoints (any such
+//!   block yields a comparison, so it survives the batch workflow's
+//!   post-filtering drop).
+//!
+//! Each [`LiveView::refresh`] re-derives decisions only for the *dirty*
+//! region of a mutation batch: the mutated entities plus the members of
+//! every block whose cleaned status or size changed.  Everything else is
+//! provably unaffected — an entity's kept set depends only on its own
+//! blocks' sizes and survivor flags, and a pair's candidacy only on its
+//! endpoints' kept sets.
+//!
+//! Exactness is property-tested against the batch
+//! `standard_blocking_workflow_csr` on the fig7/9 catalog workload, through
+//! arbitrary insert/remove/update interleavings.
+
+use er_blocking::{filtering_keep_count, purging_limit, DEFAULT_FILTERING_RATIO};
+use er_core::{EntityId, FxHashMap, FxHashSet};
+use er_stream::StreamingIndex;
+
+/// How the cleaned candidate set moved across one [`LiveView::refresh`].
+#[derive(Debug, Default, Clone)]
+pub struct ViewDelta {
+    /// Pairs that entered the cleaned candidate set, sorted, smaller
+    /// entity first.
+    pub added: Vec<(EntityId, EntityId)>,
+    /// Pairs that left the cleaned candidate set, sorted, smaller entity
+    /// first.
+    pub removed: Vec<(EntityId, EntityId)>,
+}
+
+/// An incrementally maintained cleaned (purged + filtered) candidate view
+/// of a [`StreamingIndex`].
+#[derive(Debug)]
+pub struct LiveView {
+    ratio: f64,
+    /// Purging threshold at the last refresh (`num_entities / 2`).
+    limit: usize,
+    /// Per key: survives cleaning right now (`live ∧ size ≤ limit`).
+    unpurged: Vec<bool>,
+    /// Live keys currently suppressed only by the purging limit; the only
+    /// keys a limit increase can release.
+    oversized: FxHashSet<u32>,
+    /// Per entity: kept key ids (its smallest cleaned blocks), sorted
+    /// ascending for membership tests.
+    kept: Vec<Vec<u32>>,
+    /// Cleaned candidate adjacency (symmetric partner sets).
+    partners: Vec<FxHashSet<u32>>,
+    /// Current number of cleaned candidate pairs.
+    num_pairs: usize,
+}
+
+impl LiveView {
+    /// Builds the view for the index's current state with the given Block
+    /// Filtering ratio (see [`er_blocking::block_filtering_csr`]).
+    pub fn new(index: &StreamingIndex, ratio: f64) -> Self {
+        assert!(
+            ratio > 0.0 && ratio <= 1.0,
+            "filtering ratio must be in (0, 1], got {ratio}"
+        );
+        let mut view = LiveView {
+            ratio,
+            limit: 0,
+            unpurged: Vec::new(),
+            oversized: FxHashSet::default(),
+            kept: Vec::new(),
+            partners: Vec::new(),
+            num_pairs: 0,
+        };
+        let all_keys: Vec<u32> = (0..index.num_keys() as u32).collect();
+        let all_entities = (0..index.num_entities()).map(|e| EntityId(e as u32));
+        view.refresh(index, &all_keys, all_entities);
+        view
+    }
+
+    /// Builds the view with the paper's default 0.8 filtering ratio.
+    pub fn with_default_ratio(index: &StreamingIndex) -> Self {
+        LiveView::new(index, DEFAULT_FILTERING_RATIO)
+    }
+
+    /// The Block Filtering ratio the view maintains.
+    pub fn ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    /// Number of cleaned candidate pairs currently in the view.
+    pub fn len(&self) -> usize {
+        self.num_pairs
+    }
+
+    /// True if the cleaned candidate set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.num_pairs == 0
+    }
+
+    /// True if the pair is currently a cleaned candidate.
+    pub fn contains(&self, pair: (EntityId, EntityId)) -> bool {
+        self.partners
+            .get(pair.0.index())
+            .is_some_and(|set| set.contains(&pair.1 .0))
+    }
+
+    /// The cleaned candidate partners of one entity, sorted ascending.
+    pub fn partners_of(&self, entity: EntityId) -> Vec<EntityId> {
+        let mut partners: Vec<EntityId> = self.partners[entity.index()]
+            .iter()
+            .map(|&p| EntityId(p))
+            .collect();
+        partners.sort_unstable();
+        partners
+    }
+
+    /// The full cleaned candidate set, sorted, smaller entity first.
+    pub fn candidate_pairs(&self) -> Vec<(EntityId, EntityId)> {
+        let mut pairs = Vec::with_capacity(self.num_pairs);
+        for (e, set) in self.partners.iter().enumerate() {
+            let a = EntityId(e as u32);
+            pairs.extend(set.iter().filter(|&&p| p > a.0).map(|&p| (a, EntityId(p))));
+        }
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// Re-derives the cleaned candidate set for the dirty region of one
+    /// mutation batch and returns exactly how the set moved.
+    ///
+    /// `touched_keys` is the batch's [`er_stream::DeltaBatch::touched_keys`]
+    /// journal; `batch` iterates every entity the batch ingested, removed or
+    /// updated ([`er_stream::DeltaBatch::batch_entities`]).
+    pub fn refresh(
+        &mut self,
+        index: &StreamingIndex,
+        touched_keys: &[u32],
+        batch: impl IntoIterator<Item = EntityId>,
+    ) -> ViewDelta {
+        self.unpurged.resize(index.num_keys(), false);
+        let n = index.num_entities();
+        self.kept.resize(n, Vec::new());
+        self.partners.resize(n, FxHashSet::default());
+
+        // Keys needing a survivor-flag recheck: the batch's journal plus
+        // the oversized blocks a limit increase releases.
+        let limit = purging_limit(n);
+        let mut dirty_keys: Vec<u32> = touched_keys.to_vec();
+        if limit != self.limit {
+            self.limit = limit;
+            dirty_keys.extend(
+                self.oversized
+                    .iter()
+                    .copied()
+                    .filter(|&k| index.block_size(k) <= limit),
+            );
+            dirty_keys.sort_unstable();
+            dirty_keys.dedup();
+        }
+
+        // Dirty entities: the batch plus every member of a block whose
+        // cleaned status or size changed (their filtering rank order may
+        // shift).  Blocks that stay purged-away are skipped — their sizes
+        // never enter anyone's assignment list.
+        let mut dirty: FxHashSet<u32> = batch.into_iter().map(|e| e.0).collect();
+        for &k in &dirty_keys {
+            let was = self.unpurged[k as usize];
+            let live = index.is_block_live(k);
+            let size = index.block_size(k);
+            let now = live && size <= limit;
+            self.unpurged[k as usize] = now;
+            if live && size > limit {
+                self.oversized.insert(k);
+            } else {
+                self.oversized.remove(&k);
+            }
+            if was || now {
+                dirty.extend(index.members(k).map(|m| m.0));
+            }
+        }
+        let mut dirty_list: Vec<u32> = dirty.iter().copied().collect();
+        dirty_list.sort_unstable();
+
+        // Pass 1: recompute every dirty entity's kept set (its
+        // `ceil(ratio · |B_i|)` smallest cleaned blocks; assignment lists
+        // are built in lexicographic key order, so the stable sort by size
+        // reproduces the batch tie-break exactly).
+        let mut assignments: Vec<(u32, u32)> = Vec::new();
+        for &e in &dirty_list {
+            let entity = EntityId(e);
+            assignments.clear();
+            if index.is_alive(entity) {
+                for &k in index.keys_of(entity) {
+                    if self.unpurged[k as usize] {
+                        assignments.push((index.block_size(k) as u32, k));
+                    }
+                }
+            }
+            let kept = &mut self.kept[e as usize];
+            kept.clear();
+            if assignments.is_empty() {
+                continue;
+            }
+            assignments.sort_by_key(|&(size, _)| size);
+            let keep = filtering_keep_count(assignments.len(), self.ratio);
+            kept.extend(assignments[..keep].iter().map(|&(_, k)| k));
+            kept.sort_unstable();
+        }
+
+        // Pass 2: recompute the dirty entities' partner sets against the
+        // refreshed kept sets (a pair is a candidate iff some block keeps
+        // both endpoints and the pair is comparable).
+        let mut fresh_sets: FxHashMap<u32, FxHashSet<u32>> = FxHashMap::default();
+        for &e in &dirty_list {
+            let entity = EntityId(e);
+            let mut fresh: FxHashSet<u32> = FxHashSet::default();
+            for &k in &self.kept[e as usize] {
+                for p in index.members(k) {
+                    if p.0 == e || !index.is_comparable(p, entity) {
+                        continue;
+                    }
+                    if self.kept[p.index()].binary_search(&k).is_ok() {
+                        fresh.insert(p.0);
+                    }
+                }
+            }
+            fresh_sets.insert(e, fresh);
+        }
+
+        // Diff: each changed pair is reported once — from its smaller
+        // endpoint when both endpoints are dirty (the predicate is
+        // symmetric, so both sides agree).
+        let canonical = |a: u32, b: u32| {
+            if a < b {
+                (EntityId(a), EntityId(b))
+            } else {
+                (EntityId(b), EntityId(a))
+            }
+        };
+        let mut delta = ViewDelta::default();
+        for &e in &dirty_list {
+            let fresh = &fresh_sets[&e];
+            let old = &self.partners[e as usize];
+            for &p in old {
+                if !fresh.contains(&p) && (!dirty.contains(&p) || e < p) {
+                    delta.removed.push(canonical(e, p));
+                }
+            }
+            for &p in fresh {
+                if !old.contains(&p) && (!dirty.contains(&p) || e < p) {
+                    delta.added.push(canonical(e, p));
+                }
+            }
+        }
+        // Apply: dirty entities take their fresh sets wholesale; the clean
+        // endpoint of a changed pair is patched in place.
+        for &(a, b) in &delta.removed {
+            if !dirty.contains(&a.0) {
+                self.partners[a.index()].remove(&b.0);
+            }
+            if !dirty.contains(&b.0) {
+                self.partners[b.index()].remove(&a.0);
+            }
+        }
+        for &(a, b) in &delta.added {
+            if !dirty.contains(&a.0) {
+                self.partners[a.index()].insert(b.0);
+            }
+            if !dirty.contains(&b.0) {
+                self.partners[b.index()].insert(a.0);
+            }
+        }
+        for &e in &dirty_list {
+            self.partners[e as usize] = fresh_sets.remove(&e).unwrap();
+        }
+        self.num_pairs += delta.added.len();
+        self.num_pairs -= delta.removed.len();
+        delta.added.sort_unstable();
+        delta.removed.sort_unstable();
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_blocking::{standard_blocking_workflow_csr, BlockStats, CandidatePairs, TokenKeys};
+    use er_core::{Dataset, FxHashSet};
+    use er_datasets::{generate_catalog_dataset, CatalogOptions, DatasetName};
+    use er_features::FeatureSet;
+    use er_stream::{surviving_dataset, StreamingConfig, StreamingMetaBlocker};
+
+    /// The batch pipeline's post-cleaning candidate set for a dataset.
+    fn cleaned_batch_candidates(dataset: &Dataset) -> Vec<(EntityId, EntityId)> {
+        let cleaned = standard_blocking_workflow_csr(dataset, 2);
+        if cleaned.is_empty() {
+            return Vec::new();
+        }
+        let stats = BlockStats::from_csr(&cleaned);
+        CandidatePairs::from_stats(&stats, 2).pairs().to_vec()
+    }
+
+    /// Streams the dataset with churn and asserts the view equals the batch
+    /// pipeline's cleaned candidate set after every mutation batch.
+    fn assert_view_tracks_batch_cleaning(dataset: &Dataset) {
+        let config = StreamingConfig {
+            feature_set: FeatureSet::blast_optimal(),
+            threads: 2,
+            ..StreamingConfig::for_dataset(dataset)
+        };
+        let mut blocker = StreamingMetaBlocker::new(config, TokenKeys);
+
+        // Grow the corpus in uneven chunks, refreshing the view per batch.
+        let mut cursor = 0usize;
+        let first = blocker.ingest(&dataset.profiles[..dataset.split.max(1)]);
+        cursor += dataset.split.max(1);
+        let mut view = LiveView::with_default_ratio(blocker.index());
+        // (`new` covers the state before this assertion too — it is a full
+        // refresh, so no separate bootstrap path needs testing.)
+        let _ = first;
+        while cursor < dataset.num_entities() {
+            let take = 61.min(dataset.num_entities() - cursor);
+            let delta = blocker.ingest(&dataset.profiles[cursor..cursor + take]);
+            cursor += take;
+            view.refresh(blocker.index(), &delta.touched_keys, delta.batch_entities());
+        }
+        let full = er_stream::dataset_prefix(dataset, dataset.num_entities());
+        assert_eq!(
+            view.candidate_pairs(),
+            cleaned_batch_candidates(&full),
+            "{}: ingest-only view diverged from the cleaned batch pipeline",
+            dataset.name
+        );
+
+        // Churn: remove a spread of entities, then re-key a few others with
+        // donor profiles, checking the view after each batch.
+        let n = dataset.num_entities();
+        let removed: Vec<EntityId> = (0..n)
+            .step_by((n / 13).max(1))
+            .take(9)
+            .map(|e| EntityId(e as u32))
+            .collect();
+        let delta = blocker.remove(&removed);
+        view.refresh(blocker.index(), &delta.touched_keys, delta.batch_entities());
+        let survivors = surviving_dataset(dataset, &removed, &[]);
+        assert_eq!(
+            view.candidate_pairs(),
+            cleaned_batch_candidates(&survivors),
+            "{}: view diverged after removals",
+            dataset.name
+        );
+
+        let dead: FxHashSet<u32> = removed.iter().map(|e| e.0).collect();
+        let updated: Vec<(EntityId, er_core::EntityProfile)> = (0..n)
+            .step_by((n / 7).max(1))
+            .filter(|e| !dead.contains(&(*e as u32)))
+            .take(5)
+            .map(|e| {
+                let donor = (e * 31 + 17) % n;
+                (EntityId(e as u32), dataset.profiles[donor].clone())
+            })
+            .collect();
+        let delta = blocker.update(&updated);
+        view.refresh(blocker.index(), &delta.touched_keys, delta.batch_entities());
+        let survivors = surviving_dataset(dataset, &removed, &updated);
+        assert_eq!(
+            view.candidate_pairs(),
+            cleaned_batch_candidates(&survivors),
+            "{}: view diverged after updates",
+            dataset.name
+        );
+    }
+
+    #[test]
+    fn live_view_matches_the_cleaned_batch_pipeline_on_the_fig7_9_workload() {
+        for name in DatasetName::largest_two() {
+            let dataset = generate_catalog_dataset(name, &CatalogOptions::tiny()).unwrap();
+            assert_view_tracks_batch_cleaning(&dataset);
+        }
+    }
+}

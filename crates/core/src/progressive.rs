@@ -21,7 +21,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use er_blocking::CandidatePairs;
-use er_core::{EntityId, FxHashSet, PairId};
+use er_core::{EntityId, FxHashMap, PairId};
 
 use crate::scoring::ProbabilitySource;
 
@@ -89,11 +89,14 @@ impl Iterator for ProgressiveSchedule {
 
 /// A scored pair in the streaming priority queue, ordered by probability
 /// descending with ties broken by ascending pair so draining is
-/// deterministic.
+/// deterministic.  The stamp identifies the *generation* of the entry: a
+/// re-absorbed (re-ranked) pair leaves its old heap entry behind as a stale
+/// record that emission skips.
 #[derive(Debug, Clone, Copy)]
 struct RankedPair {
     probability: f64,
     pair: (EntityId, EntityId),
+    stamp: u64,
 }
 
 impl Ord for RankedPair {
@@ -103,6 +106,7 @@ impl Ord for RankedPair {
         self.probability
             .total_cmp(&other.probability)
             .then_with(|| other.pair.cmp(&self.pair))
+            .then_with(|| self.stamp.cmp(&other.stamp))
     }
 }
 
@@ -120,18 +124,34 @@ impl PartialEq for RankedPair {
 
 impl Eq for RankedPair {}
 
-/// Progressive re-ranking over a stream: absorbs every ingested batch's
-/// delta pairs (with their classifier probabilities) and always emits the
-/// highest-probability pair not yet handed to the matcher.
+/// Lifecycle of a pair inside a [`StreamingSchedule`].
+#[derive(Debug, Clone, Copy)]
+enum PairState {
+    /// Waiting in the heap; only the entry carrying this stamp is current.
+    Queued(u64),
+    /// Already handed to the matcher; never re-issued.
+    Emitted,
+}
+
+/// Progressive re-ranking over a stream of mutations: absorbs every
+/// batch's delta pairs (with their classifier probabilities), re-ranks
+/// pairs whose score changed, and always emits the highest-probability pair
+/// not yet handed to the matcher.
 ///
-/// Retractions (pairs orphaned when a block crossed a size cap) are
-/// tombstoned: a retracted pair still in the queue is silently skipped; a
-/// pair already emitted cannot be recalled — the consumer simply compared
-/// one pair that the final corpus would not have scheduled.
+/// * **Re-ranking** — absorbing a pair that is already queued replaces its
+///   priority (the old heap entry goes stale and is skipped on emission);
+///   this is how re-scored survivors of an update move through the queue.
+/// * **Retraction** — a retracted pair still in the queue is dropped; a
+///   pair already emitted cannot be recalled — the consumer simply compared
+///   one pair that the final corpus would not have scheduled.
+/// * **At-most-once emission** — a pair that was emitted is never queued
+///   again, even if a later mutation revives or re-scores it.
 #[derive(Debug, Clone, Default)]
 pub struct StreamingSchedule {
     heap: BinaryHeap<RankedPair>,
-    tombstones: FxHashSet<(EntityId, EntityId)>,
+    states: FxHashMap<(EntityId, EntityId), PairState>,
+    next_stamp: u64,
+    queued: usize,
     emitted: usize,
 }
 
@@ -142,7 +162,9 @@ impl StreamingSchedule {
     }
 
     /// Absorbs one batch of scored pairs (the `pairs`/`probabilities`
-    /// columns of an `er_stream::DeltaBatch`).
+    /// columns of an `er_stream::DeltaBatch`): new pairs are queued,
+    /// already-queued pairs are re-ranked to the new probability, and
+    /// already-emitted pairs are ignored.
     ///
     /// # Panics
     /// Panics if the two slices differ in length — streaming emission
@@ -153,36 +175,55 @@ impl StreamingSchedule {
             probabilities.len(),
             "every absorbed pair needs a probability"
         );
-        self.heap.extend(
-            pairs
-                .iter()
-                .zip(probabilities)
-                .map(|(&pair, &probability)| RankedPair { probability, pair }),
-        );
+        for (&pair, &probability) in pairs.iter().zip(probabilities) {
+            match self.states.get(&pair) {
+                Some(PairState::Emitted) => continue,
+                Some(PairState::Queued(_)) => {}
+                None => self.queued += 1,
+            }
+            self.next_stamp += 1;
+            let stamp = self.next_stamp;
+            self.states.insert(pair, PairState::Queued(stamp));
+            self.heap.push(RankedPair {
+                probability,
+                pair,
+                stamp,
+            });
+        }
     }
 
-    /// Marks pairs as retracted; they will never be emitted (pairs already
-    /// drained are unaffected).
+    /// Drops retracted pairs from the queue; they will not be emitted
+    /// (pairs already drained are unaffected and stay ineligible for
+    /// re-queueing).
     pub fn retract(&mut self, pairs: &[(EntityId, EntityId)]) {
-        self.tombstones.extend(pairs.iter().copied());
+        for pair in pairs {
+            if let Some(PairState::Queued(_)) = self.states.get(pair) {
+                self.states.remove(pair);
+                self.queued -= 1;
+            }
+        }
     }
 
     /// Emits the next pair in decreasing probability order, skipping
-    /// retracted pairs.
+    /// retracted pairs and stale (re-ranked) heap entries.
     pub fn pop(&mut self) -> Option<((EntityId, EntityId), f64)> {
         while let Some(ranked) = self.heap.pop() {
-            if self.tombstones.contains(&ranked.pair) {
-                continue;
+            match self.states.get(&ranked.pair) {
+                Some(&PairState::Queued(stamp)) if stamp == ranked.stamp => {
+                    self.states.insert(ranked.pair, PairState::Emitted);
+                    self.queued -= 1;
+                    self.emitted += 1;
+                    return Some((ranked.pair, ranked.probability));
+                }
+                _ => continue,
             }
-            self.emitted += 1;
-            return Some((ranked.pair, ranked.probability));
         }
         None
     }
 
     /// Emits the next batch of up to `budget` pairs.
     pub fn next_batch(&mut self, budget: usize) -> Vec<((EntityId, EntityId), f64)> {
-        let mut out = Vec::with_capacity(budget.min(self.heap.len()));
+        let mut out = Vec::with_capacity(budget.min(self.queued));
         while out.len() < budget {
             let Some(item) = self.pop() else { break };
             out.push(item);
@@ -190,10 +231,10 @@ impl StreamingSchedule {
         out
     }
 
-    /// Upper bound on the pairs still queued (tombstoned pairs are counted
-    /// until they are skipped on emission).
+    /// Exact number of pairs still queued (retracted and re-ranked entries
+    /// excluded).
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.queued
     }
 
     /// Number of pairs emitted so far.
@@ -272,12 +313,48 @@ mod tests {
         let pair = |a: u32, b: u32| (EntityId(a), EntityId(b));
         schedule.absorb(&[pair(0, 1), pair(0, 2), pair(1, 2)], &[0.8, 0.6, 0.4]);
         schedule.retract(&[pair(0, 2)]);
+        assert_eq!(schedule.pending(), 2);
         let drained: Vec<_> = schedule
             .next_batch(10)
             .into_iter()
             .map(|(p, _)| p)
             .collect();
         assert_eq!(drained, vec![pair(0, 1), pair(1, 2)]);
+        assert_eq!(schedule.emitted(), 2);
+        assert_eq!(schedule.pending(), 0);
+    }
+
+    #[test]
+    fn streaming_schedule_reranks_absorbed_pairs() {
+        use er_core::EntityId;
+        let mut schedule = StreamingSchedule::new();
+        let pair = |a: u32, b: u32| (EntityId(a), EntityId(b));
+        schedule.absorb(&[pair(0, 1), pair(0, 2)], &[0.9, 0.5]);
+        // Re-scoring flips the order; the stale 0.9 entry must be skipped.
+        schedule.absorb(&[pair(0, 1)], &[0.1]);
+        assert_eq!(schedule.pending(), 2);
+        let drained = schedule.next_batch(10);
+        assert_eq!(drained[0], (pair(0, 2), 0.5));
+        assert_eq!(drained[1], (pair(0, 1), 0.1));
+        assert_eq!(schedule.emitted(), 2);
+    }
+
+    #[test]
+    fn streaming_schedule_never_reissues_an_emitted_pair() {
+        use er_core::EntityId;
+        let mut schedule = StreamingSchedule::new();
+        let pair = |a: u32, b: u32| (EntityId(a), EntityId(b));
+        schedule.absorb(&[pair(0, 1)], &[0.8]);
+        assert_eq!(schedule.pop().unwrap().0, pair(0, 1));
+        // Re-absorbing (a revival or re-score) after emission is a no-op.
+        schedule.absorb(&[pair(0, 1)], &[0.9]);
+        assert_eq!(schedule.pending(), 0);
+        assert!(schedule.pop().is_none());
+        // Retraction after emission is also a no-op; a fresh pair still
+        // flows normally.
+        schedule.retract(&[pair(0, 1)]);
+        schedule.absorb(&[pair(2, 3)], &[0.4]);
+        assert_eq!(schedule.pop().unwrap().0, pair(2, 3));
         assert_eq!(schedule.emitted(), 2);
     }
 

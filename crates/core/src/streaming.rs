@@ -15,29 +15,61 @@
 //! for Dirty ER.
 
 use er_blocking::{build_blocks, BlockStats, CandidatePairs, CsrBlockCollection, TokenKeys};
-use er_core::{Dataset, EntityProfile, PairId, Result};
+use er_core::{Dataset, EntityId, EntityProfile, FxHashMap, PairId, Result};
 use er_features::{FeatureContext, FeatureMatrix};
 use er_learn::{balanced_undersample, TrainingSet};
 use er_stream::{DeltaBatch, StreamingConfig, StreamingMetaBlocker};
 
+use crate::live_view::LiveView;
 use crate::pipeline::MetaBlockingConfig;
 use crate::progressive::StreamingSchedule;
+
+/// The cleaned-view machinery of a [`StreamingPipeline`] running in
+/// cleaned mode: the incremental purging/filtering view plus a probability
+/// pool holding the latest raw score of every candidate pair, so pairs that
+/// enter the cleaned view late (e.g. a block released by Block Purging as
+/// the corpus grows) can be scheduled without re-scoring.
+struct CleanedState {
+    view: LiveView,
+    pool: FxHashMap<(EntityId, EntityId), f64>,
+}
 
 /// A bootstrapped streaming meta-blocking pipeline over Token Blocking.
 pub struct StreamingPipeline {
     blocker: StreamingMetaBlocker<TokenKeys>,
     schedule: StreamingSchedule,
+    cleaned: Option<CleanedState>,
 }
 
 impl StreamingPipeline {
     /// Trains the configured classifier on `seed_corpus` (batch-built, with
     /// the same sampling and feature path as the batch pipeline), seeds the
     /// streaming index with the corpus, and returns a pipeline ready to
-    /// ingest the rest of the stream.
+    /// ingest the rest of the stream.  The schedule ranks the **raw** Token
+    /// Blocking candidates; use [`StreamingPipeline::bootstrap_cleaned`]
+    /// for a schedule restricted to the cleaned (purged + filtered)
+    /// candidate set.
     ///
     /// The seed corpus must yield at least one candidate pair per class for
     /// training; `config.per_class` applies as in the batch pipeline.
     pub fn bootstrap(config: &MetaBlockingConfig, seed_corpus: &Dataset) -> Result<Self> {
+        Self::bootstrap_impl(config, seed_corpus, false)
+    }
+
+    /// [`StreamingPipeline::bootstrap`] in **cleaned mode**: a
+    /// [`LiveView`] maintains Block Purging + Block Filtering incrementally
+    /// and the schedule only ever ranks pairs of the cleaned candidate set
+    /// — the same set the batch pipeline's standard blocking workflow
+    /// produces for the surviving corpus.
+    pub fn bootstrap_cleaned(config: &MetaBlockingConfig, seed_corpus: &Dataset) -> Result<Self> {
+        Self::bootstrap_impl(config, seed_corpus, true)
+    }
+
+    fn bootstrap_impl(
+        config: &MetaBlockingConfig,
+        seed_corpus: &Dataset,
+        cleaned: bool,
+    ) -> Result<Self> {
         let threads = config.effective_threads();
         let set = config.feature_set;
 
@@ -90,25 +122,125 @@ impl StreamingPipeline {
         let mut pipeline = StreamingPipeline {
             blocker: StreamingMetaBlocker::new(stream_config, TokenKeys).with_model(model),
             schedule: StreamingSchedule::new(),
+            cleaned: None,
         };
         // Seed the index through the unscored ingestion path (same postings,
         // statistics and LCP counters; no duplicate feature pass) and seed
         // the schedule with the batch-scored pairs.
         pipeline.blocker.ingest_unscored(&seed_corpus.profiles);
-        pipeline
-            .schedule
-            .absorb(candidates.pairs(), &seed_probabilities);
+        if cleaned {
+            // The view starts from the seeded index; only the cleaned
+            // subset of the batch-scored pairs enters the schedule, the
+            // rest waits in the pool until cleaning releases it.
+            let view = LiveView::with_default_ratio(pipeline.blocker.index());
+            let pool: FxHashMap<(EntityId, EntityId), f64> = candidates
+                .pairs()
+                .iter()
+                .copied()
+                .zip(seed_probabilities.iter().copied())
+                .collect();
+            for &pair in candidates.pairs() {
+                if view.contains(pair) {
+                    pipeline.schedule.absorb(&[pair], &[pool[&pair]]);
+                }
+            }
+            pipeline.cleaned = Some(CleanedState { view, pool });
+        } else {
+            pipeline
+                .schedule
+                .absorb(candidates.pairs(), &seed_probabilities);
+        }
         Ok(pipeline)
+    }
+
+    /// True if the pipeline maintains the cleaned (purged + filtered)
+    /// candidate view.
+    pub fn is_cleaned(&self) -> bool {
+        self.cleaned.is_some()
+    }
+
+    /// The cleaned live view, when running in cleaned mode.
+    pub fn live_view(&self) -> Option<&LiveView> {
+        self.cleaned.as_ref().map(|state| &state.view)
+    }
+
+    /// Feeds one delta batch into the schedule.  Raw mode absorbs
+    /// additions, re-ranks re-scored survivors and retracts retractions
+    /// directly; cleaned mode routes everything through the live view so
+    /// the schedule only ever holds cleaned candidates.
+    fn apply_delta(&mut self, delta: &DeltaBatch) {
+        match &mut self.cleaned {
+            None => {
+                self.schedule.absorb(&delta.pairs, &delta.probabilities);
+                self.schedule
+                    .absorb(&delta.rescored_pairs, &delta.rescored_probabilities);
+                self.schedule.retract(&delta.retracted);
+            }
+            Some(state) => {
+                for (&pair, &probability) in delta.pairs.iter().zip(&delta.probabilities) {
+                    state.pool.insert(pair, probability);
+                }
+                for (&pair, &probability) in delta
+                    .rescored_pairs
+                    .iter()
+                    .zip(&delta.rescored_probabilities)
+                {
+                    state.pool.insert(pair, probability);
+                }
+                for pair in delta.retractions() {
+                    state.pool.remove(&pair);
+                }
+                let moved = state.view.refresh(
+                    self.blocker.index(),
+                    &delta.touched_keys,
+                    delta.batch_entities(),
+                );
+                self.schedule.retract(&moved.removed);
+                for &pair in &moved.added {
+                    if let Some(&probability) = state.pool.get(&pair) {
+                        self.schedule.absorb(&[pair], &[probability]);
+                    }
+                }
+                // Surviving re-scored pairs that are (and stay) cleaned
+                // candidates move to their new rank.
+                for (&pair, &probability) in delta
+                    .rescored_pairs
+                    .iter()
+                    .zip(&delta.rescored_probabilities)
+                {
+                    if state.view.contains(pair) {
+                        self.schedule.absorb(&[pair], &[probability]);
+                    }
+                }
+            }
+        }
     }
 
     /// Ingests one batch of new entities: the blocking index updates
     /// incrementally, the delta pairs are scored with the bootstrapped
     /// model, and the progressive schedule re-ranks (absorbing the new
-    /// pairs, tombstoning any retractions).  Returns the raw delta.
+    /// pairs, dropping any retractions).  Returns the raw delta.
     pub fn ingest(&mut self, profiles: &[EntityProfile]) -> DeltaBatch {
         let delta = self.blocker.ingest(profiles);
-        self.schedule.absorb(&delta.pairs, &delta.probabilities);
-        self.schedule.retract(&delta.retracted);
+        self.apply_delta(&delta);
+        delta
+    }
+
+    /// Removes a batch of entities: their pairs leave the schedule, pairs
+    /// revived by shrinking capped blocks enter it, and in cleaned mode the
+    /// live view re-derives the affected cleaning decisions.
+    pub fn remove(&mut self, ids: &[EntityId]) -> DeltaBatch {
+        let delta = self.blocker.remove(ids);
+        self.apply_delta(&delta);
+        delta
+    }
+
+    /// Applies in-place profile updates: lost pairs leave the schedule, new
+    /// pairs enter it, and surviving pairs of the updated entities are
+    /// re-ranked to their fresh probabilities.
+    pub fn update(&mut self, updates: &[(EntityId, EntityProfile)]) -> DeltaBatch {
+        let delta = self.blocker.update(updates);
+        self.apply_delta(&delta);
         delta
     }
 
@@ -175,8 +307,8 @@ mod tests {
         let mut streamed_pairs = 0usize;
         for chunk in ds.profiles[seed_count..].chunks(7) {
             let delta = pipeline.ingest(chunk);
-            assert_eq!(delta.probabilities.len(), delta.len());
-            streamed_pairs += delta.len();
+            assert_eq!(delta.probabilities.len(), delta.num_additions());
+            streamed_pairs += delta.num_additions();
         }
         assert_eq!(pipeline.num_entities(), ds.num_entities());
         assert!(streamed_pairs > 0, "streaming found no new candidates");
@@ -188,6 +320,92 @@ mod tests {
             compacted.to_block_collection().blocks,
             batch.to_block_collection().blocks
         );
+    }
+
+    #[test]
+    fn churn_keeps_the_schedule_consistent_with_the_corpus() {
+        use er_core::FxHashSet;
+
+        let ds = dataset();
+        let seed_count = ds.split + (ds.num_entities() - ds.split) / 2;
+        let seed = er_stream::dataset_prefix(&ds, seed_count);
+        let mut pipeline = StreamingPipeline::bootstrap(&config(), &seed).unwrap();
+
+        // Stream the rest, then churn: remove a spread of E2 entities and
+        // re-key a couple of others.
+        pipeline.ingest(&ds.profiles[seed_count..]);
+        let removed: Vec<er_core::EntityId> = (ds.split..ds.num_entities())
+            .step_by(5)
+            .take(6)
+            .map(|e| er_core::EntityId(e as u32))
+            .collect();
+        let delta = pipeline.remove(&removed);
+        assert_eq!(delta.num_removed, removed.len());
+        let dead: FxHashSet<u32> = removed.iter().map(|e| e.0).collect();
+        let updated: Vec<(er_core::EntityId, er_core::EntityProfile)> = (ds.split
+            ..ds.num_entities())
+            .filter(|e| !dead.contains(&(*e as u32)))
+            .take(2)
+            .map(|e| {
+                (
+                    er_core::EntityId(e as u32),
+                    ds.profiles[e - ds.split].clone(),
+                )
+            })
+            .collect();
+        let delta = pipeline.update(&updated);
+        assert_eq!(delta.num_updated, updated.len());
+
+        // Whatever the schedule now drains never touches a removed entity.
+        while let Some(((a, b), _)) = pipeline.schedule.pop() {
+            assert!(!dead.contains(&a.0) && !dead.contains(&b.0));
+        }
+
+        // And the compacted state still equals a batch build of the
+        // surviving corpus.
+        let survivors = er_stream::surviving_dataset(&ds, &removed, &updated);
+        let compacted = pipeline.compact();
+        let batch = build_blocks(&survivors, &TokenKeys, 2);
+        assert_eq!(
+            compacted.to_block_collection().blocks,
+            batch.to_block_collection().blocks
+        );
+    }
+
+    #[test]
+    fn cleaned_pipeline_schedules_only_cleaned_candidates() {
+        let ds = dataset();
+        let seed_count = ds.split + (ds.num_entities() - ds.split) / 2;
+        let seed = er_stream::dataset_prefix(&ds, seed_count);
+        let mut raw = StreamingPipeline::bootstrap(&config(), &seed).unwrap();
+        let mut cleaned = StreamingPipeline::bootstrap_cleaned(&config(), &seed).unwrap();
+        assert!(cleaned.is_cleaned() && !raw.is_cleaned());
+        assert!(cleaned.schedule().pending() <= raw.schedule().pending());
+
+        for chunk in ds.profiles[seed_count..].chunks(17) {
+            raw.ingest(chunk);
+            cleaned.ingest(chunk);
+        }
+        let removed = [er_core::EntityId((ds.num_entities() - 1) as u32)];
+        raw.remove(&removed);
+        cleaned.remove(&removed);
+
+        // The cleaned schedule drains exactly the live view's candidate
+        // set, which in turn equals the batch pipeline's cleaned set.
+        let expected: Vec<(er_core::EntityId, er_core::EntityId)> =
+            cleaned.live_view().unwrap().candidate_pairs();
+        let mut drained: Vec<(er_core::EntityId, er_core::EntityId)> = Vec::new();
+        while let Some((pair, _)) = cleaned.schedule.pop() {
+            drained.push(pair);
+        }
+        drained.sort_unstable();
+        assert_eq!(drained, expected);
+
+        let survivors = er_stream::surviving_dataset(&ds, &removed, &[]);
+        let cleaned_batch = er_blocking::standard_blocking_workflow_csr(&survivors, 2);
+        let stats = BlockStats::from_csr(&cleaned_batch);
+        let batch_pairs = CandidatePairs::from_stats(&stats, 2);
+        assert_eq!(expected.as_slice(), batch_pairs.pairs());
     }
 
     #[test]

@@ -16,6 +16,21 @@ use crate::csr::CsrBlockCollection;
 /// is removed from the largest 20% of its blocks).
 pub const DEFAULT_FILTERING_RATIO: f64 = 0.8;
 
+/// How many of an entity's `degree` blocks Block Filtering keeps (the
+/// `ceil(ratio · |B_i|)` rule, never dropping below one block).
+///
+/// This is the single home of the filtering quota arithmetic — both batch
+/// implementations and incremental consumers (the filtering-aware streaming
+/// live view) must agree bit-for-bit on how many blocks each entity retains.
+#[inline]
+pub fn filtering_keep_count(degree: usize, ratio: f64) -> usize {
+    if degree == 0 {
+        0
+    } else {
+        ((ratio * degree as f64).ceil() as usize).max(1)
+    }
+}
+
 /// Applies Block Filtering with the given retention ratio in `(0, 1]`.
 ///
 /// For each entity, its blocks are ranked by increasing size and the entity
@@ -47,7 +62,7 @@ pub fn block_filtering(blocks: &BlockCollection, ratio: f64) -> BlockCollection 
         // Sort by block size ascending, breaking ties by block index so the
         // outcome does not depend on iteration order.
         assignments.sort_unstable();
-        let keep = ((ratio * assignments.len() as f64).ceil() as usize).max(1);
+        let keep = filtering_keep_count(assignments.len(), ratio);
         for &(_, block_idx) in assignments.iter().take(keep) {
             retained[entity].insert(block_idx);
         }
@@ -122,11 +137,7 @@ pub fn block_filtering_csr(blocks: &CsrBlockCollection, ratio: f64) -> CsrBlockC
     // kept block indices are re-sorted so membership is a binary search.
     let mut kept_offsets = vec![0u32; num_entities + 1];
     for i in 0..num_entities {
-        let keep = if degree[i] == 0 {
-            0
-        } else {
-            ((ratio * f64::from(degree[i])).ceil() as u32).max(1)
-        };
+        let keep = filtering_keep_count(degree[i] as usize, ratio) as u32;
         kept_offsets[i + 1] = kept_offsets[i] + keep;
     }
     let mut kept = vec![0u32; kept_offsets[num_entities] as usize];

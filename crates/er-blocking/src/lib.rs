@@ -38,9 +38,11 @@ pub use builder::{
 pub use candidates::CandidatePairs;
 pub use collection::BlockCollection;
 pub use csr::{comparisons_from_first, slice_cardinalities, CsrBlockCollection, KeyStore};
-pub use filtering::{block_filtering, block_filtering_csr, DEFAULT_FILTERING_RATIO};
+pub use filtering::{
+    block_filtering, block_filtering_csr, filtering_keep_count, DEFAULT_FILTERING_RATIO,
+};
 pub use graph::NeighborIndex;
-pub use purging::{block_purging, block_purging_csr};
+pub use purging::{block_purging, block_purging_csr, purging_limit};
 pub use qgrams::{qgrams_blocking, qgrams_blocking_csr};
 pub use stats::BlockStats;
 pub use suffix_arrays::{suffix_array_blocking, suffix_array_blocking_csr, SuffixArrayConfig};

@@ -8,9 +8,20 @@
 use crate::collection::BlockCollection;
 use crate::csr::CsrBlockCollection;
 
+/// The largest block size that survives Block Purging for a corpus of
+/// `num_entities` profiles: blocks with more entities than this are dropped.
+///
+/// This is the single home of the purging threshold arithmetic — the batch
+/// implementations below and incremental consumers (the purging-aware
+/// streaming live view) must agree bit-for-bit on which blocks survive.
+#[inline]
+pub fn purging_limit(num_entities: usize) -> usize {
+    num_entities / 2
+}
+
 /// Discards every block containing more than half of the entity profiles.
 pub fn block_purging(blocks: &BlockCollection) -> BlockCollection {
-    let limit = blocks.num_entities / 2;
+    let limit = purging_limit(blocks.num_entities);
     blocks.retain_blocks(|b| b.size() <= limit)
 }
 
@@ -18,7 +29,7 @@ pub fn block_purging(blocks: &BlockCollection) -> BlockCollection {
 /// pure index operation — the surviving blocks share the input's key arena,
 /// so no key string is cloned.
 pub fn block_purging_csr(blocks: &CsrBlockCollection) -> CsrBlockCollection {
-    let limit = blocks.num_entities / 2;
+    let limit = purging_limit(blocks.num_entities);
     blocks.retain(|b| blocks.block_size(b) <= limit)
 }
 

@@ -1,20 +1,27 @@
 //! The mutable blocking index behind [`crate::StreamingMetaBlocker`].
 //!
-//! A [`StreamingIndex`] holds the complete blocking state of a growing
-//! corpus in a delta-over-baseline layout:
+//! A [`StreamingIndex`] holds the complete blocking state of a churning
+//! corpus — inserts, deletes *and* updates — in a delta-over-baseline
+//! layout:
 //!
 //! * an interned key dictionary (`key → u32`, every key string allocated
 //!   once plus one lookup copy),
 //! * per-key posting lists split into a **compacted baseline CSR** (the
-//!   state at the last [`StreamingIndex::compact`] epoch) and a per-key
-//!   **delta vector** of entities ingested since,
+//!   state at the last [`StreamingIndex::compact`] epoch), a per-key
+//!   sorted **delta vector** of entities that joined the block since, and a
+//!   per-key sorted **tombstone vector** of baseline entities that left it
+//!   (deletions and re-keying updates cannot edit the shared baseline
+//!   arena, so departures are recorded as tombstones and physically
+//!   dropped at the next compaction),
 //! * per-key statistics (`|b|`, first-source counts, `||b||` and the
-//!   reciprocal tables) updated in place on every insertion, together with
-//!   the global live-block aggregates (`|B|`, `||B||`),
-//! * the entity → key adjacency as an append-only CSR (an entity's key set
-//!   is fixed at ingestion, so rows are only ever appended), and
+//!   reciprocal tables) updated **exactly** — incrementally on insertion,
+//!   decrementally on removal — together with the global live-block
+//!   aggregates (`|B|`, `||B||`),
+//! * the entity → key adjacency as a baseline CSR plus an overlay map for
+//!   mutated entities (an update replaces the row, a deletion empties it;
+//!   the overlay folds back into the CSR at compaction), and
 //! * the per-entity distinct-candidate counts (the LCP feature), maintained
-//!   incrementally from the emitted delta pairs and their retractions.
+//!   incrementally from emitted candidate additions and retractions.
 //!
 //! # Liveness
 //!
@@ -24,19 +31,32 @@
 //! are all from E1 produces zero comparisons today but becomes useful the
 //! moment an E2 entity joins it — so every key keeps its full posting list
 //! and carries a *live* flag instead: live blocks are exactly the blocks the
-//! batch engine would emit for the current corpus.  Because `||b||` never
-//! decreases under insertions, a block leaves the live set only by crossing
-//! the size cap, and that transition triggers the retraction scan that keeps
-//! the candidate invariant exact (see [`StreamingIndex::insert_entity`]).
+//! batch engine would emit for the current corpus.  Under pure insertions a
+//! block leaves the live set only by crossing the size cap; with deletions
+//! and updates every transition is possible, including a capped block
+//! shrinking back under the cap and **re-entering** the live set.  Each
+//! mutation batch therefore records the pre-batch liveness of every touched
+//! key, and [`StreamingIndex::finish_batch`] turns the net flips into exact
+//! candidate *retractions* (blocks that left the live set) and *revivals*
+//! (blocks that re-entered it) — the generalisation of the old
+//! insert-only size-cap retraction scan.
 //!
 //! # Determinism
 //!
 //! Per-entity key lists are stored in lexicographic key order — the order in
 //! which the batch engine assigns block ids — so every floating-point
 //! accumulation over a key list (partner scoreboards, per-entity aggregate
-//! tables) adds terms in exactly the order the batch
-//! [`er_features::FeatureContext`] would, making streaming feature values
-//! bit-identical to a batch rebuild of the current corpus.
+//! tables, pair co-occurrence merges) adds terms in exactly the order the
+//! batch [`er_features::FeatureContext`] would, making streaming feature
+//! values bit-identical to a batch rebuild of the surviving corpus.
+//!
+//! # Identity of the surviving corpus
+//!
+//! Entity ids are never reused: a deleted entity keeps its id, simply owns
+//! no keys and appears in no posting list.  The batch-equivalent view of a
+//! mutated stream is therefore the original id space with every deleted
+//! entity replaced by an *empty* profile (no attributes → no blocking keys)
+//! — exactly what the equivalence property tests build.
 
 use std::sync::Arc;
 
@@ -45,7 +65,7 @@ use er_core::{DatasetKind, EntityId, FxHashMap};
 use er_features::{EntityAggregates, PairCooccurrence};
 
 /// Reusable per-worker scoreboard for delta-pair aggregation: one
-/// [`PairCooccurrence`] slot per partner touched by the current new entity.
+/// [`PairCooccurrence`] slot per partner touched by the current entity.
 ///
 /// Backed by a hash map rather than a corpus-sized dense array so that the
 /// per-batch cost of [`StreamingIndex::collect_delta_pairs`] scales with the
@@ -68,8 +88,77 @@ impl PartnerBoard {
     }
 }
 
-/// The mutable blocking index: interned keys, delta-over-baseline postings,
-/// in-place block statistics and incremental candidate counts.
+/// Merged iterator over one key's posting list: baseline minus tombstones,
+/// interleaved with the delta vector, in ascending entity-id order.
+///
+/// Invariants relied on: `removed ⊆ base` (both sorted), `delta` sorted and
+/// disjoint from the visible baseline.
+#[derive(Debug, Clone)]
+pub struct Members<'a> {
+    base: &'a [EntityId],
+    removed: &'a [EntityId],
+    delta: &'a [EntityId],
+    bi: usize,
+    ri: usize,
+    di: usize,
+}
+
+impl Iterator for Members<'_> {
+    type Item = EntityId;
+
+    fn next(&mut self) -> Option<EntityId> {
+        loop {
+            if self.bi < self.base.len() {
+                let b = self.base[self.bi];
+                while self.ri < self.removed.len() && self.removed[self.ri] < b {
+                    self.ri += 1;
+                }
+                if self.ri < self.removed.len() && self.removed[self.ri] == b {
+                    self.bi += 1;
+                    self.ri += 1;
+                    continue;
+                }
+                if self.di < self.delta.len() && self.delta[self.di] < b {
+                    self.di += 1;
+                    return Some(self.delta[self.di - 1]);
+                }
+                self.bi += 1;
+                return Some(b);
+            }
+            if self.di < self.delta.len() {
+                self.di += 1;
+                return Some(self.delta[self.di - 1]);
+            }
+            return None;
+        }
+    }
+}
+
+/// The exact candidate-set consequences of one mutation batch, as computed
+/// by [`StreamingIndex::finish_batch`] from the recorded liveness flips.
+///
+/// Both pair lists cover only pairs **between pre-existing, unmutated
+/// entities** — pairs with a mutated endpoint are diffed directly by the
+/// blocker from its before/after partner sets.
+#[derive(Debug, Default)]
+pub struct BatchEffects {
+    /// Every key whose postings or statistics changed during the batch,
+    /// sorted by stream key id.
+    pub touched_keys: Vec<u32>,
+    /// Pairs that ceased to be candidates because every block supporting
+    /// them left the live set (size-cap crossings, blocks losing their last
+    /// cross-source member, ...).
+    pub retracted: Vec<(EntityId, EntityId)>,
+    /// Pairs that *became* candidates because a previously dead block
+    /// re-entered the live set (a capped block shrinking back under the cap
+    /// via deletions).  Impossible under pure insertion, routine under
+    /// churn.
+    pub revived: Vec<(EntityId, EntityId)>,
+}
+
+/// The mutable blocking index: interned keys, tombstone-aware
+/// delta-over-baseline postings, exact decremental block statistics and
+/// incremental candidate counts.
 #[derive(Debug)]
 pub struct StreamingIndex {
     dataset_name: String,
@@ -79,6 +168,8 @@ pub struct StreamingIndex {
     /// The scheme's block-size cap (`usize::MAX` when the scheme has none).
     cap: usize,
     num_entities: usize,
+    /// Entities currently alive (ingested and not removed).
+    num_alive: usize,
     /// Interned key strings, indexed by stream key id.
     keys: Vec<Box<str>>,
     /// Key → stream id lookup (holds the one extra copy of each key).
@@ -89,8 +180,13 @@ pub struct StreamingIndex {
     base_offsets: Vec<u32>,
     /// Baseline CSR arena: concatenated postings at the last compaction.
     base_entities: Vec<EntityId>,
-    /// Per key, the entities ingested since the last compaction.
+    /// Per key, the entities that joined since the last compaction (sorted,
+    /// disjoint from the visible baseline).
     delta: Vec<Vec<EntityId>>,
+    /// Per key, the baseline entities that left since the last compaction
+    /// (sorted subset of the baseline slice).  Physically dropped by
+    /// [`StreamingIndex::compact`].
+    removed: Vec<Vec<EntityId>>,
     /// `|b|` per key.
     sizes: Vec<u32>,
     /// First-source member count per key (equals `|b|` for Dirty ER).
@@ -107,13 +203,22 @@ pub struct StreamingIndex {
     num_live: usize,
     /// `||B||` over live blocks.
     total_live_comparisons: u64,
-    /// Entity → key adjacency offsets (`num_entities + 1` entries).
+    /// Entity → key adjacency offsets (`num_entities + 1` entries; baseline
+    /// rows, appended at ingestion).
     entity_offsets: Vec<u32>,
     /// Adjacency arena: each entity's key ids in lexicographic key order.
     entity_keys: Vec<u32>,
+    /// Replacement rows for mutated entities (updates re-key, deletions
+    /// empty); folded into the CSR at compaction.
+    overlay: FxHashMap<u32, Box<[u32]>>,
+    /// Per entity, whether it is still part of the corpus.
+    alive: Vec<bool>,
     /// Distinct-candidate count per entity (the LCP feature), kept exact
-    /// under emissions and cap retractions.
+    /// under additions, retractions and revivals.
     entity_candidates: Vec<u32>,
+    /// Keys touched by the current mutation batch, mapped to their liveness
+    /// when first touched; drained by [`StreamingIndex::finish_batch`].
+    touched: FxHashMap<u32, bool>,
     /// Number of completed compactions.
     epoch: u64,
 }
@@ -138,11 +243,13 @@ impl StreamingIndex {
             split,
             cap,
             num_entities: 0,
+            num_alive: 0,
             keys: Vec::new(),
             lookup: FxHashMap::default(),
             base_offsets: vec![0],
             base_entities: Vec::new(),
             delta: Vec::new(),
+            removed: Vec::new(),
             sizes: Vec::new(),
             first_counts: Vec::new(),
             comparisons: Vec::new(),
@@ -153,14 +260,27 @@ impl StreamingIndex {
             total_live_comparisons: 0,
             entity_offsets: vec![0],
             entity_keys: Vec::new(),
+            overlay: FxHashMap::default(),
+            alive: Vec::new(),
             entity_candidates: Vec::new(),
+            touched: FxHashMap::default(),
             epoch: 0,
         }
     }
 
-    /// Number of entities ingested so far.
+    /// Number of entity ids ever assigned (deleted ids are never reused).
     pub fn num_entities(&self) -> usize {
         self.num_entities
+    }
+
+    /// Number of entities currently alive (ingested and not removed).
+    pub fn num_alive(&self) -> usize {
+        self.num_alive
+    }
+
+    /// True if the entity has been ingested and not removed since.
+    pub fn is_alive(&self, entity: EntityId) -> bool {
+        self.alive[entity.index()]
     }
 
     /// Number of distinct keys ever interned (live or not).
@@ -193,6 +313,21 @@ impl StreamingIndex {
         self.entity_candidates[entity.index()]
     }
 
+    /// The interned key string of a stream key id.
+    pub fn key_str(&self, key: u32) -> &str {
+        &self.keys[key as usize]
+    }
+
+    /// `|b|` of a key's block (tombstoned members excluded).
+    pub fn block_size(&self, key: u32) -> usize {
+        self.sizes[key as usize] as usize
+    }
+
+    /// Whether the batch engine would emit this key's block right now.
+    pub fn is_block_live(&self, key: u32) -> bool {
+        self.live[key as usize]
+    }
+
     /// Interns a key, returning its stream id (stable across compactions).
     pub fn intern(&mut self, key: &str) -> u32 {
         if let Some(&id) = self.lookup.get(key) {
@@ -202,6 +337,7 @@ impl StreamingIndex {
         self.keys.push(key.into());
         self.lookup.insert(key.into(), id);
         self.delta.push(Vec::new());
+        self.removed.push(Vec::new());
         self.sizes.push(0);
         self.first_counts.push(0);
         self.comparisons.push(0);
@@ -223,157 +359,337 @@ impl StreamingIndex {
         }
     }
 
-    /// Iterates a key's full posting list (baseline, then delta) in
-    /// ascending entity-id order.
+    /// Iterates a key's visible posting list (baseline minus tombstones,
+    /// merged with the delta) in ascending entity-id order.
     #[inline]
-    fn members(&self, key: u32) -> impl Iterator<Item = EntityId> + '_ {
-        self.base_slice(key)
-            .iter()
-            .copied()
-            .chain(self.delta[key as usize].iter().copied())
+    pub fn members(&self, key: u32) -> Members<'_> {
+        Members {
+            base: self.base_slice(key),
+            removed: &self.removed[key as usize],
+            delta: &self.delta[key as usize],
+            bi: 0,
+            ri: 0,
+            di: 0,
+        }
     }
 
-    /// An entity's key ids in lexicographic key order.
+    /// An entity's current key ids in lexicographic key order (empty for
+    /// removed entities).
     #[inline]
-    fn keys_of(&self, entity: usize) -> &[u32] {
-        &self.entity_keys
-            [self.entity_offsets[entity] as usize..self.entity_offsets[entity + 1] as usize]
+    pub fn keys_of(&self, entity: EntityId) -> &[u32] {
+        if let Some(row) = self.overlay.get(&entity.0) {
+            return row;
+        }
+        let e = entity.index();
+        &self.entity_keys[self.entity_offsets[e] as usize..self.entity_offsets[e + 1] as usize]
     }
 
     /// True if two entities may be compared (delegates to the workspace's
     /// single comparability rule, [`DatasetKind::comparable`]).
     #[inline]
-    fn pair_comparable(&self, a: EntityId, b: EntityId) -> bool {
+    pub fn is_comparable(&self, a: EntityId, b: EntityId) -> bool {
         self.kind.comparable(self.split, a, b)
     }
 
-    /// Inserts the next entity (id `num_entities`) given the raw key ids
-    /// emitted for its profile (duplicates allowed).  Updates postings,
-    /// per-key statistics and liveness in place; any pair of *pre-batch*
-    /// entities that stops being a candidate because a block crossed the
-    /// size cap is appended to `retracted` (and its LCP counts are
-    /// decremented).  `batch_start` is the id of the first entity of the
-    /// current batch: pairs involving in-batch entities are never retracted
-    /// here because they are only emitted later, against end-of-batch state.
-    ///
-    /// Returns the id assigned to the entity.
-    pub fn insert_entity(
-        &mut self,
-        raw_keys: &mut Vec<u32>,
-        batch_start: usize,
-        retracted: &mut Vec<(EntityId, EntityId)>,
-    ) -> EntityId {
+    /// Records the pre-batch liveness of a key the first time the current
+    /// batch touches it.
+    #[inline]
+    fn note_touch(&mut self, key: u32) {
+        let live = self.live[key as usize];
+        self.touched.entry(key).or_insert(live);
+    }
+
+    /// Recomputes one key's statistics after a single posting change,
+    /// keeping every counter (and the global live aggregates) exact.
+    fn update_stats(&mut self, key: u32, entity: EntityId, inserted: bool) {
+        let ki = key as usize;
+        let was_live = self.live[ki];
+        let old_comparisons = self.comparisons[ki];
+        if inserted {
+            self.sizes[ki] += 1;
+        } else {
+            self.sizes[ki] -= 1;
+        }
+        if self.kind == DatasetKind::Dirty || entity.index() < self.split {
+            if inserted {
+                self.first_counts[ki] += 1;
+            } else {
+                self.first_counts[ki] -= 1;
+            }
+        }
+        let size = self.sizes[ki];
+        let comparisons = comparisons_from_first(self.kind, self.first_counts[ki], size as usize);
+        self.comparisons[ki] = comparisons;
+        self.inv_comparisons[ki] = if comparisons > 0 {
+            1.0 / comparisons as f64
+        } else {
+            0.0
+        };
+        self.inv_sizes[ki] = if size > 0 { 1.0 / f64::from(size) } else { 0.0 };
+        let now_live = comparisons > 0 && size as usize <= self.cap;
+        if was_live {
+            self.num_live -= 1;
+            self.total_live_comparisons -= old_comparisons;
+        }
+        if now_live {
+            self.num_live += 1;
+            self.total_live_comparisons += comparisons;
+        }
+        self.live[ki] = now_live;
+    }
+
+    /// Adds an entity to a key's posting list (un-tombstoning a baseline
+    /// member if the entity left and rejoined within one epoch).
+    fn add_posting(&mut self, key: u32, entity: EntityId) {
+        self.note_touch(key);
+        let ki = key as usize;
+        if let Ok(at) = self.removed[ki].binary_search(&entity) {
+            self.removed[ki].remove(at);
+        } else {
+            let delta = &mut self.delta[ki];
+            match delta.binary_search(&entity) {
+                // Ingestion appends in ascending id order, so the common
+                // case is a push at the end.
+                Err(at) => delta.insert(at, entity),
+                Ok(_) => unreachable!("duplicate posting for entity {entity}"),
+            }
+        }
+        self.update_stats(key, entity, true);
+    }
+
+    /// Removes an entity from a key's posting list (tombstoning it when it
+    /// lives in the shared baseline arena).
+    fn drop_posting(&mut self, key: u32, entity: EntityId) {
+        self.note_touch(key);
+        let ki = key as usize;
+        if let Ok(at) = self.delta[ki].binary_search(&entity) {
+            self.delta[ki].remove(at);
+        } else {
+            debug_assert!(self.base_slice(key).binary_search(&entity).is_ok());
+            let removed = &mut self.removed[ki];
+            let at = removed
+                .binary_search(&entity)
+                .expect_err("posting tombstoned twice");
+            removed.insert(at, entity);
+        }
+        self.update_stats(key, entity, false);
+    }
+
+    /// Sorts raw key ids into the canonical per-entity order: deduplicated,
+    /// lexicographic by key string (the batch engine's block-id order, which
+    /// downstream float accumulations must follow — see module docs).
+    fn canonicalize_keys(&self, raw_keys: &mut Vec<u32>) {
         raw_keys.sort_unstable();
         raw_keys.dedup();
-        // Lexicographic order: downstream float accumulations must add terms
-        // in the batch engine's block-id order (see module docs).
         raw_keys.sort_unstable_by(|&a, &b| self.keys[a as usize].cmp(&self.keys[b as usize]));
+    }
 
+    /// Inserts the next entity (id `num_entities`) given the raw key ids
+    /// emitted for its profile (duplicates allowed).  Updates postings and
+    /// per-key statistics in place and records liveness flips for
+    /// [`StreamingIndex::finish_batch`].  Returns the id assigned.
+    pub fn insert_entity(&mut self, raw_keys: &mut Vec<u32>) -> EntityId {
+        self.canonicalize_keys(raw_keys);
         let e = EntityId(self.num_entities as u32);
         self.num_entities += 1;
+        self.num_alive += 1;
+        self.alive.push(true);
         self.entity_candidates.push(0);
-
-        let mut cap_deaths: Vec<u32> = Vec::new();
         for &k in raw_keys.iter() {
-            let ki = k as usize;
-            self.delta[ki].push(e);
-            let was_live = self.live[ki];
-            let old_comparisons = self.comparisons[ki];
-            self.sizes[ki] += 1;
-            if self.kind == DatasetKind::Dirty || e.index() < self.split {
-                self.first_counts[ki] += 1;
-            }
-            let size = self.sizes[ki];
-            let comparisons =
-                comparisons_from_first(self.kind, self.first_counts[ki], size as usize);
-            self.comparisons[ki] = comparisons;
-            self.inv_comparisons[ki] = if comparisons > 0 {
-                1.0 / comparisons as f64
-            } else {
-                0.0
-            };
-            self.inv_sizes[ki] = 1.0 / f64::from(size);
-            let now_live = comparisons > 0 && size as usize <= self.cap;
-            if was_live {
-                self.num_live -= 1;
-                self.total_live_comparisons -= old_comparisons;
-            }
-            if now_live {
-                self.num_live += 1;
-                self.total_live_comparisons += comparisons;
-            }
-            self.live[ki] = now_live;
-            // `||b||` never decreases under insertion, so live → dead means
-            // the block crossed the size cap.
-            if was_live && !now_live {
-                cap_deaths.push(k);
-            }
+            self.add_posting(k, e);
         }
-
         self.entity_keys.extend_from_slice(raw_keys);
         self.entity_offsets.push(self.entity_keys.len() as u32);
-
-        if !cap_deaths.is_empty() {
-            // One insertion can push several blocks over the cap at once; a
-            // pair belonging to two of them (and nothing else live) shows up
-            // in both scans, so collect first and deduplicate before
-            // touching the counters.
-            let mut dying: Vec<(EntityId, EntityId)> = Vec::new();
-            for key in cap_deaths {
-                self.scan_retractions(key, batch_start, &mut dying);
-            }
-            dying.sort_unstable();
-            dying.dedup();
-            for &(a, b) in &dying {
-                self.entity_candidates[a.index()] -= 1;
-                self.entity_candidates[b.index()] -= 1;
-            }
-            retracted.extend(dying);
-        }
         e
     }
 
-    /// A block just crossed the size cap: every candidate pair it supported
-    /// alone ceases to exist in the batch view of the corpus.  Scans the
-    /// pre-batch members pairwise and collects the pairs that share no other
-    /// live key (the caller deduplicates across same-insert deaths before
-    /// decrementing the LCP counters).  The scan is bounded by the cap (at
-    /// most `cap + 1` members ever participate) and runs at most once per
-    /// key, so its amortised cost stays batch-proportional.
-    fn scan_retractions(
+    /// Removes an entity from the corpus: every posting it holds is
+    /// tombstoned, its key row is emptied, and its id is retired (never
+    /// reused).  Liveness flips are recorded for
+    /// [`StreamingIndex::finish_batch`]; candidate retractions for the
+    /// entity's own pairs are the caller's responsibility (the blocker diffs
+    /// its partner sets).
+    ///
+    /// # Panics
+    /// Panics if the entity is out of range or already removed.
+    pub fn remove_entity(&mut self, entity: EntityId) {
+        assert!(
+            entity.index() < self.num_entities,
+            "cannot remove unknown entity {entity}"
+        );
+        assert!(
+            self.alive[entity.index()],
+            "cannot remove entity {entity} twice"
+        );
+        let keys: Vec<u32> = self.keys_of(entity).to_vec();
+        for &k in &keys {
+            self.drop_posting(k, entity);
+        }
+        self.overlay.insert(entity.0, Box::default());
+        self.alive[entity.index()] = false;
+        self.num_alive -= 1;
+    }
+
+    /// Replaces an entity's key set (an in-place profile update): postings
+    /// are diffed against the current row, departures tombstoned, arrivals
+    /// added, and the adjacency row swapped via the overlay.  Liveness flips
+    /// are recorded for [`StreamingIndex::finish_batch`].
+    ///
+    /// # Panics
+    /// Panics if the entity is out of range or removed.
+    pub fn replace_entity_keys(&mut self, entity: EntityId, raw_keys: &mut Vec<u32>) {
+        assert!(
+            entity.index() < self.num_entities,
+            "cannot update unknown entity {entity}"
+        );
+        assert!(
+            self.alive[entity.index()],
+            "cannot update removed entity {entity}"
+        );
+        self.canonicalize_keys(raw_keys);
+        let old: Vec<u32> = self.keys_of(entity).to_vec();
+        // Both lists are in lexicographic key order; merge-diff them.
+        let (mut i, mut j) = (0, 0);
+        while i < old.len() || j < raw_keys.len() {
+            if j == raw_keys.len() {
+                self.drop_posting(old[i], entity);
+                i += 1;
+            } else if i == old.len() {
+                self.add_posting(raw_keys[j], entity);
+                j += 1;
+            } else if old[i] == raw_keys[j] {
+                i += 1;
+                j += 1;
+            } else if self.keys[old[i] as usize] < self.keys[raw_keys[j] as usize] {
+                self.drop_posting(old[i], entity);
+                i += 1;
+            } else {
+                self.add_posting(raw_keys[j], entity);
+                j += 1;
+            }
+        }
+        self.overlay.insert(entity.0, raw_keys.as_slice().into());
+    }
+
+    /// Ends a mutation batch: drains the touched-key journal, turns the net
+    /// liveness flips into exact candidate retractions (blocks that left the
+    /// live set) and revivals (blocks that re-entered it) among pairs of
+    /// **unmutated** entities, applies their LCP adjustments, and returns
+    /// the effects.  `in_batch` must identify every entity inserted, removed
+    /// or updated during the batch — pairs with a mutated endpoint are
+    /// handled by the caller's before/after partner-set diff instead.
+    pub fn finish_batch(&mut self, in_batch: impl Fn(EntityId) -> bool) -> BatchEffects {
+        let mut snapshot: Vec<(u32, bool)> = self.touched.drain().collect();
+        snapshot.sort_unstable_by_key(|&(k, _)| k);
+        let pre_live: FxHashMap<u32, bool> = snapshot.iter().copied().collect();
+
+        let mut retracted: Vec<(EntityId, EntityId)> = Vec::new();
+        let mut revived: Vec<(EntityId, EntityId)> = Vec::new();
+        for &(k, was_live) in &snapshot {
+            let now_live = self.live[k as usize];
+            if was_live && !now_live {
+                self.scan_flip(k, &in_batch, None, &mut retracted);
+            } else if !was_live && now_live {
+                self.scan_flip(k, &in_batch, Some(&pre_live), &mut revived);
+            }
+        }
+        // One batch can flip several blocks a pair belongs to, so the scans
+        // may report the same pair twice; deduplicate before touching the
+        // LCP counters.
+        retracted.sort_unstable();
+        retracted.dedup();
+        revived.sort_unstable();
+        revived.dedup();
+        for &(a, b) in &retracted {
+            self.entity_candidates[a.index()] -= 1;
+            self.entity_candidates[b.index()] -= 1;
+        }
+        for &(a, b) in &revived {
+            self.entity_candidates[a.index()] += 1;
+            self.entity_candidates[b.index()] += 1;
+        }
+        BatchEffects {
+            touched_keys: snapshot.into_iter().map(|(k, _)| k).collect(),
+            retracted,
+            revived,
+        }
+    }
+
+    /// A block's liveness flipped during the batch: scans its comparable
+    /// pairs of unmutated members for candidacy changes.  With
+    /// `pre_live == None` the block died — a pair is retracted when it
+    /// shares no live key any more; with a snapshot the block came alive — a
+    /// pair is revived when it shared no live key *before* the batch (its
+    /// key lists are unchanged, so pre-batch candidacy is decidable from the
+    /// snapshot).  The scan is bounded: a dying block crossed the size cap
+    /// (≤ cap + batch members) or lost all comparable pairs (guarded away),
+    /// and a rising block fits under the cap.
+    fn scan_flip(
         &self,
         key: u32,
-        batch_start: usize,
-        dying: &mut Vec<(EntityId, EntityId)>,
+        in_batch: &impl Fn(EntityId) -> bool,
+        pre_live: Option<&FxHashMap<u32, bool>>,
+        out: &mut Vec<(EntityId, EntityId)>,
     ) {
-        let members: Vec<EntityId> = self
-            .members(key)
-            .take_while(|m| m.index() < batch_start)
-            .collect();
+        let members: Vec<EntityId> = self.members(key).filter(|&m| !in_batch(m)).collect();
+        // Skip the quadratic scan when no comparable pair of unmutated
+        // members can exist (e.g. a single-source Clean-Clean block dying
+        // because its only cross member was removed).
+        match self.kind {
+            DatasetKind::Dirty => {
+                if members.len() < 2 {
+                    return;
+                }
+            }
+            DatasetKind::CleanClean => {
+                let first = members.partition_point(|m| m.index() < self.split);
+                if first == 0 || first == members.len() {
+                    return;
+                }
+            }
+        }
         for i in 0..members.len() {
             for j in i + 1..members.len() {
                 let (a, b) = (members[i], members[j]);
-                if !self.pair_comparable(a, b) {
+                if !self.is_comparable(a, b) {
                     continue;
                 }
-                if self.shares_other_live_key(a, b, key) {
-                    continue;
+                let shares = match pre_live {
+                    None => self.shares_live_key(a, b),
+                    Some(snapshot) => self.shares_live_key_at(a, b, snapshot),
+                };
+                if !shares {
+                    out.push((a, b));
                 }
-                dying.push((a, b));
             }
         }
     }
 
-    /// True if the two entities share a live key other than `excluded`
-    /// (merge over the two lexicographically sorted key lists).
-    fn shares_other_live_key(&self, a: EntityId, b: EntityId, excluded: u32) -> bool {
-        let la = self.keys_of(a.index());
-        let lb = self.keys_of(b.index());
+    /// True if the two entities currently share a live key (merge over the
+    /// two lexicographically sorted key lists).
+    fn shares_live_key(&self, a: EntityId, b: EntityId) -> bool {
+        self.find_shared_key(a, b, |k| self.live[k as usize])
+    }
+
+    /// True if the two entities shared a key that was live at the start of
+    /// the current batch (liveness overridden by the touched-key snapshot).
+    fn shares_live_key_at(&self, a: EntityId, b: EntityId, pre: &FxHashMap<u32, bool>) -> bool {
+        self.find_shared_key(a, b, |k| {
+            pre.get(&k).copied().unwrap_or(self.live[k as usize])
+        })
+    }
+
+    /// Merges the two entities' lexicographically sorted key lists and
+    /// returns whether any shared key satisfies `is_live`.
+    #[inline]
+    fn find_shared_key(&self, a: EntityId, b: EntityId, is_live: impl Fn(u32) -> bool) -> bool {
+        let la = self.keys_of(a);
+        let lb = self.keys_of(b);
         let (mut i, mut j) = (0, 0);
         while i < la.len() && j < lb.len() {
             let (x, y) = (la[i], lb[j]);
             if x == y {
-                if x != excluded && self.live[x as usize] {
+                if is_live(x) {
                     return true;
                 }
                 i += 1;
@@ -385,6 +701,35 @@ impl StreamingIndex {
             }
         }
         false
+    }
+
+    /// The co-occurrence aggregates of one pair over the live blocks: a
+    /// merge of the two lexicographically sorted key lists, accumulating in
+    /// block-id order so the sums are bit-identical to the batch
+    /// [`er_features::FeatureContext::cooccurrence`].
+    pub fn pair_cooccurrence(&self, a: EntityId, b: EntityId) -> PairCooccurrence {
+        let la = self.keys_of(a);
+        let lb = self.keys_of(b);
+        let mut agg = PairCooccurrence::default();
+        let (mut i, mut j) = (0, 0);
+        while i < la.len() && j < lb.len() {
+            let (x, y) = (la[i], lb[j]);
+            if x == y {
+                let ki = x as usize;
+                if self.live[ki] {
+                    agg.common_blocks += 1;
+                    agg.inv_comparisons_sum += self.inv_comparisons[ki];
+                    agg.inv_sizes_sum += self.inv_sizes[ki];
+                }
+                i += 1;
+                j += 1;
+            } else if self.keys[x as usize] < self.keys[y as usize] {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        agg
     }
 
     /// Gathers the delta pairs of one newly ingested entity: every strictly
@@ -402,8 +747,27 @@ impl StreamingIndex {
         e: EntityId,
         board: &mut PartnerBoard,
     ) -> Vec<(EntityId, PairCooccurrence)> {
-        let ei = e.index();
-        for &k in self.keys_of(ei) {
+        self.collect_partners_impl(e, board, true)
+    }
+
+    /// Gathers **all** current candidate partners of an entity (smaller and
+    /// larger ids) with their co-occurrence aggregates — the after-image an
+    /// update diffs against its before-image.
+    pub fn collect_partners(
+        &self,
+        e: EntityId,
+        board: &mut PartnerBoard,
+    ) -> Vec<(EntityId, PairCooccurrence)> {
+        self.collect_partners_impl(e, board, false)
+    }
+
+    fn collect_partners_impl(
+        &self,
+        e: EntityId,
+        board: &mut PartnerBoard,
+        smaller_only: bool,
+    ) -> Vec<(EntityId, PairCooccurrence)> {
+        for &k in self.keys_of(e) {
             let ki = k as usize;
             if !self.live[ki] {
                 continue;
@@ -411,12 +775,11 @@ impl StreamingIndex {
             let inv_comparisons = self.inv_comparisons[ki];
             let inv_sizes = self.inv_sizes[ki];
             for p in self.members(k) {
-                let pi = p.index();
-                if pi >= ei {
+                if smaller_only && p >= e {
                     // Postings are ascending: no smaller partner follows.
                     break;
                 }
-                if !self.pair_comparable(p, e) {
+                if p == e || !self.is_comparable(p, e) {
                     continue;
                 }
                 let slot = board.acc.entry(p.0).or_default();
@@ -428,10 +791,36 @@ impl StreamingIndex {
         board.drain_sorted()
     }
 
+    /// The current candidate partner ids of an entity (sorted, distinct):
+    /// the before-image a mutation diffs against.  Cheaper than
+    /// [`StreamingIndex::collect_partners`] because no aggregates are
+    /// accumulated.
+    pub fn collect_partner_ids(&self, e: EntityId) -> Vec<EntityId> {
+        let mut partners: Vec<EntityId> = Vec::new();
+        for &k in self.keys_of(e) {
+            if !self.live[k as usize] {
+                continue;
+            }
+            partners.extend(
+                self.members(k)
+                    .filter(|&p| p != e && self.is_comparable(p, e)),
+            );
+        }
+        partners.sort_unstable();
+        partners.dedup();
+        partners
+    }
+
     /// Records one freshly emitted candidate pair (both LCP counters).
     pub fn record_candidate(&mut self, a: EntityId, b: EntityId) {
         self.entity_candidates[a.index()] += 1;
         self.entity_candidates[b.index()] += 1;
+    }
+
+    /// Records one retracted candidate pair (both LCP counters).
+    pub fn retract_candidate(&mut self, a: EntityId, b: EntityId) {
+        self.entity_candidates[a.index()] -= 1;
+        self.entity_candidates[b.index()] -= 1;
     }
 
     /// The per-entity aggregates of one entity over the *live* blocks — the
@@ -444,7 +833,7 @@ impl StreamingIndex {
         let mut inv_comparisons = 0.0f64;
         let mut inv_sizes = 0.0f64;
         let mut entity_comparisons = 0u64;
-        for &k in self.keys_of(entity.index()) {
+        for &k in self.keys_of(entity) {
             let ki = k as usize;
             if !self.live[ki] {
                 continue;
@@ -480,8 +869,9 @@ impl StreamingIndex {
 
     /// The batch view of the current corpus: exactly the
     /// [`CsrBlockCollection`] that [`er_blocking::build_blocks`] would
-    /// produce for the entities ingested so far (lexicographic block order,
-    /// cap and zero-comparison blocks dropped, sorted entity lists).
+    /// produce for the surviving entities (lexicographic block order, cap
+    /// and zero-comparison blocks dropped, sorted tombstone-free entity
+    /// lists).
     ///
     /// `threads` parallelises the key sort; the output is identical for any
     /// thread count.
@@ -498,8 +888,7 @@ impl StreamingIndex {
                 continue;
             }
             key_ids.push(store.push(&self.keys[ki]));
-            entities.extend_from_slice(self.base_slice(k));
-            entities.extend_from_slice(&self.delta[ki]);
+            entities.extend(self.members(k));
             entity_offsets.push(entities.len() as u32);
             first_counts.push(self.first_counts[ki]);
         }
@@ -520,23 +909,43 @@ impl StreamingIndex {
         )
     }
 
-    /// Ends the epoch: folds every delta posting into a fresh baseline CSR
-    /// (stream key ids stay stable) and returns the batch view of the
-    /// compacted state via [`StreamingIndex::view`].
+    /// Ends the epoch: folds every delta posting into a fresh baseline CSR,
+    /// **physically dropping tombstoned postings**, folds the adjacency
+    /// overlay back into the entity CSR (stream key ids stay stable), and
+    /// returns the batch view of the compacted state via
+    /// [`StreamingIndex::view`].
     pub fn compact(&mut self, threads: usize) -> CsrBlockCollection {
+        debug_assert!(
+            self.touched.is_empty(),
+            "compact() during an unfinished mutation batch"
+        );
         let key_count = self.keys.len();
         let grown: usize = self.delta.iter().map(Vec::len).sum();
+        let shrunk: usize = self.removed.iter().map(Vec::len).sum();
         let mut offsets = Vec::with_capacity(key_count + 1);
         offsets.push(0u32);
-        let mut entities = Vec::with_capacity(self.base_entities.len() + grown);
+        let mut entities =
+            Vec::with_capacity((self.base_entities.len() + grown).saturating_sub(shrunk));
         for k in 0..key_count {
-            entities.extend_from_slice(self.base_slice(k as u32));
-            entities.extend_from_slice(&self.delta[k]);
+            entities.extend(self.members(k as u32));
             self.delta[k].clear();
+            self.removed[k].clear();
             offsets.push(entities.len() as u32);
         }
         self.base_offsets = offsets;
         self.base_entities = entities;
+        if !self.overlay.is_empty() {
+            let mut offsets = Vec::with_capacity(self.num_entities + 1);
+            offsets.push(0u32);
+            let mut keys = Vec::with_capacity(self.entity_keys.len());
+            for e in 0..self.num_entities {
+                keys.extend_from_slice(self.keys_of(EntityId(e as u32)));
+                offsets.push(keys.len() as u32);
+            }
+            self.entity_offsets = offsets;
+            self.entity_keys = keys;
+            self.overlay.clear();
+        }
         self.epoch += 1;
         self.view(threads)
     }
@@ -550,16 +959,22 @@ mod tests {
         StreamingIndex::new("t", kind, split, cap)
     }
 
-    /// Interns the keys and inserts the entity, returning any retractions.
-    fn insert(
-        idx: &mut StreamingIndex,
-        keys: &[&str],
-        batch_start: usize,
-    ) -> (EntityId, Vec<(EntityId, EntityId)>) {
+    /// Interns the keys and inserts the entity.
+    fn insert(idx: &mut StreamingIndex, keys: &[&str]) -> EntityId {
         let mut ids: Vec<u32> = keys.iter().map(|k| idx.intern(k)).collect();
-        let mut retracted = Vec::new();
-        let e = idx.insert_entity(&mut ids, batch_start, &mut retracted);
-        (e, retracted)
+        idx.insert_entity(&mut ids)
+    }
+
+    /// Replaces an entity's keys through the public update path.
+    fn rekey(idx: &mut StreamingIndex, e: EntityId, keys: &[&str]) {
+        let mut ids: Vec<u32> = keys.iter().map(|k| idx.intern(k)).collect();
+        idx.replace_entity_keys(e, &mut ids);
+    }
+
+    /// Finishes the batch treating `batch` as the mutated entity set.
+    fn finish(idx: &mut StreamingIndex, batch: &[EntityId]) -> BatchEffects {
+        let set: Vec<EntityId> = batch.to_vec();
+        idx.finish_batch(move |e| set.contains(&e))
     }
 
     #[test]
@@ -575,9 +990,10 @@ mod tests {
     #[test]
     fn dirty_stats_update_in_place() {
         let mut idx = index(DatasetKind::Dirty, 0, usize::MAX);
-        insert(&mut idx, &["a", "b"], 0);
-        insert(&mut idx, &["a"], 1);
-        insert(&mut idx, &["a", "b"], 2);
+        insert(&mut idx, &["a", "b"]);
+        insert(&mut idx, &["a"]);
+        insert(&mut idx, &["a", "b"]);
+        finish(&mut idx, &[EntityId(0), EntityId(1), EntityId(2)]);
         // Block "a" has 3 members → 3 comparisons; "b" has 2 → 1.
         assert_eq!(idx.num_live_blocks(), 2);
         assert_eq!(idx.total_comparisons(), 4);
@@ -586,11 +1002,13 @@ mod tests {
     #[test]
     fn clean_clean_blocks_go_live_only_cross_source() {
         let mut idx = index(DatasetKind::CleanClean, 2, usize::MAX);
-        insert(&mut idx, &["k"], 0);
-        insert(&mut idx, &["k"], 1);
+        insert(&mut idx, &["k"]);
+        insert(&mut idx, &["k"]);
+        finish(&mut idx, &[EntityId(0), EntityId(1)]);
         // Both members are E1 → no comparisons, block not live.
         assert_eq!(idx.num_live_blocks(), 0);
-        insert(&mut idx, &["k"], 2);
+        insert(&mut idx, &["k"]);
+        finish(&mut idx, &[EntityId(2)]);
         // E2 member arrives → ||k|| = 2 · 1 = 2.
         assert_eq!(idx.num_live_blocks(), 1);
         assert_eq!(idx.total_comparisons(), 2);
@@ -600,35 +1018,115 @@ mod tests {
     fn cap_crossing_retracts_orphaned_pairs() {
         // Cap 2: pairs supported only by a block of size 3 must retract.
         let mut idx = index(DatasetKind::Dirty, 0, 2);
-        let (e0, _) = insert(&mut idx, &["x", "shared"], 0);
-        let (e1, _) = insert(&mut idx, &["x", "shared"], 1);
+        let e0 = insert(&mut idx, &["x", "shared"]);
+        let e1 = insert(&mut idx, &["x", "shared"]);
+        finish(&mut idx, &[e0, e1]);
         idx.record_candidate(e0, e1); // as the blocker would after emission
-        let (e2, _) = insert(&mut idx, &["y"], 2);
+        let e2 = insert(&mut idx, &["y"]);
         assert!(idx.num_live_blocks() > 0);
         // Entity 3 pushes "x" to size 3 (> cap).  e0–e1 still share the
         // live "shared" block, so nothing retracts.
-        let (_, retracted) = insert(&mut idx, &["x"], 3);
-        assert!(retracted.is_empty());
+        let e3 = insert(&mut idx, &["x"]);
+        let effects = finish(&mut idx, &[e2, e3]);
+        assert!(effects.retracted.is_empty());
         assert_eq!(idx.candidates_of(e0), 1);
-        let _ = e2;
 
         // Same again, but without a second shared key: retraction fires.
         let mut idx = index(DatasetKind::Dirty, 0, 2);
-        let (a0, _) = insert(&mut idx, &["x"], 0);
-        let (a1, _) = insert(&mut idx, &["x"], 1);
+        let a0 = insert(&mut idx, &["x"]);
+        let a1 = insert(&mut idx, &["x"]);
+        finish(&mut idx, &[a0, a1]);
         idx.record_candidate(a0, a1);
-        let (_, retracted) = insert(&mut idx, &["x"], 2);
-        assert_eq!(retracted, vec![(a0, a1)]);
+        let a2 = insert(&mut idx, &["x"]);
+        let effects = finish(&mut idx, &[a2]);
+        assert_eq!(effects.retracted, vec![(a0, a1)]);
         assert_eq!(idx.candidates_of(a0), 0);
         assert_eq!(idx.candidates_of(a1), 0);
     }
 
     #[test]
+    fn cap_shrinking_revives_orphaned_pairs() {
+        // Cap 2, Dirty.  "x" grows to 3 members (dead), then shrinks back
+        // to 2 via a removal: the surviving pair re-enters the candidate
+        // set with exact stats.
+        let mut idx = index(DatasetKind::Dirty, 0, 2);
+        let a0 = insert(&mut idx, &["x"]);
+        let a1 = insert(&mut idx, &["x"]);
+        finish(&mut idx, &[a0, a1]);
+        idx.record_candidate(a0, a1);
+        let a2 = insert(&mut idx, &["x"]);
+        let effects = finish(&mut idx, &[a2]);
+        assert_eq!(effects.retracted, vec![(a0, a1)]);
+        assert!(!idx.is_block_live(0));
+
+        idx.remove_entity(a2);
+        let effects = finish(&mut idx, &[a2]);
+        assert_eq!(effects.revived, vec![(a0, a1)]);
+        assert!(effects.retracted.is_empty());
+        assert!(idx.is_block_live(0));
+        assert_eq!(idx.block_size(0), 2);
+        assert_eq!(idx.total_comparisons(), 1);
+        assert_eq!(idx.candidates_of(a0), 1);
+        assert_eq!(idx.candidates_of(a1), 1);
+    }
+
+    #[test]
+    fn removal_tombstones_postings_and_updates_stats() {
+        let mut idx = index(DatasetKind::Dirty, 0, usize::MAX);
+        let e0 = insert(&mut idx, &["a", "b"]);
+        let e1 = insert(&mut idx, &["a"]);
+        let e2 = insert(&mut idx, &["a", "b"]);
+        finish(&mut idx, &[e0, e1, e2]);
+        // Compact so the postings live in the baseline arena, then remove:
+        // the posting must be tombstoned, not edited.
+        idx.compact(1);
+        idx.remove_entity(e1);
+        finish(&mut idx, &[e1]);
+        assert!(!idx.is_alive(e1));
+        assert_eq!(idx.num_alive(), 2);
+        let ka = idx.intern("a");
+        let a: Vec<EntityId> = idx.members(ka).collect();
+        assert_eq!(a, vec![e0, e2]);
+        // "a" has 2 members → 1 comparison; "b" unchanged with 1.
+        assert_eq!(idx.total_comparisons(), 2);
+        assert!(idx.keys_of(e1).is_empty());
+        // Compaction physically drops the tombstone.
+        let csr = idx.compact(1);
+        assert_eq!(csr.num_blocks(), 2);
+        assert_eq!(csr.entities(0), &[e0, e2]);
+    }
+
+    #[test]
+    fn update_rekeys_in_place() {
+        let mut idx = index(DatasetKind::Dirty, 0, usize::MAX);
+        let e0 = insert(&mut idx, &["a", "b"]);
+        let e1 = insert(&mut idx, &["a"]);
+        finish(&mut idx, &[e0, e1]);
+        rekey(&mut idx, e1, &["b", "c"]);
+        finish(&mut idx, &[e1]);
+        let (ka, kb, kc) = (idx.intern("a"), idx.intern("b"), idx.intern("c"));
+        let a: Vec<EntityId> = idx.members(ka).collect();
+        let b: Vec<EntityId> = idx.members(kb).collect();
+        let c: Vec<EntityId> = idx.members(kc).collect();
+        assert_eq!(a, vec![e0]);
+        assert_eq!(b, vec![e0, e1]);
+        assert_eq!(c, vec![e1]);
+        assert_eq!(idx.keys_of(e1).len(), 2);
+        // Un-tombstoning: moving back restores the original postings.
+        rekey(&mut idx, e1, &["a"]);
+        finish(&mut idx, &[e1]);
+        let a: Vec<EntityId> = idx.members(ka).collect();
+        assert_eq!(a, vec![e0, e1]);
+        assert!(idx.members(kc).next().is_none());
+    }
+
+    #[test]
     fn delta_pairs_cover_only_smaller_comparable_partners() {
         let mut idx = index(DatasetKind::CleanClean, 2, usize::MAX);
-        insert(&mut idx, &["k", "m"], 0);
-        insert(&mut idx, &["k"], 1);
-        let (e2, _) = insert(&mut idx, &["k", "m"], 2);
+        insert(&mut idx, &["k", "m"]);
+        insert(&mut idx, &["k"]);
+        let e2 = insert(&mut idx, &["k", "m"]);
+        finish(&mut idx, &[EntityId(0), EntityId(1), e2]);
         let mut board = PartnerBoard::default();
         let partners = idx.collect_delta_pairs(e2, &mut board);
         // Both E1 entities share the live "k" block with e2; entity 0 also
@@ -638,13 +1136,24 @@ mod tests {
         assert_eq!(partners[0].1.common_blocks, 2);
         assert_eq!(partners[1].0, EntityId(1));
         assert_eq!(partners[1].1.common_blocks, 1);
+        // The all-partner view from the E1 side sees e2 as well.
+        let partners = idx.collect_partners(EntityId(0), &mut board);
+        assert_eq!(partners.len(), 1);
+        assert_eq!(partners[0].0, e2);
+        assert_eq!(partners[0].1.common_blocks, 2);
+        assert_eq!(
+            idx.pair_cooccurrence(EntityId(0), e2).common_blocks,
+            partners[0].1.common_blocks
+        );
+        assert_eq!(idx.collect_partner_ids(EntityId(0)), vec![e2]);
     }
 
     #[test]
     fn compact_folds_deltas_and_preserves_the_view() {
         let mut idx = index(DatasetKind::Dirty, 0, usize::MAX);
-        insert(&mut idx, &["b", "a"], 0);
-        insert(&mut idx, &["a"], 1);
+        insert(&mut idx, &["b", "a"]);
+        insert(&mut idx, &["a"]);
+        finish(&mut idx, &[EntityId(0), EntityId(1)]);
         let before = idx.view(1);
         let compacted = idx.compact(1);
         assert_eq!(idx.epoch(), 1);
@@ -653,7 +1162,8 @@ mod tests {
             compacted.to_block_collection().blocks
         );
         // Ingest more after compaction; the view still merges base + delta.
-        insert(&mut idx, &["a", "b"], 2);
+        insert(&mut idx, &["a", "b"]);
+        finish(&mut idx, &[EntityId(2)]);
         let after = idx.view(1);
         assert_eq!(after.num_blocks(), 2);
         assert_eq!(after.key(0), "a");

@@ -4,35 +4,46 @@
 //! forces a full rebuild of blocks, statistics, candidates and scores.  This
 //! crate adds the missing subsystem for live corpora — catalog updates,
 //! progressive ER query streams — by maintaining the blocking state as a
-//! **mutable index** and emitting, per ingested batch, only the *delta*
-//! candidate pairs with their feature vectors and classifier probabilities:
+//! **mutation log** over a compacted baseline and emitting, per batch, only
+//! the *delta*: candidate additions with feature vectors and classifier
+//! probabilities, retractions of pairs that lost their support, and
+//! re-scored survivors of profile updates:
 //!
 //! * [`StreamingIndex`] — interned key dictionary (reusing the `er_core`
-//!   hashing), per-key posting deltas layered over a compacted
-//!   [`er_blocking::CsrBlockCollection`] baseline, in-place block statistics
-//!   and incremental LCP counts;
-//! * [`StreamingMetaBlocker`] — the pipeline: tokenize a batch through any
-//!   [`er_blocking::KeyGenerator`] scheme, update the index, gather delta
-//!   pairs via a scoped scoreboard pass, score them through the shared
+//!   hashing), per-key posting deltas **and tombstones** layered over a
+//!   compacted [`er_blocking::CsrBlockCollection`] baseline, exact
+//!   decremental block statistics, a liveness journal that generalises the
+//!   insert-only size-cap retraction scan to every flip direction, and
+//!   incremental LCP counts;
+//! * [`StreamingMetaBlocker`] — the pipeline: `ingest` new profiles,
+//!   `remove` entities (ids retired, postings tombstoned) or `update` them
+//!   in place (re-keyed via a posting diff), gather delta pairs via scoped
+//!   scoreboard passes, score them through the shared
 //!   [`er_features::write_features_from`] writer and an attached
 //!   [`er_learn::ProbabilisticClassifier`];
-//! * [`DeltaBatch`] — the per-batch emission (pairs, features,
-//!   probabilities, cap retractions);
+//! * [`DeltaBatch`] — the per-batch emission (additions, retractions,
+//!   re-scored survivors, touched keys);
 //! * [`StreamingMetaBlocker::compact`] — ends the epoch by folding the
-//!   deltas into a fresh baseline CSR that is **bit-identical** to a
-//!   one-shot [`er_blocking::build_blocks`] over all ingested entities, for
-//!   any split of the input into batches and any thread count (property
-//!   tested in `tests/equivalence.rs`).
+//!   deltas into a fresh baseline CSR — physically dropping tombstoned
+//!   postings — that is **bit-identical** to a one-shot
+//!   [`er_blocking::build_blocks`] over the surviving corpus, for any
+//!   interleaving of insert/remove/update batches and any thread count
+//!   (property tested in `tests/equivalence.rs` and `tests/mutation.rs`).
 //!
 //! Under pure insertions no candidate pair between pre-existing entities can
 //! appear (both key sets are fixed), so every delta pair has at least one
 //! endpoint in the batch and per-batch cost scales with the batch, not the
-//! corpus.  The one exception to monotonicity is a size-capped scheme
-//! (Suffix Arrays): a block crossing the cap can orphan previously emitted
-//! pairs, which are reported in [`DeltaBatch::retracted`].
+//! corpus.  Removals and updates break monotonicity in both directions: a
+//! block can lose the live set (retracting the pairs it alone supported) or
+//! re-enter it after shrinking back under a scheme's size cap (reviving
+//! them) — both transitions are detected exactly from the per-batch
+//! liveness journal and travel in [`DeltaBatch::retractions`] and
+//! [`DeltaBatch::additions`].
 
 pub mod blocker;
 pub mod index;
 
-pub use blocker::{dataset_prefix, DeltaBatch, StreamingConfig, StreamingMetaBlocker};
-pub use index::{PartnerBoard, StreamingIndex};
+pub use blocker::{
+    dataset_prefix, surviving_dataset, DeltaBatch, StreamingConfig, StreamingMetaBlocker,
+};
+pub use index::{BatchEffects, Members, PartnerBoard, StreamingIndex};

@@ -209,7 +209,7 @@ fn single_batch_delta_probabilities_match_the_batch_pipeline() {
 
         // Delta pairs are grouped by larger endpoint; map them onto the
         // batch pair ids to compare probabilities pairwise.
-        assert_eq!(delta.len(), candidates.len());
+        assert_eq!(delta.num_additions(), candidates.len());
         for (i, &(a, b)) in delta.pairs.iter().enumerate() {
             let id = candidates
                 .pairs()
