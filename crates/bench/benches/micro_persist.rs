@@ -1,0 +1,190 @@
+//! Micro-bench: durability cost and crash-recovery speed on the fig7/9
+//! workload (the two largest Clean-Clean catalog datasets).
+//!
+//! Three questions, answered per dataset:
+//!
+//! 1. **WAL overhead** — how much does write-ahead logging add to a
+//!    per-batch ingest?  (The log records the *input* batch, so the
+//!    overhead is one fsynced append per batch, independent of the index
+//!    size.)
+//! 2. **Snapshot cost** — how long does a full checkpoint (encode + CRC +
+//!    atomic rename) take, and how large is the file?
+//! 3. **Recovery vs rebuild** — after a crash with a WAL tail of recent
+//!    batches, is `recover_from` (snapshot load + tail replay) faster than
+//!    rebuilding the streaming state from scratch?  This is the payoff
+//!    that makes persistence worth its disk: the further the last
+//!    checkpoint, the longer the replay, so the bench sweeps the tail
+//!    fraction.
+//!
+//! Correctness is asserted before any timing: a crash-recovered blocker
+//! must compact to exactly the batch build of the surviving corpus.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use bench::{banner, bench_catalog_options, bench_repetitions};
+use er_blocking::{build_blocks, TokenKeys};
+use er_core::{Dataset, EntityId};
+use er_datasets::{generate_catalog_dataset, DatasetName};
+use er_features::FeatureSet;
+use er_stream::{surviving_dataset, DurableMetaBlocker, StreamingConfig, StreamingMetaBlocker};
+
+const BATCH: usize = 64;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/tmp")
+        .join(format!("micro-persist-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config(dataset: &Dataset, threads: usize) -> StreamingConfig {
+    StreamingConfig {
+        feature_set: FeatureSet::blast_optimal(),
+        threads,
+        ..StreamingConfig::for_dataset(dataset)
+    }
+}
+
+/// Ingests the whole corpus in fixed-size batches (plain, in-memory).
+fn ingest_all(dataset: &Dataset, threads: usize) -> StreamingMetaBlocker<TokenKeys> {
+    let mut blocker = StreamingMetaBlocker::new(config(dataset, threads), TokenKeys);
+    for chunk in dataset.profiles.chunks(BATCH) {
+        criterion::black_box(blocker.ingest(chunk));
+    }
+    blocker
+}
+
+fn main() {
+    banner("Micro-bench: snapshot/WAL durability vs rebuild-from-scratch");
+    let repetitions = bench_repetitions();
+    let options = bench_catalog_options();
+    let threads = er_core::available_threads();
+
+    for name in DatasetName::largest_two() {
+        let dataset = generate_catalog_dataset(name, &options)
+            .unwrap_or_else(|e| panic!("failed to generate {name}: {e}"));
+        let n = dataset.num_entities();
+        println!("\n--- {} ({} entities) ---", name, n);
+
+        // Correctness gate: ingest + churn + crash + recover must equal the
+        // batch build of the surviving corpus.
+        {
+            let dir = scratch(&format!("{name}-gate"));
+            let mut durable = StreamingMetaBlocker::new(config(&dataset, threads), TokenKeys)
+                .persist_to(&dir)
+                .unwrap();
+            for chunk in dataset.profiles.chunks(BATCH) {
+                durable.ingest(chunk).unwrap();
+            }
+            let removed: Vec<EntityId> = (dataset.split..n)
+                .step_by(((n - dataset.split) / 24).max(1))
+                .take(16)
+                .map(|e| EntityId(e as u32))
+                .collect();
+            durable.remove(&removed).unwrap();
+            drop(durable); // crash with the whole history in the WAL tail
+            let mut recovered = DurableMetaBlocker::recover_from(&dir, TokenKeys, threads).unwrap();
+            let survivors = surviving_dataset(&dataset, &removed, &[]);
+            let streamed = recovered.compact().unwrap().to_block_collection();
+            let batch = build_blocks(&survivors, &TokenKeys, threads).to_block_collection();
+            assert_eq!(streamed.blocks, batch.blocks, "{name}: recovery diverged");
+        }
+
+        // 1. WAL overhead per ingest batch.
+        let mut plain_total = 0.0f64;
+        let mut durable_total = 0.0f64;
+        let batches = n.div_ceil(BATCH);
+        for _ in 0..repetitions {
+            let start = Instant::now();
+            criterion::black_box(ingest_all(&dataset, threads));
+            plain_total += start.elapsed().as_secs_f64();
+
+            let dir = scratch(&format!("{name}-wal"));
+            let mut durable = StreamingMetaBlocker::new(config(&dataset, threads), TokenKeys)
+                .persist_to(&dir)
+                .unwrap();
+            let start = Instant::now();
+            for chunk in dataset.profiles.chunks(BATCH) {
+                criterion::black_box(durable.ingest(chunk).unwrap());
+            }
+            durable_total += start.elapsed().as_secs_f64();
+        }
+        let plain = plain_total / repetitions as f64;
+        let durable_time = durable_total / repetitions as f64;
+        println!(
+            "wal overhead: plain ingest {:.2}ms, durable ingest {:.2}ms ({:.2}x, {:.1}µs per {}-entity batch)",
+            plain * 1e3,
+            durable_time * 1e3,
+            durable_time / plain.max(1e-9),
+            (durable_time - plain) / batches as f64 * 1e6,
+            BATCH,
+        );
+
+        // 2. Snapshot (checkpoint) cost at the full corpus.
+        let dir = scratch(&format!("{name}-snapshot"));
+        let mut durable = ingest_all(&dataset, threads).persist_to(&dir).unwrap();
+        let start = Instant::now();
+        for _ in 0..repetitions {
+            durable.checkpoint().unwrap();
+        }
+        let snapshot_time = start.elapsed().as_secs_f64() / repetitions as f64;
+        let snapshot_bytes = std::fs::metadata(er_stream::persist::snapshot_path(durable.dir()))
+            .unwrap()
+            .len();
+        println!(
+            "snapshot: {:.2}ms per checkpoint, {:.1} KiB on disk",
+            snapshot_time * 1e3,
+            snapshot_bytes as f64 / 1024.0
+        );
+
+        // 3. Recovery (snapshot + replay of a WAL tail) vs rebuilding the
+        // streaming state from scratch.
+        let rebuild_start = Instant::now();
+        for _ in 0..repetitions {
+            criterion::black_box(ingest_all(&dataset, threads));
+        }
+        let rebuild = rebuild_start.elapsed().as_secs_f64() / repetitions as f64;
+
+        println!(
+            "{:<28} {:>12} {:>14} {:>10}",
+            "checkpoint position", "recovery", "full rebuild", "speedup"
+        );
+        for checkpoint_fraction in [1.0f64, 0.9, 0.75, 0.5] {
+            let checkpoint_at = ((n as f64 * checkpoint_fraction) as usize).min(n);
+            let dir = scratch(&format!("{name}-recover-{checkpoint_at}"));
+            let mut durable = StreamingMetaBlocker::new(config(&dataset, threads), TokenKeys)
+                .persist_to(&dir)
+                .unwrap();
+            for chunk in dataset.profiles[..checkpoint_at].chunks(BATCH) {
+                durable.ingest(chunk).unwrap();
+            }
+            durable.checkpoint().unwrap();
+            for chunk in dataset.profiles[checkpoint_at..].chunks(BATCH) {
+                durable.ingest(chunk).unwrap();
+            }
+            drop(durable); // crash: everything past the checkpoint is WAL tail
+
+            let start = Instant::now();
+            for _ in 0..repetitions {
+                criterion::black_box(
+                    DurableMetaBlocker::recover_from(&dir, TokenKeys, threads).unwrap(),
+                );
+            }
+            let recovery = start.elapsed().as_secs_f64() / repetitions as f64;
+            println!(
+                "{:<28} {:>10.2}ms {:>12.2}ms {:>9.1}x",
+                format!(
+                    "{:.0}% ({} batches replayed)",
+                    checkpoint_fraction * 100.0,
+                    (n - checkpoint_at).div_ceil(BATCH)
+                ),
+                recovery * 1e3,
+                rebuild * 1e3,
+                rebuild / recovery.max(1e-9),
+            );
+        }
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`streaming`] — the incremental counterpart: bootstrap a classifier on a
 //!   seed corpus, ingest live batches through `er_stream`, and progressively
 //!   re-rank candidates;
+//! * [`durable`] — crash durability for the streaming pipeline: snapshots of
+//!   the index + model + schedule plus a mutation write-ahead log
+//!   (`persist_to`/`recover_from`);
 //! * [`unsupervised`] — classic (single-weight) meta-blocking baselines for
 //!   reference.
 //!
@@ -30,6 +33,7 @@
 //! assert!(outcome.retained.len() <= outcome.num_candidates);
 //! ```
 
+pub mod durable;
 pub mod live_view;
 pub mod materialize;
 pub mod pipeline;
@@ -39,6 +43,7 @@ pub mod scoring;
 pub mod streaming;
 pub mod unsupervised;
 
+pub use durable::DurableStreamingPipeline;
 pub use live_view::{LiveView, ViewDelta};
 pub use materialize::{materialize_blocks, materialize_blocks_csr, PruningSummary};
 pub use pipeline::{ClassifierKind, MetaBlockingConfig, MetaBlockingOutcome, MetaBlockingPipeline};

@@ -32,7 +32,7 @@ use er_core::{Dataset, PairId, Result};
 use er_features::{FeatureContext, FeatureMatrix, FeatureSet};
 use er_learn::{
     balanced_undersample, Classifier, LinearSvm, LinearSvmConfig, LogisticRegression,
-    LogisticRegressionConfig, ProbabilisticClassifier, TrainingSet,
+    LogisticRegressionConfig, ProbabilisticClassifier, SavedModel, TrainingSet,
 };
 use serde::{Deserialize, Serialize};
 
@@ -57,11 +57,18 @@ impl Default for ClassifierKind {
 impl ClassifierKind {
     /// Trains the classifier on a labelled training set.
     pub fn fit(&self, training: &TrainingSet) -> Result<Box<dyn ProbabilisticClassifier>> {
+        Ok(Box::new(self.fit_saved(training)?))
+    }
+
+    /// Trains the classifier into its persistable form
+    /// ([`er_learn::SavedModel`]) — the variant the streaming pipeline
+    /// keeps so snapshots can store the exact trained model.
+    pub fn fit_saved(&self, training: &TrainingSet) -> Result<SavedModel> {
         match self {
             ClassifierKind::Logistic(config) => {
-                Ok(Box::new(LogisticRegression::fit(config, training)?))
+                Ok(SavedModel::from(LogisticRegression::fit(config, training)?))
             }
-            ClassifierKind::Svm(config) => Ok(Box::new(LinearSvm::fit(config, training)?)),
+            ClassifierKind::Svm(config) => Ok(SavedModel::from(LinearSvm::fit(config, training)?)),
         }
     }
 

@@ -241,6 +241,66 @@ impl StreamingSchedule {
     pub fn emitted(&self) -> usize {
         self.emitted
     }
+
+    /// The queued pairs with their current probabilities (stale re-ranked
+    /// heap entries excluded), sorted by pair — the snapshot half of a
+    /// schedule's persistent state.
+    pub fn queued_entries(&self) -> Vec<((EntityId, EntityId), f64)> {
+        let mut entries: Vec<((EntityId, EntityId), f64)> = self
+            .heap
+            .iter()
+            .filter(|ranked| {
+                matches!(
+                    self.states.get(&ranked.pair),
+                    Some(&PairState::Queued(stamp)) if stamp == ranked.stamp
+                )
+            })
+            .map(|ranked| (ranked.pair, ranked.probability))
+            .collect();
+        entries.sort_unstable_by_key(|entry| entry.0);
+        entries
+    }
+
+    /// The pairs already handed to the matcher, sorted — the other half of
+    /// the persistent state ([`StreamingSchedule::restore`] keeps them
+    /// ineligible for re-emission).
+    pub fn emitted_pairs(&self) -> Vec<(EntityId, EntityId)> {
+        let mut pairs: Vec<(EntityId, EntityId)> = self
+            .states
+            .iter()
+            .filter(|(_, state)| matches!(state, PairState::Emitted))
+            .map(|(&pair, _)| pair)
+            .collect();
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// Rebuilds a schedule from [`StreamingSchedule::queued_entries`] and
+    /// [`StreamingSchedule::emitted_pairs`].  Stamps are renumbered, but
+    /// emission order is unaffected: only one heap entry per pair is
+    /// current, so draining is governed by `(probability, pair)` exactly as
+    /// before.
+    pub fn restore(
+        queued: &[((EntityId, EntityId), f64)],
+        emitted: &[(EntityId, EntityId)],
+    ) -> Self {
+        let mut schedule = StreamingSchedule::new();
+        for &(pair, probability) in queued {
+            schedule.absorb(&[pair], &[probability]);
+        }
+        for &pair in emitted {
+            if schedule.states.insert(pair, PairState::Emitted).is_none() {
+                schedule.emitted += 1;
+            } else {
+                // A pair both queued and emitted in the same snapshot would
+                // be a writer bug; the emitted state wins and the stale
+                // queue entry is skipped on pop.
+                schedule.queued -= 1;
+                schedule.emitted += 1;
+            }
+        }
+        schedule
+    }
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@
 use er_blocking::{build_blocks, BlockStats, CandidatePairs, CsrBlockCollection, TokenKeys};
 use er_core::{Dataset, EntityId, EntityProfile, FxHashMap, PairId, Result};
 use er_features::{FeatureContext, FeatureMatrix};
-use er_learn::{balanced_undersample, TrainingSet};
+use er_learn::{balanced_undersample, ProbabilisticClassifier, TrainingSet};
 use er_stream::{DeltaBatch, StreamingConfig, StreamingMetaBlocker};
 
 use crate::live_view::LiveView;
@@ -29,16 +29,19 @@ use crate::progressive::StreamingSchedule;
 /// pool holding the latest raw score of every candidate pair, so pairs that
 /// enter the cleaned view late (e.g. a block released by Block Purging as
 /// the corpus grows) can be scheduled without re-scoring.
-struct CleanedState {
-    view: LiveView,
-    pool: FxHashMap<(EntityId, EntityId), f64>,
+pub(crate) struct CleanedState {
+    pub(crate) view: LiveView,
+    pub(crate) pool: FxHashMap<(EntityId, EntityId), f64>,
 }
 
 /// A bootstrapped streaming meta-blocking pipeline over Token Blocking.
 pub struct StreamingPipeline {
-    blocker: StreamingMetaBlocker<TokenKeys>,
-    schedule: StreamingSchedule,
-    cleaned: Option<CleanedState>,
+    pub(crate) blocker: StreamingMetaBlocker<TokenKeys>,
+    pub(crate) schedule: StreamingSchedule,
+    pub(crate) cleaned: Option<CleanedState>,
+    /// The trained classifier in its persistable form; a boxed clone is
+    /// attached to the blocker for scoring.
+    pub(crate) model: er_learn::SavedModel,
 }
 
 impl StreamingPipeline {
@@ -103,7 +106,7 @@ impl StreamingPipeline {
             context.write_pair_features(a, b, set, &mut row);
             training.push(row.clone(), label);
         }
-        let model = config.classifier.fit(&training)?;
+        let model = config.classifier.fit_saved(&training)?;
 
         // The seed corpus is already indexed by the batch pass above — score
         // its candidate pairs once through the fused batch path instead of
@@ -120,9 +123,11 @@ impl StreamingPipeline {
             threads,
         };
         let mut pipeline = StreamingPipeline {
-            blocker: StreamingMetaBlocker::new(stream_config, TokenKeys).with_model(model),
+            blocker: StreamingMetaBlocker::new(stream_config, TokenKeys)
+                .with_model(Box::new(model.clone())),
             schedule: StreamingSchedule::new(),
             cleaned: None,
+            model,
         };
         // Seed the index through the unscored ingestion path (same postings,
         // statistics and LCP counters; no duplicate feature pass) and seed
@@ -168,7 +173,7 @@ impl StreamingPipeline {
     /// additions, re-ranks re-scored survivors and retracts retractions
     /// directly; cleaned mode routes everything through the live view so
     /// the schedule only ever holds cleaned candidates.
-    fn apply_delta(&mut self, delta: &DeltaBatch) {
+    pub(crate) fn apply_delta(&mut self, delta: &DeltaBatch) {
         match &mut self.cleaned {
             None => {
                 self.schedule.absorb(&delta.pairs, &delta.probabilities);

@@ -177,6 +177,12 @@ impl CsrBlockCollection {
         self.keys.get(self.key_ids[b])
     }
 
+    /// The arena id of block `b`'s key (an index into [`Self::key_store`]).
+    #[inline]
+    pub fn key_id(&self, b: usize) -> u32 {
+        self.key_ids[b]
+    }
+
     /// The sorted entity list of block `b`.
     #[inline]
     pub fn entities(&self, b: usize) -> &[EntityId] {

@@ -24,6 +24,7 @@ pub mod collection;
 pub mod csr;
 pub mod filtering;
 pub mod graph;
+pub mod persist;
 pub mod purging;
 pub mod qgrams;
 pub mod reference;

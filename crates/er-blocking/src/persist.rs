@@ -1,0 +1,197 @@
+//! Binary codecs ([`er_persist::Encode`]/[`er_persist::Decode`]) for the
+//! CSR block representation, so prepared datasets and recovered streaming
+//! state can carry their block collections through snapshots.
+//!
+//! Decoding validates the CSR invariants (monotone offsets, matching array
+//! lengths, in-range key ids) and reports violations as
+//! [`er_core::PersistError::Corrupt`] — a snapshot that passed its checksum
+//! but encodes an impossible collection never becomes observable state.
+
+use std::sync::Arc;
+
+use er_core::{DatasetKind, EntityId, PersistError, PersistResult};
+use er_persist::{Decode, Encode, Reader, Writer};
+
+use crate::csr::{CsrBlockCollection, KeyStore};
+
+impl Encode for KeyStore {
+    fn encode(&self, w: &mut Writer) {
+        w.write_usize(self.len());
+        for id in 0..self.len() as u32 {
+            w.write_str(self.get(id));
+        }
+    }
+}
+
+impl Decode for KeyStore {
+    fn decode(r: &mut Reader<'_>) -> PersistResult<Self> {
+        let len = r.read_usize()?;
+        let mut store = KeyStore::with_capacity(len.min(r.remaining()), 0);
+        for _ in 0..len {
+            let key = r.read_str()?;
+            store.push(&key);
+        }
+        Ok(store)
+    }
+}
+
+impl Encode for CsrBlockCollection {
+    fn encode(&self, w: &mut Writer) {
+        w.write_str(&self.dataset_name);
+        self.kind.encode(w);
+        w.write_usize(self.split);
+        w.write_usize(self.num_entities);
+        self.key_store().as_ref().encode(w);
+        let blocks = self.num_blocks();
+        w.write_usize(blocks);
+        for b in 0..blocks {
+            w.write_u32(self.key_id(b));
+            w.write_u32(self.first_source_count(b) as u32);
+            self.entities(b).encode(w);
+        }
+    }
+}
+
+impl Decode for CsrBlockCollection {
+    fn decode(r: &mut Reader<'_>) -> PersistResult<Self> {
+        let dataset_name = r.read_str()?;
+        let kind = DatasetKind::decode(r)?;
+        let split = r.read_usize()?;
+        let num_entities = r.read_usize()?;
+        let store = KeyStore::decode(r)?;
+        let blocks = r.read_usize()?;
+        let mut key_ids = Vec::with_capacity(blocks.min(r.remaining()));
+        let mut first_counts = Vec::with_capacity(blocks.min(r.remaining()));
+        let mut entity_offsets = vec![0u32];
+        let mut entities: Vec<EntityId> = Vec::new();
+        for b in 0..blocks {
+            let key_id = r.read_u32()?;
+            if key_id as usize >= store.len() {
+                return Err(PersistError::Corrupt(format!(
+                    "block {b} references key id {key_id} beyond the {} stored keys",
+                    store.len()
+                )));
+            }
+            let first = r.read_u32()?;
+            let members = Vec::<EntityId>::decode(r)?;
+            if first as usize > members.len() {
+                return Err(PersistError::Corrupt(format!(
+                    "block {b} claims {first} first-source members out of {}",
+                    members.len()
+                )));
+            }
+            if members.windows(2).any(|pair| pair[0] >= pair[1]) {
+                return Err(PersistError::Corrupt(format!(
+                    "block {b} entity list is not strictly sorted"
+                )));
+            }
+            if members.last().is_some_and(|e| e.index() >= num_entities) {
+                return Err(PersistError::Corrupt(format!(
+                    "block {b} references an entity beyond the corpus of {num_entities}"
+                )));
+            }
+            key_ids.push(key_id);
+            first_counts.push(first);
+            entities.extend_from_slice(&members);
+            entity_offsets.push(entities.len() as u32);
+        }
+        Ok(CsrBlockCollection::from_raw(
+            dataset_name,
+            kind,
+            split,
+            num_entities,
+            Arc::new(store),
+            key_ids,
+            entity_offsets,
+            entities,
+            first_counts,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use crate::collection::BlockCollection;
+    use er_persist::{decode_from_slice, encode_to_vec};
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().copied().map(EntityId).collect()
+    }
+
+    fn sample() -> CsrBlockCollection {
+        CsrBlockCollection::from_block_collection(&BlockCollection {
+            dataset_name: "toy".into(),
+            kind: DatasetKind::CleanClean,
+            split: 2,
+            num_entities: 5,
+            blocks: vec![
+                Block::new("apple", ids(&[0, 2])),
+                Block::new("phone", ids(&[0, 1, 2, 3])),
+                Block::new("samsung", ids(&[1, 3, 4])),
+            ],
+        })
+    }
+
+    #[test]
+    fn csr_collection_round_trips_exactly() {
+        let csr = sample();
+        let bytes = encode_to_vec(&csr);
+        let back: CsrBlockCollection = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back.dataset_name, csr.dataset_name);
+        assert_eq!(back.kind, csr.kind);
+        assert_eq!(back.split, csr.split);
+        assert_eq!(back.num_entities, csr.num_entities);
+        assert_eq!(back.num_blocks(), csr.num_blocks());
+        for b in 0..csr.num_blocks() {
+            assert_eq!(back.key(b), csr.key(b));
+            assert_eq!(back.entities(b), csr.entities(b));
+            assert_eq!(back.first_source_count(b), csr.first_source_count(b));
+        }
+        assert_eq!(
+            back.to_block_collection().blocks,
+            csr.to_block_collection().blocks
+        );
+    }
+
+    #[test]
+    fn key_store_round_trips() {
+        let mut store = KeyStore::default();
+        store.push("alpha");
+        store.push("β");
+        store.push("");
+        let bytes = encode_to_vec(&store);
+        let back: KeyStore = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.get(0), "alpha");
+        assert_eq!(back.get(1), "β");
+        assert_eq!(back.get(2), "");
+    }
+
+    #[test]
+    fn invalid_csr_invariants_are_corrupt_errors() {
+        let csr = sample();
+        let mut w = Writer::new();
+        csr.encode(&mut w);
+        let clean = w.into_bytes();
+
+        // Re-encode with an out-of-range key id by patching the stream: the
+        // easiest reliable probe is decoding a hand-built bad frame.
+        let mut w = Writer::new();
+        w.write_str("bad");
+        DatasetKind::Dirty.encode(&mut w);
+        w.write_usize(0);
+        w.write_usize(3);
+        KeyStore::default().encode(&mut w);
+        w.write_usize(1); // one block ...
+        w.write_u32(0); // ... whose key id 0 does not exist
+        w.write_u32(0);
+        ids(&[0, 1]).encode(&mut w);
+        let err = decode_from_slice::<CsrBlockCollection>(w.as_bytes()).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt(_)), "{err:?}");
+
+        // Sanity: the clean bytes still decode.
+        assert!(decode_from_slice::<CsrBlockCollection>(&clean).is_ok());
+    }
+}

@@ -3,6 +3,125 @@
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, Error>;
 
+/// Convenience result alias for the persistence paths.
+pub type PersistResult<T> = std::result::Result<T, PersistError>;
+
+/// Structured errors of the durability layer (snapshots and write-ahead
+/// logs).  Every failure mode a corrupt, truncated or mismatched file can
+/// produce is a typed variant — the persistence paths never panic on bad
+/// bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PersistError {
+    /// An underlying I/O operation failed.
+    Io {
+        /// What the persistence layer was doing (e.g. "append wal record").
+        context: String,
+        /// The OS error kind.
+        kind: std::io::ErrorKind,
+        /// The OS error message.
+        message: String,
+    },
+    /// The file does not start with the expected magic bytes — it is not a
+    /// file of the expected family at all.
+    BadMagic {
+        /// Which file was inspected.
+        context: String,
+    },
+    /// The file was written by an incompatible format version.
+    VersionMismatch {
+        /// The version recorded in the file.
+        found: u32,
+        /// The version this build reads and writes.
+        supported: u32,
+    },
+    /// A checksummed section does not match its recorded digest — the bytes
+    /// were corrupted after they were written.
+    ChecksumMismatch {
+        /// Which section failed (e.g. "snapshot payload", "wal record").
+        context: String,
+        /// The digest recorded in the file.
+        expected: u64,
+        /// The digest of the bytes actually present.
+        found: u64,
+    },
+    /// A record or section ends before its declared length — the file was
+    /// truncated mid-write.
+    Truncated {
+        /// Which section was cut short.
+        context: String,
+    },
+    /// The file belongs to a different corpus/stream than the one being
+    /// recovered (snapshot and WAL fingerprints must agree).
+    FingerprintMismatch {
+        /// The fingerprint the caller expected.
+        expected: u64,
+        /// The fingerprint recorded in the file.
+        found: u64,
+    },
+    /// The bytes passed their checksum but decode to an inconsistent value
+    /// (internal invariant violations, unknown enum tags, bad UTF-8).
+    Corrupt(String),
+}
+
+impl PersistError {
+    /// Wraps an I/O error with the operation that produced it.
+    pub fn io(context: impl Into<String>, err: &std::io::Error) -> Self {
+        PersistError::Io {
+            context: context.into(),
+            kind: err.kind(),
+            message: err.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io {
+                context,
+                kind: _,
+                message,
+            } => {
+                write!(f, "i/o failure while trying to {context}: {message}")
+            }
+            PersistError::BadMagic { context } => {
+                write!(
+                    f,
+                    "{context}: bad magic bytes (not a GSMB persistence file)"
+                )
+            }
+            PersistError::VersionMismatch { found, supported } => write!(
+                f,
+                "format version mismatch: file is v{found}, this build supports v{supported}"
+            ),
+            PersistError::ChecksumMismatch {
+                context,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checksum mismatch in {context}: recorded {expected:#018x}, computed {found:#018x}"
+            ),
+            PersistError::Truncated { context } => {
+                write!(f, "truncated {context}: the file ends mid-record")
+            }
+            PersistError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "corpus fingerprint mismatch: expected {expected:#018x}, file carries {found:#018x}"
+            ),
+            PersistError::Corrupt(msg) => write!(f, "corrupt persistence data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<PersistError> for Error {
+    fn from(err: PersistError) -> Self {
+        Error::Persist(err)
+    }
+}
+
 /// Errors produced by the meta-blocking pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Error {
@@ -25,6 +144,8 @@ pub enum Error {
     Model(String),
     /// A configuration value is outside its valid range.
     InvalidParameter(String),
+    /// A snapshot or write-ahead-log operation failed (see [`PersistError`]).
+    Persist(PersistError),
 }
 
 impl std::fmt::Display for Error {
@@ -41,6 +162,7 @@ impl std::fmt::Display for Error {
             ),
             Error::Model(msg) => write!(f, "model error: {msg}"),
             Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::Persist(err) => write!(f, "persistence error: {err}"),
         }
     }
 }
@@ -77,5 +199,59 @@ mod tests {
     fn error_is_std_error() {
         fn assert_err<E: std::error::Error>(_e: &E) {}
         assert_err(&Error::Model("m".into()));
+        assert_err(&PersistError::BadMagic {
+            context: "x".into(),
+        });
+    }
+
+    #[test]
+    fn persist_error_display_messages() {
+        let io = PersistError::io(
+            "write snapshot",
+            &std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+        );
+        assert!(io.to_string().contains("write snapshot"));
+        assert!(PersistError::BadMagic {
+            context: "snapshot header".into()
+        }
+        .to_string()
+        .contains("bad magic"));
+        assert!(PersistError::VersionMismatch {
+            found: 9,
+            supported: 1
+        }
+        .to_string()
+        .contains("v9"));
+        assert!(PersistError::ChecksumMismatch {
+            context: "wal record".into(),
+            expected: 1,
+            found: 2
+        }
+        .to_string()
+        .contains("wal record"));
+        assert!(PersistError::Truncated {
+            context: "wal record".into()
+        }
+        .to_string()
+        .contains("truncated"));
+        assert!(PersistError::FingerprintMismatch {
+            expected: 3,
+            found: 4
+        }
+        .to_string()
+        .contains("fingerprint"));
+        assert!(PersistError::Corrupt("bad tag".into())
+            .to_string()
+            .contains("bad tag"));
+    }
+
+    #[test]
+    fn persist_error_converts_into_the_workspace_error() {
+        let err: Error = PersistError::Truncated {
+            context: "snapshot".into(),
+        }
+        .into();
+        assert!(matches!(err, Error::Persist(_)));
+        assert!(err.to_string().contains("persistence error"));
     }
 }

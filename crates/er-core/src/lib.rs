@@ -8,6 +8,7 @@
 //! types plus the small utilities shared by every other crate: deterministic
 //! hashing, tokenisation, seeded randomness and a common error type.
 
+pub mod checksum;
 pub mod collection;
 pub mod entity;
 pub mod error;
@@ -17,9 +18,10 @@ pub mod parallel;
 pub mod rng;
 pub mod tokenize;
 
+pub use checksum::{crc64, Crc64};
 pub use collection::{Dataset, DatasetKind, EntityCollection, GroundTruth};
 pub use entity::{Attribute, EntityProfile};
-pub use error::{Error, Result};
+pub use error::{Error, PersistError, PersistResult, Result};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use ids::{BlockId, EntityId, PairId};
 pub use parallel::{

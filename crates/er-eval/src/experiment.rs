@@ -97,6 +97,77 @@ impl PreparedDataset {
         let matrix = FeatureMatrix::build_parallel(&context, set);
         (matrix, start.elapsed())
     }
+
+    /// Snapshot payload tag of prepared-dataset files.
+    pub const SNAPSHOT_TAG: u32 = 0x5052_4550; // "PREP"
+
+    /// The corpus fingerprint stamped on a prepared-dataset snapshot.
+    fn fingerprint(dataset: &Dataset) -> u64 {
+        let mut w = er_persist::Writer::new();
+        w.write_str(&dataset.name);
+        er_persist::Encode::encode(&dataset.kind, &mut w);
+        w.write_usize(dataset.split);
+        w.write_usize(dataset.num_entities());
+        er_core::crc64(w.as_bytes())
+    }
+
+    /// Saves the dataset and its cleaned block collection to one atomic,
+    /// checksummed snapshot file ([`er_persist::snapshot`]).  Statistics
+    /// and candidate pairs are *derived* state — [`PreparedDataset::load`]
+    /// recomputes them deterministically from the stored CSR, so they are
+    /// not duplicated on disk.
+    pub fn save(&self, path: &std::path::Path) -> er_core::PersistResult<()> {
+        struct Payload<'a>(&'a PreparedDataset);
+        impl er_persist::Encode for Payload<'_> {
+            fn encode(&self, w: &mut er_persist::Writer) {
+                self.0.dataset.encode(w);
+                self.0.blocks.encode(w);
+                self.0.blocking_time.encode(w);
+            }
+        }
+        er_persist::write_snapshot(
+            path,
+            Self::SNAPSHOT_TAG,
+            Self::fingerprint(&self.dataset),
+            &Payload(self),
+        )
+    }
+
+    /// Loads a snapshot written by [`PreparedDataset::save`], recomputing
+    /// block statistics and candidate pairs from the stored CSR (both are
+    /// deterministic functions of it, so the loaded value is equivalent to
+    /// the saved one in every observable way).
+    pub fn load(path: &std::path::Path) -> er_core::PersistResult<Self> {
+        struct Payload(Dataset, CsrBlockCollection, Duration);
+        impl er_persist::Decode for Payload {
+            fn decode(r: &mut er_persist::Reader<'_>) -> er_core::PersistResult<Self> {
+                Ok(Payload(
+                    Dataset::decode(r)?,
+                    CsrBlockCollection::decode(r)?,
+                    Duration::decode(r)?,
+                ))
+            }
+        }
+        let (Payload(dataset, blocks, blocking_time), fingerprint) =
+            er_persist::read_snapshot::<Payload>(path, Self::SNAPSHOT_TAG, None)?;
+        let expected = Self::fingerprint(&dataset);
+        if fingerprint != expected {
+            return Err(er_core::PersistError::FingerprintMismatch {
+                expected,
+                found: fingerprint,
+            });
+        }
+        let threads = er_core::available_threads();
+        let stats = BlockStats::from_csr(&blocks);
+        let candidates = CandidatePairs::from_stats(&stats, threads);
+        Ok(PreparedDataset {
+            dataset,
+            blocks,
+            stats,
+            candidates,
+            blocking_time,
+        })
+    }
 }
 
 /// Configuration of a single experiment run.
@@ -406,5 +477,58 @@ mod tests {
         let config = RunConfig::final_configuration(FeatureSet::blast_optimal());
         assert_eq!(config.per_class, 25);
         assert_eq!(config.feature_set, FeatureSet::blast_optimal());
+    }
+
+    #[test]
+    fn prepared_dataset_saves_and_loads_equivalently() {
+        let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/tmp/prepared-save-load");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("prepared.gsmb");
+
+        let original = prepared();
+        original.save(&path).unwrap();
+        let loaded = PreparedDataset::load(&path).unwrap();
+
+        assert_eq!(loaded.dataset.name, original.dataset.name);
+        assert_eq!(loaded.dataset.profiles, original.dataset.profiles);
+        assert_eq!(
+            loaded.dataset.ground_truth.pairs(),
+            original.dataset.ground_truth.pairs()
+        );
+        assert_eq!(
+            loaded.blocks.to_block_collection().blocks,
+            original.blocks.to_block_collection().blocks
+        );
+        // Derived state recomputes identically from the stored CSR.
+        assert_eq!(loaded.candidates.pairs(), original.candidates.pairs());
+        assert_eq!(loaded.num_candidates(), original.num_candidates());
+        assert_eq!(loaded.blocking_time, original.blocking_time);
+        // A loaded dataset drives the experiment harness exactly like the
+        // freshly prepared one (same seed → same retained set).
+        let config = RunConfig::default();
+        let a = run_once(&original, AlgorithmKind::Blast, &config).unwrap();
+        let b = run_once(&loaded, AlgorithmKind::Blast, &config).unwrap();
+        assert_eq!(a.retained, b.retained);
+        assert_eq!(a.effectiveness.recall, b.effectiveness.recall);
+
+        // A flipped byte surfaces as a typed error.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() / 3;
+        bytes[at] ^= 0x08;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = match PreparedDataset::load(&path) {
+            Err(err) => err,
+            Ok(_) => panic!("corrupt snapshot loaded successfully"),
+        };
+        assert!(
+            matches!(
+                err,
+                er_core::PersistError::ChecksumMismatch { .. }
+                    | er_core::PersistError::Truncated { .. }
+            ),
+            "{err:?}"
+        );
     }
 }

@@ -18,6 +18,7 @@
 pub mod dataset;
 pub mod logistic;
 pub mod model;
+pub mod persist;
 pub mod platt;
 pub mod sampling;
 pub mod scale;
@@ -26,6 +27,7 @@ pub mod svm;
 pub use dataset::TrainingSet;
 pub use logistic::{LogisticRegression, LogisticRegressionConfig};
 pub use model::{Classifier, ProbabilisticClassifier};
+pub use persist::{load_model, save_model, SavedModel};
 pub use platt::PlattScaler;
 pub use sampling::{balanced_undersample, paper_baseline_per_class, BalancedSample};
 pub use scale::Standardizer;

@@ -37,9 +37,9 @@ impl Default for LogisticRegressionConfig {
 /// A trained logistic-regression model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LogisticRegression {
-    scaler: Standardizer,
-    weights: Vec<f64>,
-    intercept: f64,
+    pub(crate) scaler: Standardizer,
+    pub(crate) weights: Vec<f64>,
+    pub(crate) intercept: f64,
 }
 
 #[inline]

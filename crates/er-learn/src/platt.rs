@@ -15,8 +15,8 @@ use serde::{Deserialize, Serialize};
 /// A fitted Platt sigmoid.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PlattScaler {
-    a: f64,
-    b: f64,
+    pub(crate) a: f64,
+    pub(crate) b: f64,
 }
 
 impl PlattScaler {

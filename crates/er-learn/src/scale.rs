@@ -11,8 +11,8 @@ use serde::{Deserialize, Serialize};
 /// Per-feature mean/standard-deviation scaler.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Standardizer {
-    means: Vec<f64>,
-    stds: Vec<f64>,
+    pub(crate) means: Vec<f64>,
+    pub(crate) stds: Vec<f64>,
 }
 
 impl Standardizer {

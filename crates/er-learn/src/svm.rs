@@ -38,10 +38,10 @@ impl Default for LinearSvmConfig {
 /// A trained linear SVM with probability calibration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LinearSvm {
-    scaler: Standardizer,
-    weights: Vec<f64>,
-    bias: f64,
-    platt: PlattScaler,
+    pub(crate) scaler: Standardizer,
+    pub(crate) weights: Vec<f64>,
+    pub(crate) bias: f64,
+    pub(crate) platt: PlattScaler,
 }
 
 impl LinearSvm {

@@ -1,0 +1,661 @@
+//! The hand-rolled little-endian binary codec behind every snapshot and
+//! WAL record.
+//!
+//! There is deliberately no `serde` here: the workspace's serde shims make
+//! derive-based serialisation a silent no-op, and a durability format wants
+//! explicit, versioned layouts anyway.  Every persisted type implements
+//! [`Encode`]/[`Decode`] by hand against a [`Writer`]/[`Reader`] pair:
+//!
+//! * all integers are little-endian; `usize` travels as `u64`;
+//! * floats travel as their IEEE-754 bit patterns ([`f64::to_bits`]), so a
+//!   decoded value is **bit-identical** to the encoded one — NaN payloads,
+//!   signed zeros and all;
+//! * variable-length data (strings, byte slices, sequences) is
+//!   length-prefixed with a `u64`.
+//!
+//! [`Reader`] methods never panic on malformed input: running off the end
+//! of the buffer yields [`PersistError::Truncated`] and invalid content
+//! (bad UTF-8, unknown enum tags, impossible bools) yields
+//! [`PersistError::Corrupt`].  Integrity against *random* corruption is the
+//! framing layer's job (checksums in [`crate::snapshot`] and
+//! [`crate::wal`]); the reader's checks are the second line of defence.
+
+use std::time::Duration;
+
+use er_core::{
+    Attribute, Dataset, DatasetKind, EntityId, EntityProfile, GroundTruth, PersistError,
+    PersistResult,
+};
+
+/// An append-only little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Creates a writer with a capacity hint.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Writer {
+            buf: Vec::with_capacity(bytes),
+        }
+    }
+
+    /// The bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends raw bytes without a length prefix (fixed-layout sections).
+    pub fn write_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn write_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a little-endian `u64`.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (bit-exact round trip).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte (0 or 1).
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// Appends a length-prefixed byte slice.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_usize(bytes.len());
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+}
+
+/// A bounds-checked little-endian byte source.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails with [`PersistError::Corrupt`] if any bytes remain — decoded
+    /// values must account for their entire frame.
+    pub fn expect_end(&self) -> PersistResult<()> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(PersistError::Corrupt(format!(
+                "{} trailing bytes after the decoded value",
+                self.remaining()
+            )))
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> PersistResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated {
+                context: what.to_string(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads raw bytes of a known length (fixed-layout sections).
+    pub fn read_raw(&mut self, n: usize) -> PersistResult<&'a [u8]> {
+        self.take(n, "raw bytes")
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&mut self) -> PersistResult<u8> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&mut self) -> PersistResult<u32> {
+        let bytes = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&mut self) -> PersistResult<u64> {
+        let bytes = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    /// Reads a `usize` (persisted as `u64`).
+    pub fn read_usize(&mut self) -> PersistResult<usize> {
+        usize::try_from(self.read_u64()?)
+            .map_err(|_| PersistError::Corrupt("length exceeds the platform usize".into()))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn read_f64(&mut self) -> PersistResult<f64> {
+        Ok(f64::from_bits(self.read_u64()?))
+    }
+
+    /// Reads a bool (strictly 0 or 1).
+    pub fn read_bool(&mut self) -> PersistResult<bool> {
+        match self.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(PersistError::Corrupt(format!(
+                "bool byte must be 0 or 1, found {other}"
+            ))),
+        }
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn read_bytes(&mut self) -> PersistResult<&'a [u8]> {
+        let len = self.read_usize()?;
+        self.take(len, "length-prefixed bytes")
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn read_str(&mut self) -> PersistResult<String> {
+        let bytes = self.read_bytes()?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| PersistError::Corrupt("string is not valid UTF-8".into()))
+    }
+}
+
+/// A type with an explicit binary encoding.
+pub trait Encode {
+    /// Appends the value's encoding to the writer.
+    fn encode(&self, w: &mut Writer);
+}
+
+/// A type decodable from its [`Encode`] output.
+pub trait Decode: Sized {
+    /// Reads one value, consuming exactly the bytes [`Encode::encode`]
+    /// produced for it.
+    fn decode(r: &mut Reader<'_>) -> PersistResult<Self>;
+}
+
+/// Encodes a value into a standalone byte buffer.
+pub fn encode_to_vec(value: &impl Encode) -> Vec<u8> {
+    let mut w = Writer::new();
+    value.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Decodes a value from a byte buffer, requiring full consumption.
+pub fn decode_from_slice<T: Decode>(bytes: &[u8]) -> PersistResult<T> {
+    let mut r = Reader::new(bytes);
+    let value = T::decode(&mut r)?;
+    r.expect_end()?;
+    Ok(value)
+}
+
+impl Encode for u8 {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u8(*self);
+    }
+}
+
+impl Decode for u8 {
+    fn decode(r: &mut Reader<'_>) -> PersistResult<Self> {
+        r.read_u8()
+    }
+}
+
+impl Encode for u32 {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u32(*self);
+    }
+}
+
+impl Decode for u32 {
+    fn decode(r: &mut Reader<'_>) -> PersistResult<Self> {
+        r.read_u32()
+    }
+}
+
+impl Encode for u64 {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u64(*self);
+    }
+}
+
+impl Decode for u64 {
+    fn decode(r: &mut Reader<'_>) -> PersistResult<Self> {
+        r.read_u64()
+    }
+}
+
+impl Encode for usize {
+    fn encode(&self, w: &mut Writer) {
+        w.write_usize(*self);
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> PersistResult<Self> {
+        r.read_usize()
+    }
+}
+
+impl Encode for f64 {
+    fn encode(&self, w: &mut Writer) {
+        w.write_f64(*self);
+    }
+}
+
+impl Decode for f64 {
+    fn decode(r: &mut Reader<'_>) -> PersistResult<Self> {
+        r.read_f64()
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, w: &mut Writer) {
+        w.write_bool(*self);
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> PersistResult<Self> {
+        r.read_bool()
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, w: &mut Writer) {
+        w.write_str(self);
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> PersistResult<Self> {
+        r.read_str()
+    }
+}
+
+impl Encode for Box<str> {
+    fn encode(&self, w: &mut Writer) {
+        w.write_str(self);
+    }
+}
+
+impl Decode for Box<str> {
+    fn decode(r: &mut Reader<'_>) -> PersistResult<Self> {
+        Ok(r.read_str()?.into_boxed_str())
+    }
+}
+
+impl<T: Encode> Encode for [T] {
+    fn encode(&self, w: &mut Writer) {
+        w.write_usize(self.len());
+        for item in self {
+            item.encode(w);
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        self.as_slice().encode(w);
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> PersistResult<Self> {
+        let len = r.read_usize()?;
+        // Cap the pre-allocation by the bytes actually present so a corrupt
+        // length cannot balloon memory before the bounds checks fire.
+        let mut items = Vec::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            items.push(T::decode(r)?);
+        }
+        Ok(items)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.write_u8(0),
+            Some(value) => {
+                w.write_u8(1);
+                value.encode(w);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> PersistResult<Self> {
+        match r.read_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            other => Err(PersistError::Corrupt(format!(
+                "option tag must be 0 or 1, found {other}"
+            ))),
+        }
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> PersistResult<Self> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl Encode for Duration {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u64(self.as_secs());
+        w.write_u32(self.subsec_nanos());
+    }
+}
+
+impl Decode for Duration {
+    fn decode(r: &mut Reader<'_>) -> PersistResult<Self> {
+        let secs = r.read_u64()?;
+        let nanos = r.read_u32()?;
+        if nanos >= 1_000_000_000 {
+            return Err(PersistError::Corrupt(format!(
+                "duration nanoseconds out of range: {nanos}"
+            )));
+        }
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl Encode for EntityId {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u32(self.0);
+    }
+}
+
+impl Decode for EntityId {
+    fn decode(r: &mut Reader<'_>) -> PersistResult<Self> {
+        Ok(EntityId(r.read_u32()?))
+    }
+}
+
+impl Encode for DatasetKind {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u8(match self {
+            DatasetKind::CleanClean => 0,
+            DatasetKind::Dirty => 1,
+        });
+    }
+}
+
+impl Decode for DatasetKind {
+    fn decode(r: &mut Reader<'_>) -> PersistResult<Self> {
+        match r.read_u8()? {
+            0 => Ok(DatasetKind::CleanClean),
+            1 => Ok(DatasetKind::Dirty),
+            other => Err(PersistError::Corrupt(format!(
+                "unknown dataset-kind tag {other}"
+            ))),
+        }
+    }
+}
+
+impl Encode for Attribute {
+    fn encode(&self, w: &mut Writer) {
+        w.write_str(&self.name);
+        w.write_str(&self.value);
+    }
+}
+
+impl Decode for Attribute {
+    fn decode(r: &mut Reader<'_>) -> PersistResult<Self> {
+        Ok(Attribute {
+            name: r.read_str()?,
+            value: r.read_str()?,
+        })
+    }
+}
+
+impl Encode for EntityProfile {
+    fn encode(&self, w: &mut Writer) {
+        w.write_str(&self.external_id);
+        self.attributes.encode(w);
+    }
+}
+
+impl Decode for EntityProfile {
+    fn decode(r: &mut Reader<'_>) -> PersistResult<Self> {
+        Ok(EntityProfile {
+            external_id: r.read_str()?,
+            attributes: Vec::<Attribute>::decode(r)?,
+        })
+    }
+}
+
+impl Encode for GroundTruth {
+    fn encode(&self, w: &mut Writer) {
+        self.pairs().encode(w);
+    }
+}
+
+impl Decode for GroundTruth {
+    fn decode(r: &mut Reader<'_>) -> PersistResult<Self> {
+        let pairs = Vec::<(EntityId, EntityId)>::decode(r)?;
+        // `from_pairs` re-normalises and rebuilds the lookup index, so the
+        // non-serialised parts of the type are reconstructed here.
+        Ok(GroundTruth::from_pairs(pairs))
+    }
+}
+
+impl Encode for Dataset {
+    fn encode(&self, w: &mut Writer) {
+        w.write_str(&self.name);
+        self.kind.encode(w);
+        self.profiles.encode(w);
+        w.write_usize(self.split);
+        self.ground_truth.encode(w);
+    }
+}
+
+impl Decode for Dataset {
+    fn decode(r: &mut Reader<'_>) -> PersistResult<Self> {
+        let name = r.read_str()?;
+        let kind = DatasetKind::decode(r)?;
+        let profiles = Vec::<EntityProfile>::decode(r)?;
+        let split = r.read_usize()?;
+        let ground_truth = GroundTruth::decode(r)?;
+        if split > profiles.len() {
+            return Err(PersistError::Corrupt(format!(
+                "dataset split {split} exceeds profile count {}",
+                profiles.len()
+            )));
+        }
+        Ok(Dataset {
+            name,
+            kind,
+            profiles,
+            split,
+            ground_truth,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = encode_to_vec(&value);
+        let back: T = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(0xDEAD_BEEFu32);
+        round_trip(u64::MAX);
+        round_trip(usize::MAX);
+        round_trip(true);
+        round_trip(false);
+        round_trip(String::from("πλοκή"));
+        round_trip(Duration::new(12, 345_678_910));
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for v in [0.0f64, -0.0, 1.5, f64::MIN_POSITIVE, f64::INFINITY] {
+            let bytes = encode_to_vec(&v);
+            let back: f64 = decode_from_slice(&bytes).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+        let nan_bits = f64::NAN.to_bits() | 0xDEAD;
+        let bytes = encode_to_vec(&f64::from_bits(nan_bits));
+        let back: f64 = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back.to_bits(), nan_bits, "NaN payload must survive");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Vec::<u64>::new());
+        round_trip(Some(7u32));
+        round_trip(Option::<u32>::None);
+        round_trip((EntityId(3), 0.25f64));
+        round_trip(vec![(EntityId(0), EntityId(9)), (EntityId(1), EntityId(2))]);
+    }
+
+    #[test]
+    fn core_types_round_trip() {
+        round_trip(EntityId(42));
+        round_trip(DatasetKind::CleanClean);
+        round_trip(DatasetKind::Dirty);
+        round_trip(Attribute::new("name", "Apple iPhone X"));
+        round_trip(
+            EntityProfile::new("e1")
+                .with_attribute("model", "iphone")
+                .with_attribute("category", "smartphone"),
+        );
+    }
+
+    #[test]
+    fn dataset_round_trip_rebuilds_the_ground_truth_index() {
+        let profiles = vec![
+            EntityProfile::new("a").with_attribute("n", "x y"),
+            EntityProfile::new("b").with_attribute("n", "y z"),
+        ];
+        let dataset = Dataset {
+            name: "toy".into(),
+            kind: DatasetKind::Dirty,
+            profiles,
+            split: 2,
+            ground_truth: GroundTruth::from_pairs(vec![(EntityId(1), EntityId(0))]),
+        };
+        let bytes = encode_to_vec(&dataset);
+        let back: Dataset = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back.name, dataset.name);
+        assert_eq!(back.profiles, dataset.profiles);
+        assert_eq!(back.split, dataset.split);
+        assert_eq!(back.ground_truth.pairs(), dataset.ground_truth.pairs());
+        assert!(back.ground_truth.is_match(EntityId(0), EntityId(1)));
+    }
+
+    #[test]
+    fn truncated_input_yields_typed_errors() {
+        let bytes = encode_to_vec(&String::from("hello"));
+        for cut in 0..bytes.len() {
+            let err = decode_from_slice::<String>(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, PersistError::Truncated { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_content_yields_corrupt_errors() {
+        // Bad bool byte.
+        let err = decode_from_slice::<bool>(&[7]).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt(_)));
+        // Bad option tag.
+        let err = decode_from_slice::<Option<u8>>(&[9]).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt(_)));
+        // Bad UTF-8.
+        let mut w = Writer::new();
+        w.write_bytes(&[0xFF, 0xFE]);
+        let err = decode_from_slice::<String>(w.as_bytes()).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt(_)));
+        // Unknown dataset-kind tag.
+        let err = decode_from_slice::<DatasetKind>(&[9]).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt(_)));
+        // Trailing garbage.
+        let mut bytes = encode_to_vec(&3u32);
+        bytes.push(0);
+        let err = decode_from_slice::<u32>(&bytes).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt(_)));
+    }
+
+    #[test]
+    fn corrupt_vec_length_fails_without_allocating() {
+        let mut w = Writer::new();
+        w.write_u64(u64::MAX); // absurd element count
+        let err = decode_from_slice::<Vec<u64>>(w.as_bytes()).unwrap_err();
+        assert!(matches!(err, PersistError::Truncated { .. }));
+    }
+}

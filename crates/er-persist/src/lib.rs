@@ -1,0 +1,35 @@
+//! Durability for the meta-blocking workspace: a hand-rolled, versioned,
+//! checksummed little-endian binary codec plus the two halves of a
+//! crash-recoverable store.
+//!
+//! * [`codec`] — explicit [`Encode`]/[`Decode`] implementations over a
+//!   [`Writer`]/[`Reader`] pair (no serde; the workspace's serde shims are
+//!   no-ops by design, and this format does not want them back — see the
+//!   README's persistence section);
+//! * [`snapshot`] — atomic point-in-time images (temp file + rename, a
+//!   header carrying magic bytes, the format version, a payload tag and a
+//!   corpus fingerprint, and a CRC-64/XZ digest over the payload);
+//! * [`wal`] — an append-only write-ahead log of checksummed records with
+//!   torn-tail-tolerant replay.
+//!
+//! The crates that own persistable state implement the codec traits for
+//! their types and wire the two halves together: `er-stream` persists the
+//! `StreamingIndex` and logs mutation batches
+//! (`er_stream::persist::DurableMetaBlocker`), `er-learn` persists trained
+//! models (`er_learn::SavedModel`), `er-eval` persists `PreparedDataset`s,
+//! and `meta-blocking` persists whole streaming pipelines.  Recovery is
+//! always *load the latest snapshot, replay the WAL tail*; compaction is
+//! the snapshot/truncation point that garbage-collects the log.
+//!
+//! All error paths are typed ([`er_core::PersistError`]): corrupt bytes,
+//! version skews, truncated records and mismatched fingerprints are
+//! recoverable errors, never panics.
+
+pub mod codec;
+pub mod snapshot;
+pub mod wal;
+
+pub use codec::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, Writer};
+pub use er_core::{PersistError, PersistResult};
+pub use snapshot::{read_snapshot, read_snapshot_bytes, write_snapshot, FORMAT_VERSION};
+pub use wal::{read_wal, WalContents, WalReadMode, WalWriter};

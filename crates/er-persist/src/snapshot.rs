@@ -1,0 +1,183 @@
+//! Atomic, checksummed snapshot files.
+//!
+//! A snapshot is one self-describing file:
+//!
+//! ```text
+//! ┌──────────────┬─────────┬─────────────┬─────────────┬─────────────┬─────────────┬─────────┐
+//! │ magic (8 B)  │ version │ payload tag │ fingerprint │ payload len │ payload crc │ payload │
+//! │ "GSMBSNP1"   │ u32     │ u32         │ u64         │ u64         │ u64 (CRC-64)│ bytes   │
+//! └──────────────┴─────────┴─────────────┴─────────────┴─────────────┴─────────────┴─────────┘
+//! ```
+//!
+//! * the **payload tag** names what the payload is (a streaming index, a
+//!   trained model, a prepared dataset, ...) so loading the wrong kind of
+//!   snapshot fails cleanly instead of mis-decoding;
+//! * the **fingerprint** ties the file to its corpus/stream — recovery
+//!   refuses to mix state from different streams;
+//! * the **CRC-64/XZ** digest covers the entire payload, so any flipped or
+//!   missing byte surfaces as [`PersistError::ChecksumMismatch`] or
+//!   [`PersistError::Truncated`] before a single field is decoded.
+//!
+//! Writes are atomic: the file is assembled under a temporary name in the
+//! same directory, fsynced, and renamed over the destination, so a crash
+//! mid-write leaves either the old snapshot or the new one — never a
+//! half-written file.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use er_core::{crc64, PersistError, PersistResult};
+
+use crate::codec::{Decode, Encode, Reader, Writer};
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"GSMBSNP1";
+
+/// The on-disk format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Byte length of the fixed snapshot header.
+pub const SNAPSHOT_HEADER_LEN: usize = 8 + 4 + 4 + 8 + 8 + 8;
+
+/// Fsyncs the directory containing `path` so the rename itself is durable.
+/// Best effort: some filesystems refuse to sync directories.
+pub(crate) fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+/// Encodes `payload` and writes it atomically (temp file + rename) to
+/// `path` under the given payload tag and corpus fingerprint.
+pub fn write_snapshot(
+    path: &Path,
+    payload_tag: u32,
+    fingerprint: u64,
+    payload: &impl Encode,
+) -> PersistResult<()> {
+    let mut body = Writer::new();
+    payload.encode(&mut body);
+    let body = body.into_bytes();
+
+    let mut file_bytes = Writer::with_capacity(SNAPSHOT_HEADER_LEN + body.len());
+    file_bytes.write_raw(&SNAPSHOT_MAGIC);
+    file_bytes.write_u32(FORMAT_VERSION);
+    file_bytes.write_u32(payload_tag);
+    file_bytes.write_u64(fingerprint);
+    file_bytes.write_u64(body.len() as u64);
+    file_bytes.write_u64(crc64(&body));
+    file_bytes.write_raw(&body);
+
+    let tmp = path.with_extension("tmp");
+    let mut file = fs::File::create(&tmp)
+        .map_err(|e| PersistError::io(format!("create snapshot temp file {tmp:?}"), &e))?;
+    file.write_all(file_bytes.as_bytes())
+        .map_err(|e| PersistError::io("write snapshot payload", &e))?;
+    file.sync_all()
+        .map_err(|e| PersistError::io("sync snapshot temp file", &e))?;
+    drop(file);
+    fs::rename(&tmp, path)
+        .map_err(|e| PersistError::io(format!("rename snapshot into place at {path:?}"), &e))?;
+    sync_parent_dir(path);
+    Ok(())
+}
+
+/// Validates a snapshot image in memory, returning the payload slice and
+/// the fingerprint recorded in the header.
+fn validated_payload<'a>(
+    data: &'a [u8],
+    path: &Path,
+    payload_tag: u32,
+    expected_fingerprint: Option<u64>,
+) -> PersistResult<(&'a [u8], u64)> {
+    let mut r = Reader::new(data);
+    let magic = r.read_raw(8).map_err(|_| PersistError::BadMagic {
+        context: format!("snapshot {path:?}"),
+    })?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(PersistError::BadMagic {
+            context: format!("snapshot {path:?}"),
+        });
+    }
+    let version = r.read_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(PersistError::VersionMismatch {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let tag = r.read_u32()?;
+    if tag != payload_tag {
+        return Err(PersistError::Corrupt(format!(
+            "snapshot payload tag {tag:#010x} does not match the expected {payload_tag:#010x}"
+        )));
+    }
+    let fingerprint = r.read_u64()?;
+    if let Some(expected) = expected_fingerprint {
+        if fingerprint != expected {
+            return Err(PersistError::FingerprintMismatch {
+                expected,
+                found: fingerprint,
+            });
+        }
+    }
+    let len = r.read_usize()?;
+    let recorded_crc = r.read_u64()?;
+    if r.remaining() < len {
+        return Err(PersistError::Truncated {
+            context: "snapshot payload".into(),
+        });
+    }
+    if r.remaining() > len {
+        return Err(PersistError::Corrupt(format!(
+            "{} bytes beyond the declared snapshot payload",
+            r.remaining() - len
+        )));
+    }
+    let payload = r.read_raw(len)?;
+    let actual_crc = crc64(payload);
+    if actual_crc != recorded_crc {
+        return Err(PersistError::ChecksumMismatch {
+            context: "snapshot payload".into(),
+            expected: recorded_crc,
+            found: actual_crc,
+        });
+    }
+    Ok((payload, fingerprint))
+}
+
+/// Reads and validates a snapshot file, returning the raw payload bytes and
+/// the fingerprint recorded in the header.
+///
+/// `expected_fingerprint` of `Some(f)` additionally enforces that the file
+/// belongs to the expected corpus/stream.
+pub fn read_snapshot_bytes(
+    path: &Path,
+    payload_tag: u32,
+    expected_fingerprint: Option<u64>,
+) -> PersistResult<(Vec<u8>, u64)> {
+    let data =
+        fs::read(path).map_err(|e| PersistError::io(format!("read snapshot {path:?}"), &e))?;
+    let (payload, fingerprint) = validated_payload(&data, path, payload_tag, expected_fingerprint)?;
+    Ok((payload.to_vec(), fingerprint))
+}
+
+/// Reads, validates and decodes a snapshot, returning the payload and the
+/// fingerprint recorded in the header.  Decodes straight from the validated
+/// file image — no second copy of the payload is made.
+pub fn read_snapshot<T: Decode>(
+    path: &Path,
+    payload_tag: u32,
+    expected_fingerprint: Option<u64>,
+) -> PersistResult<(T, u64)> {
+    let data =
+        fs::read(path).map_err(|e| PersistError::io(format!("read snapshot {path:?}"), &e))?;
+    let (payload, fingerprint) = validated_payload(&data, path, payload_tag, expected_fingerprint)?;
+    let mut r = Reader::new(payload);
+    let value = T::decode(&mut r)?;
+    r.expect_end()?;
+    Ok((value, fingerprint))
+}

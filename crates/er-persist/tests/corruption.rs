@@ -1,0 +1,270 @@
+//! File-level corruption tests: flipped bytes and truncation in snapshots
+//! and write-ahead logs must surface as clean typed errors — never panics,
+//! never partially decoded state.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use er_core::PersistError;
+use er_persist::{read_snapshot, read_wal, write_snapshot, WalReadMode, WalWriter, FORMAT_VERSION};
+
+const TAG: u32 = 0x7e57_0001;
+const FINGERPRINT: u64 = 0xfeed_face_cafe_d00d;
+
+/// A scratch directory under the cargo target dir (inside the workspace).
+fn scratch(test: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("corruption-{test}"));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn sample_payload() -> Vec<u64> {
+    (0..257u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect()
+}
+
+#[test]
+fn snapshot_round_trips() {
+    let dir = scratch("snapshot-roundtrip");
+    let path = dir.join("snapshot.gsmb");
+    let payload = sample_payload();
+    write_snapshot(&path, TAG, FINGERPRINT, &payload).unwrap();
+    let (back, fingerprint): (Vec<u64>, u64) =
+        read_snapshot(&path, TAG, Some(FINGERPRINT)).unwrap();
+    assert_eq!(back, payload);
+    assert_eq!(fingerprint, FINGERPRINT);
+    // The temp file used for the atomic write must be gone.
+    assert!(!path.with_extension("tmp").exists());
+}
+
+#[test]
+fn snapshot_overwrite_is_atomic_replacement() {
+    let dir = scratch("snapshot-overwrite");
+    let path = dir.join("snapshot.gsmb");
+    write_snapshot(&path, TAG, FINGERPRINT, &vec![1u64, 2, 3]).unwrap();
+    write_snapshot(&path, TAG, FINGERPRINT, &vec![9u64]).unwrap();
+    let (back, _): (Vec<u64>, u64) = read_snapshot(&path, TAG, Some(FINGERPRINT)).unwrap();
+    assert_eq!(back, vec![9]);
+}
+
+#[test]
+fn every_flipped_snapshot_byte_yields_a_typed_error() {
+    let dir = scratch("snapshot-flip");
+    let path = dir.join("snapshot.gsmb");
+    write_snapshot(&path, TAG, FINGERPRINT, &sample_payload()).unwrap();
+    let clean = fs::read(&path).unwrap();
+    // Flip one byte at a spread of offsets covering header and payload.
+    for at in (0..clean.len()).step_by(7) {
+        let mut bad = clean.clone();
+        bad[at] ^= 0x40;
+        fs::write(&path, &bad).unwrap();
+        let err = read_snapshot::<Vec<u64>>(&path, TAG, Some(FINGERPRINT)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PersistError::BadMagic { .. }
+                    | PersistError::VersionMismatch { .. }
+                    | PersistError::ChecksumMismatch { .. }
+                    | PersistError::FingerprintMismatch { .. }
+                    | PersistError::Truncated { .. }
+                    | PersistError::Corrupt(_)
+            ),
+            "flip at byte {at} produced {err:?}"
+        );
+    }
+}
+
+#[test]
+fn every_snapshot_truncation_yields_a_typed_error() {
+    let dir = scratch("snapshot-truncate");
+    let path = dir.join("snapshot.gsmb");
+    write_snapshot(&path, TAG, FINGERPRINT, &sample_payload()).unwrap();
+    let clean = fs::read(&path).unwrap();
+    for keep in (0..clean.len()).step_by(11) {
+        fs::write(&path, &clean[..keep]).unwrap();
+        let err = read_snapshot::<Vec<u64>>(&path, TAG, Some(FINGERPRINT)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PersistError::BadMagic { .. } | PersistError::Truncated { .. }
+            ),
+            "truncation to {keep} bytes produced {err:?}"
+        );
+    }
+}
+
+#[test]
+fn snapshot_rejects_wrong_tag_and_fingerprint() {
+    let dir = scratch("snapshot-mismatch");
+    let path = dir.join("snapshot.gsmb");
+    write_snapshot(&path, TAG, FINGERPRINT, &vec![1u64]).unwrap();
+    let err = read_snapshot::<Vec<u64>>(&path, TAG + 1, None).unwrap_err();
+    assert!(matches!(err, PersistError::Corrupt(_)), "{err:?}");
+    let err = read_snapshot::<Vec<u64>>(&path, TAG, Some(FINGERPRINT + 1)).unwrap_err();
+    assert!(matches!(err, PersistError::FingerprintMismatch { .. }));
+    // Ignoring the fingerprint still works.
+    assert!(read_snapshot::<Vec<u64>>(&path, TAG, None).is_ok());
+}
+
+#[test]
+fn missing_snapshot_is_an_io_error() {
+    let dir = scratch("snapshot-missing");
+    let err = read_snapshot::<Vec<u64>>(&dir.join("nope.gsmb"), TAG, None).unwrap_err();
+    assert!(matches!(err, PersistError::Io { .. }));
+}
+
+fn write_wal_records(dir: &Path, records: &[&[u8]]) -> PathBuf {
+    let path = dir.join("wal.gsmb");
+    let mut wal = WalWriter::create(&path, FINGERPRINT).unwrap();
+    for record in records {
+        wal.append(record).unwrap();
+    }
+    path
+}
+
+#[test]
+fn wal_round_trips_in_both_modes() {
+    let dir = scratch("wal-roundtrip");
+    let path = write_wal_records(&dir, &[b"alpha", b"", b"gamma gamma"]);
+    for mode in [WalReadMode::Strict, WalReadMode::Recovery] {
+        let contents = read_wal(&path, Some(FINGERPRINT), mode).unwrap();
+        assert_eq!(contents.records.len(), 3);
+        assert_eq!(contents.records[0], b"alpha");
+        assert_eq!(contents.records[1], b"");
+        assert_eq!(contents.records[2], b"gamma gamma");
+        assert!(!contents.torn_tail);
+        assert_eq!(contents.valid_len, fs::metadata(&path).unwrap().len());
+        assert_eq!(contents.fingerprint, FINGERPRINT);
+    }
+}
+
+#[test]
+fn torn_tail_is_tolerated_in_recovery_and_typed_in_strict() {
+    let dir = scratch("wal-torn");
+    let path = write_wal_records(&dir, &[b"first record", b"second record"]);
+    let clean = fs::read(&path).unwrap();
+    let contents = read_wal(&path, Some(FINGERPRINT), WalReadMode::Recovery).unwrap();
+    let first_end = contents.valid_len as usize - (4 + 4 + 8 + b"second record".len());
+
+    // Cut anywhere inside the second record: recovery keeps the first and
+    // reports the torn tail; strict mode errors.
+    for keep in first_end + 1..clean.len() {
+        fs::write(&path, &clean[..keep]).unwrap();
+        let recovered = read_wal(&path, Some(FINGERPRINT), WalReadMode::Recovery).unwrap();
+        assert_eq!(recovered.records, vec![b"first record".to_vec()]);
+        assert!(recovered.torn_tail);
+        assert_eq!(recovered.valid_len as usize, first_end);
+
+        let err = read_wal(&path, Some(FINGERPRINT), WalReadMode::Strict).unwrap_err();
+        assert!(
+            matches!(err, PersistError::Truncated { .. }),
+            "keep {keep}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn flipped_wal_payload_bytes_are_checksum_mismatches_in_both_modes() {
+    let dir = scratch("wal-flip");
+    let path = write_wal_records(&dir, &[b"first record", b"second record"]);
+    let clean = fs::read(&path).unwrap();
+    // Flip a byte in the middle of the *first* record's payload: this is
+    // mid-log corruption, which even recovery must refuse to skip.
+    let at = er_persist::wal::WAL_HEADER_LEN + 4 + 4 + 8 + 3;
+    let mut bad = clean.clone();
+    bad[at] ^= 0x01;
+    fs::write(&path, &bad).unwrap();
+    for mode in [WalReadMode::Strict, WalReadMode::Recovery] {
+        let err = read_wal(&path, Some(FINGERPRINT), mode).unwrap_err();
+        assert!(
+            matches!(err, PersistError::ChecksumMismatch { .. }),
+            "{mode:?}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn corrupted_mid_log_length_fields_never_pose_as_torn_tails() {
+    let dir = scratch("wal-length-flip");
+    let path = write_wal_records(&dir, &[b"first record", b"second record"]);
+    let clean = fs::read(&path).unwrap();
+    // Corrupt the *length field* of the first record so it claims to run
+    // past the end of the file.  Without the length guard this would look
+    // exactly like a torn tail and recovery would silently drop (and then
+    // truncate away) both perfectly valid records.
+    for byte in 0..4 {
+        let mut bad = clean.clone();
+        bad[er_persist::wal::WAL_HEADER_LEN + byte] ^= 0x80;
+        fs::write(&path, &bad).unwrap();
+        for mode in [WalReadMode::Strict, WalReadMode::Recovery] {
+            let err = read_wal(&path, Some(FINGERPRINT), mode).unwrap_err();
+            assert!(
+                matches!(err, PersistError::ChecksumMismatch { .. }),
+                "length byte {byte}, {mode:?}: {err:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn wal_header_anomalies_are_typed() {
+    let dir = scratch("wal-header");
+    let path = write_wal_records(&dir, &[b"x"]);
+    let clean = fs::read(&path).unwrap();
+
+    // Wrong magic.
+    let mut bad = clean.clone();
+    bad[0] ^= 0xFF;
+    fs::write(&path, &bad).unwrap();
+    let err = read_wal(&path, None, WalReadMode::Recovery).unwrap_err();
+    assert!(matches!(err, PersistError::BadMagic { .. }));
+
+    // Future version.
+    let mut bad = clean.clone();
+    bad[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    fs::write(&path, &bad).unwrap();
+    let err = read_wal(&path, None, WalReadMode::Recovery).unwrap_err();
+    assert!(matches!(err, PersistError::VersionMismatch { .. }));
+
+    // Foreign fingerprint.
+    fs::write(&path, &clean).unwrap();
+    let err = read_wal(&path, Some(FINGERPRINT + 1), WalReadMode::Recovery).unwrap_err();
+    assert!(matches!(err, PersistError::FingerprintMismatch { .. }));
+
+    // File shorter than the header.
+    fs::write(&path, &clean[..er_persist::wal::WAL_HEADER_LEN - 1]).unwrap();
+    let err = read_wal(&path, None, WalReadMode::Recovery).unwrap_err();
+    assert!(matches!(err, PersistError::BadMagic { .. }));
+}
+
+#[test]
+fn reopening_a_torn_wal_truncates_and_appends_cleanly() {
+    let dir = scratch("wal-reopen");
+    let path = write_wal_records(&dir, &[b"keep me", b"torn away"]);
+    let clean = fs::read(&path).unwrap();
+    fs::write(&path, &clean[..clean.len() - 3]).unwrap();
+
+    let contents = read_wal(&path, Some(FINGERPRINT), WalReadMode::Recovery).unwrap();
+    assert!(contents.torn_tail);
+    let mut wal = WalWriter::open(&path, contents.valid_len).unwrap();
+    wal.append(b"after recovery").unwrap();
+
+    let contents = read_wal(&path, Some(FINGERPRINT), WalReadMode::Strict).unwrap();
+    assert_eq!(
+        contents.records,
+        vec![b"keep me".to_vec(), b"after recovery".to_vec()]
+    );
+}
+
+#[test]
+fn wal_create_replaces_an_existing_log_atomically() {
+    let dir = scratch("wal-recreate");
+    let path = write_wal_records(&dir, &[b"old history"]);
+    let mut wal = WalWriter::create(&path, FINGERPRINT).unwrap();
+    wal.append(b"new era").unwrap();
+    let contents = read_wal(&path, Some(FINGERPRINT), WalReadMode::Strict).unwrap();
+    assert_eq!(contents.records, vec![b"new era".to_vec()]);
+    assert!(!path.with_extension("tmp").exists());
+}

@@ -214,6 +214,36 @@ impl<G: KeyGenerator> StreamingMetaBlocker<G> {
         self
     }
 
+    /// Rebuilds a blocker around a recovered [`StreamingIndex`] — the
+    /// constructor the persistence layer uses after decoding a snapshot.
+    /// No model is attached; re-attach one with
+    /// [`StreamingMetaBlocker::with_model`] before scoring new batches.
+    ///
+    /// Fails with [`er_core::PersistError::Corrupt`] if the supplied
+    /// generator's block-size cap disagrees with the cap the index was
+    /// built under (the snapshot would then describe a different scheme).
+    pub fn from_recovered(
+        index: StreamingIndex,
+        generator: G,
+        feature_set: FeatureSet,
+        threads: usize,
+    ) -> er_core::PersistResult<Self> {
+        let cap = generator.max_block_size().unwrap_or(usize::MAX);
+        if cap != index.size_cap() {
+            return Err(er_core::PersistError::Corrupt(format!(
+                "recovered index was built with block-size cap {}, generator uses {cap}",
+                index.size_cap()
+            )));
+        }
+        Ok(StreamingMetaBlocker {
+            index,
+            generator,
+            feature_set,
+            threads: threads.max(1),
+            model: None,
+        })
+    }
+
     /// The underlying mutable index.
     pub fn index(&self) -> &StreamingIndex {
         &self.index
@@ -280,7 +310,7 @@ impl<G: KeyGenerator> StreamingMetaBlocker<G> {
         }
     }
 
-    fn ingest_impl(&mut self, profiles: &[EntityProfile], score: bool) -> DeltaBatch {
+    pub(crate) fn ingest_impl(&mut self, profiles: &[EntityProfile], score: bool) -> DeltaBatch {
         let batch_start = self.index.num_entities();
         let first_id = EntityId(batch_start as u32);
 
@@ -359,6 +389,39 @@ impl<G: KeyGenerator> StreamingMetaBlocker<G> {
         )
     }
 
+    /// Panics unless every id names a distinct, currently alive entity —
+    /// the precondition of [`StreamingMetaBlocker::remove`], checked
+    /// without mutating anything.  The durable wrapper asserts this
+    /// *before* the WAL append, so an invalid batch can never reach the
+    /// log (a durably logged batch must replay cleanly on recovery).
+    pub fn assert_remove_batch(&self, ids: &[EntityId]) {
+        let mut seen: FxHashSet<u32> = FxHashSet::default();
+        for &e in ids {
+            assert!(
+                e.index() < self.index.num_entities(),
+                "cannot remove unknown entity {e}"
+            );
+            assert!(self.index.is_alive(e), "cannot remove entity {e} twice");
+            assert!(seen.insert(e.0), "duplicate ids in remove batch");
+        }
+    }
+
+    /// Panics unless every id names a distinct, currently alive entity —
+    /// the precondition of [`StreamingMetaBlocker::update`] (see
+    /// [`StreamingMetaBlocker::assert_remove_batch`] for why the durable
+    /// wrapper checks this before logging).
+    pub fn assert_update_batch(&self, updates: &[(EntityId, EntityProfile)]) {
+        let mut seen: FxHashSet<u32> = FxHashSet::default();
+        for &(e, _) in updates {
+            assert!(
+                e.index() < self.index.num_entities(),
+                "cannot update unknown entity {e}"
+            );
+            assert!(self.index.is_alive(e), "cannot update removed entity {e}");
+            assert!(seen.insert(e.0), "duplicate ids in update batch");
+        }
+    }
+
     /// Removes a batch of entities from the corpus.  Every candidate pair
     /// with a removed endpoint is retracted; blocks that leave the live set
     /// retract their orphaned pairs and blocks that re-enter it (a capped
@@ -371,6 +434,13 @@ impl<G: KeyGenerator> StreamingMetaBlocker<G> {
     /// # Panics
     /// Panics if an id is unknown, already removed, or listed twice.
     pub fn remove(&mut self, ids: &[EntityId]) -> DeltaBatch {
+        self.remove_impl(ids, true)
+    }
+
+    /// [`StreamingMetaBlocker::remove`] with the feature/probability phase
+    /// optional — WAL replay drives this with `score: false` (the index,
+    /// statistics and LCP counters move exactly as in a scored run).
+    pub(crate) fn remove_impl(&mut self, ids: &[EntityId], score: bool) -> DeltaBatch {
         let first_id = EntityId(self.index.num_entities() as u32);
         let batch: FxHashSet<u32> = ids.iter().map(|e| e.0).collect();
         assert_eq!(batch.len(), ids.len(), "duplicate ids in remove batch");
@@ -431,7 +501,7 @@ impl<G: KeyGenerator> StreamingMetaBlocker<G> {
             ids.len(),
             0,
             first_id,
-            true,
+            score,
         );
         batch.mutated_entities = ids.to_vec();
         batch
@@ -446,6 +516,16 @@ impl<G: KeyGenerator> StreamingMetaBlocker<G> {
     /// # Panics
     /// Panics if an id is unknown, removed, or listed twice.
     pub fn update(&mut self, updates: &[(EntityId, EntityProfile)]) -> DeltaBatch {
+        self.update_impl(updates, true)
+    }
+
+    /// [`StreamingMetaBlocker::update`] with the feature/probability phase
+    /// optional — WAL replay drives this with `score: false`.
+    pub(crate) fn update_impl(
+        &mut self,
+        updates: &[(EntityId, EntityProfile)],
+        score: bool,
+    ) -> DeltaBatch {
         let first_id = EntityId(self.index.num_entities() as u32);
         let batch: FxHashSet<u32> = updates.iter().map(|(e, _)| e.0).collect();
         assert_eq!(batch.len(), updates.len(), "duplicate ids in update batch");
@@ -560,7 +640,7 @@ impl<G: KeyGenerator> StreamingMetaBlocker<G> {
             0,
             updates.len(),
             first_id,
-            true,
+            score,
         );
         batch.mutated_entities = updates.iter().map(|&(e, _)| e).collect();
         batch

@@ -273,6 +273,28 @@ impl StreamingIndex {
         self.num_entities
     }
 
+    /// The dataset name recorded on every emitted block collection.
+    pub fn dataset_name(&self) -> &str {
+        &self.dataset_name
+    }
+
+    /// The fixed E1/E2 boundary of the id space (Clean-Clean only).
+    pub fn split(&self) -> usize {
+        self.split
+    }
+
+    /// The scheme's block-size cap (`usize::MAX` when the scheme has none).
+    pub fn size_cap(&self) -> usize {
+        self.cap
+    }
+
+    /// True if a mutation batch is open (postings touched since the last
+    /// [`StreamingIndex::finish_batch`]).  Snapshots are only taken at batch
+    /// boundaries, where this is false.
+    pub fn has_open_batch(&self) -> bool {
+        !self.touched.is_empty()
+    }
+
     /// Number of entities currently alive (ingested and not removed).
     pub fn num_alive(&self) -> usize {
         self.num_alive
@@ -948,6 +970,195 @@ impl StreamingIndex {
         }
         self.epoch += 1;
         self.view(threads)
+    }
+}
+
+/// The complete on-disk image of a [`StreamingIndex`]: every field is
+/// persisted verbatim (floats as IEEE-754 bit patterns), so a decoded index
+/// is **bit-identical** to the encoded one — same posting layout, same
+/// statistics, same accumulated rounding in the reciprocal tables.
+///
+/// Only two members are reconstructed rather than stored: the key-lookup
+/// map (rebuilt from the interned key list) and the per-batch touch journal
+/// (snapshots are taken at batch boundaries, where it is empty — encoding
+/// asserts this).
+impl er_persist::Encode for StreamingIndex {
+    fn encode(&self, w: &mut er_persist::Writer) {
+        assert!(
+            self.touched.is_empty(),
+            "cannot snapshot a StreamingIndex mid-batch (finish_batch first)"
+        );
+        w.write_str(&self.dataset_name);
+        self.kind.encode(w);
+        w.write_usize(self.split);
+        w.write_u64(self.cap as u64);
+        w.write_usize(self.num_entities);
+        w.write_usize(self.num_alive);
+        self.keys.encode(w);
+        self.base_offsets.encode(w);
+        self.base_entities.encode(w);
+        self.delta.encode(w);
+        self.removed.encode(w);
+        self.sizes.encode(w);
+        self.first_counts.encode(w);
+        self.comparisons.encode(w);
+        self.inv_comparisons.encode(w);
+        self.inv_sizes.encode(w);
+        self.live.encode(w);
+        w.write_usize(self.num_live);
+        w.write_u64(self.total_live_comparisons);
+        self.entity_offsets.encode(w);
+        self.entity_keys.encode(w);
+        // The overlay map travels sorted by entity id so the encoding is
+        // deterministic for identical state.
+        let mut overlay: Vec<(u32, Vec<u32>)> = self
+            .overlay
+            .iter()
+            .map(|(&e, row)| (e, row.to_vec()))
+            .collect();
+        overlay.sort_unstable_by_key(|&(e, _)| e);
+        overlay.encode(w);
+        self.alive.encode(w);
+        self.entity_candidates.encode(w);
+        w.write_u64(self.epoch);
+    }
+}
+
+impl er_persist::Decode for StreamingIndex {
+    fn decode(r: &mut er_persist::Reader<'_>) -> er_core::PersistResult<Self> {
+        use er_core::PersistError;
+
+        let corrupt = |msg: String| PersistError::Corrupt(msg);
+        let dataset_name = r.read_str()?;
+        let kind = DatasetKind::decode(r)?;
+        let split = r.read_usize()?;
+        let cap = usize::try_from(r.read_u64()?)
+            .map_err(|_| corrupt("block-size cap exceeds the platform usize".into()))?;
+        let num_entities = r.read_usize()?;
+        let num_alive = r.read_usize()?;
+        let keys = Vec::<Box<str>>::decode(r)?;
+        let base_offsets = Vec::<u32>::decode(r)?;
+        let base_entities = Vec::<EntityId>::decode(r)?;
+        let delta = Vec::<Vec<EntityId>>::decode(r)?;
+        let removed = Vec::<Vec<EntityId>>::decode(r)?;
+        let sizes = Vec::<u32>::decode(r)?;
+        let first_counts = Vec::<u32>::decode(r)?;
+        let comparisons = Vec::<u64>::decode(r)?;
+        let inv_comparisons = Vec::<f64>::decode(r)?;
+        let inv_sizes = Vec::<f64>::decode(r)?;
+        let live = Vec::<bool>::decode(r)?;
+        let num_live = r.read_usize()?;
+        let total_live_comparisons = r.read_u64()?;
+        let entity_offsets = Vec::<u32>::decode(r)?;
+        let entity_keys = Vec::<u32>::decode(r)?;
+        let overlay_pairs = Vec::<(u32, Vec<u32>)>::decode(r)?;
+        let alive = Vec::<bool>::decode(r)?;
+        let entity_candidates = Vec::<u32>::decode(r)?;
+        let epoch = r.read_u64()?;
+
+        // Cross-field invariants: the checksum has already vouched for the
+        // bytes, so violations here mean a logic/version bug — fail typed,
+        // never materialise an inconsistent index.
+        let key_count = keys.len();
+        for (name, len) in [
+            ("delta", delta.len()),
+            ("removed", removed.len()),
+            ("sizes", sizes.len()),
+            ("first_counts", first_counts.len()),
+            ("comparisons", comparisons.len()),
+            ("inv_comparisons", inv_comparisons.len()),
+            ("inv_sizes", inv_sizes.len()),
+            ("live", live.len()),
+        ] {
+            if len != key_count {
+                return Err(corrupt(format!(
+                    "index `{name}` covers {len} keys, dictionary holds {key_count}"
+                )));
+            }
+        }
+        if base_offsets.is_empty() || base_offsets.len() > key_count + 1 {
+            return Err(corrupt(format!(
+                "baseline offsets length {} does not fit {key_count} keys",
+                base_offsets.len()
+            )));
+        }
+        if base_offsets.windows(2).any(|p| p[0] > p[1])
+            || *base_offsets.last().unwrap() as usize != base_entities.len()
+        {
+            return Err(corrupt("baseline CSR offsets are inconsistent".into()));
+        }
+        for (name, len) in [
+            ("alive", alive.len()),
+            ("entity_candidates", entity_candidates.len()),
+        ] {
+            if len != num_entities {
+                return Err(corrupt(format!(
+                    "index `{name}` covers {len} entities, corpus holds {num_entities}"
+                )));
+            }
+        }
+        if entity_offsets.len() != num_entities + 1
+            || entity_offsets.windows(2).any(|p| p[0] > p[1])
+            || *entity_offsets.last().unwrap() as usize != entity_keys.len()
+        {
+            return Err(corrupt(
+                "entity adjacency CSR offsets are inconsistent".into(),
+            ));
+        }
+        if entity_keys.iter().any(|&k| k as usize >= key_count)
+            || overlay_pairs
+                .iter()
+                .any(|(_, row)| row.iter().any(|&k| k as usize >= key_count))
+        {
+            return Err(corrupt("adjacency references an unknown key id".into()));
+        }
+        if overlay_pairs
+            .iter()
+            .any(|&(e, _)| e as usize >= num_entities)
+        {
+            return Err(corrupt("overlay references an unknown entity id".into()));
+        }
+
+        let mut lookup: FxHashMap<Box<str>, u32> = FxHashMap::default();
+        for (id, key) in keys.iter().enumerate() {
+            if lookup.insert(key.clone(), id as u32).is_some() {
+                return Err(corrupt(format!("duplicate interned key {key:?}")));
+            }
+        }
+        let overlay: FxHashMap<u32, Box<[u32]>> = overlay_pairs
+            .into_iter()
+            .map(|(e, row)| (e, row.into_boxed_slice()))
+            .collect();
+
+        Ok(StreamingIndex {
+            dataset_name,
+            kind,
+            split,
+            cap,
+            num_entities,
+            num_alive,
+            keys,
+            lookup,
+            base_offsets,
+            base_entities,
+            delta,
+            removed,
+            sizes,
+            first_counts,
+            comparisons,
+            inv_comparisons,
+            inv_sizes,
+            live,
+            num_live,
+            total_live_comparisons,
+            entity_offsets,
+            entity_keys,
+            overlay,
+            alive,
+            entity_candidates,
+            touched: FxHashMap::default(),
+            epoch,
+        })
     }
 }
 

@@ -42,8 +42,10 @@
 
 pub mod blocker;
 pub mod index;
+pub mod persist;
 
 pub use blocker::{
     dataset_prefix, surviving_dataset, DeltaBatch, StreamingConfig, StreamingMetaBlocker,
 };
 pub use index::{BatchEffects, Members, PartnerBoard, StreamingIndex};
+pub use persist::{DurableMetaBlocker, MutationRecord};

@@ -1,0 +1,484 @@
+//! Durability for the streaming meta-blocker: snapshot + write-ahead log.
+//!
+//! A durability root is one directory holding two files:
+//!
+//! * `snapshot.gsmb` — an atomic point-in-time image of the complete
+//!   [`StreamingIndex`] (written by [`er_persist::snapshot`]), stamped with
+//!   the stream fingerprint and the WAL sequence number it covers;
+//! * `wal.gsmb` — the write-ahead log of mutation batches.  Every
+//!   [`DurableMetaBlocker::ingest`]/[`remove`](DurableMetaBlocker::remove)/
+//!   [`update`](DurableMetaBlocker::update) appends its **input** (the
+//!   profiles, ids or re-keyed profiles) *before* touching the in-memory
+//!   index.
+//!
+//! Because the streaming engine is deterministic — the same mutation
+//! sequence always produces bit-identical state, for any thread count —
+//! recovery is *load the snapshot, replay the WAL tail through the same
+//! code paths*.  A crash at any point leaves one of three shapes, all
+//! handled:
+//!
+//! * between batches: snapshot + whole WAL replay the exact history;
+//! * between the WAL append and the in-memory apply (the classic
+//!   write-ahead window): the record is on disk, so replay applies it —
+//!   recovery lands on the state the batch *would* have produced;
+//! * mid-append: the torn tail fails its length/checksum frame, recovery
+//!   stops at the previous boundary and truncates the tail away.
+//!
+//! [`DurableMetaBlocker::compact`] is the log's GC point: it folds the
+//! deltas, writes a fresh snapshot carrying the current sequence number,
+//! and replaces the WAL with an empty one.  A crash between those two
+//! steps is benign — replayed records with a sequence below the snapshot's
+//! are skipped.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use er_blocking::{CsrBlockCollection, KeyGenerator};
+use er_core::{crc64, EntityId, EntityProfile, PersistError, PersistResult};
+use er_features::FeatureSet;
+use er_learn::ProbabilisticClassifier;
+use er_persist::{
+    read_snapshot, read_wal, write_snapshot, Decode, Encode, Reader, WalReadMode, WalWriter, Writer,
+};
+
+use crate::blocker::{DeltaBatch, StreamingMetaBlocker};
+use crate::index::StreamingIndex;
+
+/// Snapshot payload tag for streaming-blocker snapshots.
+pub const BLOCKER_SNAPSHOT_TAG: u32 = 0x5349_4458; // "SIDX"
+
+/// The snapshot file inside a durability root.
+pub fn snapshot_path(dir: &Path) -> PathBuf {
+    dir.join("snapshot.gsmb")
+}
+
+/// The write-ahead log inside a durability root.
+pub fn wal_path(dir: &Path) -> PathBuf {
+    dir.join("wal.gsmb")
+}
+
+/// The fingerprint tying a snapshot and WAL to one logical stream: a
+/// digest of the dataset name, ER kind, Clean-Clean split and scheme cap.
+/// Recovery refuses to combine files whose fingerprints disagree.
+pub fn stream_fingerprint(index: &StreamingIndex) -> u64 {
+    let mut w = Writer::new();
+    w.write_str(index.dataset_name());
+    index.kind().encode(&mut w);
+    w.write_usize(index.split());
+    w.write_u64(index.size_cap() as u64);
+    crc64(w.as_bytes())
+}
+
+/// One logged mutation batch: exactly the input of the corresponding
+/// [`StreamingMetaBlocker`] call.  Replaying the inputs through the same
+/// (deterministic) engine reproduces the state bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MutationRecord {
+    /// A batch of new entity profiles.
+    Ingest(Vec<EntityProfile>),
+    /// A batch of removed entity ids.
+    Remove(Vec<EntityId>),
+    /// A batch of in-place profile updates.
+    Update(Vec<(EntityId, EntityProfile)>),
+}
+
+impl Encode for MutationRecord {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            MutationRecord::Ingest(profiles) => {
+                w.write_u8(0);
+                profiles.encode(w);
+            }
+            MutationRecord::Remove(ids) => {
+                w.write_u8(1);
+                ids.encode(w);
+            }
+            MutationRecord::Update(updates) => {
+                w.write_u8(2);
+                updates.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for MutationRecord {
+    fn decode(r: &mut Reader<'_>) -> PersistResult<Self> {
+        match r.read_u8()? {
+            0 => Ok(MutationRecord::Ingest(Vec::<EntityProfile>::decode(r)?)),
+            1 => Ok(MutationRecord::Remove(Vec::<EntityId>::decode(r)?)),
+            2 => Ok(MutationRecord::Update(
+                Vec::<(EntityId, EntityProfile)>::decode(r)?,
+            )),
+            other => Err(PersistError::Corrupt(format!(
+                "unknown mutation-record tag {other}"
+            ))),
+        }
+    }
+}
+
+/// Encodes an ingest record payload (`seq` + tagged batch) without cloning
+/// the profile slice; the byte layout equals
+/// `(seq, MutationRecord::Ingest(profiles.to_vec()))`.
+pub fn encode_ingest_record(seq: u64, profiles: &[EntityProfile]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.write_u64(seq);
+    w.write_u8(0);
+    profiles.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Encodes a remove record payload (see [`encode_ingest_record`]).
+pub fn encode_remove_record(seq: u64, ids: &[EntityId]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.write_u64(seq);
+    w.write_u8(1);
+    ids.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Encodes an update record payload (see [`encode_ingest_record`]).
+pub fn encode_update_record(seq: u64, updates: &[(EntityId, EntityProfile)]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.write_u64(seq);
+    w.write_u8(2);
+    updates.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Decodes one WAL record payload into its sequence number and mutation.
+pub fn decode_record(bytes: &[u8]) -> PersistResult<(u64, MutationRecord)> {
+    let mut r = Reader::new(bytes);
+    let seq = r.read_u64()?;
+    let record = MutationRecord::decode(&mut r)?;
+    r.expect_end()?;
+    Ok((seq, record))
+}
+
+/// Replays validated WAL record payloads through `apply`: records below
+/// `applied_seq` (already folded into the snapshot by a compaction whose
+/// WAL truncation was interrupted) are skipped, the rest must be
+/// contiguous.  Returns the next sequence number — the one the recovered
+/// writer appends under.  Shared by the blocker- and pipeline-level
+/// recoveries so replay semantics cannot diverge.
+pub fn replay_wal_records(
+    records: &[Vec<u8>],
+    applied_seq: u64,
+    mut apply: impl FnMut(MutationRecord),
+) -> PersistResult<u64> {
+    let mut next_seq = applied_seq;
+    for payload in records {
+        let (seq, record) = decode_record(payload)?;
+        if seq < applied_seq {
+            continue;
+        }
+        if seq != next_seq {
+            return Err(PersistError::Corrupt(format!(
+                "wal sequence gap: expected record {next_seq}, found {seq}"
+            )));
+        }
+        apply(record);
+        next_seq += 1;
+    }
+    Ok(next_seq)
+}
+
+/// The snapshot payload of a durable blocker: the WAL sequence number the
+/// image covers (records below it are already folded in), the feature-set
+/// id, and the complete index state.
+struct BlockerSnapshot<'a> {
+    applied_seq: u64,
+    feature_set: FeatureSet,
+    index: &'a StreamingIndex,
+}
+
+impl Encode for BlockerSnapshot<'_> {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u64(self.applied_seq);
+        w.write_u8(self.feature_set.id());
+        self.index.encode(w);
+    }
+}
+
+/// Owned decode target of [`BlockerSnapshot`].
+struct BlockerSnapshotOwned {
+    applied_seq: u64,
+    feature_set: FeatureSet,
+    index: StreamingIndex,
+}
+
+impl Decode for BlockerSnapshotOwned {
+    fn decode(r: &mut Reader<'_>) -> PersistResult<Self> {
+        let applied_seq = r.read_u64()?;
+        let feature_set = FeatureSet::from_id(r.read_u8()?)
+            .ok_or_else(|| PersistError::Corrupt("feature-set id 0 is not valid".into()))?;
+        let index = StreamingIndex::decode(r)?;
+        Ok(BlockerSnapshotOwned {
+            applied_seq,
+            feature_set,
+            index,
+        })
+    }
+}
+
+/// A [`StreamingMetaBlocker`] with crash durability: every mutation batch
+/// is appended to the write-ahead log before it is applied, and
+/// [`compact`](DurableMetaBlocker::compact) /
+/// [`checkpoint`](DurableMetaBlocker::checkpoint) write atomic snapshots
+/// that truncate the log.
+///
+/// Created by [`StreamingMetaBlocker::persist_to`] (fresh root) or
+/// [`DurableMetaBlocker::recover_from`] (snapshot + WAL-tail replay).  The
+/// recovered state is bit-identical to the never-crashed run — property
+/// tested in `er-stream/tests/persistence.rs` across random mutation
+/// traces, schemes, ER kinds, thread counts and kill points.
+pub struct DurableMetaBlocker<G: KeyGenerator> {
+    blocker: StreamingMetaBlocker<G>,
+    dir: PathBuf,
+    wal: WalWriter,
+    fingerprint: u64,
+    /// Sequence number of the next WAL record to append.
+    next_seq: u64,
+}
+
+impl<G: KeyGenerator> std::fmt::Debug for DurableMetaBlocker<G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableMetaBlocker")
+            .field("dir", &self.dir)
+            .field("fingerprint", &self.fingerprint)
+            .field("next_seq", &self.next_seq)
+            .field("num_entities", &self.blocker.num_entities())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<G: KeyGenerator> StreamingMetaBlocker<G> {
+    /// Makes this blocker durable, rooted at `dir`: writes an initial
+    /// snapshot of the current state and opens a fresh write-ahead log.
+    /// Any persistence files already in `dir` are replaced.
+    pub fn persist_to(self, dir: impl AsRef<Path>) -> PersistResult<DurableMetaBlocker<G>> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)
+            .map_err(|e| PersistError::io(format!("create durability root {dir:?}"), &e))?;
+        let fingerprint = stream_fingerprint(self.index());
+        write_snapshot(
+            &snapshot_path(&dir),
+            BLOCKER_SNAPSHOT_TAG,
+            fingerprint,
+            &BlockerSnapshot {
+                applied_seq: 0,
+                feature_set: self.feature_set(),
+                index: self.index(),
+            },
+        )?;
+        let wal = WalWriter::create(&wal_path(&dir), fingerprint)?;
+        Ok(DurableMetaBlocker {
+            blocker: self,
+            dir,
+            wal,
+            fingerprint,
+            next_seq: 0,
+        })
+    }
+}
+
+impl<G: KeyGenerator> DurableMetaBlocker<G> {
+    /// Recovers a durable blocker from its root: loads the latest snapshot
+    /// and replays the WAL tail (records at or beyond the snapshot's
+    /// sequence number) through the deterministic mutation engine.  A torn
+    /// final record — the artefact of a crash mid-append — is truncated
+    /// away; any other damage is a typed error.
+    pub fn recover_from(
+        dir: impl AsRef<Path>,
+        generator: G,
+        threads: usize,
+    ) -> PersistResult<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let (snapshot, stored_fingerprint) = read_snapshot::<BlockerSnapshotOwned>(
+            &snapshot_path(&dir),
+            BLOCKER_SNAPSHOT_TAG,
+            None,
+        )?;
+        let fingerprint = stream_fingerprint(&snapshot.index);
+        if fingerprint != stored_fingerprint {
+            return Err(PersistError::FingerprintMismatch {
+                expected: fingerprint,
+                found: stored_fingerprint,
+            });
+        }
+        let contents = read_wal(&wal_path(&dir), Some(fingerprint), WalReadMode::Recovery)?;
+        let mut blocker = StreamingMetaBlocker::from_recovered(
+            snapshot.index,
+            generator,
+            snapshot.feature_set,
+            threads,
+        )?;
+        // Replay through the unscored paths: index state, statistics and
+        // LCP counters move exactly as in the original (scored) run; only
+        // the already-delivered emissions are skipped.
+        let next_seq =
+            replay_wal_records(
+                &contents.records,
+                snapshot.applied_seq,
+                |record| match record {
+                    MutationRecord::Ingest(profiles) => {
+                        blocker.ingest_impl(&profiles, false);
+                    }
+                    MutationRecord::Remove(ids) => {
+                        blocker.remove_impl(&ids, false);
+                    }
+                    MutationRecord::Update(updates) => {
+                        blocker.update_impl(&updates, false);
+                    }
+                },
+            )?;
+        let wal = WalWriter::open(&wal_path(&dir), contents.valid_len)?;
+        Ok(DurableMetaBlocker {
+            blocker,
+            dir,
+            wal,
+            fingerprint,
+            next_seq,
+        })
+    }
+
+    /// Attaches the classifier scoring future delta pairs.
+    pub fn with_model(mut self, model: Box<dyn ProbabilisticClassifier>) -> Self {
+        self.blocker = self.blocker.with_model(model);
+        self
+    }
+
+    /// The durability root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The stream fingerprint stamped on the snapshot and WAL.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Sequence number the next mutation batch will be logged under.
+    pub fn wal_sequence(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The wrapped blocker (read-only; mutations must go through the
+    /// durable methods so they hit the log).
+    pub fn blocker(&self) -> &StreamingMetaBlocker<G> {
+        &self.blocker
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &StreamingIndex {
+        self.blocker.index()
+    }
+
+    /// Number of entity ids ever assigned.
+    pub fn num_entities(&self) -> usize {
+        self.blocker.num_entities()
+    }
+
+    /// Number of entities currently alive.
+    pub fn num_alive(&self) -> usize {
+        self.blocker.num_alive()
+    }
+
+    /// The batch view of the current corpus (no state change).
+    pub fn view(&self) -> CsrBlockCollection {
+        self.blocker.view()
+    }
+
+    /// Detaches the in-memory blocker, abandoning durability (the files in
+    /// the root stay behind and remain recoverable up to the last logged
+    /// batch).
+    pub fn into_inner(self) -> StreamingMetaBlocker<G> {
+        self.blocker
+    }
+
+    fn append(&mut self, payload: Vec<u8>) -> PersistResult<u64> {
+        let seq = self.next_seq;
+        self.wal.append(&payload)?;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Logs an ingest batch, then applies it.
+    pub fn ingest(&mut self, profiles: &[EntityProfile]) -> PersistResult<DeltaBatch> {
+        self.append(encode_ingest_record(self.next_seq, profiles))?;
+        Ok(self.blocker.ingest(profiles))
+    }
+
+    /// Logs an ingest batch, then applies it without the feature /
+    /// probability phase (see `StreamingMetaBlocker::ingest_unscored`).
+    pub fn ingest_unscored(&mut self, profiles: &[EntityProfile]) -> PersistResult<DeltaBatch> {
+        self.append(encode_ingest_record(self.next_seq, profiles))?;
+        Ok(self.blocker.ingest_unscored(profiles))
+    }
+
+    /// Logs a removal batch, then applies it.
+    ///
+    /// # Panics
+    /// Same contract as `StreamingMetaBlocker::remove` (unknown, removed
+    /// or duplicate ids) — asserted **before** the WAL append, so an
+    /// invalid batch never poisons the log.
+    pub fn remove(&mut self, ids: &[EntityId]) -> PersistResult<DeltaBatch> {
+        self.blocker.assert_remove_batch(ids);
+        self.append(encode_remove_record(self.next_seq, ids))?;
+        Ok(self.blocker.remove(ids))
+    }
+
+    /// Logs an update batch, then applies it.
+    ///
+    /// # Panics
+    /// Same contract as `StreamingMetaBlocker::update` — asserted
+    /// **before** the WAL append, so an invalid batch never poisons the
+    /// log.
+    pub fn update(&mut self, updates: &[(EntityId, EntityProfile)]) -> PersistResult<DeltaBatch> {
+        self.blocker.assert_update_batch(updates);
+        self.append(encode_update_record(self.next_seq, updates))?;
+        Ok(self.blocker.update(updates))
+    }
+
+    /// Appends a mutation record to the WAL **without applying it** — the
+    /// state a crash leaves in the write-ahead window between the log
+    /// append and the in-memory apply.  Recovery must replay it.  Used by
+    /// the crash-recovery property tests; real callers want
+    /// [`DurableMetaBlocker::ingest`] and friends.
+    pub fn wal_append_only(&mut self, record: &MutationRecord) -> PersistResult<u64> {
+        let payload = match record {
+            MutationRecord::Ingest(profiles) => encode_ingest_record(self.next_seq, profiles),
+            MutationRecord::Remove(ids) => encode_remove_record(self.next_seq, ids),
+            MutationRecord::Update(updates) => encode_update_record(self.next_seq, updates),
+        };
+        self.append(payload)
+    }
+
+    /// Writes a fresh snapshot of the current state and truncates the WAL
+    /// — the durable equivalent of "everything so far is safe in one
+    /// file".  Crash-safe in both halves: the snapshot lands atomically,
+    /// and until the new (empty) WAL replaces the old one, stale records
+    /// are skipped by their sequence numbers.
+    pub fn checkpoint(&mut self) -> PersistResult<()> {
+        write_snapshot(
+            &snapshot_path(&self.dir),
+            BLOCKER_SNAPSHOT_TAG,
+            self.fingerprint,
+            &BlockerSnapshot {
+                applied_seq: self.next_seq,
+                feature_set: self.blocker.feature_set(),
+                index: self.blocker.index(),
+            },
+        )?;
+        self.wal = WalWriter::create(&wal_path(&self.dir), self.fingerprint)?;
+        Ok(())
+    }
+
+    /// Ends the epoch: folds the accumulated deltas into a fresh baseline
+    /// CSR (see `StreamingMetaBlocker::compact`) and makes the compaction
+    /// the snapshot/truncation point of the log.
+    pub fn compact(&mut self) -> PersistResult<CsrBlockCollection> {
+        let csr = self.blocker.compact();
+        self.checkpoint()?;
+        Ok(csr)
+    }
+}

@@ -20,6 +20,9 @@
 //!   pipeline (the paper's contribution);
 //! * [`stream`] (`er-stream`) — incremental meta-blocking: ingest entity
 //!   batches, emit delta candidates, compact back to the batch state;
+//! * [`persist`] (`er-persist`) — durability: the versioned, checksummed
+//!   binary codec, atomic snapshots and the mutation write-ahead log behind
+//!   `stream::DurableMetaBlocker` and `meta::DurableStreamingPipeline`;
 //! * [`eval`] (`er-eval`) — metrics and the experiment harness behind every
 //!   table and figure.
 //!
@@ -49,5 +52,6 @@ pub use er_datasets as datasets;
 pub use er_eval as eval;
 pub use er_features as features;
 pub use er_learn as learn;
+pub use er_persist as persist;
 pub use er_stream as stream;
 pub use meta_blocking as meta;
