@@ -22,7 +22,7 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use bench::{banner, bench_catalog_options, bench_repetitions};
+use bench::{banner, bench_catalog_options, bench_repetitions, write_bench_json};
 use er_blocking::{build_blocks, TokenKeys};
 use er_core::{Dataset, EntityId};
 use er_datasets::{generate_catalog_dataset, DatasetName};
@@ -62,6 +62,7 @@ fn main() {
     let repetitions = bench_repetitions();
     let options = bench_catalog_options();
     let threads = er_core::available_threads();
+    let mut json_entries: Vec<String> = Vec::new();
 
     for name in DatasetName::largest_two() {
         let dataset = generate_catalog_dataset(name, &options)
@@ -131,9 +132,12 @@ fn main() {
             durable.checkpoint().unwrap();
         }
         let snapshot_time = start.elapsed().as_secs_f64() / repetitions as f64;
-        let snapshot_bytes = std::fs::metadata(er_stream::persist::snapshot_path(durable.dir()))
-            .unwrap()
-            .len();
+        let snapshot_bytes = std::fs::metadata(er_stream::persist::snapshot_path(
+            durable.dir(),
+            durable.generation(),
+        ))
+        .unwrap()
+        .len();
         println!(
             "snapshot: {:.2}ms per checkpoint, {:.1} KiB on disk",
             snapshot_time * 1e3,
@@ -152,6 +156,7 @@ fn main() {
             "{:<28} {:>12} {:>14} {:>10}",
             "checkpoint position", "recovery", "full rebuild", "speedup"
         );
+        let mut recovery_rows: Vec<String> = Vec::new();
         for checkpoint_fraction in [1.0f64, 0.9, 0.75, 0.5] {
             let checkpoint_at = ((n as f64 * checkpoint_fraction) as usize).min(n);
             let dir = scratch(&format!("{name}-recover-{checkpoint_at}"));
@@ -185,6 +190,48 @@ fn main() {
                 rebuild * 1e3,
                 rebuild / recovery.max(1e-9),
             );
+            recovery_rows.push(format!(
+                "{{\"checkpoint_fraction\": {:.2}, \"batches_replayed\": {}, \"recovery_ms\": {:.3}, \"rebuild_ms\": {:.3}}}",
+                checkpoint_fraction,
+                (n - checkpoint_at).div_ceil(BATCH),
+                recovery * 1e3,
+                rebuild * 1e3,
+            ));
         }
+
+        json_entries.push(format!(
+            concat!(
+                "  {{\n",
+                "    \"dataset\": \"{}\",\n",
+                "    \"entities\": {},\n",
+                "    \"batch_size\": {},\n",
+                "    \"plain_ingest_ms\": {:.3},\n",
+                "    \"durable_ingest_ms\": {:.3},\n",
+                "    \"wal_overhead_us_per_batch\": {:.3},\n",
+                "    \"checkpoint_ms\": {:.3},\n",
+                "    \"snapshot_bytes\": {},\n",
+                "    \"recovery\": [{}]\n",
+                "  }}"
+            ),
+            name,
+            n,
+            BATCH,
+            plain * 1e3,
+            durable_time * 1e3,
+            (durable_time - plain) / batches as f64 * 1e6,
+            snapshot_time * 1e3,
+            snapshot_bytes,
+            recovery_rows.join(", "),
+        ));
     }
+
+    write_bench_json(
+        "BENCH_persist.json",
+        &format!(
+            "{{\n\"bench\": \"micro_persist\",\n\"repetitions\": {},\n\"threads\": {},\n\"datasets\": [\n{}\n]\n}}\n",
+            repetitions,
+            threads,
+            json_entries.join(",\n")
+        ),
+    );
 }

@@ -83,6 +83,27 @@ pub fn banner(title: &str) {
     println!("=== {title} ===");
 }
 
+/// Where `BENCH_*.json` artifacts go, if requested: set `GSMB_BENCH_JSON`
+/// to a directory, or to `1`/`true`/`yes` for the repository root.  Unset
+/// means no artifact is written.
+pub fn bench_json_dir() -> Option<std::path::PathBuf> {
+    let value = std::env::var("GSMB_BENCH_JSON").ok()?;
+    Some(match value.as_str() {
+        "1" | "true" | "yes" => std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        directory => std::path::PathBuf::from(directory),
+    })
+}
+
+/// Writes one `BENCH_*.json` artifact (hand-rolled JSON — the workspace's
+/// serde shims are no-ops by design) if `GSMB_BENCH_JSON` is set.  Returns
+/// the path written to.
+pub fn write_bench_json(file_name: &str, json: &str) -> Option<std::path::PathBuf> {
+    let path = bench_json_dir()?.join(file_name);
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("failed to write {path:?}: {e}"));
+    println!("\nbench artifact written to {}", path.display());
+    Some(path)
+}
+
 /// Runs the feature-selection sweep (Tables 3 and 4) for one algorithm and
 /// returns `(feature set, mean effectiveness)` sorted by descending F1.
 ///

@@ -23,19 +23,20 @@
 //! recovered index (a full [`LiveView`] refresh) rather than persisted,
 //! which is exact because the view is a pure function of the index.
 
-use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::Path;
+use std::sync::Arc;
 
 use er_blocking::{CsrBlockCollection, TokenKeys};
 use er_core::{EntityId, EntityProfile, FxHashMap, PersistError, PersistResult};
 use er_features::FeatureSet;
 use er_learn::SavedModel;
 use er_persist::{
-    read_snapshot, read_wal, write_snapshot, Decode, Encode, Reader, WalReadMode, WalWriter, Writer,
+    decode_snapshot_payload, Decode, Encode, GenerationStore, Reader, RecoveryReport, RetryPolicy,
+    StdVfs, Vfs, WalWriter, Writer,
 };
 use er_stream::persist::{
     encode_ingest_record, encode_remove_record, encode_update_record, replay_wal_records,
-    snapshot_path, stream_fingerprint, wal_path, MutationRecord,
+    stream_fingerprint, MutationRecord,
 };
 use er_stream::{DeltaBatch, StreamingIndex, StreamingMetaBlocker};
 
@@ -125,17 +126,19 @@ impl Decode for PipelineSnapshotOwned {
 /// [`DurableStreamingPipeline::recover_from`] after a restart.
 pub struct DurableStreamingPipeline {
     inner: StreamingPipeline,
-    dir: PathBuf,
+    store: GenerationStore,
     wal: WalWriter,
-    fingerprint: u64,
     next_seq: u64,
+    /// The report of the recovery that produced this pipeline, if any.
+    recovery: Option<RecoveryReport>,
 }
 
 impl std::fmt::Debug for DurableStreamingPipeline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DurableStreamingPipeline")
-            .field("dir", &self.dir)
-            .field("fingerprint", &self.fingerprint)
+            .field("dir", &self.store.dir())
+            .field("fingerprint", &self.store.fingerprint())
+            .field("generation", &self.store.committed())
             .field("next_seq", &self.next_seq)
             .field("num_entities", &self.inner.num_entities())
             .finish_non_exhaustive()
@@ -143,52 +146,74 @@ impl std::fmt::Debug for DurableStreamingPipeline {
 }
 
 impl StreamingPipeline {
-    /// Makes the pipeline durable, rooted at `dir`: writes an initial
-    /// snapshot (index, model, schedule, cleaned pool) and opens a fresh
-    /// write-ahead log.  Any persistence files already in `dir` are
-    /// replaced.
+    /// Makes the pipeline durable, rooted at `dir`: commits generation 0
+    /// (snapshot of index, model, schedule and cleaned pool + fresh
+    /// write-ahead log + manifest) on the production filesystem.
     pub fn persist_to(self, dir: impl AsRef<Path>) -> PersistResult<DurableStreamingPipeline> {
-        let dir = dir.as_ref().to_path_buf();
-        fs::create_dir_all(&dir)
-            .map_err(|e| PersistError::io(format!("create durability root {dir:?}"), &e))?;
+        self.persist_to_with(dir, StdVfs::arc(), RetryPolicy::default_write())
+    }
+
+    /// [`persist_to`](StreamingPipeline::persist_to) through an explicit
+    /// VFS and write-path retry policy (the fault-injection seam).
+    pub fn persist_to_with(
+        self,
+        dir: impl AsRef<Path>,
+        vfs: Arc<dyn Vfs>,
+        policy: RetryPolicy,
+    ) -> PersistResult<DurableStreamingPipeline> {
         let fingerprint = stream_fingerprint(self.blocker().index());
-        write_snapshot(
-            &snapshot_path(&dir),
+        let (store, wal) = GenerationStore::create(
+            vfs,
+            policy,
+            dir.as_ref(),
             PIPELINE_SNAPSHOT_TAG,
             fingerprint,
             &PipelineSnapshot::capture(&self, 0),
         )?;
-        let wal = WalWriter::create(&wal_path(&dir), fingerprint)?;
         Ok(DurableStreamingPipeline {
             inner: self,
-            dir,
+            store,
             wal,
-            fingerprint,
             next_seq: 0,
+            recovery: None,
         })
     }
 }
 
 impl DurableStreamingPipeline {
-    /// Recovers a durable pipeline: loads the snapshot (index, model,
-    /// schedule, pool), rebuilds the derived state (blocker wiring, cleaned
-    /// live view) and replays the WAL tail through the scored pipeline
-    /// paths.
+    /// Recovers a durable pipeline: loads the newest readable snapshot
+    /// generation (index, model, schedule, pool), rebuilds the derived
+    /// state (blocker wiring, cleaned live view) and replays the WAL chain
+    /// through the scored pipeline paths.  A corrupt newest generation is
+    /// quarantined and the previous one used instead.
     pub fn recover_from(dir: impl AsRef<Path>, threads: usize) -> PersistResult<Self> {
-        let dir = dir.as_ref().to_path_buf();
-        let (snapshot, stored_fingerprint) = read_snapshot::<PipelineSnapshotOwned>(
-            &snapshot_path(&dir),
-            PIPELINE_SNAPSHOT_TAG,
-            None,
-        )?;
+        DurableStreamingPipeline::recover_from_with(
+            dir,
+            StdVfs::arc(),
+            RetryPolicy::default_write(),
+            threads,
+        )
+    }
+
+    /// [`recover_from`](DurableStreamingPipeline::recover_from) through an
+    /// explicit VFS and write-path retry policy (the fault-injection
+    /// seam).
+    pub fn recover_from_with(
+        dir: impl AsRef<Path>,
+        vfs: Arc<dyn Vfs>,
+        policy: RetryPolicy,
+        threads: usize,
+    ) -> PersistResult<Self> {
+        let (mut store, recovered) =
+            GenerationStore::recover(vfs, policy, dir.as_ref(), PIPELINE_SNAPSHOT_TAG, None)?;
+        let snapshot: PipelineSnapshotOwned = decode_snapshot_payload(&recovered.payload)?;
         let fingerprint = stream_fingerprint(&snapshot.index);
-        if fingerprint != stored_fingerprint {
+        if fingerprint != recovered.fingerprint {
             return Err(PersistError::FingerprintMismatch {
                 expected: fingerprint,
-                found: stored_fingerprint,
+                found: recovered.fingerprint,
             });
         }
-        let contents = read_wal(&wal_path(&dir), Some(fingerprint), WalReadMode::Recovery)?;
 
         let blocker = StreamingMetaBlocker::from_recovered(
             snapshot.index,
@@ -214,7 +239,7 @@ impl DurableStreamingPipeline {
         // move exactly as in the original run.
         let next_seq =
             replay_wal_records(
-                &contents.records,
+                &recovered.records,
                 snapshot.applied_seq,
                 |record| match record {
                     MutationRecord::Ingest(profiles) => {
@@ -228,19 +253,43 @@ impl DurableStreamingPipeline {
                     }
                 },
             )?;
-        let wal = WalWriter::open(&wal_path(&dir), contents.valid_len)?;
+        let mut report = recovered.report;
+        report.records_replayed = (next_seq - snapshot.applied_seq) as usize;
+        // A degraded recovery immediately commits a repair checkpoint,
+        // restoring full snapshot redundancy.
+        let wal = match recovered.wal_valid_len {
+            Some(valid_len) if !recovered.degraded => store.open_committed_wal(valid_len)?,
+            _ => {
+                report.repair_checkpoint = true;
+                store.commit(
+                    PIPELINE_SNAPSHOT_TAG,
+                    &PipelineSnapshot::capture(&inner, next_seq),
+                )?
+            }
+        };
         Ok(DurableStreamingPipeline {
             inner,
-            dir,
+            store,
             wal,
-            fingerprint,
             next_seq,
+            recovery: Some(report),
         })
     }
 
     /// The durability root directory.
     pub fn dir(&self) -> &Path {
-        &self.dir
+        self.store.dir()
+    }
+
+    /// The committed snapshot generation.
+    pub fn generation(&self) -> u64 {
+        self.store.committed()
+    }
+
+    /// What the recovery that produced this pipeline had to do — `None`
+    /// for a pipeline created fresh by `persist_to`.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// Sequence number the next mutation batch will be logged under.
@@ -301,20 +350,17 @@ impl DurableStreamingPipeline {
         self.inner.next_batch(budget)
     }
 
-    /// Writes a fresh snapshot (index, model, schedule, pool) and truncates
-    /// the WAL.
+    /// Commits a new generation: a fresh snapshot (index, model, schedule,
+    /// pool), an empty WAL for it, and the manifest flip.
     pub fn checkpoint(&mut self) -> PersistResult<()> {
         assert!(
             !self.inner.blocker().index().has_open_batch(),
             "checkpoint during an unfinished mutation batch"
         );
-        write_snapshot(
-            &snapshot_path(&self.dir),
+        self.wal = self.store.commit(
             PIPELINE_SNAPSHOT_TAG,
-            self.fingerprint,
             &PipelineSnapshot::capture(&self.inner, self.next_seq),
         )?;
-        self.wal = WalWriter::create(&wal_path(&self.dir), self.fingerprint)?;
         Ok(())
     }
 
@@ -334,6 +380,8 @@ mod tests {
     use er_blocking::build_blocks;
     use er_datasets::{generate_catalog_dataset, CatalogOptions, DatasetName};
     use er_stream::dataset_prefix;
+    use std::fs;
+    use std::path::PathBuf;
 
     fn scratch(test: &str) -> PathBuf {
         let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))

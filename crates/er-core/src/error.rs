@@ -63,6 +63,26 @@ pub enum PersistError {
     Corrupt(String),
 }
 
+/// Whether a failed persistence operation is worth retrying.
+///
+/// The classification is deliberately conservative (the fsyncgate lesson:
+/// after a failed fsync the page cache may have *dropped* the dirty pages,
+/// so blindly re-syncing can silently lose data).  Only failures that are
+/// transient by their OS contract — the call never took effect — are
+/// retryable; everything else (full disks, failed syncs, corrupt bytes)
+/// must surface to the caller, who re-issues the *whole* operation from
+/// in-memory state if at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistErrorClass {
+    /// Transient: the operation did not take effect and may succeed if
+    /// re-issued (e.g. `EINTR`).  The write paths retry these with bounded
+    /// backoff.
+    Retryable,
+    /// Permanent for this attempt: retrying the same call cannot help
+    /// (out of space, failed fsync, corrupt or mismatched bytes).
+    Fatal,
+}
+
 impl PersistError {
     /// Wraps an I/O error with the operation that produced it.
     pub fn io(context: impl Into<String>, err: &std::io::Error) -> Self {
@@ -71,6 +91,27 @@ impl PersistError {
             kind: err.kind(),
             message: err.to_string(),
         }
+    }
+
+    /// Classifies the failure as [`PersistErrorClass::Retryable`] or
+    /// [`PersistErrorClass::Fatal`].
+    pub fn class(&self) -> PersistErrorClass {
+        match self {
+            PersistError::Io {
+                kind:
+                    std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::TimedOut,
+                ..
+            } => PersistErrorClass::Retryable,
+            // Bad bytes never get better by re-reading them.
+            _ => PersistErrorClass::Fatal,
+        }
+    }
+
+    /// True if [`PersistError::class`] is [`PersistErrorClass::Retryable`].
+    pub fn is_retryable(&self) -> bool {
+        self.class() == PersistErrorClass::Retryable
     }
 }
 
@@ -243,6 +284,36 @@ mod tests {
         assert!(PersistError::Corrupt("bad tag".into())
             .to_string()
             .contains("bad tag"));
+    }
+
+    #[test]
+    fn retryable_classification_is_conservative() {
+        let transient = PersistError::io(
+            "append wal record",
+            &std::io::Error::new(std::io::ErrorKind::Interrupted, "interrupted"),
+        );
+        assert!(transient.is_retryable());
+        assert_eq!(transient.class(), PersistErrorClass::Retryable);
+
+        // ENOSPC, failed fsyncs and permission problems are fatal: the
+        // caller must re-issue the whole operation, not the same syscall.
+        let enospc = PersistError::io(
+            "append wal record",
+            &std::io::Error::from_raw_os_error(28), // ENOSPC
+        );
+        assert!(!enospc.is_retryable());
+        let denied = PersistError::io(
+            "sync wal record",
+            &std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+        );
+        assert!(!denied.is_retryable());
+
+        // Corruption is never retryable.
+        assert!(!PersistError::Corrupt("bad".into()).is_retryable());
+        assert!(!PersistError::Truncated {
+            context: "wal".into()
+        }
+        .is_retryable());
     }
 
     #[test]

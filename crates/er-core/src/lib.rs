@@ -21,11 +21,11 @@ pub mod tokenize;
 pub use checksum::{crc64, Crc64};
 pub use collection::{Dataset, DatasetKind, EntityCollection, GroundTruth};
 pub use entity::{Attribute, EntityProfile};
-pub use error::{Error, PersistError, PersistResult, Result};
+pub use error::{Error, PersistError, PersistErrorClass, PersistResult, Result};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use ids::{BlockId, EntityId, PairId};
 pub use parallel::{
     available_threads, fill_rows_parallel, for_each_task_with_state, map_ranges_parallel,
 };
-pub use rng::seeded_rng;
+pub use rng::{derive_seed, seeded_rng};
 pub use tokenize::{tokenize, tokenize_into};

@@ -1,35 +1,58 @@
 //! Durability for the meta-blocking workspace: a hand-rolled, versioned,
-//! checksummed little-endian binary codec plus the two halves of a
-//! crash-recoverable store.
+//! checksummed little-endian binary codec plus the machinery of a
+//! crash-recoverable, fault-tolerant store.
 //!
 //! * [`codec`] — explicit [`Encode`]/[`Decode`] implementations over a
 //!   [`Writer`]/[`Reader`] pair (no serde; the workspace's serde shims are
 //!   no-ops by design, and this format does not want them back — see the
 //!   README's persistence section);
+//! * [`vfs`] — the filesystem seam everything above does its IO through:
+//!   [`StdVfs`] in production, the deterministic fault-injecting
+//!   [`FaultVfs`] in the crash/fault suites, plus the bounded-retry
+//!   [`RetryPolicy`] for the write paths;
 //! * [`snapshot`] — atomic point-in-time images (temp file + rename, a
 //!   header carrying magic bytes, the format version, a payload tag and a
 //!   corpus fingerprint, and a CRC-64/XZ digest over the payload);
 //! * [`wal`] — an append-only write-ahead log of checksummed records with
-//!   torn-tail-tolerant replay.
+//!   torn-tail-tolerant replay;
+//! * [`generation`] — generational snapshot stores: an atomic
+//!   [`MANIFEST`](generation::MANIFEST_NAME) commit pointer over
+//!   `snapshot.<gen>.gsmb` files, a recovery fallback chain that
+//!   quarantines corrupt generations and replays longer WAL tails, and a
+//!   [`RecoveryReport`] accounting for every degradation.
 //!
 //! The crates that own persistable state implement the codec traits for
-//! their types and wire the two halves together: `er-stream` persists the
+//! their types and wire the pieces together: `er-stream` persists the
 //! `StreamingIndex` and logs mutation batches
 //! (`er_stream::persist::DurableMetaBlocker`), `er-learn` persists trained
 //! models (`er_learn::SavedModel`), `er-eval` persists `PreparedDataset`s,
 //! and `meta-blocking` persists whole streaming pipelines.  Recovery is
-//! always *load the latest snapshot, replay the WAL tail*; compaction is
-//! the snapshot/truncation point that garbage-collects the log.
+//! always *load the newest readable snapshot generation, replay the WAL
+//! chain*; a checkpoint commits a new generation and garbage-collects old
+//! ones.
 //!
 //! All error paths are typed ([`er_core::PersistError`]): corrupt bytes,
 //! version skews, truncated records and mismatched fingerprints are
-//! recoverable errors, never panics.
+//! recoverable errors, never panics.  Failures are further classified
+//! retryable vs fatal ([`er_core::PersistErrorClass`]); the write paths
+//! retry only the transient class, with bounded backoff.
 
 pub mod codec;
+pub mod generation;
 pub mod snapshot;
+pub mod vfs;
 pub mod wal;
 
 pub use codec::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, Writer};
-pub use er_core::{PersistError, PersistResult};
-pub use snapshot::{read_snapshot, read_snapshot_bytes, write_snapshot, FORMAT_VERSION};
-pub use wal::{read_wal, WalContents, WalReadMode, WalWriter};
+pub use er_core::{PersistError, PersistErrorClass, PersistResult};
+pub use generation::{
+    committed_generation, manifest_path, quarantine_path, read_manifest, snapshot_path, wal_path,
+    GenerationStore, RecoveredGeneration, RecoveryReport,
+};
+pub use snapshot::{
+    decode_snapshot_payload, read_snapshot, read_snapshot_bytes, read_snapshot_bytes_with,
+    read_snapshot_with, sweep_tmp_files, sync_parent_dir, write_snapshot, write_snapshot_with,
+    FORMAT_VERSION,
+};
+pub use vfs::{retrying, FaultKind, FaultVfs, InjectedFault, OpKind, RetryPolicy, StdVfs, Vfs};
+pub use wal::{read_wal, read_wal_with, WalContents, WalReadMode, WalWriter};

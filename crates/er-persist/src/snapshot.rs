@@ -21,15 +21,21 @@
 //! Writes are atomic: the file is assembled under a temporary name in the
 //! same directory, fsynced, and renamed over the destination, so a crash
 //! mid-write leaves either the old snapshot or the new one — never a
-//! half-written file.
+//! half-written file.  (A crash can leak the temp file itself;
+//! [`sweep_tmp_files`] removes leaked temps when a store is opened.)
+//!
+//! All IO goes through a [`Vfs`]: production uses [`StdVfs`](crate::StdVfs),
+//! the fault-injection suites substitute a `FaultVfs`.  The `*_with`
+//! functions take the seam explicitly; the plain names are std-VFS
+//! conveniences with the default write-path [`RetryPolicy`].
 
-use std::fs;
-use std::io::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 
 use er_core::{crc64, PersistError, PersistResult};
 
 use crate::codec::{Decode, Encode, Reader, Writer};
+use crate::vfs::{retrying, RetryPolicy, StdVfs, Vfs};
 
 /// Magic bytes opening every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"GSMBSNP1";
@@ -40,24 +46,65 @@ pub const FORMAT_VERSION: u32 = 1;
 /// Byte length of the fixed snapshot header.
 pub const SNAPSHOT_HEADER_LEN: usize = 8 + 4 + 4 + 8 + 8 + 8;
 
-/// Fsyncs the directory containing `path` so the rename itself is durable.
-/// Best effort: some filesystems refuse to sync directories.
-pub(crate) fn sync_parent_dir(path: &Path) {
-    if let Some(parent) = path.parent() {
-        if let Ok(dir) = fs::File::open(parent) {
-            let _ = dir.sync_all();
-        }
+/// True for the errors a directory fsync is allowed to return on
+/// filesystems that simply do not support syncing directories (the only
+/// tolerated failures — the fsyncgate class of bug was swallowing *all*
+/// of them).
+fn dir_sync_unsupported(err: &std::io::Error) -> bool {
+    matches!(
+        err.kind(),
+        std::io::ErrorKind::Unsupported | std::io::ErrorKind::InvalidInput
+    ) || matches!(err.raw_os_error(), Some(95) | Some(22)) // ENOTSUP | EINVAL
+}
+
+/// Fsyncs a directory so renames and unlinks inside it are durable.
+/// Filesystems that refuse directory fsync (ENOTSUP/EINVAL) are tolerated;
+/// every other failure propagates.
+pub fn sync_dir_tolerant(vfs: &dyn Vfs, dir: &Path) -> PersistResult<()> {
+    match vfs.sync_dir(dir) {
+        Ok(()) => Ok(()),
+        Err(err) if dir_sync_unsupported(&err) => Ok(()),
+        Err(err) => Err(PersistError::io(format!("sync directory {dir:?}"), &err)),
     }
 }
 
-/// Encodes `payload` and writes it atomically (temp file + rename) to
-/// `path` under the given payload tag and corpus fingerprint.
-pub fn write_snapshot(
-    path: &Path,
+/// Fsyncs the directory containing `path` so a rename or unlink inside it
+/// is durable.  See [`sync_dir_tolerant`] for the tolerated failures.
+pub fn sync_parent_dir(vfs: &dyn Vfs, path: &Path) -> PersistResult<()> {
+    match path.parent() {
+        Some(parent) => sync_dir_tolerant(vfs, parent),
+        None => Ok(()),
+    }
+}
+
+/// Removes `*.tmp` files leaked into `dir` by a crash mid-snapshot-write,
+/// returning how many were swept.  A missing directory sweeps nothing.
+pub fn sweep_tmp_files(vfs: &dyn Vfs, dir: &Path) -> PersistResult<usize> {
+    let entries = match vfs.list(dir) {
+        Ok(entries) => entries,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(err) => return Err(PersistError::io(format!("list directory {dir:?}"), &err)),
+    };
+    let mut swept = 0;
+    for path in entries {
+        if path.extension().and_then(|e| e.to_str()) == Some("tmp") {
+            vfs.remove(&path)
+                .map_err(|e| PersistError::io(format!("remove stale temp file {path:?}"), &e))?;
+            swept += 1;
+        }
+    }
+    if swept > 0 {
+        sync_dir_tolerant(vfs, dir)?;
+    }
+    Ok(swept)
+}
+
+/// Assembles the full snapshot file image for `payload`.
+pub(crate) fn snapshot_file_bytes(
     payload_tag: u32,
     fingerprint: u64,
     payload: &impl Encode,
-) -> PersistResult<()> {
+) -> Vec<u8> {
     let mut body = Writer::new();
     payload.encode(&mut body);
     let body = body.into_bytes();
@@ -70,19 +117,63 @@ pub fn write_snapshot(
     file_bytes.write_u64(body.len() as u64);
     file_bytes.write_u64(crc64(&body));
     file_bytes.write_raw(&body);
+    file_bytes.into_bytes()
+}
 
+/// Writes a pre-assembled file image atomically: temp file in the same
+/// directory, fsync, rename over the destination, parent-directory fsync.
+/// The whole sequence is one retry unit — after a failed fsync the temp
+/// file's durability is unknown, so a retry re-writes it from scratch
+/// rather than re-syncing (the fsyncgate rule).
+pub(crate) fn write_file_atomic(
+    vfs: &dyn Vfs,
+    policy: RetryPolicy,
+    path: &Path,
+    bytes: &[u8],
+) -> PersistResult<()> {
     let tmp = path.with_extension("tmp");
-    let mut file = fs::File::create(&tmp)
-        .map_err(|e| PersistError::io(format!("create snapshot temp file {tmp:?}"), &e))?;
-    file.write_all(file_bytes.as_bytes())
-        .map_err(|e| PersistError::io("write snapshot payload", &e))?;
-    file.sync_all()
-        .map_err(|e| PersistError::io("sync snapshot temp file", &e))?;
-    drop(file);
-    fs::rename(&tmp, path)
-        .map_err(|e| PersistError::io(format!("rename snapshot into place at {path:?}"), &e))?;
-    sync_parent_dir(path);
-    Ok(())
+    retrying(policy, || {
+        vfs.create(&tmp, bytes)
+            .map_err(|e| PersistError::io(format!("create temp file {tmp:?}"), &e))?;
+        vfs.sync_file(&tmp)
+            .map_err(|e| PersistError::io(format!("sync temp file {tmp:?}"), &e))?;
+        vfs.rename(&tmp, path)
+            .map_err(|e| PersistError::io(format!("rename {tmp:?} into place at {path:?}"), &e))?;
+        sync_parent_dir(vfs, path)
+    })
+}
+
+/// Encodes `payload` and writes it atomically to `path` through the given
+/// VFS and retry policy.
+pub fn write_snapshot_with(
+    vfs: &dyn Vfs,
+    policy: RetryPolicy,
+    path: &Path,
+    payload_tag: u32,
+    fingerprint: u64,
+    payload: &impl Encode,
+) -> PersistResult<()> {
+    let bytes = snapshot_file_bytes(payload_tag, fingerprint, payload);
+    write_file_atomic(vfs, policy, path, &bytes)
+}
+
+/// Encodes `payload` and writes it atomically (temp file + rename) to
+/// `path` under the given payload tag and corpus fingerprint, using the
+/// production filesystem and the default write-path retry policy.
+pub fn write_snapshot(
+    path: &Path,
+    payload_tag: u32,
+    fingerprint: u64,
+    payload: &impl Encode,
+) -> PersistResult<()> {
+    write_snapshot_with(
+        &StdVfs,
+        RetryPolicy::default_write(),
+        path,
+        payload_tag,
+        fingerprint,
+        payload,
+    )
 }
 
 /// Validates a snapshot image in memory, returning the payload slice and
@@ -149,6 +240,24 @@ fn validated_payload<'a>(
     Ok((payload, fingerprint))
 }
 
+fn read_file(vfs: &dyn Vfs, path: &Path) -> PersistResult<Vec<u8>> {
+    vfs.read(path)
+        .map_err(|e| PersistError::io(format!("read snapshot {path:?}"), &e))
+}
+
+/// Reads and validates a snapshot file through the given VFS, returning
+/// the raw payload bytes and the fingerprint recorded in the header.
+pub fn read_snapshot_bytes_with(
+    vfs: &dyn Vfs,
+    path: &Path,
+    payload_tag: u32,
+    expected_fingerprint: Option<u64>,
+) -> PersistResult<(Vec<u8>, u64)> {
+    let data = read_file(vfs, path)?;
+    let (payload, fingerprint) = validated_payload(&data, path, payload_tag, expected_fingerprint)?;
+    Ok((payload.to_vec(), fingerprint))
+}
+
 /// Reads and validates a snapshot file, returning the raw payload bytes and
 /// the fingerprint recorded in the header.
 ///
@@ -159,10 +268,22 @@ pub fn read_snapshot_bytes(
     payload_tag: u32,
     expected_fingerprint: Option<u64>,
 ) -> PersistResult<(Vec<u8>, u64)> {
-    let data =
-        fs::read(path).map_err(|e| PersistError::io(format!("read snapshot {path:?}"), &e))?;
+    read_snapshot_bytes_with(&StdVfs, path, payload_tag, expected_fingerprint)
+}
+
+/// Reads, validates and decodes a snapshot through the given VFS.
+pub fn read_snapshot_with<T: Decode>(
+    vfs: &dyn Vfs,
+    path: &Path,
+    payload_tag: u32,
+    expected_fingerprint: Option<u64>,
+) -> PersistResult<(T, u64)> {
+    let data = read_file(vfs, path)?;
     let (payload, fingerprint) = validated_payload(&data, path, payload_tag, expected_fingerprint)?;
-    Ok((payload.to_vec(), fingerprint))
+    let mut r = Reader::new(payload);
+    let value = T::decode(&mut r)?;
+    r.expect_end()?;
+    Ok((value, fingerprint))
 }
 
 /// Reads, validates and decodes a snapshot, returning the payload and the
@@ -173,11 +294,17 @@ pub fn read_snapshot<T: Decode>(
     payload_tag: u32,
     expected_fingerprint: Option<u64>,
 ) -> PersistResult<(T, u64)> {
-    let data =
-        fs::read(path).map_err(|e| PersistError::io(format!("read snapshot {path:?}"), &e))?;
-    let (payload, fingerprint) = validated_payload(&data, path, payload_tag, expected_fingerprint)?;
+    read_snapshot_with(&StdVfs, path, payload_tag, expected_fingerprint)
+}
+
+/// Decodes an already-validated payload image (as returned inside a
+/// [`RecoveredGeneration`](crate::generation::RecoveredGeneration)).
+pub fn decode_snapshot_payload<T: Decode>(payload: &[u8]) -> PersistResult<T> {
     let mut r = Reader::new(payload);
     let value = T::decode(&mut r)?;
     r.expect_end()?;
-    Ok((value, fingerprint))
+    Ok(value)
 }
+
+/// A shared handle to a [`Vfs`] — the form the higher layers store.
+pub type VfsHandle = Arc<dyn Vfs>;

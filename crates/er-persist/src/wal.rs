@@ -16,7 +16,7 @@
 //! drop — and then truncate away — every valid record behind it.
 //!
 //! Records are framed, not indexed: replay is a linear scan.  Each record
-//! is appended with a single `write` followed by `fdatasync`, so after a
+//! is appended with a single `write` followed by an fsync, so after a
 //! crash the file is a valid prefix of the log plus, at worst, one **torn
 //! tail** — a final record whose bytes were only partially written.
 //!
@@ -35,15 +35,19 @@
 //! Log creation goes through a temp file + rename like snapshots, so a
 //! crash during [`WalWriter::create`] (the compaction truncation point)
 //! leaves either the old log or a fresh empty one, never a half header.
+//!
+//! All IO goes through a [`Vfs`] seam; transient (`EINTR`-class) append
+//! failures are retried under the writer's [`RetryPolicy`], with the file
+//! truncated back to the last whole record between attempts.
 
-use std::fs;
-use std::io::{Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use er_core::{crc64, PersistError, PersistResult};
 
 use crate::codec::{Reader, Writer};
-use crate::snapshot::{sync_parent_dir, FORMAT_VERSION};
+use crate::snapshot::{write_file_atomic, FORMAT_VERSION};
+use crate::vfs::{retrying, RetryPolicy, StdVfs, Vfs};
 
 /// Magic bytes opening every write-ahead log.
 pub const WAL_MAGIC: [u8; 8] = *b"GSMBWAL1";
@@ -82,7 +86,8 @@ pub struct WalContents {
 /// An open write-ahead log positioned for appending.
 #[derive(Debug)]
 pub struct WalWriter {
-    file: fs::File,
+    vfs: Arc<dyn Vfs>,
+    policy: RetryPolicy,
     path: PathBuf,
     /// Length of the log up to the last fully appended record; a failed
     /// append truncates back to this offset so no partial frame is ever
@@ -91,50 +96,61 @@ pub struct WalWriter {
 }
 
 impl WalWriter {
-    /// Creates (or replaces) the log with a fresh header.  Atomic: the new
-    /// log is assembled under a temp name and renamed into place, making
-    /// this the WAL truncation point of a compaction.
-    pub fn create(path: &Path, fingerprint: u64) -> PersistResult<Self> {
+    /// Creates (or replaces) the log with a fresh header through the given
+    /// VFS.  Atomic: the new log is assembled under a temp name and renamed
+    /// into place, making this the WAL truncation point of a compaction.
+    pub fn create_with(
+        vfs: Arc<dyn Vfs>,
+        policy: RetryPolicy,
+        path: &Path,
+        fingerprint: u64,
+    ) -> PersistResult<Self> {
         let mut header = Writer::with_capacity(WAL_HEADER_LEN);
         header.write_raw(&WAL_MAGIC);
         header.write_u32(FORMAT_VERSION);
         header.write_u64(fingerprint);
-
-        let tmp = path.with_extension("tmp");
-        let mut file = fs::File::create(&tmp)
-            .map_err(|e| PersistError::io(format!("create wal temp file {tmp:?}"), &e))?;
-        file.write_all(header.as_bytes())
-            .map_err(|e| PersistError::io("write wal header", &e))?;
-        file.sync_all()
-            .map_err(|e| PersistError::io("sync new wal", &e))?;
-        fs::rename(&tmp, path)
-            .map_err(|e| PersistError::io(format!("rename wal into place at {path:?}"), &e))?;
-        sync_parent_dir(path);
-        // The renamed handle still points at the new inode; keep using it.
+        write_file_atomic(vfs.as_ref(), policy, path, header.as_bytes())?;
         Ok(WalWriter {
-            file,
+            vfs,
+            policy,
             path: path.to_path_buf(),
             len: WAL_HEADER_LEN as u64,
         })
     }
 
-    /// Opens an existing log for appending, truncating it to `valid_len`
-    /// first (dropping a torn tail reported by [`read_wal`]).
-    pub fn open(path: &Path, valid_len: u64) -> PersistResult<Self> {
-        let file = fs::OpenOptions::new()
-            .write(true)
-            .open(path)
-            .map_err(|e| PersistError::io(format!("open wal {path:?}"), &e))?;
-        file.set_len(valid_len)
-            .map_err(|e| PersistError::io("truncate wal torn tail", &e))?;
-        let mut file = file;
-        file.seek(SeekFrom::End(0))
-            .map_err(|e| PersistError::io("seek wal end", &e))?;
+    /// Creates (or replaces) the log with a fresh header on the production
+    /// filesystem with the default write-path retry policy.
+    pub fn create(path: &Path, fingerprint: u64) -> PersistResult<Self> {
+        WalWriter::create_with(
+            StdVfs::arc(),
+            RetryPolicy::default_write(),
+            path,
+            fingerprint,
+        )
+    }
+
+    /// Opens an existing log for appending through the given VFS,
+    /// truncating it to `valid_len` first (dropping a torn tail reported by
+    /// [`read_wal`]).
+    pub fn open_with(
+        vfs: Arc<dyn Vfs>,
+        policy: RetryPolicy,
+        path: &Path,
+        valid_len: u64,
+    ) -> PersistResult<Self> {
+        vfs.truncate(path, valid_len)
+            .map_err(|e| PersistError::io(format!("truncate wal torn tail in {path:?}"), &e))?;
         Ok(WalWriter {
-            file,
+            vfs,
+            policy,
             path: path.to_path_buf(),
             len: valid_len,
         })
+    }
+
+    /// Opens an existing log for appending on the production filesystem.
+    pub fn open(path: &Path, valid_len: u64) -> PersistResult<Self> {
+        WalWriter::open_with(StdVfs::arc(), RetryPolicy::default_write(), path, valid_len)
     }
 
     /// The log's path.
@@ -142,11 +158,22 @@ impl WalWriter {
         &self.path
     }
 
+    /// Length of the log up to the last fully appended record.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the log holds no records (header only).
+    pub fn is_empty(&self) -> bool {
+        self.len <= WAL_HEADER_LEN as u64
+    }
+
     /// Appends one record (frame + payload in a single write) and syncs it
     /// to stable storage before returning.  On a failed or partial write
     /// (e.g. a full disk) the file is truncated back to the last fully
     /// appended record, so a later successful append never lands behind a
-    /// partial frame.
+    /// partial frame.  Transient failures are retried under the writer's
+    /// [`RetryPolicy`]; each retry starts from the clean prefix.
     pub fn append(&mut self, payload: &[u8]) -> PersistResult<()> {
         let len = u32::try_from(payload.len()).map_err(|_| {
             PersistError::Corrupt(format!("wal record of {} bytes exceeds u32", payload.len()))
@@ -156,35 +183,42 @@ impl WalWriter {
         frame.write_u32(!len);
         frame.write_u64(crc64(payload));
         frame.write_raw(payload);
-        let write = self
-            .file
-            .write_all(frame.as_bytes())
-            .map_err(|e| PersistError::io("append wal record", &e))
-            .and_then(|()| {
-                self.file
-                    .sync_data()
-                    .map_err(|e| PersistError::io("sync wal record", &e))
-            });
-        if let Err(err) = write {
-            // Best effort: drop whatever partial frame made it to disk and
-            // restore the append position.
-            let _ = self.file.set_len(self.len);
-            let _ = self.file.seek(SeekFrom::Start(self.len));
-            return Err(err);
-        }
+
+        let base = self.len;
+        let vfs = self.vfs.as_ref();
+        let path = &self.path;
+        retrying(self.policy, || {
+            let write = vfs
+                .append(path, frame.as_bytes())
+                .map_err(|e| PersistError::io("append wal record", &e))
+                .and_then(|()| {
+                    vfs.sync_file(path)
+                        .map_err(|e| PersistError::io("sync wal record", &e))
+                });
+            if write.is_err() {
+                // Best effort: drop whatever partial frame made it to disk
+                // so a retry (or a later successful append) starts clean.
+                let _ = vfs.truncate(path, base);
+            }
+            write
+        })?;
         self.len += frame.len() as u64;
         Ok(())
     }
 }
 
-/// Scans a write-ahead log, validating the header and every record
-/// checksum.  See [`WalReadMode`] for how a torn tail is treated.
-pub fn read_wal(
+/// Scans a write-ahead log through the given VFS, validating the header
+/// and every record checksum.  See [`WalReadMode`] for how a torn tail is
+/// treated.
+pub fn read_wal_with(
+    vfs: &dyn Vfs,
     path: &Path,
     expected_fingerprint: Option<u64>,
     mode: WalReadMode,
 ) -> PersistResult<WalContents> {
-    let data = fs::read(path).map_err(|e| PersistError::io(format!("read wal {path:?}"), &e))?;
+    let data = vfs
+        .read(path)
+        .map_err(|e| PersistError::io(format!("read wal {path:?}"), &e))?;
     if data.len() < WAL_HEADER_LEN {
         return Err(PersistError::BadMagic {
             context: format!("wal {path:?}"),
@@ -269,4 +303,14 @@ pub fn read_wal(
         torn_tail,
         fingerprint,
     })
+}
+
+/// Scans a write-ahead log on the production filesystem.  See
+/// [`read_wal_with`].
+pub fn read_wal(
+    path: &Path,
+    expected_fingerprint: Option<u64>,
+    mode: WalReadMode,
+) -> PersistResult<WalContents> {
+    read_wal_with(&StdVfs, path, expected_fingerprint, mode)
 }

@@ -240,6 +240,74 @@ fn wal_header_anomalies_are_typed() {
 }
 
 #[test]
+fn zero_length_and_partial_header_wals_are_typed_in_both_modes() {
+    let dir = scratch("wal-empty");
+    let header_only = write_wal_records(&dir, &[]);
+    let full_header = fs::read(&header_only).unwrap();
+    assert_eq!(full_header.len(), er_persist::wal::WAL_HEADER_LEN);
+
+    // A zero-length log: the crash happened before the header hit disk.
+    // No mode accepts it — there is no fingerprint to trust.
+    let path = dir.join("torn-header.gsmb");
+    fs::write(&path, b"").unwrap();
+    for mode in [WalReadMode::Strict, WalReadMode::Recovery] {
+        let err = read_wal(&path, Some(FINGERPRINT), mode).unwrap_err();
+        assert!(
+            matches!(err, PersistError::BadMagic { .. }),
+            "zero-length, {mode:?}: {err:?}"
+        );
+    }
+
+    // Every strict prefix of the header is equally refused.
+    for keep in 1..full_header.len() {
+        fs::write(&path, &full_header[..keep]).unwrap();
+        for mode in [WalReadMode::Strict, WalReadMode::Recovery] {
+            let err = read_wal(&path, Some(FINGERPRINT), mode).unwrap_err();
+            assert!(
+                matches!(err, PersistError::BadMagic { .. }),
+                "header prefix {keep}, {mode:?}: {err:?}"
+            );
+        }
+    }
+
+    // The complete header with zero records is a valid empty log.
+    for mode in [WalReadMode::Strict, WalReadMode::Recovery] {
+        let contents = read_wal(&header_only, Some(FINGERPRINT), mode).unwrap();
+        assert!(contents.records.is_empty());
+        assert!(!contents.torn_tail);
+        assert_eq!(contents.valid_len, full_header.len() as u64);
+    }
+}
+
+#[test]
+fn a_torn_record_followed_by_valid_bytes_never_resurrects_later_records() {
+    let dir = scratch("wal-tear-splice");
+    let path = write_wal_records(&dir, &[b"first record", b"second record", b"third record"]);
+    let clean = fs::read(&path).unwrap();
+    let frame = |payload: usize| 4 + 4 + 8 + payload;
+    let header = er_persist::wal::WAL_HEADER_LEN;
+    let second_end = header + frame(b"first record".len()) + frame(b"second record".len());
+
+    // Splice `cut` bytes out of the end of the second record's frame, so
+    // the third record's perfectly valid bytes directly follow the tear.
+    // This is NOT a torn tail (a tear is only legal at the literal end of
+    // the file): recovery must refuse the log rather than drop the second
+    // record and resurrect — or silently lose — the third.
+    for cut in 1..frame(b"second record".len()) {
+        let mut bad = clean[..second_end - cut].to_vec();
+        bad.extend_from_slice(&clean[second_end..]);
+        fs::write(&path, &bad).unwrap();
+        for mode in [WalReadMode::Strict, WalReadMode::Recovery] {
+            let err = read_wal(&path, Some(FINGERPRINT), mode).unwrap_err();
+            assert!(
+                matches!(err, PersistError::ChecksumMismatch { .. }),
+                "cut {cut}, {mode:?}: {err:?}"
+            );
+        }
+    }
+}
+
+#[test]
 fn reopening_a_torn_wal_truncates_and_appends_cleanly() {
     let dir = scratch("wal-reopen");
     let path = write_wal_records(&dir, &[b"keep me", b"torn away"]);

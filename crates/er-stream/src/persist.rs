@@ -1,44 +1,57 @@
-//! Durability for the streaming meta-blocker: snapshot + write-ahead log.
+//! Durability for the streaming meta-blocker: generational snapshots + a
+//! write-ahead log, on top of a fault-injectable VFS seam.
 //!
-//! A durability root is one directory holding two files:
+//! A durability root is one [`GenerationStore`] directory:
 //!
-//! * `snapshot.gsmb` — an atomic point-in-time image of the complete
+//! * `snapshot.<gen>.gsmb` — atomic point-in-time images of the complete
 //!   [`StreamingIndex`] (written by [`er_persist::snapshot`]), stamped with
-//!   the stream fingerprint and the WAL sequence number it covers;
-//! * `wal.gsmb` — the write-ahead log of mutation batches.  Every
+//!   the stream fingerprint and the WAL sequence number each one covers;
+//!   the two newest generations are retained so a corrupt newest snapshot
+//!   still recovers from the previous one;
+//! * `wal.<gen>.gsmb` — the write-ahead log of mutation batches for each
+//!   generation.  Every
 //!   [`DurableMetaBlocker::ingest`]/[`remove`](DurableMetaBlocker::remove)/
 //!   [`update`](DurableMetaBlocker::update) appends its **input** (the
 //!   profiles, ids or re-keyed profiles) *before* touching the in-memory
-//!   index.
+//!   index;
+//! * `MANIFEST` — the checksummed, atomically rewritten commit pointer.
 //!
 //! Because the streaming engine is deterministic — the same mutation
 //! sequence always produces bit-identical state, for any thread count —
-//! recovery is *load the snapshot, replay the WAL tail through the same
-//! code paths*.  A crash at any point leaves one of three shapes, all
-//! handled:
+//! recovery is *load the newest readable snapshot generation, replay the
+//! WAL chain through the same code paths*.  A crash at any point leaves
+//! one of three shapes, all handled:
 //!
-//! * between batches: snapshot + whole WAL replay the exact history;
+//! * between batches: snapshot + WAL chain replay the exact history;
 //! * between the WAL append and the in-memory apply (the classic
 //!   write-ahead window): the record is on disk, so replay applies it —
 //!   recovery lands on the state the batch *would* have produced;
 //! * mid-append: the torn tail fails its length/checksum frame, recovery
 //!   stops at the previous boundary and truncates the tail away.
 //!
+//! If the newest snapshot generation is corrupt, recovery quarantines it,
+//! falls back to the previous generation, replays the longer WAL chain,
+//! and immediately commits a repair checkpoint; the whole episode is
+//! accounted for in the [`RecoveryReport`] available from
+//! [`DurableMetaBlocker::recovery_report`].
+//!
 //! [`DurableMetaBlocker::compact`] is the log's GC point: it folds the
-//! deltas, writes a fresh snapshot carrying the current sequence number,
-//! and replaces the WAL with an empty one.  A crash between those two
-//! steps is benign — replayed records with a sequence below the snapshot's
-//! are skipped.
+//! deltas and commits a new generation (snapshot carrying the current
+//! sequence number + fresh empty WAL + manifest flip).  A crash anywhere
+//! inside the commit is benign — the manifest still points at the old
+//! generation, whose snapshot and WAL are intact; replayed records with a
+//! sequence below a snapshot's are skipped.
 
-use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use er_blocking::{CsrBlockCollection, KeyGenerator};
 use er_core::{crc64, EntityId, EntityProfile, PersistError, PersistResult};
 use er_features::FeatureSet;
 use er_learn::ProbabilisticClassifier;
 use er_persist::{
-    read_snapshot, read_wal, write_snapshot, Decode, Encode, Reader, WalReadMode, WalWriter, Writer,
+    decode_snapshot_payload, generation, Decode, Encode, GenerationStore, Reader, RecoveryReport,
+    RetryPolicy, StdVfs, Vfs, WalWriter, Writer,
 };
 
 use crate::blocker::{DeltaBatch, StreamingMetaBlocker};
@@ -47,14 +60,19 @@ use crate::index::StreamingIndex;
 /// Snapshot payload tag for streaming-blocker snapshots.
 pub const BLOCKER_SNAPSHOT_TAG: u32 = 0x5349_4458; // "SIDX"
 
-/// The snapshot file inside a durability root.
-pub fn snapshot_path(dir: &Path) -> PathBuf {
-    dir.join("snapshot.gsmb")
+/// The snapshot file of one generation inside a durability root.
+pub fn snapshot_path(dir: &Path, generation: u64) -> PathBuf {
+    generation::snapshot_path(dir, generation)
 }
 
-/// The write-ahead log inside a durability root.
-pub fn wal_path(dir: &Path) -> PathBuf {
-    dir.join("wal.gsmb")
+/// The write-ahead log of one generation inside a durability root.
+pub fn wal_path(dir: &Path, generation: u64) -> PathBuf {
+    generation::wal_path(dir, generation)
+}
+
+/// The committed generation recorded in a durability root's manifest.
+pub fn committed_generation(dir: &Path) -> PersistResult<u64> {
+    generation::committed_generation(dir)
 }
 
 /// The fingerprint tying a snapshot and WAL to one logical stream: a
@@ -233,18 +251,20 @@ impl Decode for BlockerSnapshotOwned {
 /// traces, schemes, ER kinds, thread counts and kill points.
 pub struct DurableMetaBlocker<G: KeyGenerator> {
     blocker: StreamingMetaBlocker<G>,
-    dir: PathBuf,
+    store: GenerationStore,
     wal: WalWriter,
-    fingerprint: u64,
     /// Sequence number of the next WAL record to append.
     next_seq: u64,
+    /// The report of the recovery that produced this blocker, if any.
+    recovery: Option<RecoveryReport>,
 }
 
 impl<G: KeyGenerator> std::fmt::Debug for DurableMetaBlocker<G> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DurableMetaBlocker")
-            .field("dir", &self.dir)
-            .field("fingerprint", &self.fingerprint)
+            .field("dir", &self.store.dir())
+            .field("fingerprint", &self.store.fingerprint())
+            .field("generation", &self.store.committed())
             .field("next_seq", &self.next_seq)
             .field("num_entities", &self.blocker.num_entities())
             .finish_non_exhaustive()
@@ -252,16 +272,27 @@ impl<G: KeyGenerator> std::fmt::Debug for DurableMetaBlocker<G> {
 }
 
 impl<G: KeyGenerator> StreamingMetaBlocker<G> {
-    /// Makes this blocker durable, rooted at `dir`: writes an initial
-    /// snapshot of the current state and opens a fresh write-ahead log.
-    /// Any persistence files already in `dir` are replaced.
+    /// Makes this blocker durable, rooted at `dir`: writes generation 0
+    /// (initial snapshot + fresh write-ahead log + manifest) on the
+    /// production filesystem.
     pub fn persist_to(self, dir: impl AsRef<Path>) -> PersistResult<DurableMetaBlocker<G>> {
-        let dir = dir.as_ref().to_path_buf();
-        fs::create_dir_all(&dir)
-            .map_err(|e| PersistError::io(format!("create durability root {dir:?}"), &e))?;
+        self.persist_to_with(dir, StdVfs::arc(), RetryPolicy::default_write())
+    }
+
+    /// [`persist_to`](StreamingMetaBlocker::persist_to) through an
+    /// explicit VFS and write-path retry policy (the fault-injection
+    /// seam).
+    pub fn persist_to_with(
+        self,
+        dir: impl AsRef<Path>,
+        vfs: Arc<dyn Vfs>,
+        policy: RetryPolicy,
+    ) -> PersistResult<DurableMetaBlocker<G>> {
         let fingerprint = stream_fingerprint(self.index());
-        write_snapshot(
-            &snapshot_path(&dir),
+        let (store, wal) = GenerationStore::create(
+            vfs,
+            policy,
+            dir.as_ref(),
             BLOCKER_SNAPSHOT_TAG,
             fingerprint,
             &BlockerSnapshot {
@@ -270,42 +301,58 @@ impl<G: KeyGenerator> StreamingMetaBlocker<G> {
                 index: self.index(),
             },
         )?;
-        let wal = WalWriter::create(&wal_path(&dir), fingerprint)?;
         Ok(DurableMetaBlocker {
             blocker: self,
-            dir,
+            store,
             wal,
-            fingerprint,
             next_seq: 0,
+            recovery: None,
         })
     }
 }
 
 impl<G: KeyGenerator> DurableMetaBlocker<G> {
-    /// Recovers a durable blocker from its root: loads the latest snapshot
-    /// and replays the WAL tail (records at or beyond the snapshot's
-    /// sequence number) through the deterministic mutation engine.  A torn
-    /// final record — the artefact of a crash mid-append — is truncated
-    /// away; any other damage is a typed error.
+    /// Recovers a durable blocker from its root on the production
+    /// filesystem: loads the newest readable snapshot generation and
+    /// replays the WAL chain (records at or beyond the snapshot's sequence
+    /// number) through the deterministic mutation engine.  A torn final
+    /// record — the artefact of a crash mid-append — is truncated away; a
+    /// corrupt newest generation is quarantined and the previous one used
+    /// instead; any other damage is a typed error.
     pub fn recover_from(
         dir: impl AsRef<Path>,
         generator: G,
         threads: usize,
     ) -> PersistResult<Self> {
-        let dir = dir.as_ref().to_path_buf();
-        let (snapshot, stored_fingerprint) = read_snapshot::<BlockerSnapshotOwned>(
-            &snapshot_path(&dir),
-            BLOCKER_SNAPSHOT_TAG,
-            None,
-        )?;
+        DurableMetaBlocker::recover_from_with(
+            dir,
+            StdVfs::arc(),
+            RetryPolicy::default_write(),
+            generator,
+            threads,
+        )
+    }
+
+    /// [`recover_from`](DurableMetaBlocker::recover_from) through an
+    /// explicit VFS and write-path retry policy (the fault-injection
+    /// seam).
+    pub fn recover_from_with(
+        dir: impl AsRef<Path>,
+        vfs: Arc<dyn Vfs>,
+        policy: RetryPolicy,
+        generator: G,
+        threads: usize,
+    ) -> PersistResult<Self> {
+        let (mut store, recovered) =
+            GenerationStore::recover(vfs, policy, dir.as_ref(), BLOCKER_SNAPSHOT_TAG, None)?;
+        let snapshot: BlockerSnapshotOwned = decode_snapshot_payload(&recovered.payload)?;
         let fingerprint = stream_fingerprint(&snapshot.index);
-        if fingerprint != stored_fingerprint {
+        if fingerprint != recovered.fingerprint {
             return Err(PersistError::FingerprintMismatch {
                 expected: fingerprint,
-                found: stored_fingerprint,
+                found: recovered.fingerprint,
             });
         }
-        let contents = read_wal(&wal_path(&dir), Some(fingerprint), WalReadMode::Recovery)?;
         let mut blocker = StreamingMetaBlocker::from_recovered(
             snapshot.index,
             generator,
@@ -317,7 +364,7 @@ impl<G: KeyGenerator> DurableMetaBlocker<G> {
         // the already-delivered emissions are skipped.
         let next_seq =
             replay_wal_records(
-                &contents.records,
+                &recovered.records,
                 snapshot.applied_seq,
                 |record| match record {
                     MutationRecord::Ingest(profiles) => {
@@ -331,13 +378,31 @@ impl<G: KeyGenerator> DurableMetaBlocker<G> {
                     }
                 },
             )?;
-        let wal = WalWriter::open(&wal_path(&dir), contents.valid_len)?;
+        let mut report = recovered.report;
+        report.records_replayed = (next_seq - snapshot.applied_seq) as usize;
+        // A degraded recovery (fallback generation, rebuilt manifest,
+        // missing WAL) immediately commits a repair checkpoint of the
+        // replayed state, restoring full snapshot redundancy.
+        let wal = match recovered.wal_valid_len {
+            Some(valid_len) if !recovered.degraded => store.open_committed_wal(valid_len)?,
+            _ => {
+                report.repair_checkpoint = true;
+                store.commit(
+                    BLOCKER_SNAPSHOT_TAG,
+                    &BlockerSnapshot {
+                        applied_seq: next_seq,
+                        feature_set: blocker.feature_set(),
+                        index: blocker.index(),
+                    },
+                )?
+            }
+        };
         Ok(DurableMetaBlocker {
             blocker,
-            dir,
+            store,
             wal,
-            fingerprint,
             next_seq,
+            recovery: Some(report),
         })
     }
 
@@ -349,12 +414,23 @@ impl<G: KeyGenerator> DurableMetaBlocker<G> {
 
     /// The durability root directory.
     pub fn dir(&self) -> &Path {
-        &self.dir
+        self.store.dir()
     }
 
-    /// The stream fingerprint stamped on the snapshot and WAL.
+    /// The stream fingerprint stamped on the snapshots and WALs.
     pub fn fingerprint(&self) -> u64 {
-        self.fingerprint
+        self.store.fingerprint()
+    }
+
+    /// The committed snapshot generation.
+    pub fn generation(&self) -> u64 {
+        self.store.committed()
+    }
+
+    /// What the recovery that produced this blocker had to do — `None`
+    /// for a blocker created fresh by `persist_to`.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// Sequence number the next mutation batch will be logged under.
@@ -453,23 +529,21 @@ impl<G: KeyGenerator> DurableMetaBlocker<G> {
         self.append(payload)
     }
 
-    /// Writes a fresh snapshot of the current state and truncates the WAL
-    /// — the durable equivalent of "everything so far is safe in one
-    /// file".  Crash-safe in both halves: the snapshot lands atomically,
-    /// and until the new (empty) WAL replaces the old one, stale records
-    /// are skipped by their sequence numbers.
+    /// Commits a new generation: a fresh snapshot of the current state, an
+    /// empty WAL for it, and the manifest flip — the durable equivalent of
+    /// "everything so far is safe in one file".  Crash-safe at every step:
+    /// until the manifest flips, recovery uses the previous generation,
+    /// whose snapshot and WAL are untouched; afterwards, stale records are
+    /// skipped by their sequence numbers.
     pub fn checkpoint(&mut self) -> PersistResult<()> {
-        write_snapshot(
-            &snapshot_path(&self.dir),
+        self.wal = self.store.commit(
             BLOCKER_SNAPSHOT_TAG,
-            self.fingerprint,
             &BlockerSnapshot {
                 applied_seq: self.next_seq,
                 feature_set: self.blocker.feature_set(),
                 index: self.blocker.index(),
             },
         )?;
-        self.wal = WalWriter::create(&wal_path(&self.dir), self.fingerprint)?;
         Ok(())
     }
 

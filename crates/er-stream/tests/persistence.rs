@@ -478,14 +478,20 @@ fn torn_wal_tail_rolls_back_to_the_previous_batch_boundary() {
     durable.ingest_unscored(&dataset.profiles[half..]).unwrap();
     drop(durable);
 
-    // Tear the last record: cut a few bytes off the WAL.
-    let wal = er_stream::persist::wal_path(&dir);
+    // Tear the last record: cut a few bytes off the WAL (generation 0 —
+    // no checkpoint has committed a newer one).
+    let wal = er_stream::persist::wal_path(&dir, 0);
     let bytes = fs::read(&wal).unwrap();
     fs::write(&wal, &bytes[..bytes.len() - 5]).unwrap();
 
     let durable = DurableMetaBlocker::recover_from(&dir, generator, 1).unwrap();
     assert_eq!(durable.num_entities(), half);
     assert_eq!(durable.view().to_block_collection().blocks, boundary_state);
+    // The torn tail is a normal crash artefact: reported, not degraded.
+    let report = durable.recovery_report().unwrap();
+    assert!(report.torn_tail_truncated);
+    assert!(report.is_clean());
+    assert!(!report.repair_checkpoint);
 
     // The torn tail was truncated: appending and recovering again works.
     let mut durable = durable;
@@ -493,6 +499,89 @@ fn torn_wal_tail_rolls_back_to_the_previous_batch_boundary() {
     drop(durable);
     let durable = DurableMetaBlocker::recover_from(&dir, generator, 1).unwrap();
     assert_eq!(durable.num_entities(), dataset.num_entities());
+}
+
+/// Copies every regular file of `src` into `dst` (one level — durability
+/// roots are flat until recovery creates `quarantine/`).
+fn copy_root(src: &std::path::Path, dst: &std::path::Path) {
+    fs::create_dir_all(dst).unwrap();
+    for entry in fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        if entry.file_type().unwrap().is_file() {
+            fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+        }
+    }
+}
+
+#[test]
+fn corrupt_newest_generation_falls_back_bit_identically() {
+    let dataset = dirty_dataset();
+    let generator = TokenKeys;
+    let base = scratch("fallback-base");
+
+    let mut durable = StreamingMetaBlocker::new(config(&dataset, 1), generator)
+        .persist_to(&base)
+        .unwrap();
+    durable.ingest_unscored(&dataset.profiles[..20]).unwrap();
+    durable.checkpoint().unwrap(); // commits generation 1; generation 0 retained
+    durable.ingest_unscored(&dataset.profiles[20..40]).unwrap();
+    let expected_blocks = durable.view().to_block_collection().blocks;
+    let expected_seq = durable.wal_sequence();
+    drop(durable);
+
+    // Corrupt a sample of single bytes spanning the whole newest-generation
+    // snapshot — magic, version, tag, fingerprint, length, CRC and payload
+    // regions all get hit.  Every flip must recover bit-identically from
+    // generation 0 plus the longer WAL chain.
+    let clean = fs::read(er_stream::persist::snapshot_path(&base, 1)).unwrap();
+    let stride = (clean.len() / 24).max(1);
+    let mut flips: Vec<usize> = (0..clean.len()).step_by(stride).collect();
+    flips.push(clean.len() - 1);
+    for at in flips {
+        // Each flip gets a fresh copy of the root: the repair checkpoint
+        // mutates the directory it recovers.
+        let dir = scratch(&format!("fallback-{at}"));
+        copy_root(&base, &dir);
+        let mut bad = clean.clone();
+        bad[at] ^= 0x40;
+        fs::write(er_stream::persist::snapshot_path(&dir, 1), &bad).unwrap();
+
+        let mut durable = DurableMetaBlocker::recover_from(&dir, generator, 2)
+            .unwrap_or_else(|e| panic!("flip at byte {at}: fallback recovery failed: {e:?}"));
+        assert_eq!(durable.num_entities(), 40, "flip at byte {at}");
+        assert_eq!(durable.wal_sequence(), expected_seq, "flip at byte {at}");
+        assert_eq!(
+            durable.view().to_block_collection().blocks,
+            expected_blocks,
+            "flip at byte {at}: recovered state diverged"
+        );
+
+        // The episode is fully accounted for in the report.
+        let report = durable.recovery_report().unwrap().clone();
+        assert!(!report.is_clean(), "flip at byte {at}");
+        assert_eq!(report.committed_generation, 1, "flip at byte {at}");
+        assert_eq!(report.used_generation, 0, "flip at byte {at}");
+        assert_eq!(report.generations_tried, 2, "flip at byte {at}");
+        assert_eq!(report.quarantined.len(), 1, "flip at byte {at}");
+        assert!(report.repair_checkpoint, "flip at byte {at}");
+        assert!(
+            er_persist::quarantine_path(&dir)
+                .join("snapshot.000001.gsmb")
+                .exists(),
+            "flip at byte {at}: corrupt snapshot not quarantined"
+        );
+
+        // The repair checkpoint restored redundancy: the store still
+        // appends, and the next recovery is clean.
+        durable.ingest_unscored(&dataset.profiles[40..45]).unwrap();
+        drop(durable);
+        let durable = DurableMetaBlocker::recover_from(&dir, generator, 1).unwrap();
+        assert_eq!(durable.num_entities(), 45, "flip at byte {at}");
+        assert!(
+            durable.recovery_report().unwrap().is_clean(),
+            "flip at byte {at}: recovery after repair should be clean"
+        );
+    }
 }
 
 #[test]
@@ -509,13 +598,23 @@ fn corrupted_files_surface_as_typed_errors() {
     durable.ingest_unscored(&dataset.profiles[20..40]).unwrap();
     drop(durable);
 
-    // Flip a byte in the snapshot payload.
-    let snapshot = er_stream::persist::snapshot_path(&dir);
-    let clean_snapshot = fs::read(&snapshot).unwrap();
-    let mut bad = clean_snapshot.clone();
-    let at = bad.len() / 2;
-    bad[at] ^= 0x10;
-    fs::write(&snapshot, &bad).unwrap();
+    // The checkpoint committed generation 1; generation 0 is retained as
+    // the fallback.  Corrupting *every* retained snapshot generation
+    // exhausts the fallback chain: recovery is refused with a typed error
+    // and both corpses end up in quarantine.
+    let snapshot1 = er_stream::persist::snapshot_path(&dir, 1);
+    let snapshot0 = er_stream::persist::snapshot_path(&dir, 0);
+    let clean_snapshot1 = fs::read(&snapshot1).unwrap();
+    let clean_snapshot0 = fs::read(&snapshot0).unwrap();
+    for (path, clean) in [
+        (&snapshot1, &clean_snapshot1),
+        (&snapshot0, &clean_snapshot0),
+    ] {
+        let mut bad = clean.clone();
+        let at = bad.len() / 2;
+        bad[at] ^= 0x10;
+        fs::write(path, &bad).unwrap();
+    }
     let err = DurableMetaBlocker::recover_from(&dir, generator, 1).unwrap_err();
     assert!(
         matches!(
@@ -524,10 +623,17 @@ fn corrupted_files_surface_as_typed_errors() {
         ),
         "{err:?}"
     );
-    fs::write(&snapshot, &clean_snapshot).unwrap();
+    let quarantine = er_persist::quarantine_path(&dir);
+    assert!(quarantine.join("snapshot.000001.gsmb").exists());
+    assert!(quarantine.join("snapshot.000000.gsmb").exists());
+    // Put the clean files back (the corrupt ones were moved aside).
+    fs::write(&snapshot1, &clean_snapshot1).unwrap();
+    fs::write(&snapshot0, &clean_snapshot0).unwrap();
 
-    // Flip a byte inside the WAL record payload.
-    let wal = er_stream::persist::wal_path(&dir);
+    // Flip a byte inside the active WAL's record payload: corruption of
+    // acknowledged records is fatal in every mode — degrading around it
+    // would be silent data loss.
+    let wal = er_stream::persist::wal_path(&dir, 1);
     let clean_wal = fs::read(&wal).unwrap();
     let mut bad = clean_wal.clone();
     let at = er_persist::wal::WAL_HEADER_LEN + 4 + 4 + 8 + 10;
