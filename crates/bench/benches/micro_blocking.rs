@@ -7,8 +7,10 @@
 //! Every engine run is checked for bit-identical output against the
 //! reference before timing, so the speedups below never trade determinism
 //! for throughput.
+//!
+//! Emits `BENCH_blocking.json` when `GSMB_BENCH_JSON` is set.
 
-use bench::{banner, bench_catalog_options, bench_repetitions};
+use bench::{banner, bench_catalog_options, bench_repetitions, peak_rss_json, write_bench_json};
 use er_blocking::reference;
 use er_blocking::{
     qgrams_blocking_csr, standard_blocking_workflow_csr, suffix_array_blocking_csr,
@@ -27,15 +29,37 @@ fn time(repetitions: usize, mut f: impl FnMut()) -> f64 {
     start.elapsed().as_secs_f64() / repetitions as f64
 }
 
+fn json_row(dataset: &str, scheme: &str, reference_s: f64, engine_s: &[f64]) -> String {
+    let threads = THREAD_COUNTS
+        .iter()
+        .zip(engine_s)
+        .map(|(t, s)| format!("\"{t}\": {s:.4}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        concat!(
+            "  {{\n",
+            "    \"dataset\": \"{}\",\n",
+            "    \"scheme\": \"{}\",\n",
+            "    \"reference_s\": {:.4},\n",
+            "    \"engine_s\": {{ {} }}\n",
+            "  }}"
+        ),
+        dataset, scheme, reference_s, threads
+    )
+}
+
 /// Benchmarks one scheme: the sequential reference against the engine at
-/// every thread count, asserting bit-identical block output.
+/// every thread count, asserting bit-identical block output.  Returns the
+/// JSON artifact row.
 fn sweep(
     scheme: &str,
+    dataset_name: &str,
     dataset: &Dataset,
     repetitions: usize,
     reference: &dyn Fn(&Dataset) -> BlockCollection,
     engine: &dyn Fn(&Dataset, usize) -> BlockCollection,
-) {
+) -> String {
     let expected = reference(dataset);
     for threads in THREAD_COUNTS {
         let produced = engine(dataset, threads);
@@ -49,13 +73,16 @@ fn sweep(
         criterion::black_box(reference(dataset));
     });
     print!("{scheme:<14} {base:>11.3}s");
+    let mut engine_s = Vec::with_capacity(THREAD_COUNTS.len());
     for threads in THREAD_COUNTS {
         let t = time(repetitions, || {
             criterion::black_box(engine(dataset, threads));
         });
         print!(" {:>7.3}s ({:>4.2}x)", t, base / t);
+        engine_s.push(t);
     }
     println!();
+    json_row(dataset_name, scheme, base, &engine_s)
 }
 
 fn main() {
@@ -63,6 +90,7 @@ fn main() {
     let repetitions = bench_repetitions();
     let options = bench_catalog_options();
     let suffix_config = SuffixArrayConfig::default();
+    let mut json_entries: Vec<String> = Vec::new();
 
     for name in DatasetName::largest_two() {
         let dataset = generate_catalog_dataset(name, &options)
@@ -72,27 +100,31 @@ fn main() {
             "{:<14} {:>12} {:>16} {:>16} {:>16} {:>16}",
             "scheme", "reference", "t=1", "t=2", "t=4", "t=8"
         );
-        sweep(
+        let dataset_name = name.to_string();
+        json_entries.push(sweep(
             "token",
+            &dataset_name,
             &dataset,
             repetitions,
             &reference::token_blocking,
             &|ds, t| token_blocking_csr(ds, t).to_block_collection(),
-        );
-        sweep(
+        ));
+        json_entries.push(sweep(
             "qgrams(3)",
+            &dataset_name,
             &dataset,
             repetitions,
             &|ds| reference::qgrams_blocking(ds, 3),
             &|ds, t| qgrams_blocking_csr(ds, 3, t).to_block_collection(),
-        );
-        sweep(
+        ));
+        json_entries.push(sweep(
             "suffix(4,50)",
+            &dataset_name,
             &dataset,
             repetitions,
             &|ds| reference::suffix_array_blocking(ds, suffix_config),
             &|ds, t| suffix_array_blocking_csr(ds, suffix_config, t).to_block_collection(),
-        );
+        ));
 
         // The full standard workflow (blocking + purging + filtering), CSR
         // end-to-end, without materialising the nested view.
@@ -103,12 +135,25 @@ fn main() {
             ));
         });
         print!("{:<14} {base:>11.3}s", "workflow");
+        let mut engine_s = Vec::with_capacity(THREAD_COUNTS.len());
         for threads in THREAD_COUNTS {
             let t = time(repetitions, || {
                 criterion::black_box(standard_blocking_workflow_csr(&dataset, threads));
             });
             print!(" {:>7.3}s ({:>4.2}x)", t, base / t);
+            engine_s.push(t);
         }
         println!();
+        json_entries.push(json_row(&dataset_name, "workflow", base, &engine_s));
     }
+
+    write_bench_json(
+        "BENCH_blocking.json",
+        &format!(
+            "{{\n\"bench\": \"micro_blocking\",\n\"repetitions\": {},\n\"peak_rss_bytes\": {},\n\"rows\": [\n{}\n]\n}}\n",
+            repetitions,
+            peak_rss_json(),
+            json_entries.join(",\n")
+        ),
+    );
 }

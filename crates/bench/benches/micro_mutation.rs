@@ -16,8 +16,10 @@
 //! Every mutated state is verified against a one-shot batch build of the
 //! surviving corpus before timing — the speedups never trade the
 //! bit-identical contract away.
+//!
+//! Emits `BENCH_mutation.json` when `GSMB_BENCH_JSON` is set.
 
-use bench::{banner, bench_catalog_options, bench_repetitions};
+use bench::{banner, bench_catalog_options, bench_repetitions, peak_rss_json, write_bench_json};
 use er_blocking::{build_blocks, TokenKeys};
 use er_core::{Dataset, EntityId, EntityProfile};
 use er_datasets::{generate_catalog_dataset, DatasetName};
@@ -72,6 +74,7 @@ fn main() {
     let repetitions = bench_repetitions();
     let options = bench_catalog_options();
     let threads = er_core::available_threads();
+    let mut json_entries: Vec<String> = Vec::new();
 
     for name in DatasetName::largest_two() {
         let dataset = generate_catalog_dataset(name, &options)
@@ -139,6 +142,19 @@ fn main() {
                 rebuild * 1e3,
                 rebuild / remove.max(1e-9),
             );
+            json_entries.push(format!(
+                concat!(
+                    "  {{ \"dataset\": \"{}\", \"mode\": \"growing_corpus\", ",
+                    "\"corpus\": {}, \"batch\": {}, \"remove_ms\": {:.3}, ",
+                    "\"update_ms\": {:.3}, \"rebuild_ms\": {:.3} }}"
+                ),
+                name,
+                seed,
+                BATCH,
+                remove * 1e3,
+                update * 1e3,
+                rebuild * 1e3
+            ));
         }
 
         // 2. Fixed corpus (all ingested), growing batch.
@@ -172,6 +188,30 @@ fn main() {
                 update * 1e3,
                 (remove + update) / (2 * batch) as f64 * 1e6,
             );
+            json_entries.push(format!(
+                concat!(
+                    "  {{ \"dataset\": \"{}\", \"mode\": \"growing_batch\", ",
+                    "\"corpus\": {}, \"batch\": {}, \"remove_ms\": {:.3}, ",
+                    "\"update_ms\": {:.3}, \"per_entity_us\": {:.2} }}"
+                ),
+                name,
+                n,
+                batch,
+                remove * 1e3,
+                update * 1e3,
+                (remove + update) / (2 * batch) as f64 * 1e6
+            ));
         }
     }
+
+    write_bench_json(
+        "BENCH_mutation.json",
+        &format!(
+            "{{\n\"bench\": \"micro_mutation\",\n\"repetitions\": {},\n\"threads\": {},\n\"peak_rss_bytes\": {},\n\"rows\": [\n{}\n]\n}}\n",
+            repetitions,
+            threads,
+            peak_rss_json(),
+            json_entries.join(",\n")
+        ),
+    );
 }

@@ -22,7 +22,7 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use bench::{banner, bench_catalog_options, bench_repetitions, write_bench_json};
+use bench::{banner, bench_catalog_options, bench_repetitions, peak_rss_json, write_bench_json};
 use er_blocking::{build_blocks, TokenKeys};
 use er_core::{Dataset, EntityId};
 use er_datasets::{generate_catalog_dataset, DatasetName};
@@ -228,9 +228,10 @@ fn main() {
     write_bench_json(
         "BENCH_persist.json",
         &format!(
-            "{{\n\"bench\": \"micro_persist\",\n\"repetitions\": {},\n\"threads\": {},\n\"datasets\": [\n{}\n]\n}}\n",
+            "{{\n\"bench\": \"micro_persist\",\n\"repetitions\": {},\n\"threads\": {},\n\"peak_rss_bytes\": {},\n\"datasets\": [\n{}\n]\n}}\n",
             repetitions,
             threads,
+            peak_rss_json(),
             json_entries.join(",\n")
         ),
     );

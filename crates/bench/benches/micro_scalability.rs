@@ -1,0 +1,234 @@
+//! Micro-bench: corpus-size scalability of the cache-blocked radix
+//! scoreboard (the 10^5 → 10^7-entity sweep).
+//!
+//! For each corpus size the bench generates a bounded-memory synthetic
+//! Dirty corpus (`er_datasets::generate_scalability`), runs the standard
+//! blocking workflow (Token Blocking + purging + filtering), extracts the
+//! candidate pairs, and then drives the fused feature + scoring pass on
+//! both scoreboard engines:
+//!
+//! * **tiled** — the cache-blocked radix scoreboard (the default engine),
+//!   with a metrics sink recording the per-worker scratch high-water mark;
+//! * **flat** — the retained `O(num_entities)`-scratch reference board.
+//!
+//! Correctness gates before any timing: the two engines must produce
+//! bit-identical probabilities at every size, and the tiled engine's
+//! scratch must stay `O(tile + contributions)` — it is asserted against an
+//! explicit tile-derived bound *and* against a fraction of the flat
+//! board's footprint, so a regression back to corpus-sized scratch fails
+//! the bench rather than just slowing it down.
+//!
+//! Environment: `GSMB_SCALA_SIZES` (comma-separated entity counts, default
+//! `100000,1000000`), `GSMB_SCALA_TILE` (tile width override, default
+//! auto), `GSMB_REPS`.  Emits `BENCH_scalability.json` when
+//! `GSMB_BENCH_JSON` is set.
+
+use std::time::Instant;
+
+use bench::{banner, bench_repetitions, env_usize, peak_rss_json, write_bench_json};
+use er_blocking::{standard_blocking_workflow_csr, BlockStats, CandidatePairs};
+use er_datasets::{generate_scalability, ScalabilityConfig};
+use er_features::{FeatureContext, FeatureMatrix, FeatureSet, ScoreboardConfig, ScoreboardMetrics};
+
+/// Corpus sizes above this skip the full-matrix equality gate (the score
+/// vectors are still compared bit-for-bit at every size).
+const MATRIX_GATE_LIMIT: usize = 200_000;
+
+fn sizes() -> Vec<usize> {
+    let spec = std::env::var("GSMB_SCALA_SIZES").unwrap_or_else(|_| "100000,1000000".to_string());
+    let sizes: Vec<usize> = spec
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+    assert!(!sizes.is_empty(), "GSMB_SCALA_SIZES parsed to no sizes");
+    sizes
+}
+
+fn main() {
+    banner("Micro-bench: radix-scoreboard scalability by corpus size");
+    let repetitions = bench_repetitions();
+    let threads = er_core::available_threads();
+    let set = FeatureSet::blast_optimal();
+    let tile_override = env_usize("GSMB_SCALA_TILE", 0);
+    let score = |row: &[f64]| row.iter().sum::<f64>();
+    let mut json_entries: Vec<String> = Vec::new();
+
+    println!(
+        "{:>10} {:>8} {:>8} {:>8} {:>11} {:>9} {:>9} {:>12} {:>12}",
+        "entities", "gen", "block", "cands", "pairs", "tiled", "flat", "scratch(t)", "scratch(f)"
+    );
+
+    for n in sizes() {
+        let start = Instant::now();
+        let dataset = generate_scalability(&ScalabilityConfig::at_scale(n, 0x5ca1))
+            .unwrap_or_else(|e| panic!("failed to generate scal-{n}: {e}"));
+        let gen_s = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let blocks = standard_blocking_workflow_csr(&dataset, threads);
+        let blocking_s = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let stats = BlockStats::from_csr(&blocks);
+        let candidates = CandidatePairs::from_stats(&stats, threads);
+        let candidates_s = start.elapsed().as_secs_f64();
+        let pairs = candidates.len();
+        assert!(pairs > 0, "scal-{n}: no candidate pairs survived cleaning");
+        let context = FeatureContext::new(&stats, &candidates);
+
+        let tiled_metrics = ScoreboardMetrics::shared();
+        let mut tiled_config = ScoreboardConfig::default().with_metrics(tiled_metrics.clone());
+        if tile_override > 0 {
+            tiled_config.tile_entities = Some(tile_override);
+        }
+        let flat_metrics = ScoreboardMetrics::shared();
+        let flat_config = ScoreboardConfig::flat().with_metrics(flat_metrics.clone());
+
+        // Correctness gate 1: bit-identical probabilities across engines.
+        let tiled_scores =
+            FeatureMatrix::score_rows_with(&context, set, threads, &tiled_config, score);
+        let flat_scores =
+            FeatureMatrix::score_rows_with(&context, set, threads, &flat_config, score);
+        assert_eq!(
+            tiled_scores, flat_scores,
+            "scal-{n}: tiled and flat scores diverged"
+        );
+        drop(flat_scores);
+        drop(tiled_scores);
+        if n <= MATRIX_GATE_LIMIT {
+            let tiled = FeatureMatrix::build_with(&context, set, threads, &tiled_config);
+            let flat = FeatureMatrix::build_with(&context, set, threads, &flat_config);
+            for (id, row) in flat.rows() {
+                assert_eq!(tiled.row(id), row, "scal-{n}: matrix row {id:?} diverged");
+            }
+        }
+
+        // Correctness gate 2: per-worker scratch is O(tile + contributions),
+        // not O(num_entities).  The bound mirrors the board's layout — tile
+        // accumulators (20 B/slot), the two counting-sort arrays (24 B per
+        // contribution each, doubled for Vec growth slack), and the 4-byte
+        // per-tile counters — plus fixed slack; a corpus-scaled board blows
+        // straight through it.
+        let tile = tiled_config.effective_tile(candidates.num_entities());
+        let slots = tile.max(tiled_config.dense_remap_limit);
+        let num_tiles = candidates.num_entities().div_ceil(tile);
+        let scratch_tiled = tiled_metrics.scratch_bytes_hwm();
+        let scratch_flat = flat_metrics.scratch_bytes_hwm();
+        let bound =
+            64 * slots + 96 * tiled_metrics.contributions_hwm() + 16 * num_tiles + 64 * 1024;
+        assert!(
+            scratch_tiled <= bound,
+            "scal-{n}: tiled scratch {scratch_tiled} B exceeds O(tile) bound {bound} B"
+        );
+        assert!(
+            scratch_tiled < scratch_flat,
+            "scal-{n}: tiled scratch {scratch_tiled} B not below flat {scratch_flat} B"
+        );
+
+        // Timed sweep: the fused feature + probability pass per engine.
+        let mut tiled_s = 0.0f64;
+        let mut flat_s = 0.0f64;
+        for _ in 0..repetitions {
+            let start = Instant::now();
+            criterion::black_box(FeatureMatrix::score_rows_with(
+                &context,
+                set,
+                threads,
+                &tiled_config,
+                score,
+            ));
+            tiled_s += start.elapsed().as_secs_f64();
+            let start = Instant::now();
+            criterion::black_box(FeatureMatrix::score_rows_with(
+                &context,
+                set,
+                threads,
+                &flat_config,
+                score,
+            ));
+            flat_s += start.elapsed().as_secs_f64();
+        }
+        tiled_s /= repetitions as f64;
+        flat_s /= repetitions as f64;
+
+        println!(
+            "{:>10} {:>7.2}s {:>7.2}s {:>7.2}s {:>11} {:>8.2}s {:>8.2}s {:>9} KiB {:>9} KiB",
+            n,
+            gen_s,
+            blocking_s,
+            candidates_s,
+            pairs,
+            tiled_s,
+            flat_s,
+            scratch_tiled / 1024,
+            scratch_flat / 1024,
+        );
+        println!(
+            "{:>10} tile {} ({} tiles), dense/radix entities {}/{}, partners hwm {}, contributions hwm {}, {:.1} Mpairs/s tiled vs {:.1} Mpairs/s flat",
+            "",
+            tile,
+            num_tiles,
+            tiled_metrics.dense_entities(),
+            tiled_metrics.radix_entities(),
+            tiled_metrics.partners_hwm(),
+            tiled_metrics.contributions_hwm(),
+            pairs as f64 / tiled_s.max(1e-9) / 1e6,
+            pairs as f64 / flat_s.max(1e-9) / 1e6,
+        );
+
+        json_entries.push(format!(
+            concat!(
+                "  {{\n",
+                "    \"entities\": {},\n",
+                "    \"pairs\": {},\n",
+                "    \"generate_s\": {:.3},\n",
+                "    \"blocking_s\": {:.3},\n",
+                "    \"candidates_s\": {:.3},\n",
+                "    \"score_tiled_s\": {:.3},\n",
+                "    \"score_flat_s\": {:.3},\n",
+                "    \"pairs_per_s_tiled\": {:.0},\n",
+                "    \"pairs_per_s_flat\": {:.0},\n",
+                "    \"tile_entities\": {},\n",
+                "    \"num_tiles\": {},\n",
+                "    \"scratch_tiled_bytes\": {},\n",
+                "    \"scratch_flat_bytes\": {},\n",
+                "    \"partners_hwm\": {},\n",
+                "    \"contributions_hwm\": {},\n",
+                "    \"dense_entities\": {},\n",
+                "    \"radix_entities\": {},\n",
+                "    \"peak_rss_bytes\": {}\n",
+                "  }}"
+            ),
+            n,
+            pairs,
+            gen_s,
+            blocking_s,
+            candidates_s,
+            tiled_s,
+            flat_s,
+            pairs as f64 / tiled_s.max(1e-9),
+            pairs as f64 / flat_s.max(1e-9),
+            tile,
+            num_tiles,
+            scratch_tiled,
+            scratch_flat,
+            tiled_metrics.partners_hwm(),
+            tiled_metrics.contributions_hwm(),
+            tiled_metrics.dense_entities(),
+            tiled_metrics.radix_entities(),
+            peak_rss_json(),
+        ));
+    }
+
+    write_bench_json(
+        "BENCH_scalability.json",
+        &format!(
+            "{{\n\"bench\": \"micro_scalability\",\n\"repetitions\": {},\n\"threads\": {},\n\"peak_rss_bytes\": {},\n\"sizes\": [\n{}\n]\n}}\n",
+            repetitions,
+            threads,
+            peak_rss_json(),
+            json_entries.join(",\n")
+        ),
+    );
+}

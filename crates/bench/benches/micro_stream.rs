@@ -15,8 +15,10 @@
 //!
 //! Every streamed state is verified against a one-shot batch build before
 //! timing — the speedups never trade the bit-identical contract away.
+//!
+//! Emits `BENCH_stream.json` when `GSMB_BENCH_JSON` is set.
 
-use bench::{banner, bench_catalog_options, bench_repetitions};
+use bench::{banner, bench_catalog_options, bench_repetitions, peak_rss_json, write_bench_json};
 use er_blocking::{build_blocks, TokenKeys};
 use er_core::Dataset;
 use er_datasets::{generate_catalog_dataset, DatasetName};
@@ -44,6 +46,7 @@ fn main() {
     let repetitions = bench_repetitions();
     let options = bench_catalog_options();
     let threads = er_core::available_threads();
+    let mut json_entries: Vec<String> = Vec::new();
 
     for name in DatasetName::largest_two() {
         let dataset = generate_catalog_dataset(name, &options)
@@ -93,6 +96,18 @@ fn main() {
                 rebuild * 1e3,
                 rebuild / ingest.max(1e-9),
             );
+            json_entries.push(format!(
+                concat!(
+                    "  {{ \"dataset\": \"{}\", \"mode\": \"growing_corpus\", ",
+                    "\"corpus\": {}, \"batch\": {}, \"ingest_ms\": {:.3}, ",
+                    "\"rebuild_ms\": {:.3} }}"
+                ),
+                name,
+                seed,
+                BATCH,
+                ingest * 1e3,
+                rebuild * 1e3
+            ));
         }
 
         // 2. Fixed corpus (half of E2 ingested), growing batch.
@@ -114,6 +129,29 @@ fn main() {
                 time * 1e3,
                 time / batch as f64 * 1e6,
             );
+            json_entries.push(format!(
+                concat!(
+                    "  {{ \"dataset\": \"{}\", \"mode\": \"growing_batch\", ",
+                    "\"corpus\": {}, \"batch\": {}, \"ingest_ms\": {:.3}, ",
+                    "\"per_entity_us\": {:.2} }}"
+                ),
+                name,
+                seed,
+                batch,
+                time * 1e3,
+                time / batch as f64 * 1e6
+            ));
         }
     }
+
+    write_bench_json(
+        "BENCH_stream.json",
+        &format!(
+            "{{\n\"bench\": \"micro_stream\",\n\"repetitions\": {},\n\"threads\": {},\n\"peak_rss_bytes\": {},\n\"rows\": [\n{}\n]\n}}\n",
+            repetitions,
+            threads,
+            peak_rss_json(),
+            json_entries.join(",\n")
+        ),
+    );
 }

@@ -104,6 +104,25 @@ pub fn write_bench_json(file_name: &str, json: &str) -> Option<std::path::PathBu
     Some(path)
 }
 
+/// Peak resident-set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where that interface does not exist
+/// (non-Linux).  Reported in every bench JSON artifact so memory growth is
+/// tracked alongside throughput across PRs.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// `peak_rss_bytes` rendered for a JSON field: the byte count, or `null`.
+pub fn peak_rss_json() -> String {
+    match peak_rss_bytes() {
+        Some(bytes) => bytes.to_string(),
+        None => "null".to_string(),
+    }
+}
+
 /// Runs the feature-selection sweep (Tables 3 and 4) for one algorithm and
 /// returns `(feature set, mean effectiveness)` sorted by descending F1.
 ///
@@ -179,5 +198,18 @@ mod tests {
         assert!(options.scale > 0.0);
         assert!(options.dirty_scale > 0.0);
         assert!(bench_repetitions() >= 1);
+    }
+
+    #[test]
+    fn peak_rss_reads_vm_hwm_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            let bytes = rss.expect("VmHWM should exist on Linux");
+            assert!(bytes > 0);
+            assert_eq!(peak_rss_json(), bytes.to_string());
+        } else {
+            assert!(rss.is_none());
+            assert_eq!(peak_rss_json(), "null");
+        }
     }
 }

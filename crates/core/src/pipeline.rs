@@ -29,7 +29,7 @@ use er_blocking::{
     standard_blocking_workflow_csr, BlockCollection, BlockStats, CandidatePairs, CsrBlockCollection,
 };
 use er_core::{Dataset, PairId, Result};
-use er_features::{FeatureContext, FeatureMatrix, FeatureSet};
+use er_features::{FeatureContext, FeatureMatrix, FeatureSet, ScoreboardConfig};
 use er_learn::{
     balanced_undersample, Classifier, LinearSvm, LinearSvmConfig, LogisticRegression,
     LogisticRegressionConfig, ProbabilisticClassifier, SavedModel, TrainingSet,
@@ -100,6 +100,11 @@ pub struct MetaBlockingConfig {
     /// Every stage is deterministic, so the thread count never changes the
     /// output.
     pub threads: Option<usize>,
+    /// Scoreboard engine configuration for the fused feature/scoring pass
+    /// (tile width, dense-remap limit, optional metrics sink).  Output is
+    /// bit-identical for every configuration; this only tunes per-worker
+    /// scratch locality.
+    pub scoreboard: ScoreboardConfig,
 }
 
 impl Default for MetaBlockingConfig {
@@ -111,6 +116,7 @@ impl Default for MetaBlockingConfig {
             blast_ratio: Blast::DEFAULT_RATIO,
             seed: 0x6d62_0001,
             threads: None,
+            scoreboard: ScoreboardConfig::default(),
         }
     }
 }
@@ -306,9 +312,13 @@ impl MetaBlockingPipeline {
 
         // Scoring: fused feature + probability pass, no materialised matrix.
         let scoring_start = Instant::now();
-        let probabilities = FeatureMatrix::score_rows(&context, set, threads, |features| {
-            model.probability(features).clamp(0.0, 1.0)
-        });
+        let probabilities = FeatureMatrix::score_rows_with(
+            &context,
+            set,
+            threads,
+            &self.config.scoreboard,
+            |features| model.probability(features).clamp(0.0, 1.0),
+        );
         let scores = CachedScores::new(probabilities);
         let scoring_time = scoring_start.elapsed();
 

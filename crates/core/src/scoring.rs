@@ -12,6 +12,12 @@
 //! Both implement [`ProbabilitySource`], so every pruning algorithm works with
 //! either (the ablation bench `ablation_probability_cache` measures the
 //! difference).
+//!
+//! The pipeline's cached path is filled by
+//! [`er_features::FeatureMatrix::score_rows_with`] — the fused feature +
+//! probability pass running on the scoreboard engine selected by
+//! `MetaBlockingConfig::scoreboard` — so the probabilities here are
+//! bit-identical for every engine, tile width and thread count.
 
 use er_core::PairId;
 use er_features::FeatureMatrix;

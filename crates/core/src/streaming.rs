@@ -111,9 +111,10 @@ impl StreamingPipeline {
         // The seed corpus is already indexed by the batch pass above — score
         // its candidate pairs once through the fused batch path instead of
         // re-deriving every pair's features during seeding.
-        let seed_probabilities = FeatureMatrix::score_rows(&context, set, threads, |row| {
-            model.probability(row).clamp(0.0, 1.0)
-        });
+        let seed_probabilities =
+            FeatureMatrix::score_rows_with(&context, set, threads, &config.scoreboard, |row| {
+                model.probability(row).clamp(0.0, 1.0)
+            });
 
         let stream_config = StreamingConfig {
             dataset_name: seed_corpus.name.clone(),
@@ -121,6 +122,7 @@ impl StreamingPipeline {
             split: seed_corpus.split,
             feature_set: set,
             threads,
+            scoreboard: config.scoreboard.clone(),
         };
         let mut pipeline = StreamingPipeline {
             blocker: StreamingMetaBlocker::new(stream_config, TokenKeys)

@@ -166,6 +166,13 @@ impl CandidatePairs {
         });
 
         let total: usize = runs.iter().map(|(p, _)| p.len()).sum();
+        // The CSR offsets (and `PairId`) are u32; wrapping past 2^32 pairs
+        // would silently corrupt the index, so refuse loudly instead.
+        assert!(
+            u32::try_from(total).is_ok(),
+            "candidate set has {total} pairs, above the u32 pair-index limit; \
+             block cleaning must prune harder before extraction at this scale"
+        );
         let mut pairs = Vec::with_capacity(total);
         let mut entity_candidates = vec![0u32; num_entities];
         let mut offsets = Vec::with_capacity(num_entities + 1);

@@ -16,6 +16,7 @@ pub mod clean_clean;
 pub mod config;
 pub mod dirty;
 pub mod noise;
+pub mod scalability;
 pub mod vocab;
 
 pub use catalog::{
@@ -24,4 +25,5 @@ pub use catalog::{
 pub use clean_clean::generate_clean_clean;
 pub use config::{CleanCleanConfig, DirtyConfig, NoiseConfig};
 pub use dirty::generate_dirty;
+pub use scalability::{generate_scalability, ScalabilityConfig};
 pub use vocab::Vocabulary;

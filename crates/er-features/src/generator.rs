@@ -28,6 +28,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::context::{write_features_from, FeatureContext, PairCooccurrence};
 use crate::feature_set::FeatureSet;
+use crate::scoreboard::{FlatScoreboard, RadixScoreboard, ScoreboardConfig, ScoreboardEngine};
 
 /// Rows per work-queue chunk: large enough to amortise queue locking, small
 /// enough that stealing keeps skewed tails balanced.
@@ -58,11 +59,23 @@ impl FeatureMatrix {
     }
 
     /// Builds the matrix with an explicit thread count via the fused
-    /// entity-major single-pass engine.
+    /// entity-major single-pass engine (default scoreboard configuration).
     pub fn build_with_threads(
         context: &FeatureContext<'_>,
         set: FeatureSet,
         threads: usize,
+    ) -> Self {
+        Self::build_with(context, set, threads, &ScoreboardConfig::default())
+    }
+
+    /// Builds the matrix with an explicit thread count and scoreboard
+    /// configuration.  Output is bit-identical across engines, tile widths
+    /// and thread counts; the configuration only changes scratch locality.
+    pub fn build_with(
+        context: &FeatureContext<'_>,
+        set: FeatureSet,
+        threads: usize,
+        scoreboard: &ScoreboardConfig,
     ) -> Self {
         let num_features = set.vector_len();
         let num_pairs = context.candidates().len();
@@ -74,6 +87,7 @@ impl FeatureMatrix {
             threads,
             num_features,
             &mut values,
+            scoreboard,
             |_context, _pair, row, slot| slot.copy_from_slice(row),
         );
 
@@ -120,6 +134,18 @@ impl FeatureMatrix {
         threads: usize,
         score: impl Fn(&[f64]) -> f64 + Sync,
     ) -> Vec<f64> {
+        Self::score_rows_with(context, set, threads, &ScoreboardConfig::default(), score)
+    }
+
+    /// [`FeatureMatrix::score_rows`] with an explicit scoreboard
+    /// configuration.
+    pub fn score_rows_with(
+        context: &FeatureContext<'_>,
+        set: FeatureSet,
+        threads: usize,
+        scoreboard: &ScoreboardConfig,
+        score: impl Fn(&[f64]) -> f64 + Sync,
+    ) -> Vec<f64> {
         let num_pairs = context.candidates().len();
         let mut out = vec![0.0f64; num_pairs];
         fused_entity_major_pass(
@@ -128,6 +154,7 @@ impl FeatureMatrix {
             threads,
             1,
             &mut out,
+            scoreboard,
             |_context, _pair, row, slot| slot[0] = score(row),
         );
         out
@@ -263,34 +290,39 @@ fn effective_threads(threads: usize, num_pairs: usize) -> usize {
     }
 }
 
-/// Per-worker accumulation state of the entity-major pass: one slot per
-/// entity, indexed by partner id, plus the list of slots touched for the
-/// current entity (so resets cost O(#partners), not O(num_entities)).
-struct Scoreboard {
-    common: Vec<u32>,
-    inv_comp: Vec<f64>,
-    inv_size: Vec<f64>,
-    touched: Vec<u32>,
+/// Per-worker accumulation state of the entity-major pass: either the
+/// retained flat board (one slot per entity) or the cache-blocked radix
+/// board with its reusable drained-partner buffer.
+enum WorkerBoard {
+    Flat(FlatScoreboard),
+    Tiled {
+        board: RadixScoreboard,
+        partners: Vec<(u32, PairCooccurrence)>,
+    },
 }
 
-/// The fused entity-major engine shared by [`FeatureMatrix::build_with_threads`]
-/// and [`FeatureMatrix::score_rows`].
+/// The fused entity-major engine shared by [`FeatureMatrix::build_with`]
+/// and [`FeatureMatrix::score_rows_with`].
 ///
 /// Processes candidate pairs grouped by their smaller endpoint `a`: walks
 /// `a`'s blocks once through the flat [`er_blocking::BlockStats`] reverse
 /// index, accumulating every partner's `(common blocks, Σ1/||b||, Σ1/|b|)`
 /// on the worker's scoreboard, then emits one `row_width`-wide output row
-/// per candidate of `a` and resets exactly the touched slots.  Because
-/// blocks are visited in ascending id order the accumulated sums are
-/// bit-identical to a per-pair merge of the sorted block lists.
+/// per candidate of `a`.  Because blocks are visited in ascending id order
+/// — and the tiled board folds each partner's contributions in exactly that
+/// append order — the accumulated sums are bit-identical to a per-pair
+/// merge of the sorted block lists on every engine, tile width and thread
+/// count.
 ///
 /// `emit` receives `(context, (a, b), feature_row, output_slot)`.
+#[allow(clippy::too_many_arguments)]
 fn fused_entity_major_pass<E>(
     context: &FeatureContext<'_>,
     set: FeatureSet,
     threads: usize,
     row_width: usize,
     out: &mut [f64],
+    scoreboard: &ScoreboardConfig,
     emit: E,
 ) where
     E: Fn(&FeatureContext<'_>, (EntityId, EntityId), &[f64], &mut [f64]) + Sync,
@@ -350,17 +382,16 @@ fn fused_entity_major_pass<E>(
         tasks.len(),
         threads,
         || {
-            (
-                Scoreboard {
-                    common: vec![0u32; num_entities],
-                    inv_comp: vec![0.0; num_entities],
-                    inv_size: vec![0.0; num_entities],
-                    touched: Vec::new(),
+            let board = match scoreboard.engine {
+                ScoreboardEngine::Flat => WorkerBoard::Flat(FlatScoreboard::new(num_entities)),
+                ScoreboardEngine::Tiled => WorkerBoard::Tiled {
+                    board: RadixScoreboard::new(num_entities, scoreboard),
+                    partners: Vec::new(),
                 },
-                vec![0.0f64; num_features],
-            )
+            };
+            (board, vec![0.0f64; num_features])
         },
-        |task, (board, row)| {
+        |task, (worker, row)| {
             let chunk = slices.lock().expect("task slices poisoned")[task]
                 .take()
                 .expect("task dispatched twice");
@@ -368,62 +399,48 @@ fn fused_entity_major_pass<E>(
             let mut cursor = 0usize;
             for e in lo..hi {
                 let a = EntityId(e);
-                if candidates.pair_range(a).is_empty() {
+                let cands = candidates.pairs_of(a);
+                if cands.is_empty() {
                     continue;
                 }
-                // Accumulate partner aggregates by walking a's blocks once.
-                for &bid in stats.blocks_of(a) {
-                    let block_inv_comp = inv_comp_table[bid.index()];
-                    let block_inv_size = inv_size_table[bid.index()];
-                    let members = stats.entities_of(bid);
-                    let partners = match kind {
-                        er_core::DatasetKind::CleanClean => {
-                            &members[stats.first_source_count(bid) as usize..]
+                // Enumerate a's block partners once (closure re-invoked per
+                // accumulation strategy).  The walk only yields a's
+                // second-source partners for Clean-Clean ER, so a candidate
+                // set built with `CandidatePairs::from_pairs` may contain
+                // pairs the board has no data for (both endpoints in E1);
+                // those fall back to the per-pair merge below so every
+                // candidate set yields exactly the reference values.
+                let walk_partners = |sink: &mut dyn FnMut(EntityId, f64, f64)| {
+                    for &bid in stats.blocks_of(a) {
+                        let block_inv_comp = inv_comp_table[bid.index()];
+                        let block_inv_size = inv_size_table[bid.index()];
+                        let members = stats.entities_of(bid);
+                        let partners = match kind {
+                            er_core::DatasetKind::CleanClean => {
+                                &members[stats.first_source_count(bid) as usize..]
+                            }
+                            er_core::DatasetKind::Dirty => {
+                                let start = members.partition_point(|p| p.index() <= e as usize);
+                                &members[start..]
+                            }
+                        };
+                        for &p in partners {
+                            sink(p, block_inv_comp, block_inv_size);
                         }
-                        er_core::DatasetKind::Dirty => {
-                            let start = members.partition_point(|p| p.index() <= e as usize);
-                            &members[start..]
-                        }
-                    };
-                    for &p in partners {
-                        let pi = p.index();
-                        if board.common[pi] == 0 {
-                            board.touched.push(pi as u32);
-                        }
-                        board.common[pi] += 1;
-                        board.inv_comp[pi] += block_inv_comp;
-                        board.inv_size[pi] += block_inv_size;
                     }
-                }
-                // Emit one row per candidate of a.  The accumulation above
-                // only enumerates a's second-source block partners for
-                // Clean-Clean ER, so a candidate set that was built with
-                // `CandidatePairs::from_pairs` may contain pairs the board
-                // has no data for (both endpoints in E1); those fall back to
-                // the per-pair merge so every candidate set yields exactly
-                // the reference values.  a's per-entity aggregates are fixed
-                // across its whole partner run — gather them once, not per
-                // pair.
+                };
+                let board_covers_pair = |b: EntityId| match kind {
+                    er_core::DatasetKind::CleanClean => b.index() >= split,
+                    er_core::DatasetKind::Dirty => true,
+                };
+                // a's per-entity aggregates are fixed across its whole
+                // partner run — gather them once, not per pair.
                 let a_aggregates = context.entity_aggregates(a);
-                for &(_, b) in candidates.pairs_of(a) {
-                    let bi = b.index();
-                    let board_covers_pair = match kind {
-                        er_core::DatasetKind::CleanClean => bi >= split,
-                        er_core::DatasetKind::Dirty => true,
-                    };
-                    let agg = if board_covers_pair {
-                        PairCooccurrence {
-                            common_blocks: board.common[bi] as usize,
-                            inv_comparisons_sum: board.inv_comp[bi],
-                            inv_sizes_sum: board.inv_size[bi],
-                        }
-                    } else {
-                        context.cooccurrence(a, b)
-                    };
+                let mut emit_row = |b: EntityId, agg: &PairCooccurrence, cursor: usize| {
                     write_features_from(
                         &a_aggregates,
                         &context.entity_aggregates(b),
-                        &agg,
+                        agg,
                         set,
                         row,
                     );
@@ -433,18 +450,100 @@ fn fused_entity_major_pass<E>(
                         row,
                         &mut chunk[cursor * row_width..(cursor + 1) * row_width],
                     );
-                    cursor += 1;
+                };
+                match worker {
+                    WorkerBoard::Flat(board) => {
+                        walk_partners(&mut |p, ic, is| {
+                            let pi = p.index();
+                            if board.common[pi] == 0 {
+                                board.touched.push(pi as u32);
+                            }
+                            board.common[pi] += 1;
+                            board.inv_comp[pi] += ic;
+                            board.inv_size[pi] += is;
+                        });
+                        for &(_, b) in cands {
+                            let bi = b.index();
+                            let agg = if board_covers_pair(b) {
+                                PairCooccurrence {
+                                    common_blocks: board.common[bi] as usize,
+                                    inv_comparisons_sum: board.inv_comp[bi],
+                                    inv_sizes_sum: board.inv_size[bi],
+                                }
+                            } else {
+                                context.cooccurrence(a, b)
+                            };
+                            emit_row(b, &agg, cursor);
+                            cursor += 1;
+                        }
+                        // Reset every touched slot — the touched set can be
+                        // a strict superset of a's candidates (e.g. a pruned
+                        // `from_pairs` subset), so resetting along the
+                        // candidate list would leak state into later
+                        // entities.
+                        for &pi in &board.touched {
+                            board.common[pi as usize] = 0;
+                            board.inv_comp[pi as usize] = 0.0;
+                            board.inv_size[pi as usize] = 0.0;
+                        }
+                        board.touched.clear();
+                    }
+                    WorkerBoard::Tiled { board, partners: _ }
+                        if cands.len() <= board.dense_limit() =>
+                    {
+                        // Dense partner remap: accumulate straight into the
+                        // slot of the (sorted) candidate list, skipping
+                        // partners that were pruned out of it — their
+                        // aggregates would never be read.
+                        walk_partners(&mut |p, ic, is| {
+                            if let Ok(slot) = cands.binary_search_by(|probe| probe.1.cmp(&p)) {
+                                board.add_dense(slot, ic, is);
+                            }
+                        });
+                        for (slot, &(_, b)) in cands.iter().enumerate() {
+                            let agg = if board_covers_pair(b) {
+                                board.dense_agg(slot)
+                            } else {
+                                context.cooccurrence(a, b)
+                            };
+                            emit_row(b, &agg, cursor);
+                            cursor += 1;
+                        }
+                        board.finish_dense(cands.len());
+                    }
+                    WorkerBoard::Tiled { board, partners } => {
+                        // Radix scatter + tile-local accumulate, then merge
+                        // the drained (ascending) partner list with the
+                        // (ascending) candidate list.  Candidates absent
+                        // from the drain keep zero aggregates — exactly the
+                        // flat board's never-written slots.
+                        walk_partners(&mut |p, ic, is| board.add(p.0, ic, is));
+                        board.drain_sorted_into(partners);
+                        let mut j = 0usize;
+                        for &(_, b) in cands {
+                            while j < partners.len() && partners[j].0 < b.0 {
+                                j += 1;
+                            }
+                            let agg = if !board_covers_pair(b) {
+                                context.cooccurrence(a, b)
+                            } else if j < partners.len() && partners[j].0 == b.0 {
+                                partners[j].1
+                            } else {
+                                PairCooccurrence::default()
+                            };
+                            emit_row(b, &agg, cursor);
+                            cursor += 1;
+                        }
+                    }
                 }
-                // Reset every touched slot — the touched set can be a strict
-                // superset of a's candidates (e.g. a pruned `from_pairs`
-                // subset), so resetting along the candidate list would leak
-                // state into later entities.
-                for &pi in &board.touched {
-                    board.common[pi as usize] = 0;
-                    board.inv_comp[pi as usize] = 0.0;
-                    board.inv_size[pi as usize] = 0.0;
+            }
+            match worker {
+                WorkerBoard::Flat(board) => {
+                    if let Some(metrics) = &scoreboard.metrics {
+                        metrics.record_scratch(board.scratch_bytes());
+                    }
                 }
-                board.touched.clear();
+                WorkerBoard::Tiled { board, .. } => board.flush_metrics(),
             }
             debug_assert_eq!(cursor * row_width, chunk.len());
         },

@@ -12,13 +12,23 @@
 //! combinations can be enumerated for the feature-selection experiment); and
 //! [`FeatureMatrix`] materialises the vectors for every candidate pair.
 
+//!
+//! The partner-aggregation engine behind [`FeatureMatrix`] is the
+//! cache-blocked radix scoreboard in [`scoreboard`]: per-worker scratch is
+//! `O(tile)`, not `O(num_entities)`, with output bit-identical to the
+//! retained flat reference board.
+
 pub mod context;
 pub mod feature_set;
 pub mod generator;
 pub mod reference;
 pub mod schemes;
+pub mod scoreboard;
 
 pub use context::{write_features_from, EntityAggregates, FeatureContext, PairCooccurrence};
 pub use feature_set::FeatureSet;
 pub use generator::FeatureMatrix;
 pub use schemes::Scheme;
+pub use scoreboard::{
+    FlatScoreboard, RadixScoreboard, ScoreboardConfig, ScoreboardEngine, ScoreboardMetrics,
+};

@@ -1,0 +1,584 @@
+//! Cache-blocked radix scoreboard: the partner-aggregation engine behind the
+//! fused entity-major feature pass.
+//!
+//! The original scoreboard (PR 1) kept three dense `O(num_entities)` arrays
+//! per worker — `common` / `inv_comp` / `inv_size`, ~20 bytes per entity.
+//! At 10^7 entities and 16 workers that is ~3.2 GB of cold scratch whose
+//! random partner-indexed writes miss every cache level.  This module
+//! replaces it with a tiled engine whose scratch is
+//! `O(tile + contributions_of_one_entity)`:
+//!
+//! 1. **Radix scatter.**  The partner id space is split into power-of-two
+//!    *tiles* ([`ScoreboardConfig::tile_entities`], auto-sized to
+//!    [`DEFAULT_TILE_ENTITIES`]).  Each `(partner, 1/||b||, 1/|b|)`
+//!    contribution of the current entity is appended to one entries array
+//!    while a 4-byte-per-tile counter tracks its tile — a sequential push,
+//!    never a corpus-sized random write.  At drain time a *stable* counting
+//!    sort (prefix sums over the active tiles' counters, then an in-order
+//!    scatter) groups the entries by tile; stability keeps each tile's run
+//!    in append order.  Per-tile `Vec` buckets would do the same job but
+//!    retain their historical max capacity forever, which sums to
+//!    `O(num_tiles)`-sized scratch across a long pass — the two flat arrays
+//!    keep retained capacity at `O(contributions_of_one_entity)`.
+//! 2. **Tile-local accumulate.**  The grouped runs are visited in ascending
+//!    tile order; each run is folded into tile-width accumulator arrays
+//!    (cache-resident by construction) and emitted in ascending partner
+//!    order.
+//! 3. **Dense partner remap.**  When an entity's candidate list is short
+//!    (≤ [`ScoreboardConfig::dense_remap_limit`]) the engine skips the radix
+//!    pass entirely: every contribution is binary-searched into the sorted
+//!    candidate list and accumulated at that slot, so the scratch touched is
+//!    `O(candidates_of_a)`.
+//!
+//! **Bit-identity.**  A partner's floating-point sums are accumulated in
+//! bucket-append order, which is exactly the block-walk order the flat
+//! scoreboard used; per-partner addition sequences are therefore identical
+//! and the drained aggregates are bit-for-bit the flat scoreboard's values.
+//! The flat engine is retained ([`FlatScoreboard`],
+//! [`ScoreboardEngine::Flat`]) as the reference for equivalence tests and
+//! scratch-size comparisons.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::context::PairCooccurrence;
+
+/// Default tile width (entities per tile) when auto-sizing: 4096 slots keep
+/// the three accumulator arrays (20 bytes per slot) at 80 KiB — L2-resident
+/// on current hardware — while keeping the per-tile counter array shallow
+/// (`num_entities / 4096` four-byte counters).
+pub const DEFAULT_TILE_ENTITIES: usize = 4096;
+
+/// Default upper bound on candidate-list length for the dense partner-remap
+/// fast path.
+pub const DEFAULT_DENSE_REMAP_LIMIT: usize = 64;
+
+/// Which partner-aggregation engine the fused pass runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ScoreboardEngine {
+    /// The cache-blocked radix scoreboard (default).
+    #[default]
+    Tiled,
+    /// The original flat `O(num_entities)`-scratch scoreboard, retained as
+    /// the equivalence reference.
+    Flat,
+}
+
+/// Configuration of the scoreboard engine, carried by
+/// `MetaBlockingConfig` / `StreamingConfig`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScoreboardConfig {
+    /// Engine selection; [`ScoreboardEngine::Tiled`] unless a caller opts
+    /// back into the flat reference.
+    pub engine: ScoreboardEngine,
+    /// Requested tile width in entities; `None` auto-sizes to
+    /// [`DEFAULT_TILE_ENTITIES`].  Rounded up to a power of two and capped
+    /// at `max(num_entities.next_power_of_two(), DEFAULT_TILE_ENTITIES)` —
+    /// any request larger than the corpus degenerates to a single tile.
+    pub tile_entities: Option<usize>,
+    /// Entities whose candidate list is at most this long take the dense
+    /// partner-remap fast path instead of the radix scatter.  `0` disables
+    /// the fast path.
+    pub dense_remap_limit: usize,
+    /// Optional shared metrics sink; workers record scratch high-water marks
+    /// and per-path entity counts into it.
+    pub metrics: Option<Arc<ScoreboardMetrics>>,
+}
+
+impl Default for ScoreboardConfig {
+    fn default() -> Self {
+        ScoreboardConfig {
+            engine: ScoreboardEngine::Tiled,
+            tile_entities: None,
+            dense_remap_limit: DEFAULT_DENSE_REMAP_LIMIT,
+            metrics: None,
+        }
+    }
+}
+
+impl ScoreboardConfig {
+    /// The flat reference engine.
+    pub fn flat() -> Self {
+        ScoreboardConfig {
+            engine: ScoreboardEngine::Flat,
+            ..Self::default()
+        }
+    }
+
+    /// A tiled configuration with an explicit tile width.
+    pub fn with_tile(tile_entities: usize) -> Self {
+        ScoreboardConfig {
+            tile_entities: Some(tile_entities),
+            ..Self::default()
+        }
+    }
+
+    /// Returns `self` with the metrics sink attached.
+    pub fn with_metrics(mut self, metrics: Arc<ScoreboardMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The effective (power-of-two) tile width for a corpus of
+    /// `num_entities`.
+    pub fn effective_tile(&self, num_entities: usize) -> usize {
+        // Entity ids are u32, so a tile never needs to exceed 2^31 slots
+        // (and `partner >> tile_shift` must stay a valid u32 shift).
+        let cap = num_entities
+            .next_power_of_two()
+            .clamp(DEFAULT_TILE_ENTITIES, 1 << 31);
+        self.tile_entities
+            .unwrap_or(DEFAULT_TILE_ENTITIES)
+            .clamp(1, cap)
+            .next_power_of_two()
+    }
+}
+
+/// Shared scratch/path accounting, written by workers with relaxed atomics.
+///
+/// High-water marks use `fetch_max`, counters use `fetch_add`; workers batch
+/// their updates ([`RadixScoreboard::flush_metrics`]) so the hot loop never
+/// touches the shared cache line.
+#[derive(Debug, Default)]
+pub struct ScoreboardMetrics {
+    scratch_bytes_hwm: AtomicUsize,
+    partners_hwm: AtomicUsize,
+    contributions_hwm: AtomicUsize,
+    radix_entities: AtomicUsize,
+    dense_entities: AtomicUsize,
+}
+
+impl ScoreboardMetrics {
+    /// A fresh, shareable sink.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Records one worker's current scratch footprint.
+    pub fn record_scratch(&self, bytes: usize) {
+        self.scratch_bytes_hwm.fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    fn record_flush(&self, partners: usize, contributions: usize, radix: usize, dense: usize) {
+        self.partners_hwm.fetch_max(partners, Ordering::Relaxed);
+        self.contributions_hwm
+            .fetch_max(contributions, Ordering::Relaxed);
+        if radix > 0 {
+            self.radix_entities.fetch_add(radix, Ordering::Relaxed);
+        }
+        if dense > 0 {
+            self.dense_entities.fetch_add(dense, Ordering::Relaxed);
+        }
+    }
+
+    /// Largest per-worker scratch footprint observed, in bytes.
+    pub fn scratch_bytes_hwm(&self) -> usize {
+        self.scratch_bytes_hwm.load(Ordering::Relaxed)
+    }
+
+    /// Most distinct partners any single entity produced.
+    pub fn partners_hwm(&self) -> usize {
+        self.partners_hwm.load(Ordering::Relaxed)
+    }
+
+    /// Most `(block, partner)` contributions any single entity scattered.
+    pub fn contributions_hwm(&self) -> usize {
+        self.contributions_hwm.load(Ordering::Relaxed)
+    }
+
+    /// Entities processed through the radix scatter path.
+    pub fn radix_entities(&self) -> usize {
+        self.radix_entities.load(Ordering::Relaxed)
+    }
+
+    /// Entities processed through the dense partner-remap fast path.
+    pub fn dense_entities(&self) -> usize {
+        self.dense_entities.load(Ordering::Relaxed)
+    }
+}
+
+/// One scattered contribution: partner id plus the block's precomputed
+/// reciprocals.
+#[derive(Debug, Clone, Copy)]
+struct Contribution {
+    partner: u32,
+    inv_comp: f64,
+    inv_size: f64,
+}
+
+/// The cache-blocked radix scoreboard.
+///
+/// `add` appends contributions to an entries array and counts them per
+/// tile; `drain_sorted_into` groups them by tile with a stable counting
+/// sort, folds each tile's run into cache-resident accumulators, and emits
+/// `(partner, aggregates)` in ascending partner order.  The dense fast path
+/// (`add_dense` / `dense_agg` / `finish_dense`) reuses the same accumulator
+/// arrays, indexed by candidate-list slot instead of partner id.
+#[derive(Debug)]
+pub struct RadixScoreboard {
+    tile_shift: u32,
+    tile_mask: u32,
+    dense_limit: usize,
+    /// The current entity's contributions in append (block-walk) order.
+    entries: Vec<Contribution>,
+    /// Counting-sort scratch: `entries` regrouped by tile, stable.
+    sorted: Vec<Contribution>,
+    /// Per-tile contribution count; doubles as the scatter cursor during
+    /// the drain.  4 bytes per tile is the whole per-tile footprint.
+    tile_counts: Vec<u32>,
+    active_tiles: Vec<u32>,
+    common: Vec<u32>,
+    inv_comp: Vec<f64>,
+    inv_size: Vec<f64>,
+    touched: Vec<u32>,
+    metrics: Option<Arc<ScoreboardMetrics>>,
+    local_partners_hwm: usize,
+    local_contributions_hwm: usize,
+    local_radix: usize,
+    local_dense: usize,
+}
+
+impl RadixScoreboard {
+    /// A scoreboard for partner ids `0..num_entities` (the tile counters
+    /// grow on demand if larger ids show up — the streaming index relies on
+    /// that).
+    pub fn new(num_entities: usize, config: &ScoreboardConfig) -> Self {
+        let tile = config.effective_tile(num_entities);
+        let slots = tile.max(config.dense_remap_limit);
+        RadixScoreboard {
+            tile_shift: tile.trailing_zeros(),
+            tile_mask: (tile - 1) as u32,
+            dense_limit: config.dense_remap_limit,
+            entries: Vec::new(),
+            sorted: Vec::new(),
+            tile_counts: vec![0; num_entities.div_ceil(tile)],
+            active_tiles: Vec::new(),
+            common: vec![0; slots],
+            inv_comp: vec![0.0; slots],
+            inv_size: vec![0.0; slots],
+            touched: Vec::new(),
+            metrics: config.metrics.clone(),
+            local_partners_hwm: 0,
+            local_contributions_hwm: 0,
+            local_radix: 0,
+            local_dense: 0,
+        }
+    }
+
+    /// The effective tile width in entities.
+    pub fn tile_entities(&self) -> usize {
+        (self.tile_mask as usize) + 1
+    }
+
+    /// Candidate-list length at or below which the dense fast path applies.
+    pub fn dense_limit(&self) -> usize {
+        self.dense_limit
+    }
+
+    /// Scatters one contribution of the current entity.
+    #[inline]
+    pub fn add(&mut self, partner: u32, inv_comp: f64, inv_size: f64) {
+        let tile = (partner >> self.tile_shift) as usize;
+        if tile >= self.tile_counts.len() {
+            self.tile_counts.resize(tile + 1, 0);
+        }
+        if self.tile_counts[tile] == 0 {
+            self.active_tiles.push(tile as u32);
+        }
+        self.tile_counts[tile] += 1;
+        self.entries.push(Contribution {
+            partner,
+            inv_comp,
+            inv_size,
+        });
+    }
+
+    /// Drains the current entity's contributions into `out` as
+    /// `(partner, aggregates)`, ascending by partner, clearing the board.
+    ///
+    /// The counting sort is stable — within each tile the scattered run
+    /// keeps append (= block-walk) order — so every partner's sums are
+    /// folded in exactly the flat scoreboard's order and the drained
+    /// aggregates are bit-identical to its values.
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<(u32, PairCooccurrence)>) {
+        out.clear();
+        self.active_tiles.sort_unstable();
+        let contributions = self.entries.len();
+        // Prefix sums: each active tile's counter becomes its run's start
+        // offset in `sorted`, then serves as the scatter cursor.
+        let mut offset = 0u32;
+        for &t in &self.active_tiles {
+            let count = self.tile_counts[t as usize];
+            self.tile_counts[t as usize] = offset;
+            offset += count;
+        }
+        // Stable scatter into tile-grouped order.
+        self.sorted.clear();
+        self.sorted.resize(
+            contributions,
+            Contribution {
+                partner: 0,
+                inv_comp: 0.0,
+                inv_size: 0.0,
+            },
+        );
+        for c in &self.entries {
+            let tile = (c.partner >> self.tile_shift) as usize;
+            let pos = self.tile_counts[tile] as usize;
+            self.sorted[pos] = *c;
+            self.tile_counts[tile] = (pos + 1) as u32;
+        }
+        self.entries.clear();
+        // Tile-local accumulate: after the scatter each tile's counter holds
+        // its run's end offset; runs are contiguous in active-tile order.
+        let mut run_start = 0usize;
+        for &t in &self.active_tiles {
+            let run_end = self.tile_counts[t as usize] as usize;
+            let base = (t as usize) << self.tile_shift;
+            for c in &self.sorted[run_start..run_end] {
+                let slot = (c.partner & self.tile_mask) as usize;
+                if self.common[slot] == 0 {
+                    self.touched.push(slot as u32);
+                }
+                self.common[slot] += 1;
+                self.inv_comp[slot] += c.inv_comp;
+                self.inv_size[slot] += c.inv_size;
+            }
+            run_start = run_end;
+            self.tile_counts[t as usize] = 0;
+            self.touched.sort_unstable();
+            for &s in &self.touched {
+                let slot = s as usize;
+                out.push((
+                    (base + slot) as u32,
+                    PairCooccurrence {
+                        common_blocks: self.common[slot] as usize,
+                        inv_comparisons_sum: self.inv_comp[slot],
+                        inv_sizes_sum: self.inv_size[slot],
+                    },
+                ));
+                self.common[slot] = 0;
+                self.inv_comp[slot] = 0.0;
+                self.inv_size[slot] = 0.0;
+            }
+            self.touched.clear();
+        }
+        self.active_tiles.clear();
+        self.local_radix += 1;
+        self.local_partners_hwm = self.local_partners_hwm.max(out.len());
+        self.local_contributions_hwm = self.local_contributions_hwm.max(contributions);
+    }
+
+    /// Dense fast path: accumulates one contribution at candidate-list slot
+    /// `slot` (< `dense_limit`, already remapped by the caller).
+    #[inline]
+    pub fn add_dense(&mut self, slot: usize, inv_comp: f64, inv_size: f64) {
+        self.common[slot] += 1;
+        self.inv_comp[slot] += inv_comp;
+        self.inv_size[slot] += inv_size;
+    }
+
+    /// The aggregates accumulated at a dense slot (zeros if untouched —
+    /// identical to the flat scoreboard's never-written slot).
+    #[inline]
+    pub fn dense_agg(&self, slot: usize) -> PairCooccurrence {
+        PairCooccurrence {
+            common_blocks: self.common[slot] as usize,
+            inv_comparisons_sum: self.inv_comp[slot],
+            inv_sizes_sum: self.inv_size[slot],
+        }
+    }
+
+    /// Resets dense slots `0..len` after emission.
+    pub fn finish_dense(&mut self, len: usize) {
+        for slot in 0..len {
+            self.common[slot] = 0;
+            self.inv_comp[slot] = 0.0;
+            self.inv_size[slot] = 0.0;
+        }
+        self.local_dense += 1;
+        self.local_partners_hwm = self.local_partners_hwm.max(len);
+    }
+
+    /// This worker's current scratch footprint in bytes (accumulators,
+    /// entry/sort arrays, per-tile counters, bookkeeping lists).  O(1).
+    pub fn scratch_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.entries.capacity() * size_of::<Contribution>()
+            + self.sorted.capacity() * size_of::<Contribution>()
+            + self.tile_counts.capacity() * size_of::<u32>()
+            + self.common.capacity() * size_of::<u32>()
+            + self.inv_comp.capacity() * size_of::<f64>()
+            + self.inv_size.capacity() * size_of::<f64>()
+            + self.touched.capacity() * size_of::<u32>()
+            + self.active_tiles.capacity() * size_of::<u32>()
+    }
+
+    /// Publishes this worker's locally batched metrics to the shared sink
+    /// (no-op without one).  Call once per task, not per entity.
+    pub fn flush_metrics(&mut self) {
+        if let Some(metrics) = &self.metrics {
+            metrics.record_scratch(self.scratch_bytes());
+            metrics.record_flush(
+                self.local_partners_hwm,
+                self.local_contributions_hwm,
+                self.local_radix,
+                self.local_dense,
+            );
+        }
+        self.local_partners_hwm = 0;
+        self.local_contributions_hwm = 0;
+        self.local_radix = 0;
+        self.local_dense = 0;
+    }
+}
+
+/// The original flat scoreboard: one slot per entity, `O(num_entities)`
+/// scratch per worker.  Retained as the reference engine
+/// ([`ScoreboardEngine::Flat`]) for equivalence tests and the
+/// scratch-footprint comparison in the scalability bench.
+#[derive(Debug)]
+pub struct FlatScoreboard {
+    pub(crate) common: Vec<u32>,
+    pub(crate) inv_comp: Vec<f64>,
+    pub(crate) inv_size: Vec<f64>,
+    pub(crate) touched: Vec<u32>,
+}
+
+impl FlatScoreboard {
+    /// A flat board with one slot per entity.
+    pub fn new(num_entities: usize) -> Self {
+        FlatScoreboard {
+            common: vec![0; num_entities],
+            inv_comp: vec![0.0; num_entities],
+            inv_size: vec![0.0; num_entities],
+            touched: Vec::new(),
+        }
+    }
+
+    /// This board's scratch footprint in bytes.
+    pub fn scratch_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.common.capacity() * size_of::<u32>()
+            + self.inv_comp.capacity() * size_of::<f64>()
+            + self.inv_size.capacity() * size_of::<f64>()
+            + self.touched.capacity() * size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_tile_rounds_and_caps() {
+        let auto = ScoreboardConfig::default();
+        assert_eq!(auto.effective_tile(1_000_000), DEFAULT_TILE_ENTITIES);
+        assert_eq!(auto.effective_tile(0), DEFAULT_TILE_ENTITIES);
+        assert_eq!(ScoreboardConfig::with_tile(1).effective_tile(100), 1);
+        assert_eq!(ScoreboardConfig::with_tile(3).effective_tile(100), 4);
+        // A request beyond the corpus degenerates to a single tile.
+        let huge = ScoreboardConfig::with_tile(usize::MAX / 4);
+        let tile = huge.effective_tile(100_000);
+        assert!(tile >= 100_000);
+        assert_eq!(100_000usize.div_ceil(tile), 1);
+    }
+
+    #[test]
+    fn drain_accumulates_in_append_order_and_sorts() {
+        let cfg = ScoreboardConfig::with_tile(4);
+        let mut board = RadixScoreboard::new(16, &cfg);
+        // Partners across three tiles, appended out of order.
+        board.add(9, 0.5, 0.25);
+        board.add(2, 1.0, 0.5);
+        board.add(9, 0.125, 0.0625);
+        board.add(14, 2.0, 1.0);
+        board.add(2, 0.25, 0.125);
+        let mut out = Vec::new();
+        board.drain_sorted_into(&mut out);
+        let partners: Vec<u32> = out.iter().map(|&(p, _)| p).collect();
+        assert_eq!(partners, vec![2, 9, 14]);
+        assert_eq!(out[0].1.common_blocks, 2);
+        assert_eq!(out[0].1.inv_comparisons_sum, 1.25);
+        assert_eq!(out[1].1.common_blocks, 2);
+        assert_eq!(out[1].1.inv_comparisons_sum, 0.625);
+        assert_eq!(out[2].1.common_blocks, 1);
+        // Board is clean: a second drain yields nothing.
+        board.drain_sorted_into(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn tile_counters_grow_on_demand() {
+        let cfg = ScoreboardConfig::with_tile(2);
+        let mut board = RadixScoreboard::new(0, &cfg);
+        board.add(1000, 1.0, 1.0);
+        let mut out = Vec::new();
+        board.drain_sorted_into(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 1000);
+    }
+
+    #[test]
+    fn tile_width_one_gives_one_partner_per_tile() {
+        let cfg = ScoreboardConfig::with_tile(1);
+        let mut board = RadixScoreboard::new(8, &cfg);
+        assert_eq!(board.tile_entities(), 1);
+        for p in [7u32, 0, 3, 7] {
+            board.add(p, 1.0, 1.0);
+        }
+        let mut out = Vec::new();
+        board.drain_sorted_into(&mut out);
+        let partners: Vec<u32> = out.iter().map(|&(p, _)| p).collect();
+        assert_eq!(partners, vec![0, 3, 7]);
+        assert_eq!(out[2].1.common_blocks, 2);
+    }
+
+    #[test]
+    fn dense_path_accumulates_and_resets() {
+        let cfg = ScoreboardConfig::default();
+        let mut board = RadixScoreboard::new(10, &cfg);
+        board.add_dense(0, 0.5, 0.25);
+        board.add_dense(2, 1.0, 1.0);
+        board.add_dense(0, 0.5, 0.25);
+        assert_eq!(board.dense_agg(0).common_blocks, 2);
+        assert_eq!(board.dense_agg(0).inv_comparisons_sum, 1.0);
+        assert_eq!(board.dense_agg(1).common_blocks, 0);
+        board.finish_dense(3);
+        assert_eq!(board.dense_agg(2).common_blocks, 0);
+    }
+
+    #[test]
+    fn metrics_track_hwm_and_paths() {
+        let metrics = ScoreboardMetrics::shared();
+        let cfg = ScoreboardConfig::with_tile(4).with_metrics(metrics.clone());
+        let mut board = RadixScoreboard::new(64, &cfg);
+        board.add(1, 1.0, 1.0);
+        board.add(9, 1.0, 1.0);
+        board.add(9, 1.0, 1.0);
+        let mut out = Vec::new();
+        board.drain_sorted_into(&mut out);
+        board.add_dense(0, 1.0, 1.0);
+        board.finish_dense(1);
+        board.flush_metrics();
+        assert_eq!(metrics.partners_hwm(), 2);
+        assert_eq!(metrics.contributions_hwm(), 3);
+        assert_eq!(metrics.radix_entities(), 1);
+        assert_eq!(metrics.dense_entities(), 1);
+        assert!(metrics.scratch_bytes_hwm() > 0);
+        assert!(metrics.scratch_bytes_hwm() >= board.scratch_bytes());
+    }
+
+    #[test]
+    fn scratch_is_tile_scaled_not_corpus_scaled() {
+        let cfg = ScoreboardConfig::default();
+        let small = RadixScoreboard::new(10_000, &cfg);
+        let large = RadixScoreboard::new(1_000_000, &cfg);
+        let flat = FlatScoreboard::new(1_000_000);
+        // The tiled board's 100x corpus costs only 4-byte tile counters more.
+        assert!(large.scratch_bytes() < small.scratch_bytes() + 1_000_000 / 64);
+        assert!(large.scratch_bytes() * 10 < flat.scratch_bytes());
+    }
+}

@@ -1,0 +1,304 @@
+//! Cross-engine equivalence and tile edge cases for the cache-blocked radix
+//! scoreboard.
+//!
+//! The contract under test: [`FeatureMatrix::build_with`] and
+//! [`FeatureMatrix::score_rows_with`] produce **bit-identical** output for
+//! every scoreboard engine, tile width, dense-remap limit and worker-thread
+//! count — on Clean-Clean and Dirty collections, across block structures
+//! mimicking all three redundancy-positive blocking schemes.  The flat
+//! `O(num_entities)`-scratch board is the retained reference; the tiled
+//! engine must match it bit for bit, including at degenerate tile widths
+//! (1, wider than the corpus) and with the dense fast path forced on or
+//! off.
+
+use er_blocking::{Block, BlockCollection, BlockStats, CandidatePairs};
+use er_core::{DatasetKind, EntityId};
+use er_features::{
+    FeatureContext, FeatureMatrix, FeatureSet, ScoreboardConfig, ScoreboardEngine,
+    ScoreboardMetrics,
+};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Deterministic xorshift generator — no rand dependency needed here.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+}
+
+/// Synthetic block structures shaped like the three redundancy-positive
+/// blocking schemes: few large overlapping blocks (token), many small
+/// blocks with high redundancy (q-grams), and tiny low-redundancy blocks
+/// (suffix arrays).
+#[derive(Clone, Copy, Debug)]
+enum SchemeShape {
+    Token,
+    Qgrams,
+    Suffix,
+}
+
+impl SchemeShape {
+    fn all() -> [SchemeShape; 3] {
+        [SchemeShape::Token, SchemeShape::Qgrams, SchemeShape::Suffix]
+    }
+
+    /// (number of blocks, max members per block) at a given corpus size.
+    fn dimensions(self, num_entities: usize) -> (usize, usize) {
+        match self {
+            SchemeShape::Token => (num_entities / 8, 24),
+            SchemeShape::Qgrams => (num_entities / 2, 8),
+            SchemeShape::Suffix => (num_entities, 4),
+        }
+    }
+}
+
+/// Builds a random block collection with the given scheme shape.  For
+/// Clean-Clean collections every block mixes members from both sources;
+/// Dirty collections use the whole id space.
+fn synthetic_blocks(
+    kind: DatasetKind,
+    shape: SchemeShape,
+    num_entities: usize,
+    seed: u64,
+) -> BlockCollection {
+    let split = match kind {
+        DatasetKind::CleanClean => num_entities / 2,
+        DatasetKind::Dirty => num_entities,
+    };
+    let (num_blocks, max_members) = shape.dimensions(num_entities);
+    let mut rng = Lcg(seed | 1);
+    let mut blocks = Vec::with_capacity(num_blocks);
+    for b in 0..num_blocks {
+        let mut members: Vec<EntityId> = Vec::new();
+        let len = 2 + rng.below(max_members.saturating_sub(1));
+        match kind {
+            DatasetKind::CleanClean => {
+                // At least one member per source so the block yields pairs.
+                let from_e1 = 1 + rng.below(len - 1);
+                for _ in 0..from_e1 {
+                    members.push(EntityId(rng.below(split) as u32));
+                }
+                for _ in from_e1..len {
+                    members.push(EntityId((split + rng.below(num_entities - split)) as u32));
+                }
+            }
+            DatasetKind::Dirty => {
+                for _ in 0..len {
+                    members.push(EntityId(rng.below(num_entities) as u32));
+                }
+            }
+        }
+        members.sort_unstable();
+        members.dedup();
+        if members.len() < 2 {
+            continue;
+        }
+        blocks.push(Block::new(format!("b{b}"), members));
+    }
+    BlockCollection {
+        dataset_name: format!("{shape:?}-{kind:?}"),
+        kind,
+        split,
+        num_entities,
+        blocks,
+    }
+}
+
+/// Asserts that the tiled engine matches the flat reference bit for bit on
+/// one collection, for every thread count, with the given configuration.
+fn assert_engines_agree(blocks: &BlockCollection, tiled: &ScoreboardConfig, label: &str) {
+    let stats = BlockStats::new(blocks);
+    let candidates = CandidatePairs::from_blocks(blocks);
+    let context = FeatureContext::new(&stats, &candidates);
+    let set = FeatureSet::all_schemes();
+    let flat = ScoreboardConfig::flat();
+    let score = |row: &[f64]| {
+        row.iter()
+            .enumerate()
+            .map(|(i, v)| v * (i + 1) as f64)
+            .sum()
+    };
+
+    let reference = FeatureMatrix::build_with(&context, set, 1, &flat);
+    let reference_scores = FeatureMatrix::score_rows_with(&context, set, 1, &flat, score);
+    for threads in THREAD_COUNTS {
+        let produced = FeatureMatrix::build_with(&context, set, threads, tiled);
+        for (id, row) in reference.rows() {
+            assert_eq!(
+                produced.row(id),
+                row,
+                "{label}: row {id:?} at {threads} threads"
+            );
+        }
+        let scores = FeatureMatrix::score_rows_with(&context, set, threads, tiled, score);
+        assert_eq!(
+            scores, reference_scores,
+            "{label}: scores at {threads} threads"
+        );
+
+        // Flat must also be thread-invariant against its own sequential run.
+        let flat_parallel = FeatureMatrix::build_with(&context, set, threads, &flat);
+        for (id, row) in reference.rows() {
+            assert_eq!(
+                flat_parallel.row(id),
+                row,
+                "{label}: flat row {id:?} at {threads} threads"
+            );
+        }
+    }
+
+    // Candidate subsets exercise the untouched-candidate (zero-aggregate)
+    // paths: keep every third pair only.
+    let subset = CandidatePairs::from_pairs(
+        blocks.num_entities,
+        candidates
+            .iter()
+            .filter(|(id, _, _)| id.index() % 3 == 0)
+            .map(|(_, a, b)| (a, b)),
+    );
+    let context = FeatureContext::new(&stats, &subset);
+    let expected = FeatureMatrix::build_with(&context, set, 1, &flat);
+    for threads in THREAD_COUNTS {
+        let produced = FeatureMatrix::build_with(&context, set, threads, tiled);
+        for (id, row) in expected.rows() {
+            assert_eq!(
+                produced.row(id),
+                row,
+                "{label}: subset row {id:?} at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn tiled_matches_flat_across_schemes_kinds_and_threads() {
+    for kind in [DatasetKind::CleanClean, DatasetKind::Dirty] {
+        for shape in SchemeShape::all() {
+            let blocks = synthetic_blocks(kind, shape, 300, 0x9e3779b97f4a7c15);
+            assert_engines_agree(
+                &blocks,
+                &ScoreboardConfig::default(),
+                &format!("{shape:?}/{kind:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn tile_widths_do_not_change_output() {
+    let blocks = synthetic_blocks(DatasetKind::CleanClean, SchemeShape::Token, 250, 42);
+    // 1 = one partner per tile, 64 = many boundary crossings, 4096 = the
+    // default, 1 << 20 = a single tile wider than the corpus.
+    for tile in [1usize, 64, 4096, 1 << 20] {
+        assert_engines_agree(
+            &blocks,
+            &ScoreboardConfig::with_tile(tile),
+            &format!("tile={tile}"),
+        );
+    }
+}
+
+#[test]
+fn dense_fast_path_on_and_off_is_bit_identical() {
+    let blocks = synthetic_blocks(DatasetKind::Dirty, SchemeShape::Qgrams, 250, 7);
+    // dense_remap_limit = 0 forces the radix path for every entity; 1024
+    // (above any candidate-list length here) forces the dense remap path.
+    for limit in [0usize, 1024] {
+        let config = ScoreboardConfig {
+            dense_remap_limit: limit,
+            ..ScoreboardConfig::default()
+        };
+        assert_engines_agree(&blocks, &config, &format!("dense_limit={limit}"));
+    }
+}
+
+#[test]
+fn partners_straddling_tile_boundaries_and_empty_tiles() {
+    // Hand-built Dirty collection on a tile width of 4: entity 0's partners
+    // sit at the last slot of tile 0 (id 3), both edges of the tile 0→1
+    // boundary (3, 4), the middle of tile 2 (id 10), and the first slot of
+    // the last, partially-filled tile (id 12).  Tiles 1 and 3 stay empty in
+    // some blocks, and id 13 never co-occurs with 0 at all.
+    let ids = |v: &[u32]| v.iter().copied().map(EntityId).collect::<Vec<_>>();
+    let blocks = BlockCollection {
+        dataset_name: "straddle".into(),
+        kind: DatasetKind::Dirty,
+        split: 14,
+        num_entities: 14,
+        blocks: vec![
+            Block::new("edge", ids(&[0, 3, 4])),
+            Block::new("mid", ids(&[0, 4, 10])),
+            Block::new("tail", ids(&[0, 10, 12])),
+            Block::new("other", ids(&[3, 12, 13])),
+        ],
+    };
+    for tile in [1usize, 4, 64] {
+        assert_engines_agree(
+            &blocks,
+            &ScoreboardConfig::with_tile(tile),
+            &format!("straddle tile={tile}"),
+        );
+    }
+}
+
+#[test]
+fn effective_tile_handles_degenerate_widths() {
+    let config = ScoreboardConfig::default();
+    assert_eq!(config.effective_tile(0), 4096);
+    let one = ScoreboardConfig::with_tile(1);
+    assert_eq!(one.effective_tile(1_000_000), 1);
+    let huge = ScoreboardConfig::with_tile(usize::MAX);
+    // Caps at a power of two at least as large as the corpus.
+    assert!(huge.effective_tile(100).is_power_of_two());
+    assert!(huge.effective_tile(100) >= 100);
+}
+
+#[test]
+fn metrics_report_tile_scaled_scratch() {
+    let blocks = synthetic_blocks(DatasetKind::Dirty, SchemeShape::Token, 400, 3);
+    let stats = BlockStats::new(&blocks);
+    let candidates = CandidatePairs::from_blocks(&blocks);
+    let context = FeatureContext::new(&stats, &candidates);
+    let set = FeatureSet::all_schemes();
+
+    let tiled_metrics = ScoreboardMetrics::shared();
+    let tiled = ScoreboardConfig::with_tile(64).with_metrics(tiled_metrics.clone());
+    let flat_metrics = ScoreboardMetrics::shared();
+    let flat = ScoreboardConfig::flat().with_metrics(flat_metrics.clone());
+    let a = FeatureMatrix::build_with(&context, set, 1, &tiled);
+    let b = FeatureMatrix::build_with(&context, set, 1, &flat);
+    for (id, row) in b.rows() {
+        assert_eq!(a.row(id), row);
+    }
+
+    // Flat scratch is corpus-sized (20 B per entity in the three arrays);
+    // tiled scratch must stay below it and every entity must have taken
+    // exactly one of the two paths.
+    assert!(flat_metrics.scratch_bytes_hwm() >= 20 * blocks.num_entities);
+    assert!(tiled_metrics.scratch_bytes_hwm() < flat_metrics.scratch_bytes_hwm());
+    assert!(tiled_metrics.partners_hwm() > 0);
+    assert!(tiled_metrics.contributions_hwm() >= tiled_metrics.partners_hwm());
+    assert!(tiled_metrics.radix_entities() + tiled_metrics.dense_entities() > 0);
+    assert_eq!(
+        flat_metrics.radix_entities() + flat_metrics.dense_entities(),
+        0
+    );
+}
+
+#[test]
+fn engine_selection_is_respected() {
+    assert_eq!(ScoreboardConfig::default().engine, ScoreboardEngine::Tiled);
+    assert_eq!(ScoreboardConfig::flat().engine, ScoreboardEngine::Flat);
+}

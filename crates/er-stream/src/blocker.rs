@@ -4,7 +4,9 @@
 
 use er_blocking::{CsrBlockCollection, KeyGenerator, KeyScratch};
 use er_core::{Dataset, DatasetKind, EntityId, EntityProfile, FxHashMap, FxHashSet, GroundTruth};
-use er_features::{write_features_from, EntityAggregates, FeatureSet, PairCooccurrence};
+use er_features::{
+    write_features_from, EntityAggregates, FeatureSet, PairCooccurrence, ScoreboardConfig,
+};
 use er_learn::ProbabilisticClassifier;
 
 use crate::index::{PartnerBoard, StreamingIndex};
@@ -25,6 +27,10 @@ pub struct StreamingConfig {
     /// Worker threads for partner gathering and compaction.  Deterministic:
     /// the thread count never changes any output.
     pub threads: usize,
+    /// Scoreboard configuration for the per-batch delta partner pass (the
+    /// same cache-blocked radix engine the batch feature pass runs on).
+    /// Output is bit-identical for every configuration.
+    pub scoreboard: ScoreboardConfig,
 }
 
 impl StreamingConfig {
@@ -37,6 +43,7 @@ impl StreamingConfig {
             split: dataset.split,
             feature_set: FeatureSet::blast_optimal(),
             threads: er_core::available_threads(),
+            scoreboard: ScoreboardConfig::default(),
         }
     }
 }
@@ -188,6 +195,7 @@ pub struct StreamingMetaBlocker<G: KeyGenerator> {
     index: StreamingIndex,
     feature_set: FeatureSet,
     threads: usize,
+    scoreboard: ScoreboardConfig,
     model: Option<Box<dyn ProbabilisticClassifier>>,
 }
 
@@ -203,6 +211,7 @@ impl<G: KeyGenerator> StreamingMetaBlocker<G> {
             generator,
             feature_set: config.feature_set,
             threads: config.threads.max(1),
+            scoreboard: config.scoreboard,
             model: None,
         }
     }
@@ -240,6 +249,7 @@ impl<G: KeyGenerator> StreamingMetaBlocker<G> {
             generator,
             feature_set,
             threads: threads.max(1),
+            scoreboard: ScoreboardConfig::default(),
             model: None,
         })
     }
@@ -346,12 +356,13 @@ impl<G: KeyGenerator> StreamingMetaBlocker<G> {
         // the output is deterministic for any thread count.
         let index = &self.index;
         let threads = self.threads;
+        let scoreboard = &self.scoreboard;
         let num_tasks = if threads <= 1 { 1 } else { threads * 4 };
         /// One new entity with its scored partners, as produced by phase B.
         type EntityPartners = (EntityId, Vec<(EntityId, PairCooccurrence)>);
         let groups: Vec<Vec<EntityPartners>> =
             er_core::map_ranges_parallel(profiles.len(), threads, num_tasks, |range| {
-                let mut board = PartnerBoard::default();
+                let mut board = PartnerBoard::with_config(scoreboard);
                 range
                     .map(|i| {
                         let e = EntityId((batch_start + i) as u32);
@@ -570,9 +581,10 @@ impl<G: KeyGenerator> StreamingMetaBlocker<G> {
         // After-image (parallel): all partners with their co-occurrence
         // aggregates against the end-of-batch state.
         let index = &self.index;
+        let scoreboard = &self.scoreboard;
         let after: Vec<Vec<(EntityId, PairCooccurrence)>> =
             er_core::map_ranges_parallel(updates.len(), threads, num_tasks, |range| {
-                let mut board = PartnerBoard::default();
+                let mut board = PartnerBoard::with_config(scoreboard);
                 range
                     .map(|i| index.collect_partners(updates[i].0, &mut board))
                     .collect::<Vec<_>>()

@@ -62,29 +62,53 @@ use std::sync::Arc;
 
 use er_blocking::{comparisons_from_first, sorted_key_order, CsrBlockCollection, KeyStore};
 use er_core::{DatasetKind, EntityId, FxHashMap};
-use er_features::{EntityAggregates, PairCooccurrence};
+use er_features::{EntityAggregates, PairCooccurrence, RadixScoreboard, ScoreboardConfig};
 
-/// Reusable per-worker scoreboard for delta-pair aggregation: one
-/// [`PairCooccurrence`] slot per partner touched by the current entity.
+/// Reusable per-worker scoreboard for delta-pair aggregation, backed by the
+/// same cache-blocked [`RadixScoreboard`] the batch feature pass runs on
+/// (it replaced the former `FxHashMap` board).
 ///
-/// Backed by a hash map rather than a corpus-sized dense array so that the
-/// per-batch cost of [`StreamingIndex::collect_delta_pairs`] scales with the
-/// number of partners, not with the number of entities ever ingested.
-#[derive(Debug, Default)]
+/// Scratch scales with one tile plus the current entity's contributions,
+/// never with the number of entities ever ingested; the board's per-tile
+/// counters grow on demand as the id space extends.  Per-partner sums fold in contribution order —
+/// the same order the hash board accumulated in — so the drained aggregates
+/// are bit-identical.
+#[derive(Debug)]
 pub struct PartnerBoard {
-    acc: FxHashMap<u32, PairCooccurrence>,
+    board: RadixScoreboard,
+    drained: Vec<(u32, PairCooccurrence)>,
+}
+
+impl Default for PartnerBoard {
+    fn default() -> Self {
+        Self::with_config(&ScoreboardConfig::default())
+    }
 }
 
 impl PartnerBoard {
+    /// A board running on an explicit scoreboard configuration
+    /// ([`crate::StreamingConfig::scoreboard`]).
+    pub fn with_config(config: &ScoreboardConfig) -> Self {
+        PartnerBoard {
+            board: RadixScoreboard::new(0, config),
+            drained: Vec::new(),
+        }
+    }
+
+    /// Accumulates one block contribution for `partner`.
+    #[inline]
+    fn add(&mut self, partner: u32, inv_comparisons: f64, inv_sizes: f64) {
+        self.board.add(partner, inv_comparisons, inv_sizes);
+    }
+
     /// Drains the board into a partner list sorted by entity id.
     fn drain_sorted(&mut self) -> Vec<(EntityId, PairCooccurrence)> {
-        let mut partners: Vec<(EntityId, PairCooccurrence)> = self
-            .acc
-            .drain()
-            .map(|(p, agg)| (EntityId(p), agg))
-            .collect();
-        partners.sort_unstable_by_key(|&(p, _)| p);
-        partners
+        self.board.drain_sorted_into(&mut self.drained);
+        self.board.flush_metrics();
+        self.drained
+            .iter()
+            .map(|&(p, agg)| (EntityId(p), agg))
+            .collect()
     }
 }
 
@@ -804,10 +828,7 @@ impl StreamingIndex {
                 if p == e || !self.is_comparable(p, e) {
                     continue;
                 }
-                let slot = board.acc.entry(p.0).or_default();
-                slot.common_blocks += 1;
-                slot.inv_comparisons_sum += inv_comparisons;
-                slot.inv_sizes_sum += inv_sizes;
+                board.add(p.0, inv_comparisons, inv_sizes);
             }
         }
         board.drain_sorted()
