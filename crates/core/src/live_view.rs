@@ -22,9 +22,19 @@
 //!
 //! Each [`LiveView::refresh`] re-derives decisions only for the *dirty*
 //! region of a mutation batch: the mutated entities plus the members of
-//! every block whose cleaned status or size changed.  Everything else is
-//! provably unaffected — an entity's kept set depends only on its own
-//! blocks' sizes and survivor flags, and a pair's candidacy only on its
+//! every touched block whose change can actually move their kept/cut
+//! boundary.  A key that *flips* cleaned status changes every member's
+//! quota, so all members are dirtied; but a key that merely changes size
+//! while staying cleaned re-ranks a member only if the new size crosses
+//! the member's **rank window** — the gap between its largest kept block
+//! size `b` and its smallest cut block size `c`.  A kept block staying
+//! strictly below `b` (or an entity with no cut blocks at all) and a cut
+//! block staying strictly above `c` cannot change the member's kept set:
+//! safe size changes preserve `kept ≤ b ≤ c ≤ cut` with the boundary ties
+//! still resolved by the unchanged lexicographic order, so the bounds
+//! stay conservative between re-ranks.  Everything else is provably
+//! unaffected — an entity's kept set depends only on its own blocks'
+//! sizes and survivor flags, and a pair's candidacy only on its
 //! endpoints' kept sets.
 //!
 //! Exactness is property-tested against the batch
@@ -61,6 +71,13 @@ pub struct LiveView {
     /// Per entity: kept key ids (its smallest cleaned blocks), sorted
     /// ascending for membership tests.
     kept: Vec<Vec<u32>>,
+    /// Per entity: size of its largest kept block at the last re-rank (0
+    /// with no kept blocks) — the lower edge of the rank window.
+    bound_kept: Vec<u32>,
+    /// Per entity: size of its smallest cut block at the last re-rank
+    /// (`u32::MAX` when every cleaned block is kept) — the upper edge of
+    /// the rank window.
+    bound_cut: Vec<u32>,
     /// Cleaned candidate adjacency (symmetric partner sets).
     partners: Vec<FxHashSet<u32>>,
     /// Current number of cleaned candidate pairs.
@@ -81,6 +98,8 @@ impl LiveView {
             unpurged: Vec::new(),
             oversized: FxHashSet::default(),
             kept: Vec::new(),
+            bound_kept: Vec::new(),
+            bound_cut: Vec::new(),
             partners: Vec::new(),
             num_pairs: 0,
         };
@@ -153,6 +172,8 @@ impl LiveView {
         self.unpurged.resize(index.num_keys(), false);
         let n = index.num_entities();
         self.kept.resize(n, Vec::new());
+        self.bound_kept.resize(n, 0);
+        self.bound_cut.resize(n, u32::MAX);
         self.partners.resize(n, FxHashSet::default());
 
         // Keys needing a survivor-flag recheck: the batch's journal plus
@@ -171,10 +192,15 @@ impl LiveView {
             dirty_keys.dedup();
         }
 
-        // Dirty entities: the batch plus every member of a block whose
-        // cleaned status or size changed (their filtering rank order may
-        // shift).  Blocks that stay purged-away are skipped — their sizes
-        // never enter anyone's assignment list.
+        // Dirty entities: the batch plus every member of a touched block
+        // whose change can move the member's kept/cut boundary.  A key
+        // flipping cleaned status changes every member's filtering quota,
+        // so all members re-rank; a key that stays cleaned re-ranks only
+        // the members whose rank window its new size enters (see the
+        // module docs — safe changes provably preserve each member's kept
+        // set and keep the stored bounds conservative).  Blocks that stay
+        // purged-away are skipped — their sizes never enter anyone's
+        // assignment list.
         let mut dirty: FxHashSet<u32> = batch.into_iter().map(|e| e.0).collect();
         for &k in &dirty_keys {
             let was = self.unpurged[k as usize];
@@ -187,8 +213,29 @@ impl LiveView {
             } else {
                 self.oversized.remove(&k);
             }
-            if was || now {
+            if was != now {
                 dirty.extend(index.members(k).map(|m| m.0));
+            } else if was && now {
+                let size = size as u32;
+                for m in index.members(k) {
+                    if dirty.contains(&m.0) {
+                        continue;
+                    }
+                    let e = m.index();
+                    let safe = if self.kept[e].binary_search(&k).is_ok() {
+                        // Kept and either nothing is cut (quota keeps every
+                        // cleaned block) or still strictly inside the kept
+                        // range.
+                        self.bound_cut[e] == u32::MAX || size < self.bound_kept[e]
+                    } else {
+                        // Cut and still strictly above the smallest cut
+                        // block.
+                        size > self.bound_cut[e]
+                    };
+                    if !safe {
+                        dirty.insert(m.0);
+                    }
+                }
             }
         }
         let mut dirty_list: Vec<u32> = dirty.iter().copied().collect();
@@ -211,6 +258,8 @@ impl LiveView {
             }
             let kept = &mut self.kept[e as usize];
             kept.clear();
+            self.bound_kept[e as usize] = 0;
+            self.bound_cut[e as usize] = u32::MAX;
             if assignments.is_empty() {
                 continue;
             }
@@ -218,6 +267,10 @@ impl LiveView {
             let keep = filtering_keep_count(assignments.len(), self.ratio);
             kept.extend(assignments[..keep].iter().map(|&(_, k)| k));
             kept.sort_unstable();
+            // The fresh rank window: later refreshes skip re-ranking this
+            // entity for size changes that stay strictly inside one side.
+            self.bound_kept[e as usize] = assignments[keep - 1].0;
+            self.bound_cut[e as usize] = assignments.get(keep).map_or(u32::MAX, |&(size, _)| size);
         }
 
         // Pass 2: recompute the dirty entities' partner sets against the
@@ -313,6 +366,18 @@ mod tests {
         CandidatePairs::from_stats(&stats, 2).pairs().to_vec()
     }
 
+    /// The incremental (rank-window) refresh must agree with a full
+    /// rebuild of the view at every point — the equivalence oracle for
+    /// the boundary-crossing optimisation.
+    fn assert_matches_full_refresh(view: &LiveView, index: &er_stream::StreamingIndex) {
+        let full = LiveView::new(index, view.ratio());
+        assert_eq!(
+            view.candidate_pairs(),
+            full.candidate_pairs(),
+            "rank-window refresh diverged from a full refresh"
+        );
+    }
+
     /// Streams the dataset with churn and asserts the view equals the batch
     /// pipeline's cleaned candidate set after every mutation batch.
     fn assert_view_tracks_batch_cleaning(dataset: &Dataset) {
@@ -336,6 +401,7 @@ mod tests {
             let delta = blocker.ingest(&dataset.profiles[cursor..cursor + take]);
             cursor += take;
             view.refresh(blocker.index(), &delta.touched_keys, delta.batch_entities());
+            assert_matches_full_refresh(&view, blocker.index());
         }
         let full = er_stream::dataset_prefix(dataset, dataset.num_entities());
         assert_eq!(
@@ -355,6 +421,7 @@ mod tests {
             .collect();
         let delta = blocker.remove(&removed);
         view.refresh(blocker.index(), &delta.touched_keys, delta.batch_entities());
+        assert_matches_full_refresh(&view, blocker.index());
         let survivors = surviving_dataset(dataset, &removed, &[]);
         assert_eq!(
             view.candidate_pairs(),
@@ -375,6 +442,7 @@ mod tests {
             .collect();
         let delta = blocker.update(&updated);
         view.refresh(blocker.index(), &delta.touched_keys, delta.batch_entities());
+        assert_matches_full_refresh(&view, blocker.index());
         let survivors = surviving_dataset(dataset, &removed, &updated);
         assert_eq!(
             view.candidate_pairs(),

@@ -61,6 +61,13 @@ pub enum PersistError {
     /// The bytes passed their checksum but decode to an inconsistent value
     /// (internal invariant violations, unknown enum tags, bad UTF-8).
     Corrupt(String),
+    /// Another checkpointer holds the store's exclusive lock file — two
+    /// writers raced for the same directory.  The losing caller must not
+    /// touch the directory; the winner's commit/retention is in flight.
+    Locked {
+        /// Which store/operation hit the held lock.
+        context: String,
+    },
 }
 
 /// Whether a failed persistence operation is worth retrying.
@@ -151,6 +158,10 @@ impl std::fmt::Display for PersistError {
                 "corpus fingerprint mismatch: expected {expected:#018x}, file carries {found:#018x}"
             ),
             PersistError::Corrupt(msg) => write!(f, "corrupt persistence data: {msg}"),
+            PersistError::Locked { context } => write!(
+                f,
+                "{context}: another checkpointer holds the store's exclusive lock"
+            ),
         }
     }
 }
@@ -284,6 +295,11 @@ mod tests {
         assert!(PersistError::Corrupt("bad tag".into())
             .to_string()
             .contains("bad tag"));
+        assert!(PersistError::Locked {
+            context: "commit generation 3".into()
+        }
+        .to_string()
+        .contains("exclusive lock"));
     }
 
     #[test]
@@ -308,8 +324,13 @@ mod tests {
         );
         assert!(!denied.is_retryable());
 
-        // Corruption is never retryable.
+        // Corruption is never retryable, and neither is a held lock (the
+        // loser must back off, not spin on the winner's commit).
         assert!(!PersistError::Corrupt("bad".into()).is_retryable());
+        assert!(!PersistError::Locked {
+            context: "commit".into()
+        }
+        .is_retryable());
         assert!(!PersistError::Truncated {
             context: "wal".into()
         }

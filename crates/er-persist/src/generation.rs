@@ -60,6 +60,14 @@ pub const MANIFEST_NAME: &str = "MANIFEST";
 /// The quarantine subdirectory recovery moves corrupt files into.
 pub const QUARANTINE_DIR: &str = "quarantine";
 
+/// The exclusive lock file guarding commit + retention.  Two checkpointers
+/// racing the same directory would interleave snapshot writes, manifest
+/// renames and retention deletes; the loser of the `create_new` race gets a
+/// typed [`PersistError::Locked`] instead.  A crash while holding the lock
+/// leaves the file behind — recovery sweeps it (the crashed holder is gone,
+/// its half-commit is uncommitted debris handled by the usual sweep).
+pub const LOCK_NAME: &str = "LOCK";
+
 /// Byte length of the manifest (`magic | version | fingerprint | committed
 /// generation | crc64 over everything before it`).
 pub const MANIFEST_LEN: usize = 8 + 4 + 8 + 8 + 8;
@@ -86,6 +94,58 @@ pub fn manifest_path(dir: &Path) -> PathBuf {
 /// The quarantine directory inside `dir`.
 pub fn quarantine_path(dir: &Path) -> PathBuf {
     dir.join(QUARANTINE_DIR)
+}
+
+/// The exclusive lock file inside `dir`.
+pub fn lock_path(dir: &Path) -> PathBuf {
+    dir.join(LOCK_NAME)
+}
+
+/// A held store lock: created with an exclusive `create_new` (the atomic
+/// test-and-set every filesystem offers), removed on drop — including every
+/// early-return error path of the operation it guards.
+pub(crate) struct StoreLock {
+    vfs: Arc<dyn Vfs>,
+    path: PathBuf,
+}
+
+impl StoreLock {
+    /// Acquires the lock in `dir`, or fails with [`PersistError::Locked`]
+    /// if another checkpointer already holds it.  Transient creation
+    /// failures retry under `policy`; losing the race is fatal, not
+    /// retryable (the loser must back off, not spin on the winner).
+    pub(crate) fn acquire(
+        vfs: Arc<dyn Vfs>,
+        policy: RetryPolicy,
+        dir: &Path,
+        context: &str,
+    ) -> PersistResult<StoreLock> {
+        let path = lock_path(dir);
+        crate::vfs::retrying(policy, || {
+            vfs.create_new(&path, b"").map_err(|e| {
+                if e.kind() == std::io::ErrorKind::AlreadyExists {
+                    PersistError::Locked {
+                        context: context.to_string(),
+                    }
+                } else {
+                    PersistError::io(format!("acquire store lock {path:?}"), &e)
+                }
+            })
+        })?;
+        Ok(StoreLock { vfs, path })
+    }
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        // Release is best effort, like retention: the guarded operation
+        // already succeeded or failed on its own terms, and a failed
+        // removal only leaves a stale lock for the next recovery sweep
+        // to reclaim.  One immediate retry absorbs EINTR-class blips.
+        if self.vfs.remove(&self.path).is_err() {
+            let _ = self.vfs.remove(&self.path);
+        }
+    }
 }
 
 /// Which half of a generation a file holds.
@@ -135,6 +195,10 @@ pub struct RecoveryReport {
     pub tmp_files_removed: usize,
     /// Uncommitted generation files (from a crash mid-commit) removed.
     pub stale_generations_removed: usize,
+    /// True if a stale lock file (a checkpointer crashed while holding it)
+    /// was swept on open.  Does not make the recovery unclean: the lock
+    /// protects a commit whose debris is handled by the usual sweeps.
+    pub stale_lock_removed: bool,
     /// True if the manifest itself was unreadable and the committed
     /// generation was inferred from the newest snapshot on disk.
     pub manifest_rebuilt: bool,
@@ -208,6 +272,7 @@ impl GenerationStore {
             vfs.create_dir_all(dir)
                 .map_err(|e| PersistError::io(format!("create store directory {dir:?}"), &e))
         })?;
+        let _lock = StoreLock::acquire(vfs.clone(), policy, dir, "create generation store")?;
         write_snapshot_with(
             vfs.as_ref(),
             policy,
@@ -246,6 +311,21 @@ impl GenerationStore {
         let mut report = RecoveryReport {
             tmp_files_removed: sweep_tmp_files(vfs.as_ref(), dir)?,
             ..RecoveryReport::default()
+        };
+
+        // A checkpointer that crashed mid-commit leaves its lock behind;
+        // the holder is gone, so the lock is stale and recovery reclaims
+        // it (its half-commit is removed by the uncommitted-generation
+        // sweep below).
+        report.stale_lock_removed = match vfs.remove(&lock_path(dir)) {
+            Ok(()) => true,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => false,
+            Err(err) => {
+                return Err(PersistError::io(
+                    format!("sweep stale store lock in {dir:?}"),
+                    &err,
+                ))
+            }
         };
 
         // The manifest is the commit pointer.  If it is unreadable but
@@ -382,6 +462,12 @@ impl GenerationStore {
     /// window are cleaned up best-effort afterwards.
     pub fn commit(&mut self, payload_tag: u32, payload: &impl Encode) -> PersistResult<WalWriter> {
         let generation = self.committed + 1;
+        let _lock = StoreLock::acquire(
+            self.vfs.clone(),
+            self.policy,
+            &self.dir,
+            &format!("commit generation {generation}"),
+        )?;
         write_snapshot_with(
             self.vfs.as_ref(),
             self.policy,
@@ -564,7 +650,7 @@ fn remove_uncommitted_generations(
 
 /// Moves a corrupt file into `dir/quarantine/`, recording it (and its
 /// size) in the report.
-fn quarantine(
+pub(crate) fn quarantine(
     vfs: &dyn Vfs,
     dir: &Path,
     path: &Path,

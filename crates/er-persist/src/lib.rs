@@ -19,7 +19,11 @@
 //!   [`MANIFEST`](generation::MANIFEST_NAME) commit pointer over
 //!   `snapshot.<gen>.gsmb` files, a recovery fallback chain that
 //!   quarantines corrupt generations and replays longer WAL tails, and a
-//!   [`RecoveryReport`] accounting for every degradation.
+//!   [`RecoveryReport`] accounting for every degradation;
+//! * [`multi`] — cross-shard generation sets: one [`ShardStore`] manifest
+//!   committing a router snapshot plus N shard snapshots and N WALs
+//!   atomically, so no shard ever recovers to a different batch boundary
+//!   than its siblings.
 //!
 //! The crates that own persistable state implement the codec traits for
 //! their types and wire the pieces together: `er-stream` persists the
@@ -39,6 +43,7 @@
 
 pub mod codec;
 pub mod generation;
+pub mod multi;
 pub mod snapshot;
 pub mod vfs;
 pub mod wal;
@@ -46,8 +51,12 @@ pub mod wal;
 pub use codec::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, Writer};
 pub use er_core::{PersistError, PersistErrorClass, PersistResult};
 pub use generation::{
-    committed_generation, manifest_path, quarantine_path, read_manifest, snapshot_path, wal_path,
-    GenerationStore, RecoveredGeneration, RecoveryReport,
+    committed_generation, lock_path, manifest_path, quarantine_path, read_manifest, snapshot_path,
+    wal_path, GenerationStore, RecoveredGeneration, RecoveryReport, LOCK_NAME,
+};
+pub use multi::{
+    committed_shard_generation, read_shard_manifest, router_path, shard_snapshot_path,
+    shard_wal_path, RecoveredShards, ShardStore, SHARD_MANIFEST_MAGIC,
 };
 pub use snapshot::{
     decode_snapshot_payload, read_snapshot, read_snapshot_bytes, read_snapshot_bytes_with,

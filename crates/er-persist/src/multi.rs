@@ -1,0 +1,664 @@
+//! Cross-shard generational stores: atomic checkpoints over N shards.
+//!
+//! A sharded service keeps one [`WalWriter`] per shard so ingestion
+//! workers never serialise on a single log, but its checkpoints must be
+//! **atomic across shards**: no shard may recover to a different batch
+//! boundary than its siblings, or replay would reconstruct a state that
+//! never existed.  A [`ShardStore`] extends the [`GenerationStore`]
+//! protocol to a *generation set*:
+//!
+//! ```text
+//! dir/
+//!   MANIFEST                  magic │ version │ fingerprint │ num shards │ committed gen │ crc
+//!   router.000041.gsmb        the cross-shard routing state of generation 41
+//!   shard.000.000041.gsmb     shard 0's snapshot of generation 41
+//!   shard.001.000041.gsmb     shard 1's snapshot
+//!   wal.000.000041.gsmb       shard 0's mutations appended after generation 41
+//!   wal.001.000041.gsmb       shard 1's WAL
+//!   router.000040.gsmb        the previous generation (retained as fallback)
+//!   ...
+//!   quarantine/               corrupt files moved aside by recovery
+//! ```
+//!
+//! A commit writes the router snapshot and **every** shard snapshot of
+//! generation `g+1`, creates the `g+1` WALs, then atomically rewrites the
+//! single `MANIFEST` — the one cross-shard commit point.  A crash anywhere
+//! before the manifest rename leaves generation `g` committed for *all*
+//! shards; the half-written `g+1` files are uncommitted debris swept on
+//! the next open.  The whole sequence runs under the same exclusive
+//! `LOCK` file as [`GenerationStore`], so two concurrent checkpointers
+//! cannot interleave their generation sets.
+//!
+//! Recovery walks the fallback chain **as a unit**: a generation loads
+//! only if its router *and every shard snapshot* validate; a corrupt file
+//! quarantines the generation back to its predecessor for *all* shards,
+//! and each shard then replays a longer WAL chain to the same committed
+//! boundary.  Per-shard WAL records carry the global mutation sequence
+//! number, so the caller re-interleaves them exactly.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use er_core::{crc64, PersistError, PersistResult};
+
+use crate::codec::{Encode, Reader, Writer};
+use crate::generation::{quarantine, StoreLock, RETAINED_GENERATIONS};
+use crate::snapshot::{
+    read_snapshot_bytes_with, sweep_tmp_files, write_file_atomic, write_snapshot_with,
+    FORMAT_VERSION,
+};
+use crate::vfs::{RetryPolicy, StdVfs, Vfs};
+use crate::wal::{read_wal_with, WalWriter};
+use crate::{lock_path, manifest_path, RecoveryReport, WalReadMode};
+
+/// Magic bytes opening the sharded manifest file.
+pub const SHARD_MANIFEST_MAGIC: [u8; 8] = *b"GSMBSHM1";
+
+/// Byte length of the sharded manifest (`magic | version | fingerprint |
+/// num shards | committed generation | crc64 over everything before it`).
+pub const SHARD_MANIFEST_LEN: usize = 8 + 4 + 8 + 4 + 8 + 8;
+
+/// The router snapshot of generation `generation` inside `dir`.
+pub fn router_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("router.{generation:06}.gsmb"))
+}
+
+/// Shard `shard`'s snapshot of generation `generation` inside `dir`.
+pub fn shard_snapshot_path(dir: &Path, shard: u32, generation: u64) -> PathBuf {
+    dir.join(format!("shard.{shard:03}.{generation:06}.gsmb"))
+}
+
+/// Shard `shard`'s write-ahead log of generation `generation` inside `dir`.
+pub fn shard_wal_path(dir: &Path, shard: u32, generation: u64) -> PathBuf {
+    dir.join(format!("wal.{shard:03}.{generation:06}.gsmb"))
+}
+
+/// Parses `router.GGGGGG.gsmb` / `shard.SSS.GGGGGG.gsmb` /
+/// `wal.SSS.GGGGGG.gsmb` names, returning the generation.
+fn parse_shard_file(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let parts: Vec<&str> = name.split('.').collect();
+    match parts.as_slice() {
+        ["router", generation, "gsmb"] => generation.parse().ok(),
+        ["shard" | "wal", shard, generation, "gsmb"] => {
+            shard.parse::<u32>().ok()?;
+            generation.parse().ok()
+        }
+        _ => None,
+    }
+}
+
+/// Everything a cross-shard recovery produced: one generation's payloads
+/// for the router and every shard, the per-shard WAL records to replay on
+/// top, and the report.  All shards are guaranteed to be at the **same**
+/// committed boundary: the snapshots come from one generation set and the
+/// WAL chains all end at the committed generation.
+#[derive(Debug)]
+pub struct RecoveredShards {
+    /// The generation whose snapshot set loaded.
+    pub generation: u64,
+    /// The validated router payload.
+    pub router_payload: Vec<u8>,
+    /// The validated payload of every shard, in shard order.
+    pub shard_payloads: Vec<Vec<u8>>,
+    /// Per shard, the WAL records of its whole chain
+    /// (`wal.<shard>.<generation>` through `wal.<shard>.<committed>`), in
+    /// append order.  The caller merges them by their embedded sequence
+    /// numbers.
+    pub shard_records: Vec<Vec<Vec<u8>>>,
+    /// Valid length of each shard's *committed* WAL, if every one was
+    /// readable — the offsets to reopen them at for appending.  `None`
+    /// means the recovery was degraded and the caller must commit a
+    /// repair checkpoint instead.
+    pub wal_valid_lens: Option<Vec<u64>>,
+    /// The stream fingerprint the store carries.
+    pub fingerprint: u64,
+    /// The shard count recorded in the manifest.
+    pub num_shards: u32,
+    /// True if anything abnormal happened (fallback, rebuild, missing
+    /// WAL): the caller should commit a fresh generation immediately
+    /// after replay to restore redundancy.
+    pub degraded: bool,
+    /// The full account of what recovery did.
+    pub report: RecoveryReport,
+}
+
+/// A directory of cross-shard generation sets with a single atomic
+/// manifest commit pointer.  See the module docs for the layout and
+/// protocol.
+#[derive(Debug)]
+pub struct ShardStore {
+    vfs: Arc<dyn Vfs>,
+    policy: RetryPolicy,
+    dir: PathBuf,
+    fingerprint: u64,
+    num_shards: u32,
+    committed: u64,
+}
+
+impl ShardStore {
+    /// Initialises a fresh store in `dir` with generation 0: router
+    /// snapshot, one snapshot and one empty WAL per shard, manifest.
+    /// Returns the store and the open generation-0 WAL writers, in shard
+    /// order.
+    pub fn create(
+        vfs: Arc<dyn Vfs>,
+        policy: RetryPolicy,
+        dir: &Path,
+        payload_tag: u32,
+        fingerprint: u64,
+        router: &impl Encode,
+        shards: &[impl Encode],
+    ) -> PersistResult<(Self, Vec<WalWriter>)> {
+        assert!(!shards.is_empty(), "a shard store needs at least one shard");
+        crate::vfs::retrying(policy, || {
+            vfs.create_dir_all(dir)
+                .map_err(|e| PersistError::io(format!("create store directory {dir:?}"), &e))
+        })?;
+        let _lock = StoreLock::acquire(vfs.clone(), policy, dir, "create shard store")?;
+        let mut store = ShardStore {
+            vfs,
+            policy,
+            dir: dir.to_path_buf(),
+            fingerprint,
+            num_shards: u32::try_from(shards.len()).expect("shard count fits u32"),
+            committed: 0,
+        };
+        let wals = store.write_generation(0, payload_tag, router, shards)?;
+        store.write_manifest(0)?;
+        Ok((store, wals))
+    }
+
+    /// Recovers a store from `dir`, walking the generation-set fallback
+    /// chain.  On success the caller decodes the payloads, replays the
+    /// merged shard records, then either reopens the committed WALs at
+    /// `recovered.wal_valid_lens` (clean case) or commits a repair
+    /// checkpoint (`recovered.degraded`).
+    pub fn recover(
+        vfs: Arc<dyn Vfs>,
+        policy: RetryPolicy,
+        dir: &Path,
+        payload_tag: u32,
+        expected_fingerprint: Option<u64>,
+    ) -> PersistResult<(Self, RecoveredShards)> {
+        let mut report = RecoveryReport {
+            tmp_files_removed: sweep_tmp_files(vfs.as_ref(), dir)?,
+            ..RecoveryReport::default()
+        };
+        report.stale_lock_removed = match vfs.remove(&lock_path(dir)) {
+            Ok(()) => true,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => false,
+            Err(err) => {
+                return Err(PersistError::io(
+                    format!("sweep stale store lock in {dir:?}"),
+                    &err,
+                ))
+            }
+        };
+
+        // The manifest is the one cross-shard commit pointer.  If it is
+        // unreadable but complete generation sets exist, infer the newest
+        // one and treat the recovery as degraded.
+        let (fingerprint_hint, num_shards, committed) = match read_shard_manifest(vfs.as_ref(), dir)
+        {
+            Ok(manifest) => {
+                let (fingerprint, num_shards, committed) = manifest;
+                (Some(fingerprint), num_shards, committed)
+            }
+            Err(manifest_err) => {
+                match newest_complete_generation(vfs.as_ref(), dir, payload_tag)? {
+                    Some((generation, num_shards)) => {
+                        report.manifest_rebuilt = true;
+                        (None, num_shards, generation)
+                    }
+                    None => return Err(manifest_err),
+                }
+            }
+        };
+        if let (Some(expected), Some(found)) = (expected_fingerprint, fingerprint_hint) {
+            if expected != found {
+                return Err(PersistError::FingerprintMismatch { expected, found });
+            }
+        }
+        report.committed_generation = committed;
+        report.stale_generations_removed =
+            remove_uncommitted_generations(vfs.as_ref(), dir, committed)?;
+
+        // The fallback chain, a whole generation set at a time: the
+        // router and every shard snapshot must validate together — a
+        // corrupt member quarantines and sends *all* shards back one
+        // generation, so no shard can recover ahead of its siblings.
+        let expected_fingerprint = expected_fingerprint.or(fingerprint_hint);
+        let mut generation = committed;
+        let (router_payload, shard_payloads, fingerprint, generation) = loop {
+            report.generations_tried += 1;
+            match load_generation_set(
+                vfs.as_ref(),
+                dir,
+                generation,
+                num_shards,
+                payload_tag,
+                expected_fingerprint,
+            ) {
+                Ok((router_payload, shard_payloads, fingerprint)) => {
+                    break (router_payload, shard_payloads, fingerprint, generation)
+                }
+                Err((bad_file, err)) => {
+                    if let Some(path) = bad_file {
+                        quarantine(vfs.as_ref(), dir, &path, &mut report)?;
+                    }
+                    if generation == 0 {
+                        return Err(err);
+                    }
+                    generation -= 1;
+                }
+            }
+        };
+
+        // Per-shard WAL chains: the loaded generation's log through the
+        // committed one.  A torn tail is only legal on the last log ever
+        // appended to; a corrupt record anywhere is fatal (acknowledged
+        // data must not be skipped); a missing log degrades the recovery
+        // (the caller's sequence-contiguity check backstops real gaps).
+        let mut shard_records: Vec<Vec<Vec<u8>>> = Vec::with_capacity(num_shards as usize);
+        let mut wal_valid_lens = vec![None; num_shards as usize];
+        let mut torn = false;
+        let mut chain_complete = true;
+        for shard in 0..num_shards {
+            let mut records = Vec::new();
+            for wal_generation in generation..=committed {
+                let path = shard_wal_path(dir, shard, wal_generation);
+                match read_wal_with(
+                    vfs.as_ref(),
+                    &path,
+                    Some(fingerprint),
+                    WalReadMode::Recovery,
+                ) {
+                    Ok(contents) => {
+                        torn |= contents.torn_tail;
+                        records.extend(contents.records);
+                        if wal_generation == committed {
+                            wal_valid_lens[shard as usize] = Some(contents.valid_len);
+                        }
+                    }
+                    Err(PersistError::Io {
+                        kind: std::io::ErrorKind::NotFound,
+                        ..
+                    }) => {
+                        chain_complete = false;
+                    }
+                    Err(err) => return Err(err),
+                }
+            }
+            shard_records.push(records);
+        }
+        report.used_generation = generation;
+        report.torn_tail_truncated = torn;
+
+        let wal_valid_lens: Option<Vec<u64>> = wal_valid_lens.into_iter().collect();
+        let degraded = generation != committed
+            || report.manifest_rebuilt
+            || !chain_complete
+            || wal_valid_lens.is_none()
+            || !report.quarantined.is_empty();
+
+        let store = ShardStore {
+            vfs,
+            policy,
+            dir: dir.to_path_buf(),
+            fingerprint,
+            num_shards,
+            committed,
+        };
+        Ok((
+            store,
+            RecoveredShards {
+                generation,
+                router_payload,
+                shard_payloads,
+                shard_records,
+                wal_valid_lens: if degraded { None } else { wal_valid_lens },
+                fingerprint,
+                num_shards,
+                degraded,
+                report,
+            },
+        ))
+    }
+
+    /// Commits a new generation set: router + every shard snapshot of
+    /// `committed + 1`, fresh WALs for it, then the single manifest flip
+    /// (the cross-shard commit point).  Returns the new generation's open
+    /// WAL writers, in shard order.  Old generations beyond the retention
+    /// window are cleaned up best-effort afterwards.
+    pub fn commit(
+        &mut self,
+        payload_tag: u32,
+        router: &impl Encode,
+        shards: &[impl Encode],
+    ) -> PersistResult<Vec<WalWriter>> {
+        assert_eq!(
+            shards.len(),
+            self.num_shards as usize,
+            "a commit must cover every shard"
+        );
+        let generation = self.committed + 1;
+        let _lock = StoreLock::acquire(
+            self.vfs.clone(),
+            self.policy,
+            &self.dir,
+            &format!("commit shard generation {generation}"),
+        )?;
+        let wals = self.write_generation(generation, payload_tag, router, shards)?;
+        self.write_manifest(generation)?;
+        self.committed = generation;
+        // Retention is advisory: a failure here never loses committed
+        // state, it only leaves extra fallback generations behind.
+        let _ = self.apply_retention();
+        Ok(wals)
+    }
+
+    /// Reopens the committed generation's WALs for appending, truncating
+    /// torn tails at `valid_lens` first.
+    pub fn open_committed_wals(&self, valid_lens: &[u64]) -> PersistResult<Vec<WalWriter>> {
+        assert_eq!(valid_lens.len(), self.num_shards as usize);
+        (0..self.num_shards)
+            .map(|shard| {
+                WalWriter::open_with(
+                    self.vfs.clone(),
+                    self.policy,
+                    &shard_wal_path(&self.dir, shard, self.committed),
+                    valid_lens[shard as usize],
+                )
+            })
+            .collect()
+    }
+
+    /// The committed generation number.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// The number of shards the store was created with.
+    pub fn num_shards(&self) -> u32 {
+        self.num_shards
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The stream fingerprint every file in the store carries.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Writes generation `generation`'s snapshot set and creates its
+    /// WALs, without touching the manifest.
+    ///
+    /// The router snapshot is written **last**: when the manifest is lost
+    /// and [`newest_complete_generation`] has to infer the committed set
+    /// from the files on disk, a validating router certifies that every
+    /// shard snapshot and WAL of its generation was fully written before
+    /// it — a crash mid-set leaves no router, so a partial set can never
+    /// be mistaken for a complete store with fewer shards.
+    fn write_generation(
+        &mut self,
+        generation: u64,
+        payload_tag: u32,
+        router: &impl Encode,
+        shards: &[impl Encode],
+    ) -> PersistResult<Vec<WalWriter>> {
+        for (shard, payload) in shards.iter().enumerate() {
+            write_snapshot_with(
+                self.vfs.as_ref(),
+                self.policy,
+                &shard_snapshot_path(&self.dir, shard as u32, generation),
+                payload_tag,
+                self.fingerprint,
+                payload,
+            )?;
+        }
+        let wals: PersistResult<Vec<WalWriter>> = (0..self.num_shards)
+            .map(|shard| {
+                WalWriter::create_with(
+                    self.vfs.clone(),
+                    self.policy,
+                    &shard_wal_path(&self.dir, shard, generation),
+                    self.fingerprint,
+                )
+            })
+            .collect();
+        let wals = wals?;
+        write_snapshot_with(
+            self.vfs.as_ref(),
+            self.policy,
+            &router_path(&self.dir, generation),
+            payload_tag,
+            self.fingerprint,
+            router,
+        )?;
+        Ok(wals)
+    }
+
+    fn write_manifest(&self, committed: u64) -> PersistResult<()> {
+        let mut w = Writer::with_capacity(SHARD_MANIFEST_LEN);
+        w.write_raw(&SHARD_MANIFEST_MAGIC);
+        w.write_u32(FORMAT_VERSION);
+        w.write_u64(self.fingerprint);
+        w.write_u32(self.num_shards);
+        w.write_u64(committed);
+        let crc = crc64(w.as_bytes());
+        w.write_u64(crc);
+        write_file_atomic(
+            self.vfs.as_ref(),
+            self.policy,
+            &manifest_path(&self.dir),
+            w.as_bytes(),
+        )
+    }
+
+    /// Deletes generation files older than the retention window.
+    fn apply_retention(&self) -> PersistResult<()> {
+        let oldest_kept = self.committed.saturating_sub(RETAINED_GENERATIONS - 1);
+        let entries = self
+            .vfs
+            .list(&self.dir)
+            .map_err(|e| PersistError::io(format!("list store directory {:?}", self.dir), &e))?;
+        for path in entries {
+            if let Some(generation) = parse_shard_file(&path) {
+                if generation < oldest_kept {
+                    self.vfs.remove(&path).map_err(|e| {
+                        PersistError::io(format!("remove retired generation file {path:?}"), &e)
+                    })?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reads and validates the sharded manifest, returning
+/// `(fingerprint, num_shards, committed)`.
+pub fn read_shard_manifest(vfs: &dyn Vfs, dir: &Path) -> PersistResult<(u64, u32, u64)> {
+    let path = manifest_path(dir);
+    let data = vfs
+        .read(&path)
+        .map_err(|e| PersistError::io(format!("read manifest {path:?}"), &e))?;
+    if data.len() < SHARD_MANIFEST_LEN {
+        return Err(PersistError::BadMagic {
+            context: format!("shard manifest {path:?}"),
+        });
+    }
+    let mut r = Reader::new(&data);
+    let magic = r.read_raw(8)?;
+    if magic != SHARD_MANIFEST_MAGIC {
+        return Err(PersistError::BadMagic {
+            context: format!("shard manifest {path:?}"),
+        });
+    }
+    let version = r.read_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(PersistError::VersionMismatch {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let fingerprint = r.read_u64()?;
+    let num_shards = r.read_u32()?;
+    let committed = r.read_u64()?;
+    let recorded_crc = r.read_u64()?;
+    r.expect_end().map_err(|_| {
+        PersistError::Corrupt(format!("shard manifest {path:?} carries trailing bytes"))
+    })?;
+    let actual_crc = crc64(&data[..SHARD_MANIFEST_LEN - 8]);
+    if actual_crc != recorded_crc {
+        return Err(PersistError::ChecksumMismatch {
+            context: format!("shard manifest {path:?}"),
+            expected: recorded_crc,
+            found: actual_crc,
+        });
+    }
+    if num_shards == 0 {
+        return Err(PersistError::Corrupt(format!(
+            "shard manifest {path:?} declares zero shards"
+        )));
+    }
+    Ok((fingerprint, num_shards, committed))
+}
+
+/// Loads one generation set (router + every shard snapshot).  On failure
+/// returns the corrupt file to quarantine (`None` if it was merely
+/// missing) and the error.
+#[allow(clippy::type_complexity)]
+fn load_generation_set(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    generation: u64,
+    num_shards: u32,
+    payload_tag: u32,
+    expected_fingerprint: Option<u64>,
+) -> Result<(Vec<u8>, Vec<Vec<u8>>, u64), (Option<PathBuf>, PersistError)> {
+    let classify = |path: PathBuf, err: PersistError| {
+        let missing = matches!(
+            &err,
+            PersistError::Io { kind, .. } if *kind == std::io::ErrorKind::NotFound
+        );
+        (if missing { None } else { Some(path) }, err)
+    };
+    let path = router_path(dir, generation);
+    let (router_payload, fingerprint) =
+        read_snapshot_bytes_with(vfs, &path, payload_tag, expected_fingerprint)
+            .map_err(|err| classify(path, err))?;
+    let mut shard_payloads = Vec::with_capacity(num_shards as usize);
+    for shard in 0..num_shards {
+        let path = shard_snapshot_path(dir, shard, generation);
+        let (payload, shard_fingerprint) =
+            read_snapshot_bytes_with(vfs, &path, payload_tag, expected_fingerprint)
+                .map_err(|err| classify(path.clone(), err))?;
+        if shard_fingerprint != fingerprint {
+            return Err((
+                Some(path),
+                PersistError::FingerprintMismatch {
+                    expected: fingerprint,
+                    found: shard_fingerprint,
+                },
+            ));
+        }
+        shard_payloads.push(payload);
+    }
+    Ok((router_payload, shard_payloads, fingerprint))
+}
+
+/// The newest generation with a complete snapshot set in `dir`, with its
+/// shard count — used to rebuild a lost manifest.
+fn newest_complete_generation(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    payload_tag: u32,
+) -> PersistResult<Option<(u64, u32)>> {
+    let entries = match vfs.list(dir) {
+        Ok(entries) => entries,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(err) => {
+            return Err(PersistError::io(
+                format!("list store directory {dir:?}"),
+                &err,
+            ))
+        }
+    };
+    // Candidate generations, newest first, with the shard count observed
+    // on disk; a generation counts only if its full set validates.
+    let mut generations: Vec<u64> = entries.iter().filter_map(|p| parse_shard_file(p)).collect();
+    generations.sort_unstable();
+    generations.dedup();
+    for &generation in generations.iter().rev() {
+        let num_shards = (0..)
+            .take_while(|&shard| {
+                entries
+                    .iter()
+                    .any(|p| *p == shard_snapshot_path(dir, shard, generation))
+            })
+            .count() as u32;
+        if num_shards == 0 {
+            continue;
+        }
+        if load_generation_set(vfs, dir, generation, num_shards, payload_tag, None).is_ok() {
+            return Ok(Some((generation, num_shards)));
+        }
+    }
+    Ok(None)
+}
+
+/// Removes generation files newer than the committed generation (debris
+/// of a crash mid-commit), returning how many files were removed.
+fn remove_uncommitted_generations(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    committed: u64,
+) -> PersistResult<usize> {
+    let entries = vfs
+        .list(dir)
+        .map_err(|e| PersistError::io(format!("list store directory {dir:?}"), &e))?;
+    let mut removed = 0;
+    for path in entries {
+        if let Some(generation) = parse_shard_file(&path) {
+            if generation > committed {
+                vfs.remove(&path).map_err(|e| {
+                    PersistError::io(format!("remove uncommitted generation file {path:?}"), &e)
+                })?;
+                removed += 1;
+            }
+        }
+    }
+    Ok(removed)
+}
+
+/// Reads the committed generation number of the shard store in `dir` on
+/// the production filesystem — a convenience for tests and benchmarks.
+pub fn committed_shard_generation(dir: &Path) -> PersistResult<u64> {
+    read_shard_manifest(&StdVfs, dir).map(|(_, _, committed)| committed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_file_names_parse_and_generation_files_do_not_collide() {
+        let dir = Path::new("/x");
+        assert_eq!(parse_shard_file(&router_path(dir, 41)), Some(41));
+        assert_eq!(parse_shard_file(&shard_snapshot_path(dir, 3, 41)), Some(41));
+        assert_eq!(parse_shard_file(&shard_wal_path(dir, 0, 7)), Some(7));
+        assert_eq!(parse_shard_file(Path::new("/x/MANIFEST")), None);
+        assert_eq!(parse_shard_file(Path::new("/x/LOCK")), None);
+        assert_eq!(parse_shard_file(Path::new("/x/quarantine")), None);
+        assert_eq!(
+            parse_shard_file(Path::new("/x/shard.abc.000001.gsmb")),
+            None
+        );
+        // Single-store names do not parse as sharded ones and vice versa.
+        assert_eq!(parse_shard_file(Path::new("/x/snapshot.000041.gsmb")), None);
+    }
+}

@@ -48,6 +48,12 @@ pub trait Vfs: Send + Sync + std::fmt::Debug {
     /// it and [`rename`](Vfs::rename) it into place.
     fn create(&self, path: &Path, data: &[u8]) -> io::Result<()>;
 
+    /// Creates `path` and writes `data` to it, failing with
+    /// [`std::io::ErrorKind::AlreadyExists`] if the file exists — the
+    /// atomic test-and-set primitive exclusive lock files are built on
+    /// (`O_CREAT | O_EXCL`).
+    fn create_new(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+
     /// Appends `data` at the end of an existing file.
     fn append(&self, path: &Path, data: &[u8]) -> io::Result<()>;
 
@@ -92,6 +98,14 @@ impl StdVfs {
 impl Vfs for StdVfs {
     fn create(&self, path: &Path, data: &[u8]) -> io::Result<()> {
         fs::write(path, data)
+    }
+
+    fn create_new(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut file = fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)?;
+        file.write_all(data)
     }
 
     fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
@@ -147,6 +161,8 @@ impl Vfs for StdVfs {
 pub enum OpKind {
     /// [`Vfs::create`].
     Create,
+    /// [`Vfs::create_new`].
+    CreateNew,
     /// [`Vfs::append`].
     Append,
     /// [`Vfs::truncate`].
@@ -374,6 +390,34 @@ impl Vfs for FaultVfs {
         }
     }
 
+    fn create_new(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        match self.book(OpKind::CreateNew, path) {
+            Verdict::Proceed => self.inner.create_new(path, data),
+            Verdict::CrashNow(op) => {
+                // Only tear the write if the exclusive create would have
+                // won; a lost race leaves the existing file untouched.
+                if !path.exists() {
+                    let _ = self.partial_write(op, path, data, false);
+                }
+                Err(FaultVfs::crash_error())
+            }
+            Verdict::Fault(op, kind) => {
+                if path.exists() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        "file exists (simulated fault raced a held lock)",
+                    ));
+                }
+                // A *survived* failure leaves no file: the exclusive
+                // create either wins whole or not at all, so the caller's
+                // retry sees a free slot (only a crash leaves the torn
+                // file behind, and recovery sweeps that).
+                Err(self.faulted(op, kind, path, None))
+            }
+            Verdict::Dead => Err(FaultVfs::crash_error()),
+        }
+    }
+
     fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
         match self.book(OpKind::Append, path) {
             Verdict::Proceed => self.inner.append(path, data),
@@ -560,6 +604,23 @@ mod tests {
         assert_eq!(vfs.list(&dir).unwrap(), vec![renamed.clone()]);
         vfs.remove(&renamed).unwrap();
         assert!(vfs.list(&dir).unwrap().is_empty());
+    }
+
+    #[test]
+    fn create_new_is_an_exclusive_test_and_set() {
+        let dir = scratch("createnew");
+        let file = dir.join("LOCK");
+        StdVfs.create_new(&file, b"1").unwrap();
+        let err = StdVfs.create_new(&file, b"2").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        assert_eq!(StdVfs.read(&file).unwrap(), b"1");
+        // The fault VFS models a lost race the same way.
+        let vfs = FaultVfs::counting(5);
+        let err = vfs.create_new(&file, b"3").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        StdVfs.remove(&file).unwrap();
+        vfs.create_new(&file, b"4").unwrap();
+        assert_eq!(StdVfs.read(&file).unwrap(), b"4");
     }
 
     #[test]

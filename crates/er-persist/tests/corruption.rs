@@ -141,6 +141,27 @@ fn wal_round_trips_in_both_modes() {
 }
 
 #[test]
+fn group_commit_is_byte_identical_to_individual_appends() {
+    let records: &[&[u8]] = &[b"alpha", b"", b"gamma gamma", b"delta"];
+
+    let dir = scratch("wal-group");
+    let grouped = dir.join("grouped.gsmb");
+    let mut wal = WalWriter::create(&grouped, FINGERPRINT).unwrap();
+    wal.append_group(&[]).unwrap();
+    wal.append_group(records).unwrap();
+    // One write + one fsync for the whole group; the empty group cost none.
+    assert_eq!(wal.appends(), 1);
+    assert_eq!(wal.syncs(), 1);
+
+    let single = write_wal_records(&dir, records);
+    assert_eq!(fs::read(&grouped).unwrap(), fs::read(&single).unwrap());
+
+    let contents = read_wal(&grouped, Some(FINGERPRINT), WalReadMode::Strict).unwrap();
+    assert_eq!(contents.records, records);
+    assert_eq!(contents.valid_len, fs::metadata(&grouped).unwrap().len());
+}
+
+#[test]
 fn torn_tail_is_tolerated_in_recovery_and_typed_in_strict() {
     let dir = scratch("wal-torn");
     let path = write_wal_records(&dir, &[b"first record", b"second record"]);

@@ -242,6 +242,67 @@ fn retention_keeps_the_committed_generation_and_one_fallback() {
 }
 
 #[test]
+fn concurrent_checkpointers_get_a_typed_lock_error() {
+    let dir = scratch("lock-held");
+    let mut store = build_store(&dir, 1);
+
+    // Another checkpointer "holds" the lock: commit must fail typed, not
+    // race the snapshot/manifest/retention sequence.
+    StdVfs
+        .create_new(&er_persist::lock_path(&dir), b"")
+        .unwrap();
+    let err = store.commit(TAG, &payload(9)).unwrap_err();
+    assert!(matches!(err, PersistError::Locked { .. }), "{err:?}");
+    assert!(err.to_string().contains("exclusive lock"));
+    assert_eq!(err.class(), PersistErrorClass::Fatal);
+    assert_eq!(store.committed(), 1, "a refused commit must not advance");
+
+    // `create` on a locked directory is refused the same way.
+    let err = GenerationStore::create(
+        StdVfs::arc(),
+        RetryPolicy::default_write(),
+        &dir,
+        TAG,
+        FINGERPRINT,
+        &payload(0),
+    )
+    .unwrap_err();
+    assert!(matches!(err, PersistError::Locked { .. }), "{err:?}");
+
+    // Once the holder releases, the loser can commit — and the lock never
+    // outlives the commit.
+    StdVfs.remove(&er_persist::lock_path(&dir)).unwrap();
+    store.commit(TAG, &payload(2)).unwrap();
+    assert_eq!(store.committed(), 2);
+    assert!(!er_persist::lock_path(&dir).exists());
+}
+
+#[test]
+fn recovery_sweeps_a_stale_lock() {
+    let dir = scratch("lock-stale");
+    let store = build_store(&dir, 1);
+    drop(store);
+
+    // A checkpointer crashed while holding the lock.
+    StdVfs
+        .create_new(&er_persist::lock_path(&dir), b"")
+        .unwrap();
+    let (store, recovered) = recover(&dir).unwrap();
+    assert!(recovered.report.stale_lock_removed);
+    assert!(
+        recovered.report.is_clean(),
+        "a stale lock alone does not degrade recovery: {:?}",
+        recovered.report
+    );
+    assert!(!er_persist::lock_path(&dir).exists());
+
+    // The swept lock is free for the next commit.
+    let mut store = store;
+    store.commit(TAG, &payload(2)).unwrap();
+    assert_eq!(store.committed(), 2);
+}
+
+#[test]
 fn sweep_tmp_files_only_touches_tmp_files() {
     let dir = scratch("tmp-only");
     fs::write(dir.join("a.tmp"), b"x").unwrap();
@@ -263,6 +324,9 @@ struct NoDirSync {
 impl Vfs for NoDirSync {
     fn create(&self, path: &Path, data: &[u8]) -> io::Result<()> {
         StdVfs.create(path, data)
+    }
+    fn create_new(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        StdVfs.create_new(path, data)
     }
     fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
         StdVfs.append(path, data)
@@ -349,11 +413,18 @@ fn injected_write_faults_surface_as_typed_errors_and_leave_the_store_recoverable
     wal.append(b"two").unwrap();
     store.commit(TAG, &payload(1)).unwrap();
     let total_ops = counting.op_count();
+    // Lock release is best effort (a failure leaves a stale lock for the
+    // next recovery sweep, not an error) — every *other* write op must
+    // surface its fault.
     let write_ops: Vec<u64> = counting
         .op_log()
         .iter()
         .enumerate()
-        .filter(|(_, (kind, _))| kind.is_write())
+        .filter(|(_, (kind, path))| {
+            kind.is_write()
+                && !(*kind == er_persist::OpKind::Remove
+                    && path.file_name().is_some_and(|n| n == er_persist::LOCK_NAME))
+        })
         .map(|(i, _)| i as u64)
         .collect();
     assert!(total_ops > 0 && !write_ops.is_empty());
@@ -507,4 +578,203 @@ fn crash_points_during_commit_never_lose_the_previous_generation() {
             Err(other) => panic!("crash at op {crash_at}: {other:?}"),
         }
     }
+}
+
+// ---- cross-shard stores -------------------------------------------------
+
+const SHARDS: u32 = 3;
+
+fn shard_state(shard: u64, generation: u64) -> Vec<u64> {
+    (0..16u64)
+        .map(|i| i * 13 + shard * 100 + generation * 10_000)
+        .collect()
+}
+
+fn shard_states(generation: u64) -> Vec<Vec<u64>> {
+    (0..u64::from(SHARDS))
+        .map(|shard| shard_state(shard, generation))
+        .collect()
+}
+
+/// Creates a 3-shard store with `commits` committed generations beyond 0;
+/// each shard's WAL carries one record per generation tagged with both.
+fn build_shard_store(dir: &Path, commits: u64) -> er_persist::ShardStore {
+    let (mut store, mut wals) = er_persist::ShardStore::create(
+        StdVfs::arc(),
+        RetryPolicy::default_write(),
+        dir,
+        TAG,
+        FINGERPRINT,
+        &payload(0),
+        &shard_states(0),
+    )
+    .unwrap();
+    for generation in 1..=commits {
+        for (shard, wal) in wals.iter_mut().enumerate() {
+            wal.append(format!("s{}-g{}", shard, generation - 1).as_bytes())
+                .unwrap();
+        }
+        wals = store
+            .commit(TAG, &payload(generation), &shard_states(generation))
+            .unwrap();
+    }
+    for (shard, wal) in wals.iter_mut().enumerate() {
+        wal.append(format!("s{shard}-g{commits}").as_bytes())
+            .unwrap();
+    }
+    store
+}
+
+fn recover_shards(
+    dir: &Path,
+) -> er_core::PersistResult<(er_persist::ShardStore, er_persist::RecoveredShards)> {
+    er_persist::ShardStore::recover(
+        StdVfs::arc(),
+        RetryPolicy::default_write(),
+        dir,
+        TAG,
+        Some(FINGERPRINT),
+    )
+}
+
+#[test]
+fn shard_store_round_trips_and_recovers_cleanly() {
+    let dir = scratch("shard-clean");
+    let store = build_shard_store(&dir, 2);
+    assert_eq!(store.committed(), 2);
+    drop(store);
+
+    let (store, recovered) = recover_shards(&dir).unwrap();
+    assert_eq!(store.committed(), 2);
+    assert_eq!(recovered.generation, 2);
+    assert_eq!(recovered.num_shards, SHARDS);
+    assert!(!recovered.degraded);
+    assert!(recovered.report.is_clean());
+    assert_eq!(
+        er_persist::decode_snapshot_payload::<Vec<u64>>(&recovered.router_payload).unwrap(),
+        payload(2)
+    );
+    for shard in 0..SHARDS as usize {
+        assert_eq!(
+            er_persist::decode_snapshot_payload::<Vec<u64>>(&recovered.shard_payloads[shard])
+                .unwrap(),
+            shard_state(shard as u64, 2)
+        );
+        // Only the committed generation's records ride along.
+        assert_eq!(
+            recovered.shard_records[shard],
+            vec![format!("s{shard}-g2").into_bytes()]
+        );
+    }
+
+    // Every reopened WAL appends where its old one left off.
+    let lens = recovered.wal_valid_lens.unwrap();
+    let mut wals = store.open_committed_wals(&lens).unwrap();
+    for wal in &mut wals {
+        wal.append(b"more").unwrap();
+    }
+    for shard in 0..SHARDS {
+        let contents = er_persist::read_wal(
+            &er_persist::shard_wal_path(&dir, shard, 2),
+            Some(FINGERPRINT),
+            WalReadMode::Strict,
+        )
+        .unwrap();
+        assert_eq!(contents.records.len(), 2);
+    }
+}
+
+#[test]
+fn a_corrupt_shard_snapshot_falls_back_the_whole_generation_set() {
+    let dir = scratch("shard-fallback");
+    build_shard_store(&dir, 2);
+
+    // Flip a payload byte in ONE shard's committed snapshot: the whole
+    // generation set must fall back so no shard recovers ahead of its
+    // siblings.
+    let bad = er_persist::shard_snapshot_path(&dir, 1, 2);
+    let mut bytes = fs::read(&bad).unwrap();
+    let at = bytes.len() - 3;
+    bytes[at] ^= 0x04;
+    fs::write(&bad, &bytes).unwrap();
+
+    let (store, recovered) = recover_shards(&dir).unwrap();
+    assert_eq!(store.committed(), 2);
+    assert_eq!(recovered.generation, 1, "the set falls back as a unit");
+    assert!(recovered.degraded);
+    assert!(recovered.wal_valid_lens.is_none());
+    assert_eq!(
+        er_persist::decode_snapshot_payload::<Vec<u64>>(&recovered.router_payload).unwrap(),
+        payload(1)
+    );
+    for shard in 0..SHARDS as usize {
+        // Every shard — including the two whose gen-2 snapshots were
+        // intact — recovers from generation 1 with the longer WAL chain.
+        assert_eq!(
+            er_persist::decode_snapshot_payload::<Vec<u64>>(&recovered.shard_payloads[shard])
+                .unwrap(),
+            shard_state(shard as u64, 1)
+        );
+        assert_eq!(
+            recovered.shard_records[shard],
+            vec![
+                format!("s{shard}-g1").into_bytes(),
+                format!("s{shard}-g2").into_bytes(),
+            ]
+        );
+    }
+    assert_eq!(recovered.report.quarantined.len(), 1);
+    assert!(er_persist::quarantine_path(&dir)
+        .join("shard.001.000002.gsmb")
+        .exists());
+}
+
+#[test]
+fn shard_store_commit_is_refused_while_locked() {
+    let dir = scratch("shard-locked");
+    let mut store = build_shard_store(&dir, 1);
+    StdVfs
+        .create_new(&er_persist::lock_path(&dir), b"")
+        .unwrap();
+    let err = store
+        .commit(TAG, &payload(9), &shard_states(9))
+        .unwrap_err();
+    assert!(matches!(err, PersistError::Locked { .. }), "{err:?}");
+    assert_eq!(store.committed(), 1);
+    StdVfs.remove(&er_persist::lock_path(&dir)).unwrap();
+    store.commit(TAG, &payload(2), &shard_states(2)).unwrap();
+    assert_eq!(store.committed(), 2);
+    assert!(!er_persist::lock_path(&dir).exists());
+}
+
+#[test]
+fn a_lost_shard_manifest_is_rebuilt_from_the_newest_complete_set() {
+    let dir = scratch("shard-manifest-lost");
+    build_shard_store(&dir, 2);
+    fs::remove_file(manifest_path(&dir)).unwrap();
+
+    let (store, recovered) = recover_shards(&dir).unwrap();
+    assert_eq!(store.committed(), 2);
+    assert!(recovered.report.manifest_rebuilt);
+    assert!(recovered.degraded);
+    assert_eq!(recovered.num_shards, SHARDS);
+    assert_eq!(
+        er_persist::decode_snapshot_payload::<Vec<u64>>(&recovered.router_payload).unwrap(),
+        payload(2)
+    );
+}
+
+#[test]
+fn shard_retention_keeps_two_generations() {
+    let dir = scratch("shard-retention");
+    build_shard_store(&dir, 3);
+    for shard in 0..SHARDS {
+        assert!(er_persist::shard_snapshot_path(&dir, shard, 3).exists());
+        assert!(er_persist::shard_snapshot_path(&dir, shard, 2).exists());
+        assert!(!er_persist::shard_snapshot_path(&dir, shard, 1).exists());
+        assert!(!er_persist::shard_wal_path(&dir, shard, 1).exists());
+    }
+    assert!(er_persist::router_path(&dir, 2).exists());
+    assert!(!er_persist::router_path(&dir, 1).exists());
+    assert_eq!(er_persist::committed_shard_generation(&dir).unwrap(), 3);
 }

@@ -9,6 +9,7 @@ use er_features::{
 };
 use er_learn::ProbabilisticClassifier;
 
+use crate::delta::DeltaIndex;
 use crate::index::{PartnerBoard, StreamingIndex};
 
 /// Configuration of a [`StreamingMetaBlocker`].
@@ -190,9 +191,16 @@ impl DeltaBatch {
 /// they die (cap crossings, deletions), or revived again when a capped
 /// block shrinks back — each transition travels in a subsequent
 /// [`DeltaBatch`], and the post-compact state is always exact.
-pub struct StreamingMetaBlocker<G: KeyGenerator> {
+///
+/// The blocker is generic over its [`DeltaIndex`] implementation — the
+/// canonical single-shard [`StreamingIndex`] by default, or `er-shard`'s
+/// hash-partitioned `ShardedIndex`.  *All* batch orchestration (phase
+/// ordering, partner diffing, scoring, emission) lives here and is shared,
+/// so output equivalence between index implementations reduces to the
+/// primitive contract documented on [`crate::delta`].
+pub struct StreamingMetaBlocker<G: KeyGenerator, I: DeltaIndex = StreamingIndex> {
     generator: G,
-    index: StreamingIndex,
+    index: I,
     feature_set: FeatureSet,
     threads: usize,
     scoreboard: ScoreboardConfig,
@@ -215,6 +223,37 @@ impl<G: KeyGenerator> StreamingMetaBlocker<G> {
             model: None,
         }
     }
+}
+
+impl<G: KeyGenerator, I: DeltaIndex> StreamingMetaBlocker<G, I> {
+    /// Wraps an existing (typically empty) index implementation — the
+    /// constructor sharded deployments use, where the index is built before
+    /// the blocker.
+    ///
+    /// Fails with [`er_core::PersistError::Corrupt`] if the generator's
+    /// block-size cap disagrees with the index's (they would describe
+    /// different schemes).
+    pub fn with_index(
+        config: StreamingConfig,
+        generator: G,
+        index: I,
+    ) -> er_core::PersistResult<Self> {
+        let cap = generator.max_block_size().unwrap_or(usize::MAX);
+        if cap != index.size_cap() {
+            return Err(er_core::PersistError::Corrupt(format!(
+                "index was built with block-size cap {}, generator uses {cap}",
+                index.size_cap()
+            )));
+        }
+        Ok(StreamingMetaBlocker {
+            index,
+            generator,
+            feature_set: config.feature_set,
+            threads: config.threads.max(1),
+            scoreboard: config.scoreboard,
+            model: None,
+        })
+    }
 
     /// Attaches the classifier whose probabilities every delta pair is
     /// scored with.
@@ -223,16 +262,16 @@ impl<G: KeyGenerator> StreamingMetaBlocker<G> {
         self
     }
 
-    /// Rebuilds a blocker around a recovered [`StreamingIndex`] — the
-    /// constructor the persistence layer uses after decoding a snapshot.
-    /// No model is attached; re-attach one with
-    /// [`StreamingMetaBlocker::with_model`] before scoring new batches.
+    /// Rebuilds a blocker around a recovered index — the constructor the
+    /// persistence layer uses after decoding a snapshot.  No model is
+    /// attached; re-attach one with [`StreamingMetaBlocker::with_model`]
+    /// before scoring new batches.
     ///
     /// Fails with [`er_core::PersistError::Corrupt`] if the supplied
     /// generator's block-size cap disagrees with the cap the index was
     /// built under (the snapshot would then describe a different scheme).
     pub fn from_recovered(
-        index: StreamingIndex,
+        index: I,
         generator: G,
         feature_set: FeatureSet,
         threads: usize,
@@ -255,7 +294,7 @@ impl<G: KeyGenerator> StreamingMetaBlocker<G> {
     }
 
     /// The underlying mutable index.
-    pub fn index(&self) -> &StreamingIndex {
+    pub fn index(&self) -> &I {
         &self.index
     }
 
@@ -303,7 +342,7 @@ impl<G: KeyGenerator> StreamingMetaBlocker<G> {
     /// Tokenizes one profile through the scheme and interns its raw keys
     /// into `raw_keys` (duplicates allowed; the index canonicalizes).
     fn intern_profile_keys(
-        index: &mut StreamingIndex,
+        index: &mut I,
         generator: &G,
         profile: &EntityProfile,
         case_scratch: &mut String,
@@ -348,7 +387,7 @@ impl<G: KeyGenerator> StreamingMetaBlocker<G> {
         // Close the batch journal: cap crossings among pre-batch pairs
         // become retractions (revivals are impossible under pure insertion
         // but the generic scan handles them).
-        let effects = self.index.finish_batch(|e| e.index() >= batch_start);
+        let effects = self.index.finish_batch(&|e| e.index() >= batch_start);
 
         // Phase B (parallel): per new entity, gather the smaller comparable
         // partners sharing a live block, with their co-occurrence aggregates
@@ -448,6 +487,13 @@ impl<G: KeyGenerator> StreamingMetaBlocker<G> {
         self.remove_impl(ids, true)
     }
 
+    /// [`StreamingMetaBlocker::remove`] without the feature/probability
+    /// phase — WAL replay applies logged removals with this (the index,
+    /// statistics and LCP counters move exactly as in a scored run).
+    pub fn remove_unscored(&mut self, ids: &[EntityId]) -> DeltaBatch {
+        self.remove_impl(ids, false)
+    }
+
     /// [`StreamingMetaBlocker::remove`] with the feature/probability phase
     /// optional — WAL replay drives this with `score: false` (the index,
     /// statistics and LCP counters move exactly as in a scored run).
@@ -473,7 +519,7 @@ impl<G: KeyGenerator> StreamingMetaBlocker<G> {
         for &e in ids {
             self.index.remove_entity(e);
         }
-        let effects = self.index.finish_batch(|e| batch.contains(&e.0));
+        let effects = self.index.finish_batch(&|e| batch.contains(&e.0));
 
         // Batch-side retractions: every pre-batch candidate pair with a
         // removed endpoint, each exactly once — a pair of two removed
@@ -530,6 +576,12 @@ impl<G: KeyGenerator> StreamingMetaBlocker<G> {
         self.update_impl(updates, true)
     }
 
+    /// [`StreamingMetaBlocker::update`] without the feature/probability
+    /// phase — WAL replay applies logged updates with this.
+    pub fn update_unscored(&mut self, updates: &[(EntityId, EntityProfile)]) -> DeltaBatch {
+        self.update_impl(updates, false)
+    }
+
     /// [`StreamingMetaBlocker::update`] with the feature/probability phase
     /// optional — WAL replay drives this with `score: false`.
     pub(crate) fn update_impl(
@@ -576,7 +628,7 @@ impl<G: KeyGenerator> StreamingMetaBlocker<G> {
                 index.replace_entity_keys(*e, &mut raw_keys);
             }
         }
-        let effects = self.index.finish_batch(|e| batch.contains(&e.0));
+        let effects = self.index.finish_batch(&|e| batch.contains(&e.0));
 
         // After-image (parallel): all partners with their co-occurrence
         // aggregates against the end-of-batch state.

@@ -97,12 +97,12 @@ impl PartnerBoard {
 
     /// Accumulates one block contribution for `partner`.
     #[inline]
-    fn add(&mut self, partner: u32, inv_comparisons: f64, inv_sizes: f64) {
+    pub(crate) fn add(&mut self, partner: u32, inv_comparisons: f64, inv_sizes: f64) {
         self.board.add(partner, inv_comparisons, inv_sizes);
     }
 
     /// Drains the board into a partner list sorted by entity id.
-    fn drain_sorted(&mut self) -> Vec<(EntityId, PairCooccurrence)> {
+    pub(crate) fn drain_sorted(&mut self) -> Vec<(EntityId, PairCooccurrence)> {
         self.board.drain_sorted_into(&mut self.drained);
         self.board.flush_metrics();
         self.drained
@@ -372,6 +372,30 @@ impl StreamingIndex {
     /// Whether the batch engine would emit this key's block right now.
     pub fn is_block_live(&self, key: u32) -> bool {
         self.live[key as usize]
+    }
+
+    /// `1/||b||` of a key's block (0 when the block has no comparisons).
+    #[inline]
+    pub(crate) fn key_inv_comparisons(&self, key: u32) -> f64 {
+        self.inv_comparisons[key as usize]
+    }
+
+    /// `1/|b|` of a key's block (0 when the block is empty).
+    #[inline]
+    pub(crate) fn key_inv_sizes(&self, key: u32) -> f64 {
+        self.inv_sizes[key as usize]
+    }
+
+    /// `||b||` of a key's block.
+    #[inline]
+    pub(crate) fn key_comparisons(&self, key: u32) -> u64 {
+        self.comparisons[key as usize]
+    }
+
+    /// First-source member count of a key's block.
+    #[inline]
+    pub(crate) fn key_first_count(&self, key: u32) -> u32 {
+        self.first_counts[key as usize]
     }
 
     /// Interns a key, returning its stream id (stable across compactions).
@@ -659,6 +683,18 @@ impl StreamingIndex {
             retracted,
             revived,
         }
+    }
+
+    /// Drains the touched-key journal without running the liveness-flip
+    /// scans: returns `(key, pre_batch_liveness)` sorted by key id.  A
+    /// sharded wrapper uses this to collect every shard's journal, map the
+    /// local ids to global ones and run the flip scans over the merged,
+    /// globally ordered set — reproducing [`StreamingIndex::finish_batch`]
+    /// exactly.
+    pub(crate) fn drain_touched(&mut self) -> Vec<(u32, bool)> {
+        let mut snapshot: Vec<(u32, bool)> = self.touched.drain().collect();
+        snapshot.sort_unstable_by_key(|&(k, _)| k);
+        snapshot
     }
 
     /// A block's liveness flipped during the batch: scans its comparable
@@ -958,6 +994,17 @@ impl StreamingIndex {
     /// returns the batch view of the compacted state via
     /// [`StreamingIndex::view`].
     pub fn compact(&mut self, threads: usize) -> CsrBlockCollection {
+        self.fold_deltas();
+        self.epoch += 1;
+        self.view(threads)
+    }
+
+    /// The physical half of [`StreamingIndex::compact`]: folds deltas and
+    /// tombstones into a fresh baseline CSR and folds the adjacency overlay
+    /// back, without bumping the epoch or building a view.  A sharded
+    /// wrapper compacts every shard with this and manages a single global
+    /// epoch and view itself.
+    pub(crate) fn fold_deltas(&mut self) {
         debug_assert!(
             self.touched.is_empty(),
             "compact() during an unfinished mutation batch"
@@ -989,8 +1036,6 @@ impl StreamingIndex {
             self.entity_keys = keys;
             self.overlay.clear();
         }
-        self.epoch += 1;
-        self.view(threads)
     }
 }
 

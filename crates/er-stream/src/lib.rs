@@ -41,11 +41,15 @@
 //! [`DeltaBatch::additions`].
 
 pub mod blocker;
+pub mod delta;
 pub mod index;
 pub mod persist;
+pub mod shard;
 
 pub use blocker::{
     dataset_prefix, surviving_dataset, DeltaBatch, StreamingConfig, StreamingMetaBlocker,
 };
+pub use delta::{BlockIndex, DeltaIndex};
 pub use index::{BatchEffects, Members, PartnerBoard, StreamingIndex};
 pub use persist::{DurableMetaBlocker, MutationRecord};
+pub use shard::{shard_of_key, ShardRouterState, ShardedIndex};

@@ -23,6 +23,9 @@
 //! * [`persist`] (`er-persist`) — durability: the versioned, checksummed
 //!   binary codec, atomic snapshots and the mutation write-ahead log behind
 //!   `stream::DurableMetaBlocker` and `meta::DurableStreamingPipeline`;
+//! * [`shard`] (`er-shard`) — the sharded streaming service: hash-partitioned
+//!   posting shards, per-shard WALs with group commit, atomic cross-shard
+//!   checkpoints and epoch-published wait-free reads;
 //! * [`eval`] (`er-eval`) — metrics and the experiment harness behind every
 //!   table and figure.
 //!
@@ -53,5 +56,6 @@ pub use er_eval as eval;
 pub use er_features as features;
 pub use er_learn as learn;
 pub use er_persist as persist;
+pub use er_shard as shard;
 pub use er_stream as stream;
 pub use meta_blocking as meta;
