@@ -1,34 +1,58 @@
 //! Micro-bench: corpus-size scalability of the cache-blocked radix
-//! scoreboard (the 10^5 → 10^7-entity sweep).
+//! scoreboard and the streamed candidate engine (the 10^5 → 10^7-entity
+//! sweep).
 //!
 //! For each corpus size the bench generates a bounded-memory synthetic
 //! Dirty corpus (`er_datasets::generate_scalability`), runs the standard
-//! blocking workflow (Token Blocking + purging + filtering), extracts the
-//! candidate pairs, and then drives the fused feature + scoring pass on
-//! both scoreboard engines:
+//! blocking workflow (Token Blocking + purging + filtering), and drives the
+//! fused feature + scoring pass in three modes:
 //!
-//! * **tiled** — the cache-blocked radix scoreboard (the default engine),
-//!   with a metrics sink recording the per-worker scratch high-water mark;
+//! * **streamed** — the chunked [`CandidateStream`] path: the pair index
+//!   never exists in memory; per-worker scratch is one reusable
+//!   [`ChunkArena`] of `chunk_pairs` pairs (run *first*, before the
+//!   materialised index is ever allocated, so its peak-RSS checkpoint
+//!   cannot inherit the index);
+//! * **tiled** — the materialised index through the cache-blocked radix
+//!   scoreboard (the default engine), with a metrics sink recording the
+//!   per-worker scratch high-water mark;
 //! * **flat** — the retained `O(num_entities)`-scratch reference board.
 //!
-//! Correctness gates before any timing: the two engines must produce
-//! bit-identical probabilities at every size, and the tiled engine's
-//! scratch must stay `O(tile + contributions)` — it is asserted against an
-//! explicit tile-derived bound *and* against a fraction of the flat
-//! board's footprint, so a regression back to corpus-sized scratch fails
-//! the bench rather than just slowing it down.
+//! Correctness gates before any timing: all three modes must produce
+//! bit-identical probabilities at every size, the streamed chunk walk must
+//! emit exactly the counted number of pairs, and the tiled engine's scratch
+//! must stay `O(tile + contributions)`.
+//!
+//! Asserted memory gate: the streamed candidate-phase footprint
+//! (`CandidateStream::aggregate_bytes` + per-worker arena capacity) must be
+//! at most **half** the materialised index (`CandidatePairs::index_bytes`)
+//! at every size — exact allocation accounting, so the gate is
+//! deterministic; peak-RSS checkpoints after each phase are recorded in the
+//! artifact alongside it.  Asserted throughput gate: the *end-to-end*
+//! streamed phase (stream build + fused extract/score) keeps within 10% of
+//! the end-to-end materialised phase (index build + score) in pairs/s —
+//! both modes pay one extraction, the streamed one just never keeps its
+//! output (`GSMB_SCALA_GATE=0` disables the timing gate on noisy hosts;
+//! the memory gate always holds).
 //!
 //! Environment: `GSMB_SCALA_SIZES` (comma-separated entity counts, default
 //! `100000,1000000`), `GSMB_SCALA_TILE` (tile width override, default
-//! auto), `GSMB_REPS`.  Emits `BENCH_scalability.json` when
+//! auto), `GSMB_SCALA_CHUNK` (streamed chunk size in pairs, default
+//! [`DEFAULT_CHUNK_PAIRS`]), `GSMB_SCALA_GATE` (`0` disables the
+//! throughput gate), `GSMB_REPS`.  Emits `BENCH_scalability.json` when
 //! `GSMB_BENCH_JSON` is set.
 
 use std::time::Instant;
 
 use bench::{banner, bench_repetitions, env_usize, peak_rss_json, write_bench_json};
-use er_blocking::{standard_blocking_workflow_csr, BlockStats, CandidatePairs};
+use er_blocking::{
+    standard_blocking_workflow_csr, BlockStats, CandidatePairs, CandidateStream, ChunkArena,
+    DEFAULT_CHUNK_PAIRS,
+};
 use er_datasets::{generate_scalability, ScalabilityConfig};
-use er_features::{FeatureContext, FeatureMatrix, FeatureSet, ScoreboardConfig, ScoreboardMetrics};
+use er_features::{
+    FeatureContext, FeatureMatrix, FeatureSet, ScoreboardConfig, ScoreboardMetrics,
+    StreamFeatureContext,
+};
 
 /// Corpus sizes above this skip the full-matrix equality gate (the score
 /// vectors are still compared bit-for-bit at every size).
@@ -46,17 +70,28 @@ fn sizes() -> Vec<usize> {
 }
 
 fn main() {
-    banner("Micro-bench: radix-scoreboard scalability by corpus size");
+    banner("Micro-bench: streamed vs materialised scoring by corpus size");
     let repetitions = bench_repetitions();
     let threads = er_core::available_threads();
     let set = FeatureSet::blast_optimal();
     let tile_override = env_usize("GSMB_SCALA_TILE", 0);
+    let chunk_pairs = env_usize("GSMB_SCALA_CHUNK", DEFAULT_CHUNK_PAIRS).max(1);
+    let timing_gate = std::env::var("GSMB_SCALA_GATE").map_or(true, |v| v != "0");
     let score = |row: &[f64]| row.iter().sum::<f64>();
     let mut json_entries: Vec<String> = Vec::new();
 
     println!(
-        "{:>10} {:>8} {:>8} {:>8} {:>11} {:>9} {:>9} {:>12} {:>12}",
-        "entities", "gen", "block", "cands", "pairs", "tiled", "flat", "scratch(t)", "scratch(f)"
+        "{:>10} {:>8} {:>8} {:>8} {:>11} {:>9} {:>9} {:>9} {:>12} {:>12}",
+        "entities",
+        "gen",
+        "block",
+        "cands",
+        "pairs",
+        "streamed",
+        "tiled",
+        "flat",
+        "mem(s)",
+        "mem(m)"
     );
 
     for n in sizes() {
@@ -68,13 +103,83 @@ fn main() {
         let start = Instant::now();
         let blocks = standard_blocking_workflow_csr(&dataset, threads);
         let blocking_s = start.elapsed().as_secs_f64();
-
-        let start = Instant::now();
         let stats = BlockStats::from_csr(&blocks);
+        let rss_baseline = peak_rss_json();
+
+        // --- Streamed phase (first, so the materialised index never
+        // contributes to its RSS checkpoint). ---
+        let start = Instant::now();
+        let stream = CandidateStream::from_stats(&stats, threads);
+        let stream_build_s = start.elapsed().as_secs_f64();
+        let pairs_u64 = stream.total_pairs();
+        assert!(
+            pairs_u64 > 0,
+            "scal-{n}: no candidate pairs survived cleaning"
+        );
+
+        // Full chunk walk through one reusable arena: verifies the chunked
+        // emission covers every pair and measures the steady-state
+        // per-worker arena capacity for the exact accounting below.
+        let mut arena = ChunkArena::new();
+        let mut walked = 0u64;
+        for chunk in stream.chunks(chunk_pairs) {
+            stream.extract_chunk(chunk, &mut arena);
+            walked += arena.pairs().len() as u64;
+        }
+        assert_eq!(walked, pairs_u64, "scal-{n}: chunk walk lost pairs");
+        let streamed_bytes = stream.aggregate_bytes() + threads * arena.capacity_bytes();
+        drop(arena);
+
+        let stream_context = StreamFeatureContext::new(&stats, stream.lcp_table());
+        let streamed_metrics = ScoreboardMetrics::shared();
+        let mut streamed_config =
+            ScoreboardConfig::default().with_metrics(streamed_metrics.clone());
+        if tile_override > 0 {
+            streamed_config.tile_entities = Some(tile_override);
+        }
+        let start = Instant::now();
+        let streamed_scores = FeatureMatrix::score_stream_with(
+            &stream_context,
+            &stream,
+            set,
+            threads,
+            &streamed_config,
+            chunk_pairs,
+            score,
+        );
+        let streamed_s = start.elapsed().as_secs_f64();
+        drop(stream_context);
+        drop(stream);
+
+        // Timed end-to-end streamed phase: stats → probabilities, the unit
+        // of work the pipeline actually performs (the fused pass re-derives
+        // pairs every rep; the materialised twin below pays the same
+        // extraction inside `CandidatePairs::from_stats`).  Best-of-N.
+        let mut streamed_total_s = f64::INFINITY;
+        for _ in 0..repetitions {
+            let start = Instant::now();
+            let stream = CandidateStream::from_stats(&stats, threads);
+            let stream_context = StreamFeatureContext::new(&stats, stream.lcp_table());
+            criterion::black_box(FeatureMatrix::score_stream_with(
+                &stream_context,
+                &stream,
+                set,
+                threads,
+                &streamed_config,
+                chunk_pairs,
+                score,
+            ));
+            streamed_total_s = streamed_total_s.min(start.elapsed().as_secs_f64());
+        }
+        let rss_streamed = peak_rss_json();
+
+        // --- Materialised phase. ---
+        let start = Instant::now();
         let candidates = CandidatePairs::from_stats(&stats, threads);
         let candidates_s = start.elapsed().as_secs_f64();
         let pairs = candidates.len();
-        assert!(pairs > 0, "scal-{n}: no candidate pairs survived cleaning");
+        assert_eq!(pairs as u64, pairs_u64, "scal-{n}: pair totals diverged");
+        let materialised_bytes = candidates.index_bytes();
         let context = FeatureContext::new(&stats, &candidates);
 
         let tiled_metrics = ScoreboardMetrics::shared();
@@ -85,7 +190,8 @@ fn main() {
         let flat_metrics = ScoreboardMetrics::shared();
         let flat_config = ScoreboardConfig::flat().with_metrics(flat_metrics.clone());
 
-        // Correctness gate 1: bit-identical probabilities across engines.
+        // Correctness gate 1: bit-identical probabilities across all three
+        // modes.
         let tiled_scores =
             FeatureMatrix::score_rows_with(&context, set, threads, &tiled_config, score);
         let flat_scores =
@@ -94,6 +200,11 @@ fn main() {
             tiled_scores, flat_scores,
             "scal-{n}: tiled and flat scores diverged"
         );
+        assert_eq!(
+            streamed_scores, tiled_scores,
+            "scal-{n}: streamed and materialised scores diverged"
+        );
+        drop(streamed_scores);
         drop(flat_scores);
         drop(tiled_scores);
         if n <= MATRIX_GATE_LIMIT {
@@ -126,7 +237,18 @@ fn main() {
             "scal-{n}: tiled scratch {scratch_tiled} B not below flat {scratch_flat} B"
         );
 
-        // Timed sweep: the fused feature + probability pass per engine.
+        // Memory gate: exact allocation accounting — the streamed candidate
+        // phase (aggregate tables + per-worker arenas) must stay at most
+        // half the materialised index, at every size.
+        assert!(
+            streamed_bytes * 2 <= materialised_bytes,
+            "scal-{n}: streamed candidate footprint {streamed_bytes} B not ≤ half the \
+             materialised index {materialised_bytes} B"
+        );
+
+        // Timed sweep: the fused feature + probability pass per
+        // materialised engine, plus the end-to-end materialised twin of
+        // the streamed phase (index build + scoring, best-of-N).
         let mut tiled_s = 0.0f64;
         let mut flat_s = 0.0f64;
         for _ in 0..repetitions {
@@ -151,30 +273,59 @@ fn main() {
         }
         tiled_s /= repetitions as f64;
         flat_s /= repetitions as f64;
+        let mut materialised_total_s = f64::INFINITY;
+        for _ in 0..repetitions {
+            let start = Instant::now();
+            let rebuilt = CandidatePairs::from_stats(&stats, threads);
+            let rebuilt_context = FeatureContext::new(&stats, &rebuilt);
+            criterion::black_box(FeatureMatrix::score_rows_with(
+                &rebuilt_context,
+                set,
+                threads,
+                &tiled_config,
+                score,
+            ));
+            materialised_total_s = materialised_total_s.min(start.elapsed().as_secs_f64());
+        }
+        let rss_materialised = peak_rss_json();
+
+        // Throughput gate: the end-to-end streamed phase keeps within 10%
+        // of the end-to-end materialised phase — both modes pay one pair
+        // extraction; the streamed one just never keeps its output.
+        let streamed_pps = pairs as f64 / streamed_total_s.max(1e-9);
+        let materialised_pps = pairs as f64 / materialised_total_s.max(1e-9);
+        if timing_gate {
+            assert!(
+                streamed_pps >= 0.9 * materialised_pps,
+                "scal-{n}: streamed {streamed_pps:.0} pairs/s regresses more than 10% below \
+                 materialised {materialised_pps:.0} pairs/s (set GSMB_SCALA_GATE=0 on noisy hosts)"
+            );
+        }
 
         println!(
-            "{:>10} {:>7.2}s {:>7.2}s {:>7.2}s {:>11} {:>8.2}s {:>8.2}s {:>9} KiB {:>9} KiB",
+            "{:>10} {:>7.2}s {:>7.2}s {:>7.2}s {:>11} {:>8.2}s {:>8.2}s {:>8.2}s {:>9} KiB {:>9} KiB",
             n,
             gen_s,
             blocking_s,
             candidates_s,
             pairs,
+            streamed_s,
             tiled_s,
             flat_s,
-            scratch_tiled / 1024,
-            scratch_flat / 1024,
+            streamed_bytes / 1024,
+            materialised_bytes / 1024,
         );
         println!(
-            "{:>10} tile {} ({} tiles), dense/radix entities {}/{}, partners hwm {}, contributions hwm {}, {:.1} Mpairs/s tiled vs {:.1} Mpairs/s flat",
+            "{:>10} chunk {} ({:.2}s build), tile {} ({} tiles), scratch {}/{} KiB, e2e {:.1} vs {:.1} Mpairs/s streamed/materialised",
             "",
+            chunk_pairs,
+            stream_build_s,
             tile,
             num_tiles,
-            tiled_metrics.dense_entities(),
-            tiled_metrics.radix_entities(),
-            tiled_metrics.partners_hwm(),
-            tiled_metrics.contributions_hwm(),
-            pairs as f64 / tiled_s.max(1e-9) / 1e6,
-            pairs as f64 / flat_s.max(1e-9) / 1e6,
+            scratch_tiled / 1024,
+            scratch_flat / 1024,
+            streamed_pps / 1e6,
+            materialised_pps / 1e6,
         );
 
         json_entries.push(format!(
@@ -185,10 +336,18 @@ fn main() {
                 "    \"generate_s\": {:.3},\n",
                 "    \"blocking_s\": {:.3},\n",
                 "    \"candidates_s\": {:.3},\n",
+                "    \"stream_build_s\": {:.3},\n",
+                "    \"chunk_pairs\": {},\n",
+                "    \"score_streamed_s\": {:.3},\n",
                 "    \"score_tiled_s\": {:.3},\n",
                 "    \"score_flat_s\": {:.3},\n",
+                "    \"total_streamed_s\": {:.3},\n",
+                "    \"total_materialised_s\": {:.3},\n",
+                "    \"pairs_per_s_streamed\": {:.0},\n",
+                "    \"pairs_per_s_materialised\": {:.0},\n",
                 "    \"pairs_per_s_tiled\": {:.0},\n",
                 "    \"pairs_per_s_flat\": {:.0},\n",
+                "    \"candidates_peak_bytes\": {{\"streamed\": {}, \"materialised\": {}}},\n",
                 "    \"tile_entities\": {},\n",
                 "    \"num_tiles\": {},\n",
                 "    \"scratch_tiled_bytes\": {},\n",
@@ -197,6 +356,8 @@ fn main() {
                 "    \"contributions_hwm\": {},\n",
                 "    \"dense_entities\": {},\n",
                 "    \"radix_entities\": {},\n",
+                "    \"peak_rss_baseline_bytes\": {},\n",
+                "    \"peak_rss_after_streamed_bytes\": {},\n",
                 "    \"peak_rss_bytes\": {}\n",
                 "  }}"
             ),
@@ -205,10 +366,19 @@ fn main() {
             gen_s,
             blocking_s,
             candidates_s,
+            stream_build_s,
+            chunk_pairs,
+            streamed_s,
             tiled_s,
             flat_s,
+            streamed_total_s,
+            materialised_total_s,
+            streamed_pps,
+            materialised_pps,
             pairs as f64 / tiled_s.max(1e-9),
             pairs as f64 / flat_s.max(1e-9),
+            streamed_bytes,
+            materialised_bytes,
             tile,
             num_tiles,
             scratch_tiled,
@@ -217,7 +387,9 @@ fn main() {
             tiled_metrics.contributions_hwm(),
             tiled_metrics.dense_entities(),
             tiled_metrics.radix_entities(),
-            peak_rss_json(),
+            rss_baseline,
+            rss_streamed,
+            rss_materialised,
         ));
     }
 

@@ -26,10 +26,13 @@
 use std::time::{Duration, Instant};
 
 use er_blocking::{
-    standard_blocking_workflow_csr, BlockCollection, BlockStats, CandidatePairs, CsrBlockCollection,
+    standard_blocking_workflow_csr, BlockCollection, BlockStats, CandidatePairs, CandidateStream,
+    CsrBlockCollection,
 };
 use er_core::{Dataset, PairId, Result};
-use er_features::{FeatureContext, FeatureMatrix, FeatureSet, ScoreboardConfig};
+use er_features::{
+    FeatureContext, FeatureMatrix, FeatureSet, ScoreboardConfig, StreamFeatureContext,
+};
 use er_learn::{
     balanced_undersample, Classifier, LinearSvm, LinearSvmConfig, LogisticRegression,
     LogisticRegressionConfig, ProbabilisticClassifier, SavedModel, TrainingSet,
@@ -105,6 +108,14 @@ pub struct MetaBlockingConfig {
     /// bit-identical for every configuration; this only tunes per-worker
     /// scratch locality.
     pub scoreboard: ScoreboardConfig,
+    /// When set, the probability pass runs through the streamed candidate
+    /// engine ([`er_blocking::CandidateStream`]) in chunks of this many
+    /// pairs instead of walking the materialised pair index — per-worker
+    /// scratch stays `O(chunk_pairs)` during scoring.  Probabilities are
+    /// bit-identical to the materialised pass for every chunk size and
+    /// thread count.  `None` (the default) scores through the materialised
+    /// index.
+    pub candidate_chunk_pairs: Option<usize>,
 }
 
 impl Default for MetaBlockingConfig {
@@ -117,6 +128,7 @@ impl Default for MetaBlockingConfig {
             seed: 0x6d62_0001,
             threads: None,
             scoreboard: ScoreboardConfig::default(),
+            candidate_chunk_pairs: None,
         }
     }
 }
@@ -223,7 +235,7 @@ impl MetaBlockingPipeline {
 
         let feature_start = Instant::now();
         let stats = BlockStats::from_csr(&csr);
-        let candidates = CandidatePairs::from_stats(&stats, threads);
+        let candidates = CandidatePairs::try_from_stats(&stats, threads)?;
         self.finish(
             dataset,
             csr,
@@ -254,7 +266,8 @@ impl MetaBlockingPipeline {
         let threads = self.config.effective_threads();
         let feature_start = Instant::now();
         let stats = BlockStats::new(&blocks);
-        let candidates = CandidatePairs::from_blocks_with_stats(&blocks, &stats, threads);
+        let candidates =
+            CandidateStream::from_blocks_with_stats(&blocks, &stats, threads).collect(threads)?;
         self.finish(
             dataset,
             CsrBlockCollection::from_block_collection(&blocks),
@@ -311,14 +324,33 @@ impl MetaBlockingPipeline {
         let training_time = training_start.elapsed();
 
         // Scoring: fused feature + probability pass, no materialised matrix.
+        // With `candidate_chunk_pairs` set, the pass walks the streamed
+        // engine in bounded chunks instead of the materialised pair index —
+        // same probabilities, bit for bit.
         let scoring_start = Instant::now();
-        let probabilities = FeatureMatrix::score_rows_with(
-            &context,
-            set,
-            threads,
-            &self.config.scoreboard,
-            |features| model.probability(features).clamp(0.0, 1.0),
-        );
+        let probability = |features: &[f64]| model.probability(features).clamp(0.0, 1.0);
+        let probabilities = match self.config.candidate_chunk_pairs {
+            Some(chunk_pairs) => {
+                let stream = CandidateStream::from_stats(&stats, threads);
+                let stream_context = StreamFeatureContext::new(&stats, stream.lcp_table());
+                FeatureMatrix::score_stream_with(
+                    &stream_context,
+                    &stream,
+                    set,
+                    threads,
+                    &self.config.scoreboard,
+                    chunk_pairs,
+                    probability,
+                )
+            }
+            None => FeatureMatrix::score_rows_with(
+                &context,
+                set,
+                threads,
+                &self.config.scoreboard,
+                probability,
+            ),
+        };
         let scores = CachedScores::new(probabilities);
         let scoring_time = scoring_start.elapsed();
 
@@ -442,6 +474,31 @@ mod tests {
                 outcome.probabilities.as_slice(),
                 baseline.probabilities.as_slice()
             );
+        }
+    }
+
+    #[test]
+    fn streamed_scoring_mode_never_changes_the_outcome() {
+        let dataset = tiny_dataset();
+        let materialised = MetaBlockingPipeline::new(config(25))
+            .run(&dataset, AlgorithmKind::Blast)
+            .unwrap();
+        for chunk_pairs in [1usize, 64, 1 << 20] {
+            for threads in [1, 4] {
+                let streamed = MetaBlockingPipeline::new(MetaBlockingConfig {
+                    candidate_chunk_pairs: Some(chunk_pairs),
+                    threads: Some(threads),
+                    ..config(25)
+                })
+                .run(&dataset, AlgorithmKind::Blast)
+                .unwrap();
+                assert_eq!(
+                    streamed.probabilities.as_slice(),
+                    materialised.probabilities.as_slice(),
+                    "chunk_pairs={chunk_pairs} threads={threads}"
+                );
+                assert_eq!(streamed.retained, materialised.retained);
+            }
         }
     }
 

@@ -14,9 +14,11 @@
 //! space is append-only, so later arrivals belong to E2); any prefix works
 //! for Dirty ER.
 
-use er_blocking::{build_blocks, BlockStats, CandidatePairs, CsrBlockCollection, TokenKeys};
+use er_blocking::{
+    build_blocks, BlockStats, CandidatePairs, CandidateStream, CsrBlockCollection, TokenKeys,
+};
 use er_core::{Dataset, EntityId, EntityProfile, FxHashMap, PairId, Result};
-use er_features::{FeatureContext, FeatureMatrix};
+use er_features::{for_each_scored_chunk, FeatureContext, StreamFeatureContext};
 use er_learn::{balanced_undersample, ProbabilisticClassifier, TrainingSet};
 use er_stream::{DeltaBatch, StreamingConfig, StreamingMetaBlocker};
 
@@ -84,7 +86,7 @@ impl StreamingPipeline {
             )));
         }
         let stats = BlockStats::from_csr(&csr);
-        let candidates = CandidatePairs::from_stats(&stats, threads);
+        let candidates = CandidatePairs::try_from_stats(&stats, threads)?;
         if candidates.is_empty() {
             return Err(er_core::Error::EmptyInput(format!(
                 "seed corpus {} produced no candidate pairs",
@@ -108,14 +110,6 @@ impl StreamingPipeline {
         }
         let model = config.classifier.fit_saved(&training)?;
 
-        // The seed corpus is already indexed by the batch pass above — score
-        // its candidate pairs once through the fused batch path instead of
-        // re-deriving every pair's features during seeding.
-        let seed_probabilities =
-            FeatureMatrix::score_rows_with(&context, set, threads, &config.scoreboard, |row| {
-                model.probability(row).clamp(0.0, 1.0)
-            });
-
         let stream_config = StreamingConfig {
             dataset_name: seed_corpus.name.clone(),
             kind: seed_corpus.kind,
@@ -124,40 +118,66 @@ impl StreamingPipeline {
             threads,
             scoreboard: config.scoreboard.clone(),
         };
-        let mut pipeline = StreamingPipeline {
-            blocker: StreamingMetaBlocker::new(stream_config, TokenKeys)
-                .with_model(Box::new(model.clone())),
-            schedule: StreamingSchedule::new(),
-            cleaned: None,
-            model,
-        };
+        let mut blocker =
+            StreamingMetaBlocker::new(stream_config, TokenKeys).with_model(Box::new(model.clone()));
         // Seed the index through the unscored ingestion path (same postings,
-        // statistics and LCP counters; no duplicate feature pass) and seed
-        // the schedule with the batch-scored pairs.
-        pipeline.blocker.ingest_unscored(&seed_corpus.profiles);
+        // statistics and LCP counters; no duplicate feature pass).
+        blocker.ingest_unscored(&seed_corpus.profiles);
+
+        // Seed the schedule through the streamed chunk walk: chunks arrive
+        // in ascending pair order, so the absorbed stamps are identical to
+        // one global absorb of the batch-scored vector, while only
+        // O(threads × chunk) scored pairs are ever in flight.
+        let stream = CandidateStream::from_stats(&stats, threads);
+        let stream_context = StreamFeatureContext::new(&stats, stream.lcp_table());
+        let chunk_pairs = config
+            .candidate_chunk_pairs
+            .unwrap_or(er_blocking::DEFAULT_CHUNK_PAIRS);
+        let probability = |row: &[f64]| model.probability(row).clamp(0.0, 1.0);
+        let mut schedule = StreamingSchedule::new();
+        let mut cleaned_state = None;
         if cleaned {
             // The view starts from the seeded index; only the cleaned
-            // subset of the batch-scored pairs enters the schedule, the
-            // rest waits in the pool until cleaning releases it.
-            let view = LiveView::with_default_ratio(pipeline.blocker.index());
-            let pool: FxHashMap<(EntityId, EntityId), f64> = candidates
-                .pairs()
-                .iter()
-                .copied()
-                .zip(seed_probabilities.iter().copied())
-                .collect();
-            for &pair in candidates.pairs() {
-                if view.contains(pair) {
-                    pipeline.schedule.absorb(&[pair], &[pool[&pair]]);
-                }
-            }
-            pipeline.cleaned = Some(CleanedState { view, pool });
+            // subset of the scored pairs enters the schedule, the rest
+            // waits in the pool until cleaning releases it.
+            let view = LiveView::with_default_ratio(blocker.index());
+            let mut pool: FxHashMap<(EntityId, EntityId), f64> = FxHashMap::default();
+            for_each_scored_chunk(
+                &stream_context,
+                &stream,
+                set,
+                threads,
+                &config.scoreboard,
+                chunk_pairs,
+                probability,
+                |pairs, probabilities| {
+                    for (&pair, &probability) in pairs.iter().zip(probabilities) {
+                        pool.insert(pair, probability);
+                        if view.contains(pair) {
+                            schedule.absorb(&[pair], &[probability]);
+                        }
+                    }
+                },
+            );
+            cleaned_state = Some(CleanedState { view, pool });
         } else {
-            pipeline
-                .schedule
-                .absorb(candidates.pairs(), &seed_probabilities);
+            for_each_scored_chunk(
+                &stream_context,
+                &stream,
+                set,
+                threads,
+                &config.scoreboard,
+                chunk_pairs,
+                probability,
+                |pairs, probabilities| schedule.absorb(pairs, probabilities),
+            );
         }
-        Ok(pipeline)
+        Ok(StreamingPipeline {
+            blocker,
+            schedule,
+            cleaned: cleaned_state,
+            model,
+        })
     }
 
     /// True if the pipeline maintains the cleaned (purged + filtered)

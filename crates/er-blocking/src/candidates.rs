@@ -17,12 +17,18 @@
 //! pair list bit-identical to the lexicographically sorted order the previous
 //! hash-based implementation produced.  See [`crate::reference`] for that
 //! retained implementation.
+//!
+//! Since the streamed engine landed, every constructor here is a *collector*
+//! of [`CandidateStream`](crate::CandidateStream): the stream counts and
+//! re-extracts the pairs, this type materialises them.  There is exactly one
+//! extraction engine in the crate.
 
 use er_core::{EntityId, GroundTruth, PairId};
 use serde::{Deserialize, Serialize};
 
 use crate::collection::BlockCollection;
 use crate::stats::BlockStats;
+use crate::stream::CandidateStream;
 
 /// The distinct comparisons of a block collection.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -37,62 +43,32 @@ pub struct CandidatePairs {
     entity_candidates: Vec<u32>,
 }
 
-/// Borrowed entity → block CSR adjacency used during extraction.
-#[derive(Clone, Copy)]
-struct AdjView<'a> {
-    offsets: &'a [u32],
-    block_ids: &'a [er_core::BlockId],
-}
-
-impl<'a> AdjView<'a> {
-    #[inline]
-    fn blocks_of(self, entity: usize) -> &'a [er_core::BlockId] {
-        &self.block_ids[self.offsets[entity] as usize..self.offsets[entity + 1] as usize]
+/// Checks that a `u64` pair total fits the materialised index's `u32`
+/// offsets.  The streamed engine counts in `u64` and has no such ceiling;
+/// only materialising collectors call this.
+fn ensure_materialisable(total: u64) -> er_core::Result<()> {
+    let limit = u64::from(u32::MAX);
+    if total > limit {
+        return Err(er_core::Error::CapacityExceeded {
+            what: "materialised candidate pair index".into(),
+            requested: total,
+            limit,
+        });
     }
-}
-
-/// Borrowed per-block entity storage: either the nested `Vec<Block>` view or
-/// the flat reverse CSR inside [`BlockStats`].
-#[derive(Clone, Copy)]
-enum BlockSource<'a> {
-    Nested(&'a BlockCollection),
-    Stats(&'a BlockStats),
-}
-
-impl<'a> BlockSource<'a> {
-    #[inline]
-    fn entities_of(self, block: er_core::BlockId) -> &'a [EntityId] {
-        match self {
-            BlockSource::Nested(blocks) => &blocks.blocks[block.index()].entities,
-            BlockSource::Stats(stats) => stats.entities_of(block),
-        }
-    }
-
-    #[inline]
-    fn first_source_count(self, block: er_core::BlockId, split: usize) -> usize {
-        match self {
-            BlockSource::Nested(blocks) => blocks.blocks[block.index()].first_source_count(split),
-            BlockSource::Stats(stats) => stats.first_source_count(block) as usize,
-        }
-    }
+    Ok(())
 }
 
 impl CandidatePairs {
     /// Extracts the distinct candidate pairs from a block collection on the
     /// calling thread.
+    ///
+    /// # Panics
+    ///
+    /// If the collection produces more than `u32::MAX` pairs — use the
+    /// streamed engine ([`CandidateStream`]) at that scale.
     pub fn from_blocks(blocks: &BlockCollection) -> Self {
-        let (offsets, block_ids) = crate::stats::build_entity_block_adjacency(blocks);
-        Self::extract(
-            blocks.kind,
-            blocks.split,
-            blocks.num_entities,
-            BlockSource::Nested(blocks),
-            AdjView {
-                offsets: &offsets,
-                block_ids: &block_ids,
-            },
-            1,
-        )
+        let stream = CandidateStream::from_blocks(blocks);
+        Self::try_from_stream(&stream, 1).expect("candidate set above the u32 pair-index limit")
     }
 
     /// Extracts the candidate pairs reusing an already-computed
@@ -100,20 +76,18 @@ impl CandidatePairs {
     ///
     /// Produces exactly the same pairs, order and counts as
     /// [`CandidatePairs::from_blocks`] for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// If the collection produces more than `u32::MAX` pairs.
     pub fn from_blocks_with_stats(
         blocks: &BlockCollection,
         stats: &BlockStats,
         threads: usize,
     ) -> Self {
-        let (offsets, block_ids) = stats.entity_block_csr();
-        Self::extract(
-            blocks.kind,
-            blocks.split,
-            blocks.num_entities,
-            BlockSource::Nested(blocks),
-            AdjView { offsets, block_ids },
-            threads.max(1),
-        )
+        let stream = CandidateStream::from_blocks_with_stats(blocks, stats, threads);
+        Self::try_from_stream(&stream, threads)
+            .expect("candidate set above the u32 pair-index limit")
     }
 
     /// Extracts the candidate pairs from the block statistics alone, with up
@@ -121,81 +95,73 @@ impl CandidatePairs {
     /// the per-block first-source counts, so no [`BlockCollection`] (and no
     /// key string) is ever touched — this is the entry point of the
     /// CSR-native pipeline.
+    ///
+    /// # Panics
+    ///
+    /// If the statistics produce more than `u32::MAX` pairs — production
+    /// callers should prefer [`CandidatePairs::try_from_stats`].
     pub fn from_stats(stats: &BlockStats, threads: usize) -> Self {
-        let (offsets, block_ids) = stats.entity_block_csr();
-        Self::extract(
-            stats.kind(),
-            stats.split(),
-            stats.num_entities(),
-            BlockSource::Stats(stats),
-            AdjView { offsets, block_ids },
-            threads.max(1),
-        )
+        Self::try_from_stats(stats, threads).expect("candidate set above the u32 pair-index limit")
     }
 
-    /// The hash-free per-entity extraction shared by all constructors.
-    fn extract(
-        kind: er_core::DatasetKind,
-        split: usize,
-        num_entities: usize,
-        source: BlockSource<'_>,
-        adjacency: AdjView<'_>,
-        threads: usize,
-    ) -> Self {
-        // For Clean-Clean ER the smaller endpoint of every comparable pair is
-        // an E1 entity, so entities >= split produce no runs of their own.
-        let emitting = match kind {
-            er_core::DatasetKind::CleanClean => split.min(num_entities),
-            er_core::DatasetKind::Dirty => num_entities,
-        };
+    /// Fallible variant of [`CandidatePairs::from_stats`]: returns
+    /// [`er_core::Error::CapacityExceeded`] instead of panicking when the
+    /// pair total exceeds the materialised index's `u32` ceiling.
+    pub fn try_from_stats(stats: &BlockStats, threads: usize) -> er_core::Result<Self> {
+        let stream = CandidateStream::from_stats(stats, threads);
+        Self::try_from_stream(&stream, threads)
+    }
 
-        // One task per contiguous entity range; ~8 tasks per worker keep the
-        // queue balanced when candidate counts are skewed across entities.
+    /// Materialises a [`CandidateStream`]: the stream's exact `u64` pair
+    /// count sizes the index up front, then every chunk is re-extracted
+    /// straight into its pre-split slice of the pair list (no intermediate
+    /// per-worker buffers).  The per-entity offsets and LCP counts are the
+    /// stream's counting-pass aggregates, so the result is bit-identical to
+    /// concatenating the stream's chunks at any thread count.
+    pub fn try_from_stream(stream: &CandidateStream<'_>, threads: usize) -> er_core::Result<Self> {
+        ensure_materialisable(stream.total_pairs())?;
+        let total = stream.total_pairs() as usize;
+        let num_entities = stream.num_entities();
+        let threads = threads.max(1);
+
+        let mut offsets: Vec<u32> = Vec::with_capacity(num_entities + 1);
+        offsets.extend(stream.entity_offsets().iter().map(|&o| o as u32));
+        offsets.resize(num_entities + 1, *offsets.last().unwrap_or(&0));
+        let entity_candidates = stream.lcp_table().to_vec();
+
+        let mut pairs = vec![(EntityId(0), EntityId(0)); total];
+        // One chunk per task; ~8 tasks per worker keep the queue balanced
+        // when candidate counts are skewed across entities.  Chunk boundaries
+        // may split an entity's run — emission order is positional, so the
+        // result is identical for any chunking.
         let num_tasks = if threads <= 1 { 1 } else { threads * 8 };
-        let runs = er_core::map_ranges_parallel(emitting, threads, num_tasks, |range| {
-            let mut run_pairs: Vec<(EntityId, EntityId)> = Vec::new();
-            let mut run_counts: Vec<u32> = Vec::with_capacity(range.len());
-            let mut scratch: Vec<u32> = Vec::new();
-            for a in range {
-                neighbors_above(kind, split, source, adjacency, a, &mut scratch);
-                run_counts.push(scratch.len() as u32);
-                let a_id = EntityId(a as u32);
-                run_pairs.extend(scratch.iter().map(|&p| (a_id, EntityId(p))));
+        let chunks = stream.chunks(total.div_ceil(num_tasks).max(1));
+        {
+            let mut slices: Vec<Option<&mut [(EntityId, EntityId)]>> =
+                Vec::with_capacity(chunks.len());
+            let mut rest: &mut [(EntityId, EntityId)] = &mut pairs;
+            for chunk in &chunks {
+                let (head, tail) = rest.split_at_mut(chunk.len());
+                slices.push(Some(head));
+                rest = tail;
             }
-            (run_pairs, run_counts)
-        });
-
-        let total: usize = runs.iter().map(|(p, _)| p.len()).sum();
-        // The CSR offsets (and `PairId`) are u32; wrapping past 2^32 pairs
-        // would silently corrupt the index, so refuse loudly instead.
-        assert!(
-            u32::try_from(total).is_ok(),
-            "candidate set has {total} pairs, above the u32 pair-index limit; \
-             block cleaning must prune harder before extraction at this scale"
-        );
-        let mut pairs = Vec::with_capacity(total);
-        let mut entity_candidates = vec![0u32; num_entities];
-        let mut offsets = Vec::with_capacity(num_entities + 1);
-        offsets.push(0u32);
-        for (run_pairs, run_counts) in runs {
-            for count in run_counts {
-                offsets.push(offsets.last().unwrap() + count);
-            }
-            pairs.extend_from_slice(&run_pairs);
-        }
-        offsets.resize(num_entities + 1, *offsets.last().unwrap());
-        for (a, window) in offsets.windows(2).enumerate() {
-            entity_candidates[a] += window[1] - window[0];
-        }
-        for &(_, b) in &pairs {
-            entity_candidates[b.index()] += 1;
+            let slots = std::sync::Mutex::new(slices);
+            er_core::for_each_task_with_state(
+                chunks.len(),
+                threads,
+                Vec::<u32>::new,
+                |task, scratch| {
+                    let slice = slots.lock().unwrap()[task].take().unwrap();
+                    stream.extract_chunk_into(chunks[task], scratch, slice);
+                },
+            );
         }
 
-        CandidatePairs {
+        Ok(CandidatePairs {
             pairs,
             offsets,
             entity_candidates,
-        }
+        })
     }
 
     /// Builds a candidate set directly from a list of pairs (used in tests and
@@ -286,6 +252,16 @@ impl CandidatePairs {
         &self.entity_candidates
     }
 
+    /// Bytes held by the materialised pair index (pair list + CSR offsets +
+    /// per-entity counts) — the allocation the streamed path avoids,
+    /// tracked per size by the scalability bench.
+    pub fn index_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.pairs.capacity() * size_of::<(EntityId, EntityId)>()
+            + self.offsets.capacity() * size_of::<u32>()
+            + self.entity_candidates.capacity() * size_of::<u32>()
+    }
+
     /// Number of candidate pairs that are true duplicates (positive pairs).
     pub fn count_positives(&self, truth: &GroundTruth) -> usize {
         self.pairs
@@ -293,41 +269,6 @@ impl CandidatePairs {
             .filter(|&&(a, b)| truth.is_match(a, b))
             .count()
     }
-}
-
-/// Collects into `scratch` the sorted, deduplicated comparable partners of
-/// entity `a` with a larger id than `a`.
-#[inline]
-fn neighbors_above(
-    kind: er_core::DatasetKind,
-    split: usize,
-    source: BlockSource<'_>,
-    adjacency: AdjView<'_>,
-    a: usize,
-    scratch: &mut Vec<u32>,
-) {
-    scratch.clear();
-    match kind {
-        er_core::DatasetKind::CleanClean => {
-            debug_assert!(a < split);
-            for &bid in adjacency.blocks_of(a) {
-                let entities = source.entities_of(bid);
-                let split_point = source.first_source_count(bid, split);
-                // E2 ids all exceed every E1 id, so the whole outer slice
-                // qualifies as "larger comparable partner".
-                scratch.extend(entities[split_point..].iter().map(|e| e.0));
-            }
-        }
-        er_core::DatasetKind::Dirty => {
-            for &bid in adjacency.blocks_of(a) {
-                let entities = source.entities_of(bid);
-                let start = entities.partition_point(|e| e.index() <= a);
-                scratch.extend(entities[start..].iter().map(|e| e.0));
-            }
-        }
-    }
-    scratch.sort_unstable();
-    scratch.dedup();
 }
 
 #[cfg(test)]
@@ -500,6 +441,39 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn materialisation_capacity_check_rejects_only_past_the_u32_boundary() {
+        assert!(ensure_materialisable(0).is_ok());
+        assert!(ensure_materialisable(u64::from(u32::MAX)).is_ok());
+        let err = ensure_materialisable(u64::from(u32::MAX) + 1).unwrap_err();
+        match err {
+            er_core::Error::CapacityExceeded {
+                requested, limit, ..
+            } => {
+                assert_eq!(requested, u64::from(u32::MAX) + 1);
+                assert_eq!(limit, u64::from(u32::MAX));
+            }
+            other => panic!("expected CapacityExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_from_stats_collects_the_stream() {
+        let bc = clean_clean_collection();
+        let stats = BlockStats::new(&bc);
+        let direct = CandidatePairs::from_blocks(&bc);
+        let collected = CandidatePairs::try_from_stats(&stats, 2).unwrap();
+        assert_eq!(collected.pairs(), direct.pairs());
+        assert_eq!(
+            collected.entity_candidate_counts(),
+            direct.entity_candidate_counts()
+        );
+        assert_eq!(
+            collected.pair_range(EntityId(0)),
+            direct.pair_range(EntityId(0))
+        );
     }
 
     #[test]

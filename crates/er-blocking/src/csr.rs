@@ -50,8 +50,8 @@ pub fn slice_cardinalities(slice: &[EntityId], kind: DatasetKind, split: usize) 
 /// one `String` plus an offset table.
 #[derive(Debug, Clone, Default)]
 pub struct KeyStore {
-    text: String,
-    offsets: Vec<u32>,
+    pub(crate) text: String,
+    pub(crate) offsets: Vec<u32>,
 }
 
 impl KeyStore {
@@ -110,15 +110,15 @@ pub struct CsrBlockCollection {
     /// Total number of entity profiles in the dataset.
     pub num_entities: usize,
     /// Shared key arena; derived collections reference the same storage.
-    keys: Arc<KeyStore>,
+    pub(crate) keys: Arc<KeyStore>,
     /// Per block, the id of its key in `keys`.
-    key_ids: Vec<u32>,
+    pub(crate) key_ids: Vec<u32>,
     /// CSR offsets into `entities`; `num_blocks + 1` entries.
-    entity_offsets: Vec<u32>,
+    pub(crate) entity_offsets: Vec<u32>,
     /// Concatenated sorted entity lists of all blocks.
-    entities: Vec<EntityId>,
+    pub(crate) entities: Vec<EntityId>,
     /// Per block, how many of its entities belong to the first source.
-    first_counts: Vec<u32>,
+    pub(crate) first_counts: Vec<u32>,
 }
 
 impl CsrBlockCollection {

@@ -17,6 +17,7 @@
 //! 5. [`BlockStats`] exposes the per-entity block lists and block cardinalities
 //!    that all weighting schemes are computed from.
 
+pub mod arena;
 pub mod block;
 pub mod builder;
 pub mod candidates;
@@ -29,9 +30,11 @@ pub mod purging;
 pub mod qgrams;
 pub mod reference;
 pub mod stats;
+pub mod stream;
 pub mod suffix_arrays;
 pub mod token_blocking;
 
+pub use arena::{ARENA_VERSION, CSR_ARENA_MAGIC, STATS_ARENA_MAGIC};
 pub use block::Block;
 pub use builder::{
     build_blocks, sorted_key_order, KeyGenerator, KeyScratch, QGramKeys, SuffixKeys, TokenKeys,
@@ -46,6 +49,7 @@ pub use graph::NeighborIndex;
 pub use purging::{block_purging, block_purging_csr, purging_limit};
 pub use qgrams::{qgrams_blocking, qgrams_blocking_csr};
 pub use stats::BlockStats;
+pub use stream::{CandidateStream, ChunkArena, ChunkSpec, DEFAULT_CHUNK_PAIRS};
 pub use suffix_arrays::{suffix_array_blocking, suffix_array_blocking_csr, SuffixArrayConfig};
 pub use token_blocking::{token_blocking, token_blocking_csr};
 

@@ -35,34 +35,34 @@ use crate::csr::CsrBlockCollection;
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BlockStats {
     /// CSR offsets into `block_ids`; `num_entities + 1` entries.
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
     /// CSR arena: concatenated sorted block lists of all entities.
-    block_ids: Vec<BlockId>,
+    pub(crate) block_ids: Vec<BlockId>,
     /// Reverse CSR offsets into `block_entities`; `num_blocks + 1` entries.
-    block_offsets: Vec<u32>,
+    pub(crate) block_offsets: Vec<u32>,
     /// Reverse CSR arena: concatenated sorted entity lists of all blocks.
-    block_entities: Vec<EntityId>,
+    pub(crate) block_entities: Vec<EntityId>,
     /// Per block, how many of its entities belong to the first source
     /// (everything for Dirty ER).
-    first_source_counts: Vec<u32>,
+    pub(crate) first_source_counts: Vec<u32>,
     /// `|b|` per block: number of entities.
-    block_sizes: Vec<u32>,
+    pub(crate) block_sizes: Vec<u32>,
     /// `||b||` per block: number of comparisons including redundant ones.
-    block_comparisons: Vec<u64>,
+    pub(crate) block_comparisons: Vec<u64>,
     /// `1 / ||b||` per block (0 when the block has no comparisons).
-    inv_comparisons: Vec<f64>,
+    pub(crate) inv_comparisons: Vec<f64>,
     /// `1 / |b|` per block (0 when the block is empty).
-    inv_sizes: Vec<f64>,
+    pub(crate) inv_sizes: Vec<f64>,
     /// `||B||`: total number of comparisons across all blocks.
-    total_comparisons: u64,
+    pub(crate) total_comparisons: u64,
     /// `||e_i||` per entity: Σ_{b ∈ B_i} ||b||.
-    entity_comparisons: Vec<u64>,
+    pub(crate) entity_comparisons: Vec<u64>,
     /// Number of blocks, |B|.
-    num_blocks: usize,
+    pub(crate) num_blocks: usize,
     /// The ER kind of the underlying collection.
-    kind: DatasetKind,
+    pub(crate) kind: DatasetKind,
     /// E1/E2 boundary in the flattened entity id space.
-    split: usize,
+    pub(crate) split: usize,
 }
 
 impl BlockStats {

@@ -1,0 +1,642 @@
+//! Memory-bounded candidate streaming: chunked pair generation.
+//!
+//! [`crate::CandidatePairs`] materialises the full pair index (`pairs` +
+//! `offsets` + `entity_candidates`) before a single pair is consumed — at
+//! 10^7 entities that CSR is the dominant per-corpus allocation (~100M
+//! pairs).  Nothing in the meta-blocking algorithm requires it: every pair
+//! is scored independently given per-entity aggregates, so pair generation
+//! can be interleaved with consumption.
+//!
+//! [`CandidateStream`] is that engine.  It runs in two passes over the
+//! entity → block CSR:
+//!
+//! 1. **Counting pass** (construction): every emitting entity's sorted,
+//!    deduplicated partner run is computed once to count it — producing the
+//!    exact `u64` pair total, the per-entity run offsets (`u64`, so the
+//!    stream has no 2^32 ceiling) and the per-entity distinct-candidate
+//!    counts (the LCP feature table, accumulated with relaxed atomic adds —
+//!    integer addition commutes, so the counts are exact and deterministic
+//!    at any thread count).  The runs themselves are *discarded*; only the
+//!    `O(num_entities)` aggregate tables are kept.
+//! 2. **Chunked emission** ([`CandidateStream::chunks`] +
+//!    [`CandidateStream::extract_chunk`]): the global pair-id space is cut
+//!    into fixed-size chunks and each chunk's pairs are re-extracted on
+//!    demand into a reusable [`ChunkArena`].  A chunk is addressed purely by
+//!    its pair-id range, so boundaries may fall *inside* one entity's
+//!    partner run — the run is re-derived in scratch and only the in-range
+//!    slice is emitted.  Concatenating the chunks in order reproduces the
+//!    materialised pair list bit-for-bit (same per-entity sort + dedup, same
+//!    entity-ascending partner-sorted order), and chunks are independent, so
+//!    they are the parallel work units of every streamed consumer.
+//!
+//! Peak memory of a streamed consumer is `O(chunk_pairs × workers +
+//! aggregates)` instead of `O(total_pairs)`.  The materialised path is kept
+//! as *the collector of the stream*
+//! ([`CandidatePairs::try_from_stream`](crate::CandidatePairs::try_from_stream)),
+//! so there is exactly one extraction engine in the crate.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use er_core::EntityId;
+
+use crate::collection::BlockCollection;
+use crate::stats::BlockStats;
+
+/// Default pairs per chunk: large enough that per-chunk overheads (board
+/// setup, task dispatch) vanish, small enough that a worker's arena stays a
+/// ~1 MiB cache-friendly scratch.
+pub const DEFAULT_CHUNK_PAIRS: usize = 1 << 16;
+
+/// Borrowed entity → block CSR adjacency used during extraction.
+#[derive(Clone, Copy)]
+pub(crate) struct AdjView<'a> {
+    pub(crate) offsets: &'a [u32],
+    pub(crate) block_ids: &'a [er_core::BlockId],
+}
+
+impl<'a> AdjView<'a> {
+    #[inline]
+    pub(crate) fn blocks_of(self, entity: usize) -> &'a [er_core::BlockId] {
+        &self.block_ids[self.offsets[entity] as usize..self.offsets[entity + 1] as usize]
+    }
+}
+
+/// Borrowed per-block entity storage: either the nested `Vec<Block>` view or
+/// the flat reverse CSR inside [`BlockStats`].
+#[derive(Clone, Copy)]
+pub(crate) enum BlockSource<'a> {
+    Nested(&'a BlockCollection),
+    Stats(&'a BlockStats),
+}
+
+impl<'a> BlockSource<'a> {
+    #[inline]
+    pub(crate) fn entities_of(self, block: er_core::BlockId) -> &'a [EntityId] {
+        match self {
+            BlockSource::Nested(blocks) => &blocks.blocks[block.index()].entities,
+            BlockSource::Stats(stats) => stats.entities_of(block),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn first_source_count(self, block: er_core::BlockId, split: usize) -> usize {
+        match self {
+            BlockSource::Nested(blocks) => blocks.blocks[block.index()].first_source_count(split),
+            BlockSource::Stats(stats) => stats.first_source_count(block) as usize,
+        }
+    }
+}
+
+/// Collects into `scratch` the sorted, deduplicated comparable partners of
+/// entity `a` with a larger id than `a` — the one extraction primitive both
+/// the stream and the materialised collector run on.
+#[inline]
+pub(crate) fn neighbors_above(
+    kind: er_core::DatasetKind,
+    split: usize,
+    source: BlockSource<'_>,
+    adjacency: AdjView<'_>,
+    a: usize,
+    scratch: &mut Vec<u32>,
+) {
+    scratch.clear();
+    match kind {
+        er_core::DatasetKind::CleanClean => {
+            debug_assert!(a < split);
+            for &bid in adjacency.blocks_of(a) {
+                let entities = source.entities_of(bid);
+                let split_point = source.first_source_count(bid, split);
+                // E2 ids all exceed every E1 id, so the whole outer slice
+                // qualifies as "larger comparable partner".
+                scratch.extend(entities[split_point..].iter().map(|e| e.0));
+            }
+        }
+        er_core::DatasetKind::Dirty => {
+            for &bid in adjacency.blocks_of(a) {
+                let entities = source.entities_of(bid);
+                let start = entities.partition_point(|e| e.index() <= a);
+                scratch.extend(entities[start..].iter().map(|e| e.0));
+            }
+        }
+    }
+    scratch.sort_unstable();
+    scratch.dedup();
+}
+
+/// The entity → block adjacency a stream walks: borrowed from a
+/// [`BlockStats`], or owned when built directly from a [`BlockCollection`].
+enum Adjacency<'a> {
+    Borrowed {
+        offsets: &'a [u32],
+        block_ids: &'a [er_core::BlockId],
+    },
+    Owned {
+        offsets: Vec<u32>,
+        block_ids: Vec<er_core::BlockId>,
+    },
+}
+
+impl Adjacency<'_> {
+    #[inline]
+    fn view(&self) -> AdjView<'_> {
+        match self {
+            Adjacency::Borrowed { offsets, block_ids } => AdjView { offsets, block_ids },
+            Adjacency::Owned { offsets, block_ids } => AdjView { offsets, block_ids },
+        }
+    }
+}
+
+/// One chunk of the global pair-id space: pairs `pair_lo..pair_hi` in
+/// emission order, overlapping the emitting entities
+/// `entity_lo..entity_hi`.  Boundaries may split one entity's partner run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkSpec {
+    /// First global pair id of the chunk.
+    pub pair_lo: u64,
+    /// One past the last global pair id of the chunk.
+    pub pair_hi: u64,
+    /// First emitting entity whose run intersects the chunk.
+    entity_lo: u32,
+    /// One past the last emitting entity whose run intersects the chunk.
+    entity_hi: u32,
+}
+
+impl ChunkSpec {
+    /// Number of pairs in the chunk.
+    pub fn len(&self) -> usize {
+        (self.pair_hi - self.pair_lo) as usize
+    }
+
+    /// True if the chunk holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pair_hi == self.pair_lo
+    }
+}
+
+/// One entity's emitted segment inside a [`ChunkArena`].
+#[derive(Debug, Clone, Copy)]
+struct ChunkRun {
+    entity: u32,
+    start: u32,
+    end: u32,
+}
+
+/// Reusable per-worker scratch a chunk is extracted into: the chunk's pairs
+/// in global emission order, the per-entity segment boundaries, and the
+/// partner-run scratch buffer.  Capacity is retained across chunks, so a
+/// long streamed pass performs no steady-state allocation.
+#[derive(Debug, Default)]
+pub struct ChunkArena {
+    pairs: Vec<(EntityId, EntityId)>,
+    runs: Vec<ChunkRun>,
+    scratch: Vec<u32>,
+}
+
+impl ChunkArena {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        ChunkArena::default()
+    }
+
+    /// The extracted chunk's pairs in global emission order.
+    pub fn pairs(&self) -> &[(EntityId, EntityId)] {
+        &self.pairs
+    }
+
+    /// Iterates the chunk's per-entity segments: `(entity, pairs_of_entity)`
+    /// where the slice is the (possibly partial) partner run emitted for
+    /// that entity, sorted by partner.
+    pub fn runs(&self) -> impl Iterator<Item = (EntityId, &[(EntityId, EntityId)])> {
+        self.runs.iter().map(|run| {
+            (
+                EntityId(run.entity),
+                &self.pairs[run.start as usize..run.end as usize],
+            )
+        })
+    }
+
+    /// The arena's retained capacity in bytes (the streamed-mode analogue of
+    /// the materialised index's allocation, tracked by the scalability
+    /// bench).
+    pub fn capacity_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.pairs.capacity() * size_of::<(EntityId, EntityId)>()
+            + self.runs.capacity() * size_of::<ChunkRun>()
+            + self.scratch.capacity() * size_of::<u32>()
+    }
+}
+
+/// The streamed candidate engine: counts pairs exactly (in `u64`), then
+/// re-extracts any chunk of the pair-id space on demand.  See the module
+/// docs for the two-pass design.
+pub struct CandidateStream<'a> {
+    kind: er_core::DatasetKind,
+    split: usize,
+    num_entities: usize,
+    source: BlockSource<'a>,
+    adjacency: Adjacency<'a>,
+    /// Global pair offsets per emitting entity (`emitting + 1` entries,
+    /// `u64` — the stream has no 2^32 pair ceiling).
+    offsets: Vec<u64>,
+    /// Per-entity distinct-candidate counts — the LCP feature table.
+    lcp: Vec<u32>,
+}
+
+impl<'a> CandidateStream<'a> {
+    /// Builds the stream over a block collection on the calling thread.
+    pub fn from_blocks(blocks: &'a BlockCollection) -> Self {
+        let (offsets, block_ids) = crate::stats::build_entity_block_adjacency(blocks);
+        Self::build(
+            blocks.kind,
+            blocks.split,
+            blocks.num_entities,
+            BlockSource::Nested(blocks),
+            Adjacency::Owned { offsets, block_ids },
+            1,
+        )
+    }
+
+    /// Builds the stream over a block collection, reusing an
+    /// already-computed [`BlockStats`] CSR adjacency, with up to `threads`
+    /// counting workers.
+    pub fn from_blocks_with_stats(
+        blocks: &'a BlockCollection,
+        stats: &'a BlockStats,
+        threads: usize,
+    ) -> Self {
+        let (offsets, block_ids) = stats.entity_block_csr();
+        Self::build(
+            blocks.kind,
+            blocks.split,
+            blocks.num_entities,
+            BlockSource::Nested(blocks),
+            Adjacency::Borrowed { offsets, block_ids },
+            threads.max(1),
+        )
+    }
+
+    /// Builds the stream from the block statistics alone (the CSR-native
+    /// entry point) with up to `threads` counting workers.
+    pub fn from_stats(stats: &'a BlockStats, threads: usize) -> Self {
+        let (offsets, block_ids) = stats.entity_block_csr();
+        Self::build(
+            stats.kind(),
+            stats.split(),
+            stats.num_entities(),
+            BlockSource::Stats(stats),
+            Adjacency::Borrowed { offsets, block_ids },
+            threads.max(1),
+        )
+    }
+
+    /// The counting pass: derives every emitting entity's run length and the
+    /// per-entity LCP table, keeping only `O(num_entities)` aggregates.
+    fn build(
+        kind: er_core::DatasetKind,
+        split: usize,
+        num_entities: usize,
+        source: BlockSource<'a>,
+        adjacency: Adjacency<'a>,
+        threads: usize,
+    ) -> Self {
+        // For Clean-Clean ER the smaller endpoint of every comparable pair
+        // is an E1 entity, so entities >= split produce no runs of their own.
+        let emitting = match kind {
+            er_core::DatasetKind::CleanClean => split.min(num_entities),
+            er_core::DatasetKind::Dirty => num_entities,
+        };
+
+        // Partner-side candidate counts are scattered with relaxed atomic
+        // adds: u32 addition is commutative and associative, so the final
+        // table is exact and identical at any thread count.
+        let partner_counts: Vec<AtomicU32> = (0..num_entities).map(|_| AtomicU32::new(0)).collect();
+        let view = adjacency.view();
+        let num_tasks = if threads <= 1 { 1 } else { threads * 8 };
+        let runs = er_core::map_ranges_parallel(emitting, threads, num_tasks, |range| {
+            let mut counts: Vec<u32> = Vec::with_capacity(range.len());
+            let mut scratch: Vec<u32> = Vec::new();
+            for a in range {
+                neighbors_above(kind, split, source, view, a, &mut scratch);
+                counts.push(scratch.len() as u32);
+                for &p in &scratch {
+                    partner_counts[p as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            counts
+        });
+
+        let mut offsets: Vec<u64> = Vec::with_capacity(emitting + 1);
+        offsets.push(0);
+        for counts in runs {
+            for count in counts {
+                offsets.push(offsets.last().unwrap() + u64::from(count));
+            }
+        }
+        let mut lcp: Vec<u32> = partner_counts
+            .into_iter()
+            .map(AtomicU32::into_inner)
+            .collect();
+        for (a, window) in offsets.windows(2).enumerate() {
+            lcp[a] += (window[1] - window[0]) as u32;
+        }
+
+        CandidateStream {
+            kind,
+            split,
+            num_entities,
+            source,
+            adjacency,
+            offsets,
+            lcp,
+        }
+    }
+
+    /// Exact number of candidate pairs the stream emits, counted in `u64` —
+    /// valid even past the materialised index's 2^32 ceiling.
+    pub fn total_pairs(&self) -> u64 {
+        *self.offsets.last().unwrap_or(&0)
+    }
+
+    /// Number of entities of the corpus (the flattened id space).
+    pub fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    /// Number of entities that emit runs of their own (the E1 side for
+    /// Clean-Clean ER, every entity for Dirty ER).
+    pub fn emitting_entities(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The per-entity distinct-candidate counts — the LCP feature table,
+    /// identical to
+    /// [`CandidatePairs::entity_candidate_counts`](crate::CandidatePairs::entity_candidate_counts).
+    pub fn lcp_table(&self) -> &[u32] {
+        &self.lcp
+    }
+
+    /// One entity's distinct-candidate count (the LCP feature).
+    pub fn lcp(&self, entity: EntityId) -> u32 {
+        self.lcp[entity.index()]
+    }
+
+    /// The global pair-id offsets per emitting entity (`emitting + 1`
+    /// entries): entity `a`'s run occupies pair ids
+    /// `offsets[a]..offsets[a + 1]`.
+    pub fn entity_offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// Bytes held by the stream's aggregate tables (pair offsets + LCP
+    /// counts) — everything a streamed consumer keeps resident besides its
+    /// per-worker [`ChunkArena`] scratch.  The streamed-mode analogue of
+    /// [`CandidatePairs::index_bytes`](crate::CandidatePairs::index_bytes).
+    pub fn aggregate_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.offsets.capacity() * size_of::<u64>() + self.lcp.capacity() * size_of::<u32>()
+    }
+
+    /// Cuts the pair-id space into chunks of at most `chunk_pairs` pairs
+    /// each.  Every chunk except possibly the last is exactly `chunk_pairs`
+    /// long; boundaries may fall inside one entity's partner run.
+    pub fn chunks(&self, chunk_pairs: usize) -> Vec<ChunkSpec> {
+        let chunk = chunk_pairs.max(1) as u64;
+        let total = self.total_pairs();
+        let mut out = Vec::with_capacity(total.div_ceil(chunk) as usize);
+        let mut lo = 0u64;
+        while lo < total {
+            let hi = (lo + chunk).min(total);
+            // First entity whose run contains pair `lo`, and one past the
+            // entity containing pair `hi - 1` (empty runs on the boundary
+            // are excluded on both sides).
+            let entity_lo = self.offsets.partition_point(|&o| o <= lo) - 1;
+            let entity_hi = self.offsets.partition_point(|&o| o < hi);
+            out.push(ChunkSpec {
+                pair_lo: lo,
+                pair_hi: hi,
+                entity_lo: entity_lo as u32,
+                entity_hi: entity_hi as u32,
+            });
+            lo = hi;
+        }
+        out
+    }
+
+    /// Walks one chunk's per-entity segments: for every entity whose run
+    /// intersects the chunk, re-derives the full sorted partner run in
+    /// `scratch` and hands `f` the in-chunk slice of it.
+    fn for_each_chunk_run(
+        &self,
+        chunk: ChunkSpec,
+        scratch: &mut Vec<u32>,
+        mut f: impl FnMut(EntityId, &[u32]),
+    ) {
+        let view = self.adjacency.view();
+        for e in chunk.entity_lo as usize..chunk.entity_hi as usize {
+            let run_lo = self.offsets[e];
+            let run_hi = self.offsets[e + 1];
+            if run_lo >= chunk.pair_hi || run_hi <= chunk.pair_lo {
+                continue;
+            }
+            neighbors_above(self.kind, self.split, self.source, view, e, scratch);
+            debug_assert_eq!(scratch.len() as u64, run_hi - run_lo);
+            let local_lo = (chunk.pair_lo.max(run_lo) - run_lo) as usize;
+            let local_hi = (chunk.pair_hi.min(run_hi) - run_lo) as usize;
+            f(EntityId(e as u32), &scratch[local_lo..local_hi]);
+        }
+    }
+
+    /// Extracts one chunk into a reusable arena: the chunk's pairs in global
+    /// emission order plus the per-entity segment boundaries.
+    pub fn extract_chunk(&self, chunk: ChunkSpec, arena: &mut ChunkArena) {
+        let ChunkArena {
+            pairs,
+            runs,
+            scratch,
+        } = arena;
+        pairs.clear();
+        runs.clear();
+        self.for_each_chunk_run(chunk, scratch, |a, partners| {
+            let start = pairs.len() as u32;
+            pairs.extend(partners.iter().map(|&p| (a, EntityId(p))));
+            runs.push(ChunkRun {
+                entity: a.0,
+                start,
+                end: pairs.len() as u32,
+            });
+        });
+        debug_assert_eq!(pairs.len(), chunk.len());
+    }
+
+    /// Extracts one chunk straight into a caller-provided slice of exactly
+    /// [`ChunkSpec::len`] pairs (the zero-copy path of the materialised
+    /// collector).
+    pub fn extract_chunk_into(
+        &self,
+        chunk: ChunkSpec,
+        scratch: &mut Vec<u32>,
+        out: &mut [(EntityId, EntityId)],
+    ) {
+        debug_assert_eq!(out.len(), chunk.len());
+        let mut cursor = 0usize;
+        self.for_each_chunk_run(chunk, scratch, |a, partners| {
+            for (slot, &p) in out[cursor..cursor + partners.len()]
+                .iter_mut()
+                .zip(partners)
+            {
+                *slot = (a, EntityId(p));
+            }
+            cursor += partners.len();
+        });
+        debug_assert_eq!(cursor, out.len());
+    }
+
+    /// Collects the stream into a materialised [`crate::CandidatePairs`] —
+    /// the single extraction engine's batch collector.  Fails with
+    /// [`er_core::Error::CapacityExceeded`] when the pair total exceeds the
+    /// materialised index's `u32` ceiling.
+    pub fn collect(&self, threads: usize) -> er_core::Result<crate::CandidatePairs> {
+        crate::CandidatePairs::try_from_stream(self, threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use crate::CandidatePairs;
+    use er_core::DatasetKind;
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().copied().map(EntityId).collect()
+    }
+
+    fn fixtures() -> Vec<BlockCollection> {
+        vec![
+            BlockCollection {
+                dataset_name: "cc".into(),
+                kind: DatasetKind::CleanClean,
+                split: 3,
+                num_entities: 6,
+                blocks: vec![
+                    Block::new("a", ids(&[0, 3])),
+                    Block::new("b", ids(&[0, 1, 3, 4])),
+                    Block::new("c", ids(&[1, 4])),
+                    Block::new("d", ids(&[0, 1, 2, 3, 4, 5])),
+                ],
+            },
+            BlockCollection {
+                dataset_name: "dirty".into(),
+                kind: DatasetKind::Dirty,
+                split: 6,
+                num_entities: 6,
+                blocks: vec![
+                    Block::new("a", ids(&[0, 1, 2, 5])),
+                    Block::new("b", ids(&[1, 2, 3])),
+                    Block::new("c", ids(&[0, 4, 5])),
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn counting_pass_matches_materialised_totals() {
+        for bc in fixtures() {
+            let reference = CandidatePairs::from_blocks(&bc);
+            for threads in [1, 2, 4] {
+                let stats = crate::BlockStats::new(&bc);
+                let stream = CandidateStream::from_stats(&stats, threads);
+                assert_eq!(stream.total_pairs(), reference.len() as u64);
+                assert_eq!(stream.lcp_table(), reference.entity_candidate_counts());
+                for e in 0..bc.num_entities {
+                    let entity = EntityId(e as u32);
+                    if e < stream.emitting_entities() {
+                        let range = stream.entity_offsets()[e]..stream.entity_offsets()[e + 1];
+                        assert_eq!(
+                            (range.end - range.start) as usize,
+                            reference.pairs_of(entity).len(),
+                            "{} entity {e}",
+                            bc.dataset_name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_concatenation_reproduces_the_pair_list_at_any_chunk_size() {
+        for bc in fixtures() {
+            let reference = CandidatePairs::from_blocks(&bc);
+            let stats = crate::BlockStats::new(&bc);
+            let stream = CandidateStream::from_stats(&stats, 2);
+            for chunk_pairs in [1usize, 2, 3, 5, 64, usize::MAX / 2] {
+                let chunks = stream.chunks(chunk_pairs);
+                let total: usize = chunks.iter().map(ChunkSpec::len).sum();
+                assert_eq!(total as u64, stream.total_pairs());
+                let mut arena = ChunkArena::new();
+                let mut collected = Vec::new();
+                for chunk in chunks {
+                    stream.extract_chunk(chunk, &mut arena);
+                    assert_eq!(arena.pairs().len(), chunk.len());
+                    collected.extend_from_slice(arena.pairs());
+                }
+                assert_eq!(
+                    collected.as_slice(),
+                    reference.pairs(),
+                    "{} chunk_pairs={chunk_pairs}",
+                    bc.dataset_name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_runs_expose_per_entity_segments() {
+        let bc = &fixtures()[1];
+        let stats = crate::BlockStats::new(bc);
+        let stream = CandidateStream::from_stats(&stats, 1);
+        let mut arena = ChunkArena::new();
+        // A chunk size of 2 forces boundaries inside entity runs.
+        for chunk in stream.chunks(2) {
+            stream.extract_chunk(chunk, &mut arena);
+            let mut walked = Vec::new();
+            for (a, pairs) in arena.runs() {
+                for &(pa, pb) in pairs {
+                    assert_eq!(pa, a);
+                    assert!(pb > pa);
+                    walked.push((pa, pb));
+                }
+            }
+            assert_eq!(walked.as_slice(), arena.pairs());
+        }
+    }
+
+    #[test]
+    fn extract_chunk_into_matches_arena_extraction() {
+        let bc = &fixtures()[0];
+        let stats = crate::BlockStats::new(bc);
+        let stream = CandidateStream::from_stats(&stats, 1);
+        let mut arena = ChunkArena::new();
+        let mut scratch = Vec::new();
+        for chunk in stream.chunks(3) {
+            stream.extract_chunk(chunk, &mut arena);
+            let mut direct = vec![(EntityId(0), EntityId(0)); chunk.len()];
+            stream.extract_chunk_into(chunk, &mut scratch, &mut direct);
+            assert_eq!(direct.as_slice(), arena.pairs());
+        }
+    }
+
+    #[test]
+    fn arena_capacity_is_retained_and_reported() {
+        let bc = &fixtures()[0];
+        let stats = crate::BlockStats::new(bc);
+        let stream = CandidateStream::from_stats(&stats, 1);
+        let mut arena = ChunkArena::new();
+        assert_eq!(arena.capacity_bytes(), 0);
+        for chunk in stream.chunks(4) {
+            stream.extract_chunk(chunk, &mut arena);
+        }
+        assert!(arena.capacity_bytes() > 0);
+    }
+}

@@ -196,6 +196,18 @@ pub enum Error {
     Model(String),
     /// A configuration value is outside its valid range.
     InvalidParameter(String),
+    /// A data structure would exceed a hard representational limit (e.g. a
+    /// materialised candidate index needs more pairs than its `u32` offsets
+    /// can address).  The streamed paths count in `u64` and never hit this;
+    /// only collectors that materialise the full structure do.
+    CapacityExceeded {
+        /// What was being materialised (e.g. "candidate pair index").
+        what: String,
+        /// How many elements the input produces.
+        requested: u64,
+        /// The largest count the structure can represent.
+        limit: u64,
+    },
     /// A snapshot or write-ahead-log operation failed (see [`PersistError`]).
     Persist(PersistError),
 }
@@ -214,6 +226,14 @@ impl std::fmt::Display for Error {
             ),
             Error::Model(msg) => write!(f, "model error: {msg}"),
             Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::CapacityExceeded {
+                what,
+                requested,
+                limit,
+            } => write!(
+                f,
+                "capacity exceeded: {what} needs {requested} elements, limit is {limit}"
+            ),
             Error::Persist(err) => write!(f, "persistence error: {err}"),
         }
     }
@@ -245,6 +265,14 @@ mod tests {
         assert!(Error::InvalidParameter("r".into())
             .to_string()
             .contains("invalid parameter"));
+        let capacity = Error::CapacityExceeded {
+            what: "candidate pair index".into(),
+            requested: u64::from(u32::MAX) + 1,
+            limit: u64::from(u32::MAX),
+        };
+        assert!(capacity.to_string().contains("capacity exceeded"));
+        assert!(capacity.to_string().contains("candidate pair index"));
+        assert!(capacity.to_string().contains("4294967296"));
     }
 
     #[test]

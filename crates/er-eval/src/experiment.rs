@@ -9,9 +9,13 @@
 
 use std::time::{Duration, Instant};
 
-use er_blocking::{standard_blocking_workflow_csr, BlockStats, CandidatePairs, CsrBlockCollection};
+use er_blocking::{
+    standard_blocking_workflow_csr, BlockStats, CandidatePairs, CandidateStream, CsrBlockCollection,
+};
 use er_core::{Dataset, PairId, Result};
-use er_features::{FeatureContext, FeatureMatrix, FeatureSet};
+use er_features::{
+    FeatureContext, FeatureMatrix, FeatureSet, ScoreboardConfig, StreamFeatureContext,
+};
 use er_learn::{balanced_undersample, TrainingSet};
 use meta_blocking::pipeline::ClassifierKind;
 use meta_blocking::pruning::{AlgorithmKind, Blast};
@@ -53,7 +57,7 @@ impl PreparedDataset {
             )));
         }
         let stats = BlockStats::from_csr(&csr);
-        let candidates = CandidatePairs::from_stats(&stats, threads);
+        let candidates = CandidatePairs::try_from_stats(&stats, threads)?;
         if candidates.is_empty() {
             return Err(er_core::Error::EmptyInput(format!(
                 "dataset {} produced no candidate pairs",
@@ -159,7 +163,8 @@ impl PreparedDataset {
         }
         let threads = er_core::available_threads();
         let stats = BlockStats::from_csr(&blocks);
-        let candidates = CandidatePairs::from_stats(&stats, threads);
+        let candidates = CandidatePairs::try_from_stats(&stats, threads)
+            .map_err(|err| er_core::PersistError::Corrupt(err.to_string()))?;
         Ok(PreparedDataset {
             dataset,
             blocks,
@@ -338,6 +343,83 @@ pub fn run_with_matrix(
     })
 }
 
+/// Runs one algorithm once without ever materialising the feature matrix:
+/// the sampled training rows are derived pair-by-pair and every candidate is
+/// scored through the chunked [`CandidateStream`] walk, so peak feature state
+/// is `O(threads × chunk_pairs)` rows instead of `O(|C|)` rows.
+///
+/// With the same seed the retained set is identical to
+/// [`run_once`]'s — the streamed pass is bit-identical to the batch pass —
+/// only the time breakdown differs (`feature_time` is folded into
+/// `scoring_time` because features are never stored).
+pub fn run_streamed(
+    prepared: &PreparedDataset,
+    algorithm: AlgorithmKind,
+    config: &RunConfig,
+    chunk_pairs: usize,
+) -> Result<RunResult> {
+    let threads = er_core::available_threads();
+    let set = config.feature_set;
+
+    let training_start = Instant::now();
+    let mut rng = er_core::seeded_rng(config.seed);
+    let sample = balanced_undersample(
+        prepared.candidates.pairs(),
+        &prepared.dataset.ground_truth,
+        effective_per_class(prepared, config.per_class),
+        &mut rng,
+    )?;
+    let context = prepared.context();
+    let mut training = TrainingSet::new();
+    let mut row = vec![0.0f64; set.vector_len()];
+    for (&pair_index, &label) in sample.pair_indices.iter().zip(&sample.labels) {
+        let (a, b) = prepared.candidates.pair(PairId::from(pair_index));
+        context.write_pair_features(a, b, set, &mut row);
+        training.push(row.clone(), label);
+    }
+    let model = config.classifier.fit(&training)?;
+    let training_time = training_start.elapsed();
+
+    let scoring_start = Instant::now();
+    let stream = CandidateStream::from_stats(&prepared.stats, threads);
+    let stream_context = StreamFeatureContext::new(&prepared.stats, stream.lcp_table());
+    let probabilities = FeatureMatrix::score_stream_with(
+        &stream_context,
+        &stream,
+        set,
+        threads,
+        &ScoreboardConfig::default(),
+        chunk_pairs.max(1),
+        |row| model.probability(row).clamp(0.0, 1.0),
+    );
+    let scores = CachedScores::new(probabilities);
+    let scoring_time = scoring_start.elapsed();
+
+    let pruning_start = Instant::now();
+    let pruner = algorithm.build_with_csr(&prepared.blocks, config.blast_ratio);
+    let retained = pruner.prune(&prepared.candidates, &scores);
+    let pruning_time = pruning_start.elapsed();
+
+    let retained_pairs: Vec<_> = retained
+        .iter()
+        .map(|&id| prepared.candidates.pair(id))
+        .collect();
+    let effectiveness = Effectiveness::evaluate(
+        &retained_pairs,
+        &prepared.dataset.ground_truth,
+        prepared.dataset.num_duplicates(),
+    );
+
+    Ok(RunResult {
+        effectiveness,
+        retained: retained.len(),
+        feature_time: Duration::ZERO,
+        training_time,
+        scoring_time,
+        pruning_time,
+    })
+}
+
 /// Runs one algorithm once, building the feature matrix as part of the run
 /// (matches the paper's definition of `RT`).
 pub fn run_once(
@@ -435,6 +517,23 @@ mod tests {
         let b = run_averaged(&prepared, AlgorithmKind::Rcnp, &config, 3).unwrap();
         assert_eq!(a.effectiveness, b.effectiveness);
         assert_eq!(a.per_run.len(), 3);
+    }
+
+    #[test]
+    fn streamed_run_matches_the_materialised_run() {
+        let prepared = prepared();
+        let config = RunConfig {
+            per_class: 20,
+            ..Default::default()
+        };
+        for algorithm in [AlgorithmKind::Blast, AlgorithmKind::Rcnp] {
+            let batch = run_once(&prepared, algorithm, &config).unwrap();
+            for chunk_pairs in [7usize, er_blocking::DEFAULT_CHUNK_PAIRS] {
+                let streamed = run_streamed(&prepared, algorithm, &config, chunk_pairs).unwrap();
+                assert_eq!(streamed.retained, batch.retained, "{algorithm}");
+                assert_eq!(streamed.effectiveness, batch.effectiveness, "{algorithm}");
+            }
+        }
     }
 
     #[test]

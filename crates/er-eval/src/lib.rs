@@ -16,7 +16,7 @@ pub mod report;
 pub mod scalability;
 pub mod tables;
 
-pub use experiment::{AveragedResult, PreparedDataset, RunConfig, RunResult};
+pub use experiment::{run_streamed, AveragedResult, PreparedDataset, RunConfig, RunResult};
 pub use metrics::Effectiveness;
 pub use scalability::{speedup, ScalabilityPoint};
 pub use tables::TableRow;

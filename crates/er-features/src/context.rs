@@ -148,20 +148,30 @@ pub fn write_features_from(
     debug_assert_eq!(cursor, out.len());
 }
 
-impl<'a> FeatureContext<'a> {
-    /// Builds the context for a block collection's statistics and candidate
-    /// pairs.
-    pub fn new(stats: &'a BlockStats, candidates: &'a CandidatePairs) -> Self {
+/// The four per-entity tables every scheme reads, derived from the block
+/// statistics alone (no candidate set needed): the WJS/NRS normalisation
+/// sums, the CF-IBF factor and the EJS factor.  [`FeatureContext`] (batch)
+/// and [`StreamFeatureContext`] (streamed) both build exactly these, so
+/// their per-pair outputs are bit-identical whenever their LCP tables are.
+struct EntityTables {
+    inv_comparisons: Vec<f64>,
+    inv_sizes: Vec<f64>,
+    ibf: Vec<f64>,
+    icf: Vec<f64>,
+}
+
+impl EntityTables {
+    fn new(stats: &BlockStats) -> Self {
         let n = stats.num_entities();
         let num_blocks = stats.num_blocks() as f64;
         let total_comparisons = stats.total_comparisons() as f64;
         let inv_comp_table = stats.inv_comparisons_table();
         let inv_size_table = stats.inv_sizes_table();
 
-        let mut entity_inv_comparisons = vec![0.0; n];
-        let mut entity_inv_sizes = vec![0.0; n];
-        let mut entity_ibf = vec![0.0; n];
-        let mut entity_icf = vec![0.0; n];
+        let mut inv_comparisons = vec![0.0; n];
+        let mut inv_sizes = vec![0.0; n];
+        let mut ibf = vec![0.0; n];
+        let mut icf = vec![0.0; n];
         for e in 0..n {
             let entity = EntityId::from(e);
             let list = stats.blocks_of(entity);
@@ -171,29 +181,160 @@ impl<'a> FeatureContext<'a> {
                 inv_comp += inv_comp_table[b.index()];
                 inv_size += inv_size_table[b.index()];
             }
-            entity_inv_comparisons[e] = inv_comp;
-            entity_inv_sizes[e] = inv_size;
+            inv_comparisons[e] = inv_comp;
+            inv_sizes[e] = inv_size;
 
             let blocks_of = list.len() as f64;
-            entity_ibf[e] = if blocks_of > 0.0 && num_blocks > 0.0 {
+            ibf[e] = if blocks_of > 0.0 && num_blocks > 0.0 {
                 (num_blocks / blocks_of).ln()
             } else {
                 0.0
             };
             let entity_comparisons = stats.entity_comparisons(entity) as f64;
-            entity_icf[e] = if entity_comparisons > 0.0 && total_comparisons > 0.0 {
+            icf[e] = if entity_comparisons > 0.0 && total_comparisons > 0.0 {
                 (total_comparisons / entity_comparisons).ln()
             } else {
                 0.0
             };
         }
+        EntityTables {
+            inv_comparisons,
+            inv_sizes,
+            ibf,
+            icf,
+        }
+    }
+}
+
+/// Computes the per-pair co-occurrence aggregates with a single merge of the
+/// two sorted CSR block lists, reading the precomputed reciprocal tables.
+/// Shared by both context flavours.
+#[inline]
+fn cooccurrence_from(stats: &BlockStats, a: EntityId, b: EntityId) -> PairCooccurrence {
+    let inv_comp = stats.inv_comparisons_table();
+    let inv_size = stats.inv_sizes_table();
+    let mut agg = PairCooccurrence::default();
+    stats.for_each_common_block(a, b, |block| {
+        agg.common_blocks += 1;
+        agg.inv_comparisons_sum += inv_comp[block.index()];
+        agg.inv_sizes_sum += inv_size[block.index()];
+    });
+    agg
+}
+
+/// The per-entity aggregate provider the fused entity-major engine reads —
+/// implemented by [`FeatureContext`] (LCP from a materialised
+/// [`CandidatePairs`]) and [`StreamFeatureContext`] (LCP from a
+/// [`CandidateStream`](er_blocking::CandidateStream) counting pass).
+pub(crate) trait PairAggregateSource: Sync {
+    /// The precomputed per-entity aggregates of one entity.
+    fn source_aggregates(&self, entity: EntityId) -> EntityAggregates;
+    /// The per-pair merge fallback for pairs the scoreboard never
+    /// accumulates (same-source Clean-Clean candidates).
+    fn source_cooccurrence(&self, a: EntityId, b: EntityId) -> PairCooccurrence;
+}
+
+impl PairAggregateSource for FeatureContext<'_> {
+    #[inline]
+    fn source_aggregates(&self, entity: EntityId) -> EntityAggregates {
+        self.entity_aggregates(entity)
+    }
+
+    #[inline]
+    fn source_cooccurrence(&self, a: EntityId, b: EntityId) -> PairCooccurrence {
+        self.cooccurrence(a, b)
+    }
+}
+
+impl PairAggregateSource for StreamFeatureContext<'_> {
+    #[inline]
+    fn source_aggregates(&self, entity: EntityId) -> EntityAggregates {
+        self.entity_aggregates(entity)
+    }
+
+    #[inline]
+    fn source_cooccurrence(&self, a: EntityId, b: EntityId) -> PairCooccurrence {
+        self.cooccurrence(a, b)
+    }
+}
+
+/// The streamed counterpart of [`FeatureContext`]: the same per-entity
+/// tables, but the LCP counts come from a
+/// [`CandidateStream`](er_blocking::CandidateStream)'s counting pass instead
+/// of a materialised [`CandidatePairs`].  The LCP table is the *only*
+/// candidate-dependent per-entity aggregate, so a streamed scorer built on
+/// this context is bit-identical to the batch scorer without the pair index
+/// ever existing in memory.
+#[derive(Debug)]
+pub struct StreamFeatureContext<'a> {
+    stats: &'a BlockStats,
+    /// Per-entity distinct-candidate counts (the LCP feature values).
+    lcp: &'a [u32],
+    entity_inv_comparisons: Vec<f64>,
+    entity_inv_sizes: Vec<f64>,
+    entity_ibf: Vec<f64>,
+    entity_icf: Vec<f64>,
+}
+
+impl<'a> StreamFeatureContext<'a> {
+    /// Builds the context from block statistics and a per-entity
+    /// distinct-candidate table (one entry per entity — typically
+    /// [`CandidateStream::lcp_table`](er_blocking::CandidateStream::lcp_table)).
+    pub fn new(stats: &'a BlockStats, lcp: &'a [u32]) -> Self {
+        assert_eq!(
+            lcp.len(),
+            stats.num_entities(),
+            "LCP table must have one entry per entity"
+        );
+        let tables = EntityTables::new(stats);
+        StreamFeatureContext {
+            stats,
+            lcp,
+            entity_inv_comparisons: tables.inv_comparisons,
+            entity_inv_sizes: tables.inv_sizes,
+            entity_ibf: tables.ibf,
+            entity_icf: tables.icf,
+        }
+    }
+
+    /// The underlying block statistics.
+    pub fn stats(&self) -> &BlockStats {
+        self.stats
+    }
+
+    /// The per-pair co-occurrence aggregates (single sorted-list merge).
+    #[inline]
+    pub fn cooccurrence(&self, a: EntityId, b: EntityId) -> PairCooccurrence {
+        cooccurrence_from(self.stats, a, b)
+    }
+
+    /// The precomputed per-entity aggregates of one entity.
+    #[inline]
+    pub fn entity_aggregates(&self, entity: EntityId) -> EntityAggregates {
+        let i = entity.index();
+        EntityAggregates {
+            num_blocks: self.stats.num_blocks_of(entity) as f64,
+            inv_comparisons: self.entity_inv_comparisons[i],
+            inv_sizes: self.entity_inv_sizes[i],
+            ibf: self.entity_ibf[i],
+            icf: self.entity_icf[i],
+            lcp: f64::from(self.lcp[i]),
+        }
+    }
+}
+
+impl<'a> FeatureContext<'a> {
+    /// Builds the context for a block collection's statistics and candidate
+    /// pairs.
+    pub fn new(stats: &'a BlockStats, candidates: &'a CandidatePairs) -> Self {
+        let tables = EntityTables::new(stats);
         FeatureContext {
             stats,
             candidates,
-            entity_inv_comparisons,
-            entity_inv_sizes,
-            entity_ibf,
-            entity_icf,
+            entity_inv_comparisons: tables.inv_comparisons,
+            entity_inv_sizes: tables.inv_sizes,
+            entity_ibf: tables.ibf,
+            entity_icf: tables.icf,
         }
     }
 
@@ -213,15 +354,7 @@ impl<'a> FeatureContext<'a> {
     /// reciprocal tables (no division in the loop).
     #[inline]
     pub fn cooccurrence(&self, a: EntityId, b: EntityId) -> PairCooccurrence {
-        let inv_comp = self.stats.inv_comparisons_table();
-        let inv_size = self.stats.inv_sizes_table();
-        let mut agg = PairCooccurrence::default();
-        self.stats.for_each_common_block(a, b, |block| {
-            agg.common_blocks += 1;
-            agg.inv_comparisons_sum += inv_comp[block.index()];
-            agg.inv_sizes_sum += inv_size[block.index()];
-        });
-        agg
+        cooccurrence_from(self.stats, a, b)
     }
 
     /// Evaluates a single weighting scheme for a pair.

@@ -23,10 +23,14 @@
 //! scoreboard ([`er_core::for_each_task_with_state`]) — work stealing instead
 //! of fixed per-thread partitions.
 
+use er_blocking::{BlockStats, CandidateStream, ChunkArena};
 use er_core::{EntityId, PairId};
 use serde::{Deserialize, Serialize};
 
-use crate::context::{write_features_from, FeatureContext, PairCooccurrence};
+use crate::context::{
+    write_features_from, FeatureContext, PairAggregateSource, PairCooccurrence,
+    StreamFeatureContext,
+};
 use crate::feature_set::FeatureSet;
 use crate::scoreboard::{FlatScoreboard, RadixScoreboard, ScoreboardConfig, ScoreboardEngine};
 
@@ -88,7 +92,7 @@ impl FeatureMatrix {
             num_features,
             &mut values,
             scoreboard,
-            |_context, _pair, row, slot| slot.copy_from_slice(row),
+            |_pair, row, slot| slot.copy_from_slice(row),
         );
 
         FeatureMatrix {
@@ -155,7 +159,41 @@ impl FeatureMatrix {
             1,
             &mut out,
             scoreboard,
-            |_context, _pair, row, slot| slot[0] = score(row),
+            |_pair, row, slot| slot[0] = score(row),
+        );
+        out
+    }
+
+    /// Scores every candidate pair of a [`CandidateStream`] without the pair
+    /// index ever existing in memory: chunks of `chunk_pairs` pairs are
+    /// extracted into per-worker [`ChunkArena`] scratch, pushed through the
+    /// same fused entity-major pass as [`FeatureMatrix::score_rows_with`],
+    /// and reduced to one `f64` each.  Peak memory is `O(chunk_pairs ×
+    /// workers + aggregates)`; the output vector is indexed by the stream's
+    /// global pair id and bit-identical to the materialised path at any
+    /// thread count and chunk size (chunks are the parallel work units).
+    pub fn score_stream_with(
+        context: &StreamFeatureContext<'_>,
+        stream: &CandidateStream<'_>,
+        set: FeatureSet,
+        threads: usize,
+        scoreboard: &ScoreboardConfig,
+        chunk_pairs: usize,
+        score: impl Fn(&[f64]) -> f64 + Sync,
+    ) -> Vec<f64> {
+        let num_pairs = usize::try_from(stream.total_pairs())
+            .expect("streamed score vector exceeds addressable memory");
+        let mut out = vec![0.0f64; num_pairs];
+        fused_stream_pass(
+            context,
+            stream,
+            set,
+            threads,
+            1,
+            chunk_pairs,
+            &mut out,
+            scoreboard,
+            |_pair, row, slot| slot[0] = score(row),
         );
         out
     }
@@ -301,6 +339,189 @@ enum WorkerBoard {
     },
 }
 
+/// Builds one worker's scoreboard for the configured engine.
+fn make_worker_board(num_entities: usize, scoreboard: &ScoreboardConfig) -> WorkerBoard {
+    match scoreboard.engine {
+        ScoreboardEngine::Flat => WorkerBoard::Flat(FlatScoreboard::new(num_entities)),
+        ScoreboardEngine::Tiled => WorkerBoard::Tiled {
+            board: RadixScoreboard::new(num_entities, scoreboard),
+            partners: Vec::new(),
+        },
+    }
+}
+
+/// Records a worker board's scratch high-water marks at task end.
+fn flush_worker_metrics(worker: &mut WorkerBoard, scoreboard: &ScoreboardConfig) {
+    match worker {
+        WorkerBoard::Flat(board) => {
+            if let Some(metrics) = &scoreboard.metrics {
+                metrics.record_scratch(board.scratch_bytes());
+            }
+        }
+        WorkerBoard::Tiled { board, .. } => board.flush_metrics(),
+    }
+}
+
+/// Accumulates and emits one entity's candidate run — the shared inner block
+/// of the batch ([`fused_entity_major_pass`]) and streamed
+/// ([`fused_stream_pass`]) engines.
+///
+/// Walks `a`'s blocks once through the flat [`BlockStats`] reverse index,
+/// accumulating every partner's `(common blocks, Σ1/||b||, Σ1/|b|)` on the
+/// worker's scoreboard, then emits one `row_width`-wide output row per
+/// candidate in `cands` into `out` (which must be exactly `cands.len() ×
+/// row_width` long).  `cands` may be any prefix/suffix slice of `a`'s full
+/// partner run: the board accumulates from the block walk alone, and each
+/// emitted candidate only reads its own slot, so a chunk boundary splitting
+/// the run changes nothing about the emitted values.  Contributions arrive in
+/// ascending block-id order on every strategy, which keeps the
+/// floating-point sums bit-identical to a per-pair merge of the sorted block
+/// lists.
+#[allow(clippy::too_many_arguments)]
+fn process_entity_run<S, E>(
+    stats: &BlockStats,
+    inv_comp_table: &[f64],
+    inv_size_table: &[f64],
+    source: &S,
+    set: FeatureSet,
+    a: EntityId,
+    cands: &[(EntityId, EntityId)],
+    worker: &mut WorkerBoard,
+    row: &mut [f64],
+    out: &mut [f64],
+    row_width: usize,
+    emit: &E,
+) where
+    S: PairAggregateSource,
+    E: Fn((EntityId, EntityId), &[f64], &mut [f64]),
+{
+    debug_assert_eq!(out.len(), cands.len() * row_width);
+    let kind = stats.kind();
+    let split = stats.split();
+    let e = a.0;
+    // Enumerate a's block partners once (closure re-invoked per accumulation
+    // strategy).  The walk only yields a's second-source partners for
+    // Clean-Clean ER, so a candidate set built with
+    // `CandidatePairs::from_pairs` may contain pairs the board has no data
+    // for (both endpoints in E1); those fall back to the per-pair merge
+    // below so every candidate set yields exactly the reference values.
+    let walk_partners = |sink: &mut dyn FnMut(EntityId, f64, f64)| {
+        for &bid in stats.blocks_of(a) {
+            let block_inv_comp = inv_comp_table[bid.index()];
+            let block_inv_size = inv_size_table[bid.index()];
+            let members = stats.entities_of(bid);
+            let partners = match kind {
+                er_core::DatasetKind::CleanClean => {
+                    &members[stats.first_source_count(bid) as usize..]
+                }
+                er_core::DatasetKind::Dirty => {
+                    let start = members.partition_point(|p| p.index() <= e as usize);
+                    &members[start..]
+                }
+            };
+            for &p in partners {
+                sink(p, block_inv_comp, block_inv_size);
+            }
+        }
+    };
+    let board_covers_pair = |b: EntityId| match kind {
+        er_core::DatasetKind::CleanClean => b.index() >= split,
+        er_core::DatasetKind::Dirty => true,
+    };
+    // a's per-entity aggregates are fixed across its whole partner run —
+    // gather them once, not per pair.
+    let a_aggregates = source.source_aggregates(a);
+    let mut emit_row = |b: EntityId, agg: &PairCooccurrence, cursor: usize| {
+        write_features_from(&a_aggregates, &source.source_aggregates(b), agg, set, row);
+        emit(
+            (a, b),
+            row,
+            &mut out[cursor * row_width..(cursor + 1) * row_width],
+        );
+    };
+    let mut cursor = 0usize;
+    match worker {
+        WorkerBoard::Flat(board) => {
+            walk_partners(&mut |p, ic, is| {
+                let pi = p.index();
+                if board.common[pi] == 0 {
+                    board.touched.push(pi as u32);
+                }
+                board.common[pi] += 1;
+                board.inv_comp[pi] += ic;
+                board.inv_size[pi] += is;
+            });
+            for &(_, b) in cands {
+                let bi = b.index();
+                let agg = if board_covers_pair(b) {
+                    PairCooccurrence {
+                        common_blocks: board.common[bi] as usize,
+                        inv_comparisons_sum: board.inv_comp[bi],
+                        inv_sizes_sum: board.inv_size[bi],
+                    }
+                } else {
+                    source.source_cooccurrence(a, b)
+                };
+                emit_row(b, &agg, cursor);
+                cursor += 1;
+            }
+            // Reset every touched slot — the touched set can be a strict
+            // superset of a's candidates (e.g. a pruned `from_pairs` subset
+            // or a sub-run chunk), so resetting along the candidate list
+            // would leak state into later entities.
+            for &pi in &board.touched {
+                board.common[pi as usize] = 0;
+                board.inv_comp[pi as usize] = 0.0;
+                board.inv_size[pi as usize] = 0.0;
+            }
+            board.touched.clear();
+        }
+        WorkerBoard::Tiled { board, partners: _ } if cands.len() <= board.dense_limit() => {
+            // Dense partner remap: accumulate straight into the slot of the
+            // (sorted) candidate list, skipping partners that were pruned
+            // out of it — their aggregates would never be read.
+            walk_partners(&mut |p, ic, is| {
+                if let Ok(slot) = cands.binary_search_by(|probe| probe.1.cmp(&p)) {
+                    board.add_dense(slot, ic, is);
+                }
+            });
+            for (slot, &(_, b)) in cands.iter().enumerate() {
+                let agg = if board_covers_pair(b) {
+                    board.dense_agg(slot)
+                } else {
+                    source.source_cooccurrence(a, b)
+                };
+                emit_row(b, &agg, cursor);
+                cursor += 1;
+            }
+            board.finish_dense(cands.len());
+        }
+        WorkerBoard::Tiled { board, partners } => {
+            // Radix scatter + tile-local accumulate, then merge the drained
+            // (ascending) partner list with the (ascending) candidate list.
+            // Candidates absent from the drain keep zero aggregates —
+            // exactly the flat board's never-written slots.
+            walk_partners(&mut |p, ic, is| board.add(p.0, ic, is));
+            board.drain_sorted_into(partners);
+            let mut j = 0usize;
+            for &(_, b) in cands {
+                while j < partners.len() && partners[j].0 < b.0 {
+                    j += 1;
+                }
+                let agg = if !board_covers_pair(b) {
+                    source.source_cooccurrence(a, b)
+                } else if j < partners.len() && partners[j].0 == b.0 {
+                    partners[j].1
+                } else {
+                    PairCooccurrence::default()
+                };
+                emit_row(b, &agg, cursor);
+                cursor += 1;
+            }
+        }
+    }
+}
+
 /// The fused entity-major engine shared by [`FeatureMatrix::build_with`]
 /// and [`FeatureMatrix::score_rows_with`].
 ///
@@ -314,7 +535,7 @@ enum WorkerBoard {
 /// merge of the sorted block lists on every engine, tile width and thread
 /// count.
 ///
-/// `emit` receives `(context, (a, b), feature_row, output_slot)`.
+/// `emit` receives `((a, b), feature_row, output_slot)`.
 #[allow(clippy::too_many_arguments)]
 fn fused_entity_major_pass<E>(
     context: &FeatureContext<'_>,
@@ -325,7 +546,7 @@ fn fused_entity_major_pass<E>(
     scoreboard: &ScoreboardConfig,
     emit: E,
 ) where
-    E: Fn(&FeatureContext<'_>, (EntityId, EntityId), &[f64], &mut [f64]) + Sync,
+    E: Fn((EntityId, EntityId), &[f64], &mut [f64]) + Sync,
 {
     let candidates = context.candidates();
     let stats = context.stats();
@@ -374,22 +595,15 @@ fn fused_entity_major_pass<E>(
 
     let inv_comp_table = stats.inv_comparisons_table();
     let inv_size_table = stats.inv_sizes_table();
-    let kind = stats.kind();
-
-    let split = stats.split();
 
     er_core::for_each_task_with_state(
         tasks.len(),
         threads,
         || {
-            let board = match scoreboard.engine {
-                ScoreboardEngine::Flat => WorkerBoard::Flat(FlatScoreboard::new(num_entities)),
-                ScoreboardEngine::Tiled => WorkerBoard::Tiled {
-                    board: RadixScoreboard::new(num_entities, scoreboard),
-                    partners: Vec::new(),
-                },
-            };
-            (board, vec![0.0f64; num_features])
+            (
+                make_worker_board(num_entities, scoreboard),
+                vec![0.0f64; num_features],
+            )
         },
         |task, (worker, row)| {
             let chunk = slices.lock().expect("task slices poisoned")[task]
@@ -403,151 +617,188 @@ fn fused_entity_major_pass<E>(
                 if cands.is_empty() {
                     continue;
                 }
-                // Enumerate a's block partners once (closure re-invoked per
-                // accumulation strategy).  The walk only yields a's
-                // second-source partners for Clean-Clean ER, so a candidate
-                // set built with `CandidatePairs::from_pairs` may contain
-                // pairs the board has no data for (both endpoints in E1);
-                // those fall back to the per-pair merge below so every
-                // candidate set yields exactly the reference values.
-                let walk_partners = |sink: &mut dyn FnMut(EntityId, f64, f64)| {
-                    for &bid in stats.blocks_of(a) {
-                        let block_inv_comp = inv_comp_table[bid.index()];
-                        let block_inv_size = inv_size_table[bid.index()];
-                        let members = stats.entities_of(bid);
-                        let partners = match kind {
-                            er_core::DatasetKind::CleanClean => {
-                                &members[stats.first_source_count(bid) as usize..]
-                            }
-                            er_core::DatasetKind::Dirty => {
-                                let start = members.partition_point(|p| p.index() <= e as usize);
-                                &members[start..]
-                            }
-                        };
-                        for &p in partners {
-                            sink(p, block_inv_comp, block_inv_size);
-                        }
-                    }
-                };
-                let board_covers_pair = |b: EntityId| match kind {
-                    er_core::DatasetKind::CleanClean => b.index() >= split,
-                    er_core::DatasetKind::Dirty => true,
-                };
-                // a's per-entity aggregates are fixed across its whole
-                // partner run — gather them once, not per pair.
-                let a_aggregates = context.entity_aggregates(a);
-                let mut emit_row = |b: EntityId, agg: &PairCooccurrence, cursor: usize| {
-                    write_features_from(
-                        &a_aggregates,
-                        &context.entity_aggregates(b),
-                        agg,
-                        set,
-                        row,
-                    );
-                    emit(
-                        context,
-                        (a, b),
-                        row,
-                        &mut chunk[cursor * row_width..(cursor + 1) * row_width],
-                    );
-                };
-                match worker {
-                    WorkerBoard::Flat(board) => {
-                        walk_partners(&mut |p, ic, is| {
-                            let pi = p.index();
-                            if board.common[pi] == 0 {
-                                board.touched.push(pi as u32);
-                            }
-                            board.common[pi] += 1;
-                            board.inv_comp[pi] += ic;
-                            board.inv_size[pi] += is;
-                        });
-                        for &(_, b) in cands {
-                            let bi = b.index();
-                            let agg = if board_covers_pair(b) {
-                                PairCooccurrence {
-                                    common_blocks: board.common[bi] as usize,
-                                    inv_comparisons_sum: board.inv_comp[bi],
-                                    inv_sizes_sum: board.inv_size[bi],
-                                }
-                            } else {
-                                context.cooccurrence(a, b)
-                            };
-                            emit_row(b, &agg, cursor);
-                            cursor += 1;
-                        }
-                        // Reset every touched slot — the touched set can be
-                        // a strict superset of a's candidates (e.g. a pruned
-                        // `from_pairs` subset), so resetting along the
-                        // candidate list would leak state into later
-                        // entities.
-                        for &pi in &board.touched {
-                            board.common[pi as usize] = 0;
-                            board.inv_comp[pi as usize] = 0.0;
-                            board.inv_size[pi as usize] = 0.0;
-                        }
-                        board.touched.clear();
-                    }
-                    WorkerBoard::Tiled { board, partners: _ }
-                        if cands.len() <= board.dense_limit() =>
-                    {
-                        // Dense partner remap: accumulate straight into the
-                        // slot of the (sorted) candidate list, skipping
-                        // partners that were pruned out of it — their
-                        // aggregates would never be read.
-                        walk_partners(&mut |p, ic, is| {
-                            if let Ok(slot) = cands.binary_search_by(|probe| probe.1.cmp(&p)) {
-                                board.add_dense(slot, ic, is);
-                            }
-                        });
-                        for (slot, &(_, b)) in cands.iter().enumerate() {
-                            let agg = if board_covers_pair(b) {
-                                board.dense_agg(slot)
-                            } else {
-                                context.cooccurrence(a, b)
-                            };
-                            emit_row(b, &agg, cursor);
-                            cursor += 1;
-                        }
-                        board.finish_dense(cands.len());
-                    }
-                    WorkerBoard::Tiled { board, partners } => {
-                        // Radix scatter + tile-local accumulate, then merge
-                        // the drained (ascending) partner list with the
-                        // (ascending) candidate list.  Candidates absent
-                        // from the drain keep zero aggregates — exactly the
-                        // flat board's never-written slots.
-                        walk_partners(&mut |p, ic, is| board.add(p.0, ic, is));
-                        board.drain_sorted_into(partners);
-                        let mut j = 0usize;
-                        for &(_, b) in cands {
-                            while j < partners.len() && partners[j].0 < b.0 {
-                                j += 1;
-                            }
-                            let agg = if !board_covers_pair(b) {
-                                context.cooccurrence(a, b)
-                            } else if j < partners.len() && partners[j].0 == b.0 {
-                                partners[j].1
-                            } else {
-                                PairCooccurrence::default()
-                            };
-                            emit_row(b, &agg, cursor);
-                            cursor += 1;
-                        }
-                    }
-                }
+                process_entity_run(
+                    stats,
+                    inv_comp_table,
+                    inv_size_table,
+                    context,
+                    set,
+                    a,
+                    cands,
+                    worker,
+                    row,
+                    &mut chunk[cursor * row_width..(cursor + cands.len()) * row_width],
+                    row_width,
+                    &emit,
+                );
+                cursor += cands.len();
             }
-            match worker {
-                WorkerBoard::Flat(board) => {
-                    if let Some(metrics) = &scoreboard.metrics {
-                        metrics.record_scratch(board.scratch_bytes());
-                    }
-                }
-                WorkerBoard::Tiled { board, .. } => board.flush_metrics(),
-            }
+            flush_worker_metrics(worker, scoreboard);
             debug_assert_eq!(cursor * row_width, chunk.len());
         },
     );
+}
+
+/// The streamed counterpart of [`fused_entity_major_pass`]: chunks of the
+/// [`CandidateStream`]'s pair-id space are the parallel work units.  Each
+/// worker re-extracts its chunk into a reusable [`ChunkArena`], runs the
+/// shared per-entity accumulate/emit block over the chunk's (possibly
+/// partial) entity runs, and writes into the chunk's pre-split slice of
+/// `out` — so the output is positionally identical to the batch pass at any
+/// thread count and chunk size, while no worker ever holds more than one
+/// chunk of pairs.
+#[allow(clippy::too_many_arguments)]
+fn fused_stream_pass<E>(
+    context: &StreamFeatureContext<'_>,
+    stream: &CandidateStream<'_>,
+    set: FeatureSet,
+    threads: usize,
+    row_width: usize,
+    chunk_pairs: usize,
+    out: &mut [f64],
+    scoreboard: &ScoreboardConfig,
+    emit: E,
+) where
+    E: Fn((EntityId, EntityId), &[f64], &mut [f64]) + Sync,
+{
+    let stats = context.stats();
+    let num_pairs = usize::try_from(stream.total_pairs())
+        .expect("streamed output buffer exceeds addressable memory");
+    if num_pairs == 0 || row_width == 0 {
+        return;
+    }
+    debug_assert_eq!(out.len(), num_pairs * row_width);
+    let num_entities = stream.num_entities();
+    let num_features = set.vector_len();
+    let threads = effective_threads(threads, num_pairs);
+    let chunks = stream.chunks(chunk_pairs.max(1));
+
+    // Pre-split the output into one disjoint slice per chunk; workers take
+    // their slice by chunk index.
+    let mut slices: Vec<Option<&mut [f64]>> = Vec::with_capacity(chunks.len());
+    {
+        let mut rest = out;
+        for chunk in &chunks {
+            let (head, tail) = rest.split_at_mut(chunk.len() * row_width);
+            slices.push(Some(head));
+            rest = tail;
+        }
+    }
+    let slices = std::sync::Mutex::new(slices);
+
+    let inv_comp_table = stats.inv_comparisons_table();
+    let inv_size_table = stats.inv_sizes_table();
+
+    er_core::for_each_task_with_state(
+        chunks.len(),
+        threads,
+        || {
+            (
+                make_worker_board(num_entities, scoreboard),
+                ChunkArena::new(),
+                vec![0.0f64; num_features],
+            )
+        },
+        |task, (worker, arena, row)| {
+            let chunk_out = slices.lock().expect("chunk slices poisoned")[task]
+                .take()
+                .expect("chunk dispatched twice");
+            stream.extract_chunk(chunks[task], arena);
+            let mut cursor = 0usize;
+            for (a, cands) in arena.runs() {
+                process_entity_run(
+                    stats,
+                    inv_comp_table,
+                    inv_size_table,
+                    context,
+                    set,
+                    a,
+                    cands,
+                    worker,
+                    row,
+                    &mut chunk_out[cursor * row_width..(cursor + cands.len()) * row_width],
+                    row_width,
+                    &emit,
+                );
+                cursor += cands.len();
+            }
+            flush_worker_metrics(worker, scoreboard);
+            debug_assert_eq!(cursor * row_width, chunk_out.len());
+        },
+    );
+}
+
+/// Streams scored chunks to a sequential consumer in ascending pair-id
+/// order: chunks are scored in parallel waves of `2 × threads`, then each
+/// wave is handed to `consume` in order as `(pairs, probabilities)` slices.
+/// Peak memory is `O(threads × chunk_pairs)` — the full pair and probability
+/// vectors never exist at once.  Concatenating the consumed chunks
+/// reproduces the materialised `(pairs, score_rows)` output bit-for-bit;
+/// this is the progressive-bootstrap seam (`StreamingSchedule::absorb` per
+/// chunk equals one global absorb because stamps are assigned in the same
+/// sequence).
+#[allow(clippy::too_many_arguments)]
+pub fn for_each_scored_chunk(
+    context: &StreamFeatureContext<'_>,
+    stream: &CandidateStream<'_>,
+    set: FeatureSet,
+    threads: usize,
+    scoreboard: &ScoreboardConfig,
+    chunk_pairs: usize,
+    score: impl Fn(&[f64]) -> f64 + Sync,
+    mut consume: impl FnMut(&[(EntityId, EntityId)], &[f64]),
+) {
+    let stats = context.stats();
+    let num_pairs = usize::try_from(stream.total_pairs())
+        .expect("streamed chunk walk exceeds addressable memory");
+    if num_pairs == 0 {
+        return;
+    }
+    let num_entities = stream.num_entities();
+    let num_features = set.vector_len();
+    let threads = effective_threads(threads, num_pairs);
+    let chunks = stream.chunks(chunk_pairs.max(1));
+    let inv_comp_table = stats.inv_comparisons_table();
+    let inv_size_table = stats.inv_sizes_table();
+
+    let score_chunk = |chunk: er_blocking::ChunkSpec| {
+        let mut worker = make_worker_board(num_entities, scoreboard);
+        let mut arena = ChunkArena::new();
+        let mut row = vec![0.0f64; num_features];
+        stream.extract_chunk(chunk, &mut arena);
+        let mut probs = vec![0.0f64; chunk.len()];
+        let mut cursor = 0usize;
+        for (a, cands) in arena.runs() {
+            process_entity_run(
+                stats,
+                inv_comp_table,
+                inv_size_table,
+                context,
+                set,
+                a,
+                cands,
+                &mut worker,
+                &mut row,
+                &mut probs[cursor..cursor + cands.len()],
+                1,
+                &|_pair, row, slot| slot[0] = score(row),
+            );
+            cursor += cands.len();
+        }
+        flush_worker_metrics(&mut worker, scoreboard);
+        (arena.pairs().to_vec(), probs)
+    };
+
+    let wave = threads * 2;
+    for base in (0..chunks.len()).step_by(wave) {
+        let hi = (base + wave).min(chunks.len());
+        let wave_results = er_core::map_ranges_parallel(hi - base, threads, hi - base, |range| {
+            score_chunk(chunks[base + range.start])
+        });
+        for (pairs, probs) in &wave_results {
+            consume(pairs, probs);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -747,6 +998,80 @@ mod tests {
         let ctx = FeatureContext::new(&stats, &cands);
         let small = FeatureMatrix::build(&ctx, FeatureSet::blast_optimal());
         let _ = small.project(FeatureSet::original());
+    }
+
+    #[test]
+    fn streamed_scoring_is_bit_identical_to_materialised_scoring() {
+        let mut collections = vec![fixture()];
+        let mut dirty = fixture();
+        dirty.kind = DatasetKind::Dirty;
+        dirty.split = dirty.num_entities;
+        collections.push(dirty);
+
+        let set = FeatureSet::all_schemes();
+        let score = |row: &[f64]| row.iter().sum::<f64>();
+        for bc in collections {
+            let stats = BlockStats::new(&bc);
+            let cands = CandidatePairs::from_blocks(&bc);
+            let ctx = FeatureContext::new(&stats, &cands);
+            let reference = FeatureMatrix::score_rows(&ctx, set, 1, score);
+
+            let stream = er_blocking::CandidateStream::from_stats(&stats, 2);
+            let sctx = StreamFeatureContext::new(&stats, stream.lcp_table());
+            for threads in [1, 2, 4] {
+                for chunk_pairs in [1usize, 3, 64, usize::MAX / 2] {
+                    let streamed = FeatureMatrix::score_stream_with(
+                        &sctx,
+                        &stream,
+                        set,
+                        threads,
+                        &ScoreboardConfig::default(),
+                        chunk_pairs,
+                        score,
+                    );
+                    assert_eq!(
+                        streamed, reference,
+                        "{:?} threads={threads} chunk_pairs={chunk_pairs}",
+                        bc.kind
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scored_chunk_walk_concatenates_to_the_materialised_output() {
+        let bc = fixture();
+        let stats = BlockStats::new(&bc);
+        let cands = CandidatePairs::from_blocks(&bc);
+        let ctx = FeatureContext::new(&stats, &cands);
+        let set = FeatureSet::blast_optimal();
+        let score = |row: &[f64]| row.iter().sum::<f64>();
+        let reference = FeatureMatrix::score_rows(&ctx, set, 1, score);
+
+        let stream = er_blocking::CandidateStream::from_stats(&stats, 2);
+        let sctx = StreamFeatureContext::new(&stats, stream.lcp_table());
+        for threads in [1, 3] {
+            for chunk_pairs in [1usize, 2, 5, 1024] {
+                let mut pairs = Vec::new();
+                let mut probs = Vec::new();
+                crate::generator::for_each_scored_chunk(
+                    &sctx,
+                    &stream,
+                    set,
+                    threads,
+                    &ScoreboardConfig::default(),
+                    chunk_pairs,
+                    score,
+                    |chunk_pairs_slice, chunk_probs| {
+                        pairs.extend_from_slice(chunk_pairs_slice);
+                        probs.extend_from_slice(chunk_probs);
+                    },
+                );
+                assert_eq!(pairs.as_slice(), cands.pairs());
+                assert_eq!(probs, reference, "threads={threads} chunk={chunk_pairs}");
+            }
+        }
     }
 
     #[test]

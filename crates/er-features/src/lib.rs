@@ -25,9 +25,11 @@ pub mod reference;
 pub mod schemes;
 pub mod scoreboard;
 
-pub use context::{write_features_from, EntityAggregates, FeatureContext, PairCooccurrence};
+pub use context::{
+    write_features_from, EntityAggregates, FeatureContext, PairCooccurrence, StreamFeatureContext,
+};
 pub use feature_set::FeatureSet;
-pub use generator::FeatureMatrix;
+pub use generator::{for_each_scored_chunk, FeatureMatrix};
 pub use schemes::Scheme;
 pub use scoreboard::{
     FlatScoreboard, RadixScoreboard, ScoreboardConfig, ScoreboardEngine, ScoreboardMetrics,
