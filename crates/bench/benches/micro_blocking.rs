@@ -10,7 +10,9 @@
 //!
 //! Emits `BENCH_blocking.json` when `GSMB_BENCH_JSON` is set.
 
-use bench::{banner, bench_catalog_options, bench_repetitions, peak_rss_json, write_bench_json};
+use bench::{
+    assert_obs_overhead, banner, bench_catalog_options, bench_repetitions, report::Report,
+};
 use er_blocking::reference;
 use er_blocking::{
     qgrams_blocking_csr, standard_blocking_workflow_csr, suffix_array_blocking_csr,
@@ -91,6 +93,7 @@ fn main() {
     let options = bench_catalog_options();
     let suffix_config = SuffixArrayConfig::default();
     let mut json_entries: Vec<String> = Vec::new();
+    let mut gate_dataset: Option<Dataset> = None;
 
     for name in DatasetName::largest_two() {
         let dataset = generate_catalog_dataset(name, &options)
@@ -145,15 +148,22 @@ fn main() {
         }
         println!();
         json_entries.push(json_row(&dataset_name, "workflow", base, &engine_s));
+        gate_dataset = Some(dataset);
     }
 
-    write_bench_json(
-        "BENCH_blocking.json",
-        &format!(
-            "{{\n\"bench\": \"micro_blocking\",\n\"repetitions\": {},\n\"peak_rss_bytes\": {},\n\"rows\": [\n{}\n]\n}}\n",
-            repetitions,
-            peak_rss_json(),
-            json_entries.join(",\n")
-        ),
-    );
+    // Overhead gate: the instrumented hot loop (build → scatter → emit,
+    // with its batched er-obs updates) must cost the same as with the
+    // layer disabled, within 2%.
+    println!();
+    let gate_dataset = gate_dataset.expect("at least one dataset was benchmarked");
+    let (disabled_s, enabled_s) = assert_obs_overhead("token_blocking_csr", 5, || {
+        criterion::black_box(token_blocking_csr(&gate_dataset, 1));
+    });
+
+    Report::new("micro_blocking")
+        .field("repetitions", repetitions)
+        .field("obs_overhead_disabled_s", format!("{disabled_s:.4}"))
+        .field("obs_overhead_enabled_s", format!("{enabled_s:.4}"))
+        .rows("rows", json_entries)
+        .write("BENCH_blocking.json");
 }

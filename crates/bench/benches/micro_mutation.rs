@@ -19,7 +19,7 @@
 //!
 //! Emits `BENCH_mutation.json` when `GSMB_BENCH_JSON` is set.
 
-use bench::{banner, bench_catalog_options, bench_repetitions, peak_rss_json, write_bench_json};
+use bench::{banner, bench_catalog_options, bench_repetitions, report::Report};
 use er_blocking::{build_blocks, TokenKeys};
 use er_core::{Dataset, EntityId, EntityProfile};
 use er_datasets::{generate_catalog_dataset, DatasetName};
@@ -204,14 +204,9 @@ fn main() {
         }
     }
 
-    write_bench_json(
-        "BENCH_mutation.json",
-        &format!(
-            "{{\n\"bench\": \"micro_mutation\",\n\"repetitions\": {},\n\"threads\": {},\n\"peak_rss_bytes\": {},\n\"rows\": [\n{}\n]\n}}\n",
-            repetitions,
-            threads,
-            peak_rss_json(),
-            json_entries.join(",\n")
-        ),
-    );
+    Report::new("micro_mutation")
+        .field("repetitions", repetitions)
+        .field("threads", threads)
+        .rows("rows", json_entries)
+        .write("BENCH_mutation.json");
 }

@@ -22,7 +22,9 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use bench::{banner, bench_catalog_options, bench_repetitions, peak_rss_json, write_bench_json};
+use bench::{
+    banner, bench_catalog_options, bench_repetitions, report::Report, write_bench_prometheus,
+};
 use er_blocking::{build_blocks, TokenKeys};
 use er_core::{Dataset, EntityId};
 use er_datasets::{generate_catalog_dataset, DatasetName};
@@ -225,14 +227,13 @@ fn main() {
         ));
     }
 
-    write_bench_json(
-        "BENCH_persist.json",
-        &format!(
-            "{{\n\"bench\": \"micro_persist\",\n\"repetitions\": {},\n\"threads\": {},\n\"peak_rss_bytes\": {},\n\"datasets\": [\n{}\n]\n}}\n",
-            repetitions,
-            threads,
-            peak_rss_json(),
-            json_entries.join(",\n")
-        ),
-    );
+    Report::new("micro_persist")
+        .field("repetitions", repetitions)
+        .field("threads", threads)
+        .rows("datasets", json_entries)
+        .write("BENCH_persist.json");
+    // The same run rendered as a Prometheus snapshot: nonzero WAL append /
+    // fsync-latency / snapshot-bytes / recovery series from the er-obs
+    // registry.
+    write_bench_prometheus("BENCH_persist.prom");
 }

@@ -43,15 +43,15 @@
 
 use std::time::Instant;
 
-use bench::{banner, bench_repetitions, env_usize, peak_rss_json, write_bench_json};
+use bench::{banner, bench_repetitions, env_usize, peak_rss_json, report::Report};
 use er_blocking::{
     standard_blocking_workflow_csr, BlockStats, CandidatePairs, CandidateStream, ChunkArena,
     DEFAULT_CHUNK_PAIRS,
 };
 use er_datasets::{generate_scalability, ScalabilityConfig};
 use er_features::{
-    FeatureContext, FeatureMatrix, FeatureSet, ScoreboardConfig, ScoreboardMetrics,
-    StreamFeatureContext,
+    reset_scoreboard_metrics, scoreboard_metrics, FeatureContext, FeatureMatrix, FeatureSet,
+    ScoreboardConfig, StreamFeatureContext,
 };
 
 /// Corpus sizes above this skip the full-matrix equality gate (the score
@@ -131,9 +131,7 @@ fn main() {
         drop(arena);
 
         let stream_context = StreamFeatureContext::new(&stats, stream.lcp_table());
-        let streamed_metrics = ScoreboardMetrics::shared();
-        let mut streamed_config =
-            ScoreboardConfig::default().with_metrics(streamed_metrics.clone());
+        let mut streamed_config = ScoreboardConfig::default();
         if tile_override > 0 {
             streamed_config.tile_entities = Some(tile_override);
         }
@@ -182,20 +180,24 @@ fn main() {
         let materialised_bytes = candidates.index_bytes();
         let context = FeatureContext::new(&stats, &candidates);
 
-        let tiled_metrics = ScoreboardMetrics::shared();
-        let mut tiled_config = ScoreboardConfig::default().with_metrics(tiled_metrics.clone());
+        let mut tiled_config = ScoreboardConfig::default();
         if tile_override > 0 {
             tiled_config.tile_entities = Some(tile_override);
         }
-        let flat_metrics = ScoreboardMetrics::shared();
-        let flat_config = ScoreboardConfig::flat().with_metrics(flat_metrics.clone());
+        let flat_config = ScoreboardConfig::flat();
 
         // Correctness gate 1: bit-identical probabilities across all three
-        // modes.
+        // modes.  The scoreboard metrics live on the global er-obs registry
+        // now, so each engine's run is bracketed by a reset + snapshot to
+        // read exact per-phase values (the bench is sequential).
+        reset_scoreboard_metrics();
         let tiled_scores =
             FeatureMatrix::score_rows_with(&context, set, threads, &tiled_config, score);
+        let tiled_metrics = scoreboard_metrics();
+        reset_scoreboard_metrics();
         let flat_scores =
             FeatureMatrix::score_rows_with(&context, set, threads, &flat_config, score);
+        let flat_metrics = scoreboard_metrics();
         assert_eq!(
             tiled_scores, flat_scores,
             "scal-{n}: tiled and flat scores diverged"
@@ -224,10 +226,12 @@ fn main() {
         let tile = tiled_config.effective_tile(candidates.num_entities());
         let slots = tile.max(tiled_config.dense_remap_limit);
         let num_tiles = candidates.num_entities().div_ceil(tile);
-        let scratch_tiled = tiled_metrics.scratch_bytes_hwm();
-        let scratch_flat = flat_metrics.scratch_bytes_hwm();
-        let bound =
-            64 * slots + 96 * tiled_metrics.contributions_hwm() + 16 * num_tiles + 64 * 1024;
+        let scratch_tiled = tiled_metrics.scratch_bytes_hwm;
+        let scratch_flat = flat_metrics.scratch_bytes_hwm;
+        let bound = 64 * slots as u64
+            + 96 * tiled_metrics.contributions_hwm
+            + 16 * num_tiles as u64
+            + 64 * 1024;
         assert!(
             scratch_tiled <= bound,
             "scal-{n}: tiled scratch {scratch_tiled} B exceeds O(tile) bound {bound} B"
@@ -383,24 +387,19 @@ fn main() {
             num_tiles,
             scratch_tiled,
             scratch_flat,
-            tiled_metrics.partners_hwm(),
-            tiled_metrics.contributions_hwm(),
-            tiled_metrics.dense_entities(),
-            tiled_metrics.radix_entities(),
+            tiled_metrics.partners_hwm,
+            tiled_metrics.contributions_hwm,
+            tiled_metrics.dense_entities,
+            tiled_metrics.radix_entities,
             rss_baseline,
             rss_streamed,
             rss_materialised,
         ));
     }
 
-    write_bench_json(
-        "BENCH_scalability.json",
-        &format!(
-            "{{\n\"bench\": \"micro_scalability\",\n\"repetitions\": {},\n\"threads\": {},\n\"peak_rss_bytes\": {},\n\"sizes\": [\n{}\n]\n}}\n",
-            repetitions,
-            threads,
-            peak_rss_json(),
-            json_entries.join(",\n")
-        ),
-    );
+    Report::new("micro_scalability")
+        .field("repetitions", repetitions)
+        .field("threads", threads)
+        .rows("sizes", json_entries)
+        .write("BENCH_scalability.json");
 }

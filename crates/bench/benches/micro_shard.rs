@@ -27,7 +27,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use bench::{banner, bench_catalog_options, bench_repetitions, peak_rss_json, write_bench_json};
+use bench::{
+    banner, bench_catalog_options, bench_repetitions, report::Report, write_bench_prometheus,
+};
 use er_blocking::TokenKeys;
 use er_core::Dataset;
 use er_datasets::{generate_catalog_dataset, DatasetName};
@@ -233,40 +235,31 @@ fn main() {
         loads, mean_ns, max_ns, views_seen,
     );
 
-    write_bench_json(
-        "BENCH_shard.json",
-        &format!(
-            concat!(
-                "{{\n",
-                "\"bench\": \"micro_shard\",\n",
-                "\"repetitions\": {},\n",
-                "\"threads\": {},\n",
-                "\"peak_rss_bytes\": {},\n",
-                "\"dataset\": \"{}\",\n",
-                "\"entities\": {},\n",
-                "\"batch_size\": {},\n",
-                "\"shard_sweep\": [\n  {}\n],\n",
-                "\"group_commit\": {{\"batches\": {}, \"shards\": {}, \"grouped_fsyncs\": {}, \"individual_fsyncs\": {}, \"grouped_fsyncs_per_batch\": {:.4}, \"individual_fsyncs_per_batch\": {:.4}}},\n",
-                "\"reader\": {{\"loads\": {}, \"mean_ns\": {:.1}, \"max_ns\": {}, \"views_observed\": {}}}\n",
-                "}}\n"
+    Report::new("micro_shard")
+        .field("repetitions", repetitions)
+        .field("threads", threads)
+        .field("dataset", format!("\"{name}\""))
+        .field("entities", n)
+        .field("batch_size", BATCH)
+        .field(
+            "group_commit",
+            format!(
+                "{{\"batches\": {group_len}, \"shards\": {group_shards}, \
+                 \"grouped_fsyncs\": {grouped_syncs}, \"individual_fsyncs\": {single_syncs}, \
+                 \"grouped_fsyncs_per_batch\": {grouped_rate:.4}, \
+                 \"individual_fsyncs_per_batch\": {single_rate:.4}}}"
             ),
-            repetitions,
-            threads,
-            peak_rss_json(),
-            name,
-            n,
-            BATCH,
-            sweep_rows.join(",\n  "),
-            group_len,
-            group_shards,
-            grouped_syncs,
-            single_syncs,
-            grouped_rate,
-            single_rate,
-            loads,
-            mean_ns,
-            max_ns,
-            views_seen,
-        ),
-    );
+        )
+        .field(
+            "reader",
+            format!(
+                "{{\"loads\": {loads}, \"mean_ns\": {mean_ns:.1}, \"max_ns\": {max_ns}, \
+                 \"views_observed\": {views_seen}}}"
+            ),
+        )
+        .rows("shard_sweep", sweep_rows)
+        .write("BENCH_shard.json");
+    // The same run as a Prometheus snapshot: group-commit fsync batches,
+    // queue depths, epoch-publish latency, reader-view age.
+    write_bench_prometheus("BENCH_shard.prom");
 }

@@ -18,7 +18,9 @@
 //!
 //! Emits `BENCH_stream.json` when `GSMB_BENCH_JSON` is set.
 
-use bench::{banner, bench_catalog_options, bench_repetitions, peak_rss_json, write_bench_json};
+use bench::{
+    assert_obs_overhead, banner, bench_catalog_options, bench_repetitions, report::Report,
+};
 use er_blocking::{build_blocks, TokenKeys};
 use er_core::Dataset;
 use er_datasets::{generate_catalog_dataset, DatasetName};
@@ -47,6 +49,7 @@ fn main() {
     let options = bench_catalog_options();
     let threads = er_core::available_threads();
     let mut json_entries: Vec<String> = Vec::new();
+    let mut gate_dataset: Option<Dataset> = None;
 
     for name in DatasetName::largest_two() {
         let dataset = generate_catalog_dataset(name, &options)
@@ -142,16 +145,28 @@ fn main() {
                 time / batch as f64 * 1e6
             ));
         }
+        gate_dataset = Some(dataset);
     }
 
-    write_bench_json(
-        "BENCH_stream.json",
-        &format!(
-            "{{\n\"bench\": \"micro_stream\",\n\"repetitions\": {},\n\"threads\": {},\n\"peak_rss_bytes\": {},\n\"rows\": [\n{}\n]\n}}\n",
-            repetitions,
-            threads,
-            peak_rss_json(),
-            json_entries.join(",\n")
-        ),
-    );
+    // Overhead gate: the streaming ingest hot loop (per-batch er-obs
+    // updates in `emit`) must cost the same with the layer disabled,
+    // within 2%.
+    println!();
+    let gate_dataset = gate_dataset.expect("at least one dataset was benchmarked");
+    let gate_seed = gate_dataset.split;
+    let gate_end = gate_dataset.num_entities().min(gate_seed + 512);
+    let (disabled_s, enabled_s) = assert_obs_overhead("streaming_ingest", 5, || {
+        let mut blocker = seeded_blocker(&gate_dataset, gate_seed, threads);
+        for chunk in gate_dataset.profiles[gate_seed..gate_end].chunks(64) {
+            criterion::black_box(blocker.ingest(chunk));
+        }
+    });
+
+    Report::new("micro_stream")
+        .field("repetitions", repetitions)
+        .field("threads", threads)
+        .field("obs_overhead_disabled_s", format!("{disabled_s:.4}"))
+        .field("obs_overhead_enabled_s", format!("{enabled_s:.4}"))
+        .rows("rows", json_entries)
+        .write("BENCH_stream.json");
 }

@@ -94,25 +94,54 @@ pub fn bench_json_dir() -> Option<std::path::PathBuf> {
     })
 }
 
-/// Writes one `BENCH_*.json` artifact (hand-rolled JSON — the workspace's
-/// serde shims are no-ops by design) if `GSMB_BENCH_JSON` is set.  Returns
-/// the path written to.
-pub fn write_bench_json(file_name: &str, json: &str) -> Option<std::path::PathBuf> {
+/// Writes one `BENCH_*` artifact (JSON, Prometheus text, ...) if
+/// `GSMB_BENCH_JSON` is set.  Returns the path written to.
+pub fn write_bench_artifact(file_name: &str, contents: &str) -> Option<std::path::PathBuf> {
     let path = bench_json_dir()?.join(file_name);
-    std::fs::write(&path, json).unwrap_or_else(|e| panic!("failed to write {path:?}: {e}"));
+    std::fs::write(&path, contents).unwrap_or_else(|e| panic!("failed to write {path:?}: {e}"));
     println!("\nbench artifact written to {}", path.display());
     Some(path)
 }
 
+/// Writes one `BENCH_*.json` artifact (hand-rolled JSON — the workspace's
+/// serde shims are no-ops by design) if `GSMB_BENCH_JSON` is set.  Returns
+/// the path written to.
+pub fn write_bench_json(file_name: &str, json: &str) -> Option<std::path::PathBuf> {
+    write_bench_artifact(file_name, json)
+}
+
+/// Writes the current er-obs registry as a `BENCH_*.prom` Prometheus text
+/// artifact next to the JSON ones, if `GSMB_BENCH_JSON` is set.
+pub fn write_bench_prometheus(file_name: &str) -> Option<std::path::PathBuf> {
+    write_bench_artifact(file_name, &er_obs::snapshot().render_prometheus())
+}
+
+/// The process-wide peak-RSS gauge every bench routes `VmHWM` samples
+/// through, so memory tracking is one more registry consumer rather than a
+/// bespoke side channel.
+pub fn process_rss_gauge() -> &'static er_obs::Gauge {
+    static GAUGE: std::sync::OnceLock<&'static er_obs::Gauge> = std::sync::OnceLock::new();
+    GAUGE.get_or_init(|| {
+        er_obs::gauge(
+            "process_peak_rss_bytes_hwm",
+            "Peak resident-set size of the process (VmHWM), bytes",
+        )
+    })
+}
+
 /// Peak resident-set size of this process in bytes (`VmHWM` from
 /// `/proc/self/status`), or `None` where that interface does not exist
-/// (non-Linux).  Reported in every bench JSON artifact so memory growth is
-/// tracked alongside throughput across PRs.
+/// (non-Linux).  Every sample is also published to
+/// [`process_rss_gauge`], so the value shows up in Prometheus snapshots
+/// alongside the pipeline metrics.  Reported in every bench JSON artifact
+/// so memory growth is tracked alongside throughput across PRs.
 pub fn peak_rss_bytes() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
     let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kb * 1024)
+    let bytes = kb * 1024;
+    process_rss_gauge().record_max(bytes);
+    Some(bytes)
 }
 
 /// `peak_rss_bytes` rendered for a JSON field: the byte count, or `null`.
@@ -120,6 +149,103 @@ pub fn peak_rss_json() -> String {
     match peak_rss_bytes() {
         Some(bytes) => bytes.to_string(),
         None => "null".to_string(),
+    }
+}
+
+/// Measures `workload` with the er-obs layer disabled and enabled
+/// (interleaved best-of-`rounds`, so clock drift and cache warmth cancel)
+/// and asserts the enabled path stays within 2% of the disabled one, plus
+/// a small absolute floor for sub-millisecond workloads.  Leaves the layer
+/// enabled.  Returns `(disabled_s, enabled_s)`.
+pub fn assert_obs_overhead(label: &str, rounds: usize, mut workload: impl FnMut()) -> (f64, f64) {
+    let time_once = |workload: &mut dyn FnMut()| -> f64 {
+        let start = std::time::Instant::now();
+        workload();
+        start.elapsed().as_secs_f64()
+    };
+    // Warm up both arms before timing anything.
+    er_obs::set_enabled(false);
+    workload();
+    er_obs::set_enabled(true);
+    workload();
+
+    let mut disabled_s = f64::INFINITY;
+    let mut enabled_s = f64::INFINITY;
+    for _ in 0..rounds.max(3) {
+        er_obs::set_enabled(false);
+        disabled_s = disabled_s.min(time_once(&mut workload));
+        er_obs::set_enabled(true);
+        enabled_s = enabled_s.min(time_once(&mut workload));
+    }
+    er_obs::set_enabled(true);
+
+    let overhead = (enabled_s / disabled_s - 1.0) * 100.0;
+    println!("obs overhead gate [{label}]: disabled {disabled_s:.4}s, enabled {enabled_s:.4}s ({overhead:+.2}%)");
+    // 2% relative, with a 2ms absolute floor: best-of timing still jitters
+    // by more than 2% on sub-100ms workloads, and an absolute floor keeps
+    // the gate about instrumentation cost rather than scheduler noise.
+    let budget = (disabled_s * 0.02).max(0.002);
+    assert!(
+        enabled_s <= disabled_s + budget,
+        "er-obs overhead gate failed for {label}: disabled {disabled_s:.4}s vs enabled \
+         {enabled_s:.4}s exceeds the 2% budget ({budget:.4}s)"
+    );
+    (disabled_s, enabled_s)
+}
+
+/// One `BENCH_*.json` artifact: the shared shape every micro/figure bench
+/// emits — `bench` name, scalar fields in insertion order, a
+/// `peak_rss_bytes` sample routed through [`process_rss_gauge`], then any
+/// row arrays.  Replaces the per-bench hand-assembled footers.
+pub mod report {
+    /// Builder for the flat `BENCH_*.json` document.
+    pub struct Report {
+        bench: String,
+        fields: Vec<(String, String)>,
+        sections: Vec<(String, Vec<String>)>,
+    }
+
+    impl Report {
+        /// A report for the bench called `bench`.
+        pub fn new(bench: &str) -> Self {
+            Report {
+                bench: bench.to_string(),
+                fields: Vec::new(),
+                sections: Vec::new(),
+            }
+        }
+
+        /// Adds one scalar field; `value` is spliced in as raw JSON
+        /// (numbers and `null` pass through, strings must arrive quoted).
+        pub fn field(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+            self.fields.push((key.to_string(), value.to_string()));
+            self
+        }
+
+        /// Adds one array of pre-rendered JSON rows under `key`.
+        pub fn rows(mut self, key: &str, rows: Vec<String>) -> Self {
+            self.sections.push((key.to_string(), rows));
+            self
+        }
+
+        /// Renders the document (trailing newline included).
+        pub fn render(&self) -> String {
+            let mut entries = vec![format!("\"bench\": \"{}\"", self.bench)];
+            for (key, value) in &self.fields {
+                entries.push(format!("\"{key}\": {value}"));
+            }
+            entries.push(format!("\"peak_rss_bytes\": {}", super::peak_rss_json()));
+            for (key, rows) in &self.sections {
+                entries.push(format!("\"{key}\": [\n{}\n]", rows.join(",\n")));
+            }
+            format!("{{\n{}\n}}\n", entries.join(",\n"))
+        }
+
+        /// Writes the rendered document as `file_name` if
+        /// `GSMB_BENCH_JSON` is set; returns the path written to.
+        pub fn write(&self, file_name: &str) -> Option<std::path::PathBuf> {
+            super::write_bench_json(file_name, &self.render())
+        }
     }
 }
 

@@ -267,6 +267,7 @@ impl DurableStreamingPipeline {
                 )?
             }
         };
+        report.observe();
         Ok(DurableStreamingPipeline {
             inner,
             store,

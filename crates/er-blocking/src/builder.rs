@@ -357,6 +357,7 @@ pub fn build_blocks<G: KeyGenerator + ?Sized>(
         (bases[(packed >> 32) as usize] + (packed & 0xffff_ffff) as u32) as usize
     };
 
+    let scatter_timer = crate::obs::obs().scatter_ns.start_timer();
     // Phase 3: counting-sort scatter into the entity arena.  Iterating runs
     // in range order emits entities in ascending order per key, so every
     // block's slice is sorted by construction.  The scatter itself stays
@@ -384,6 +385,7 @@ pub fn build_blocks<G: KeyGenerator + ?Sized>(
             cursors[block] += 1;
         }
     }
+    scatter_timer.observe();
 
     // Phase 4: filter + compact.  Keep only blocks that fit the generator's
     // size cap and produce at least one comparison; surviving keys move into
@@ -411,6 +413,14 @@ pub fn build_blocks<G: KeyGenerator + ?Sized>(
         entity_offsets.push(entities.len() as u32);
         first_counts.push(first);
     }
+
+    // Once-per-build accounting (the per-posting loops above never touch
+    // the registry).
+    let o = crate::obs::obs();
+    o.builds.inc();
+    o.keys_interned.add(key_count as u64);
+    o.blocks_emitted.add(key_ids.len() as u64);
+    o.postings_scattered.add(arena.len() as u64);
 
     CsrBlockCollection::from_raw(
         dataset.name.clone(),

@@ -25,6 +25,7 @@ pub mod collection;
 pub mod csr;
 pub mod filtering;
 pub mod graph;
+mod obs;
 pub mod persist;
 pub mod purging;
 pub mod qgrams;

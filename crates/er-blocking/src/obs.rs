@@ -1,0 +1,74 @@
+//! er-obs metric handles for the blocking build and the streamed
+//! candidate engine, resolved once per process.
+//!
+//! Updates are batched: the parallel builder records once per build
+//! (counts plus one scatter-phase timer), the candidate stream once per
+//! extracted chunk — never per posting or per pair — so the hot loops
+//! stay inside the bench overhead gate.
+
+use std::sync::OnceLock;
+
+use er_obs::{Counter, Histogram};
+
+pub(crate) struct BlockingObs {
+    /// Whole-collection builds completed.
+    pub(crate) builds: &'static Counter,
+    /// Distinct blocking keys interned across builds.
+    pub(crate) keys_interned: &'static Counter,
+    /// Blocks that survived filtering and were emitted.
+    pub(crate) blocks_emitted: &'static Counter,
+    /// Postings scattered into block entity lists.
+    pub(crate) postings_scattered: &'static Counter,
+    /// Counting-sort scatter phase duration (ns).
+    pub(crate) scatter_ns: &'static Histogram,
+    /// Chunks extracted from candidate streams.
+    pub(crate) stream_chunks: &'static Counter,
+    /// Candidate pairs emitted through stream chunks.
+    pub(crate) stream_pairs: &'static Counter,
+    /// Chunk extractions served from existing arena capacity.
+    pub(crate) arena_reuses: &'static Counter,
+    /// Chunk extractions that grew the arena.
+    pub(crate) arena_grows: &'static Counter,
+}
+
+pub(crate) fn obs() -> &'static BlockingObs {
+    static OBS: OnceLock<BlockingObs> = OnceLock::new();
+    OBS.get_or_init(|| BlockingObs {
+        builds: er_obs::counter(
+            "blocking_builds_total",
+            "Block-collection builds completed by the parallel builder",
+        ),
+        keys_interned: er_obs::counter(
+            "blocking_keys_interned_total",
+            "Distinct blocking keys interned across builds",
+        ),
+        blocks_emitted: er_obs::counter(
+            "blocking_blocks_emitted_total",
+            "Blocks that survived size/comparison filtering and were emitted",
+        ),
+        postings_scattered: er_obs::counter(
+            "blocking_postings_scattered_total",
+            "(key, entity) postings scattered into block entity lists",
+        ),
+        scatter_ns: er_obs::histogram(
+            "blocking_scatter_ns",
+            "Counting-sort scatter phase duration per build, nanoseconds",
+        ),
+        stream_chunks: er_obs::counter(
+            "blocking_stream_chunks_total",
+            "Chunks extracted from candidate streams",
+        ),
+        stream_pairs: er_obs::counter(
+            "blocking_stream_pairs_total",
+            "Candidate pairs emitted through stream chunk extraction",
+        ),
+        arena_reuses: er_obs::counter(
+            "blocking_arena_reuse_total",
+            "Chunk extractions served entirely from retained arena capacity",
+        ),
+        arena_grows: er_obs::counter(
+            "blocking_arena_grow_total",
+            "Chunk extractions that had to grow the arena",
+        ),
+    })
+}

@@ -449,6 +449,7 @@ impl<'a> CandidateStream<'a> {
     /// Extracts one chunk into a reusable arena: the chunk's pairs in global
     /// emission order plus the per-entity segment boundaries.
     pub fn extract_chunk(&self, chunk: ChunkSpec, arena: &mut ChunkArena) {
+        let capacity_before = arena.capacity_bytes();
         let ChunkArena {
             pairs,
             runs,
@@ -466,6 +467,16 @@ impl<'a> CandidateStream<'a> {
             });
         });
         debug_assert_eq!(pairs.len(), chunk.len());
+        // One batched registry update per chunk (thousands of pairs), never
+        // per pair.
+        let o = crate::obs::obs();
+        o.stream_chunks.inc();
+        o.stream_pairs.add(arena.pairs.len() as u64);
+        if arena.capacity_bytes() > capacity_before {
+            o.arena_grows.inc();
+        } else {
+            o.arena_reuses.inc();
+        }
     }
 
     /// Extracts one chunk straight into a caller-provided slice of exactly

@@ -350,14 +350,13 @@ fn make_worker_board(num_entities: usize, scoreboard: &ScoreboardConfig) -> Work
     }
 }
 
-/// Records a worker board's scratch high-water marks at task end.
-fn flush_worker_metrics(worker: &mut WorkerBoard, scoreboard: &ScoreboardConfig) {
+/// Publishes a worker board's batched metrics to the er-obs registry at
+/// task end.
+fn flush_worker_metrics(worker: &mut WorkerBoard) {
     match worker {
-        WorkerBoard::Flat(board) => {
-            if let Some(metrics) = &scoreboard.metrics {
-                metrics.record_scratch(board.scratch_bytes());
-            }
-        }
+        WorkerBoard::Flat(board) => crate::scoreboard::obs()
+            .scratch_bytes_hwm
+            .record_max(board.scratch_bytes() as u64),
         WorkerBoard::Tiled { board, .. } => board.flush_metrics(),
     }
 }
@@ -633,7 +632,7 @@ fn fused_entity_major_pass<E>(
                 );
                 cursor += cands.len();
             }
-            flush_worker_metrics(worker, scoreboard);
+            flush_worker_metrics(worker);
             debug_assert_eq!(cursor * row_width, chunk.len());
         },
     );
@@ -722,7 +721,7 @@ fn fused_stream_pass<E>(
                 );
                 cursor += cands.len();
             }
-            flush_worker_metrics(worker, scoreboard);
+            flush_worker_metrics(worker);
             debug_assert_eq!(cursor * row_width, chunk_out.len());
         },
     );
@@ -785,7 +784,7 @@ pub fn for_each_scored_chunk(
             );
             cursor += cands.len();
         }
-        flush_worker_metrics(&mut worker, scoreboard);
+        flush_worker_metrics(&mut worker);
         (arena.pairs().to_vec(), probs)
     };
 

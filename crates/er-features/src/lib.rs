@@ -32,5 +32,6 @@ pub use feature_set::FeatureSet;
 pub use generator::{for_each_scored_chunk, FeatureMatrix};
 pub use schemes::Scheme;
 pub use scoreboard::{
-    FlatScoreboard, RadixScoreboard, ScoreboardConfig, ScoreboardEngine, ScoreboardMetrics,
+    reset_scoreboard_metrics, scoreboard_metrics, FlatScoreboard, RadixScoreboard,
+    ScoreboardConfig, ScoreboardEngine, ScoreboardMetricsSnapshot,
 };

@@ -38,9 +38,9 @@
 //! [`ScoreboardEngine::Flat`]) as the reference for equivalence tests and
 //! scratch-size comparisons.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::OnceLock;
 
+use er_obs::{Counter, Gauge, Histogram};
 use serde::{Deserialize, Serialize};
 
 use crate::context::PairCooccurrence;
@@ -82,9 +82,6 @@ pub struct ScoreboardConfig {
     /// partner-remap fast path instead of the radix scatter.  `0` disables
     /// the fast path.
     pub dense_remap_limit: usize,
-    /// Optional shared metrics sink; workers record scratch high-water marks
-    /// and per-path entity counts into it.
-    pub metrics: Option<Arc<ScoreboardMetrics>>,
 }
 
 impl Default for ScoreboardConfig {
@@ -93,7 +90,6 @@ impl Default for ScoreboardConfig {
             engine: ScoreboardEngine::Tiled,
             tile_entities: None,
             dense_remap_limit: DEFAULT_DENSE_REMAP_LIMIT,
-            metrics: None,
         }
     }
 }
@@ -115,12 +111,6 @@ impl ScoreboardConfig {
         }
     }
 
-    /// Returns `self` with the metrics sink attached.
-    pub fn with_metrics(mut self, metrics: Arc<ScoreboardMetrics>) -> Self {
-        self.metrics = Some(metrics);
-        self
-    }
-
     /// The effective (power-of-two) tile width for a corpus of
     /// `num_entities`.
     pub fn effective_tile(&self, num_entities: usize) -> usize {
@@ -136,67 +126,89 @@ impl ScoreboardConfig {
     }
 }
 
-/// Shared scratch/path accounting, written by workers with relaxed atomics.
-///
-/// High-water marks use `fetch_max`, counters use `fetch_add`; workers batch
-/// their updates ([`RadixScoreboard::flush_metrics`]) so the hot loop never
-/// touches the shared cache line.
-#[derive(Debug, Default)]
-pub struct ScoreboardMetrics {
-    scratch_bytes_hwm: AtomicUsize,
-    partners_hwm: AtomicUsize,
-    contributions_hwm: AtomicUsize,
-    radix_entities: AtomicUsize,
-    dense_entities: AtomicUsize,
+/// Scoreboard metric handles on the global [`er_obs`] registry, resolved
+/// once.  High-water marks are `fetch_max` gauges, path counts are
+/// counters; workers batch their updates
+/// ([`RadixScoreboard::flush_metrics`], once per task) so the hot loop
+/// never touches a shared cache line.
+pub(crate) struct ScoreboardObs {
+    pub(crate) scratch_bytes_hwm: &'static Gauge,
+    pub(crate) partners_hwm: &'static Gauge,
+    pub(crate) contributions_hwm: &'static Gauge,
+    pub(crate) radix_entities: &'static Counter,
+    pub(crate) dense_entities: &'static Counter,
+    pub(crate) tile_partners: &'static Histogram,
 }
 
-impl ScoreboardMetrics {
-    /// A fresh, shareable sink.
-    pub fn shared() -> Arc<Self> {
-        Arc::new(Self::default())
-    }
+pub(crate) fn obs() -> &'static ScoreboardObs {
+    static OBS: OnceLock<ScoreboardObs> = OnceLock::new();
+    OBS.get_or_init(|| ScoreboardObs {
+        scratch_bytes_hwm: er_obs::gauge(
+            "scoreboard_scratch_bytes_hwm",
+            "Largest per-worker scoreboard scratch footprint observed, in bytes",
+        ),
+        partners_hwm: er_obs::gauge(
+            "scoreboard_partners_hwm",
+            "Most distinct partners any single entity produced",
+        ),
+        contributions_hwm: er_obs::gauge(
+            "scoreboard_contributions_hwm",
+            "Most (block, partner) contributions any single entity scattered",
+        ),
+        radix_entities: er_obs::counter(
+            "scoreboard_radix_entities_total",
+            "Entities aggregated through the radix scatter path",
+        ),
+        dense_entities: er_obs::counter(
+            "scoreboard_dense_entities_total",
+            "Entities aggregated through the dense partner-remap fast path",
+        ),
+        tile_partners: er_obs::histogram(
+            "scoreboard_tile_partners",
+            "Per-task partner high-water mark, a tile-occupancy distribution",
+        ),
+    })
+}
 
-    /// Records one worker's current scratch footprint.
-    pub fn record_scratch(&self, bytes: usize) {
-        self.scratch_bytes_hwm.fetch_max(bytes, Ordering::Relaxed);
-    }
-
-    fn record_flush(&self, partners: usize, contributions: usize, radix: usize, dense: usize) {
-        self.partners_hwm.fetch_max(partners, Ordering::Relaxed);
-        self.contributions_hwm
-            .fetch_max(contributions, Ordering::Relaxed);
-        if radix > 0 {
-            self.radix_entities.fetch_add(radix, Ordering::Relaxed);
-        }
-        if dense > 0 {
-            self.dense_entities.fetch_add(dense, Ordering::Relaxed);
-        }
-    }
-
+/// A point-in-time copy of the scoreboard's registry metrics — what the
+/// deleted `ScoreboardMetrics` sink used to accumulate, now read back from
+/// the global [`er_obs`] registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScoreboardMetricsSnapshot {
     /// Largest per-worker scratch footprint observed, in bytes.
-    pub fn scratch_bytes_hwm(&self) -> usize {
-        self.scratch_bytes_hwm.load(Ordering::Relaxed)
-    }
-
+    pub scratch_bytes_hwm: u64,
     /// Most distinct partners any single entity produced.
-    pub fn partners_hwm(&self) -> usize {
-        self.partners_hwm.load(Ordering::Relaxed)
-    }
-
+    pub partners_hwm: u64,
     /// Most `(block, partner)` contributions any single entity scattered.
-    pub fn contributions_hwm(&self) -> usize {
-        self.contributions_hwm.load(Ordering::Relaxed)
-    }
-
+    pub contributions_hwm: u64,
     /// Entities processed through the radix scatter path.
-    pub fn radix_entities(&self) -> usize {
-        self.radix_entities.load(Ordering::Relaxed)
-    }
-
+    pub radix_entities: u64,
     /// Entities processed through the dense partner-remap fast path.
-    pub fn dense_entities(&self) -> usize {
-        self.dense_entities.load(Ordering::Relaxed)
+    pub dense_entities: u64,
+}
+
+/// Reads the scoreboard's current registry metrics.
+pub fn scoreboard_metrics() -> ScoreboardMetricsSnapshot {
+    let o = obs();
+    ScoreboardMetricsSnapshot {
+        scratch_bytes_hwm: o.scratch_bytes_hwm.get(),
+        partners_hwm: o.partners_hwm.get(),
+        contributions_hwm: o.contributions_hwm.get(),
+        radix_entities: o.radix_entities.get(),
+        dense_entities: o.dense_entities.get(),
     }
+}
+
+/// Zeroes the scoreboard's registry metrics, so a sequential bench phase
+/// can read exact per-phase values.  Not for concurrent use.
+pub fn reset_scoreboard_metrics() {
+    let o = obs();
+    o.scratch_bytes_hwm.reset();
+    o.partners_hwm.reset();
+    o.contributions_hwm.reset();
+    o.radix_entities.reset();
+    o.dense_entities.reset();
+    o.tile_partners.reset();
 }
 
 /// One scattered contribution: partner id plus the block's precomputed
@@ -233,7 +245,6 @@ pub struct RadixScoreboard {
     inv_comp: Vec<f64>,
     inv_size: Vec<f64>,
     touched: Vec<u32>,
-    metrics: Option<Arc<ScoreboardMetrics>>,
     local_partners_hwm: usize,
     local_contributions_hwm: usize,
     local_radix: usize,
@@ -259,7 +270,6 @@ impl RadixScoreboard {
             inv_comp: vec![0.0; slots],
             inv_size: vec![0.0; slots],
             touched: Vec::new(),
-            metrics: config.metrics.clone(),
             local_partners_hwm: 0,
             local_contributions_hwm: 0,
             local_radix: 0,
@@ -416,17 +426,19 @@ impl RadixScoreboard {
             + self.active_tiles.capacity() * size_of::<u32>()
     }
 
-    /// Publishes this worker's locally batched metrics to the shared sink
-    /// (no-op without one).  Call once per task, not per entity.
+    /// Publishes this worker's locally batched metrics to the global
+    /// [`er_obs`] registry.  Call once per task, not per entity — the whole
+    /// task costs a handful of relaxed atomic ops.
     pub fn flush_metrics(&mut self) {
-        if let Some(metrics) = &self.metrics {
-            metrics.record_scratch(self.scratch_bytes());
-            metrics.record_flush(
-                self.local_partners_hwm,
-                self.local_contributions_hwm,
-                self.local_radix,
-                self.local_dense,
-            );
+        if self.local_radix + self.local_dense > 0 {
+            let o = obs();
+            o.scratch_bytes_hwm.record_max(self.scratch_bytes() as u64);
+            o.partners_hwm.record_max(self.local_partners_hwm as u64);
+            o.contributions_hwm
+                .record_max(self.local_contributions_hwm as u64);
+            o.radix_entities.add(self.local_radix as u64);
+            o.dense_entities.add(self.local_dense as u64);
+            o.tile_partners.record(self.local_partners_hwm as u64);
         }
         self.local_partners_hwm = 0;
         self.local_contributions_hwm = 0;
@@ -552,8 +564,11 @@ mod tests {
 
     #[test]
     fn metrics_track_hwm_and_paths() {
-        let metrics = ScoreboardMetrics::shared();
-        let cfg = ScoreboardConfig::with_tile(4).with_metrics(metrics.clone());
+        // Metrics land on the shared er-obs registry; other tests in this
+        // process may flush concurrently, so assert monotone deltas and
+        // high-water lower bounds rather than exact globals.
+        let before = scoreboard_metrics();
+        let cfg = ScoreboardConfig::with_tile(4);
         let mut board = RadixScoreboard::new(64, &cfg);
         board.add(1, 1.0, 1.0);
         board.add(9, 1.0, 1.0);
@@ -562,13 +577,14 @@ mod tests {
         board.drain_sorted_into(&mut out);
         board.add_dense(0, 1.0, 1.0);
         board.finish_dense(1);
+        let scratch = board.scratch_bytes();
         board.flush_metrics();
-        assert_eq!(metrics.partners_hwm(), 2);
-        assert_eq!(metrics.contributions_hwm(), 3);
-        assert_eq!(metrics.radix_entities(), 1);
-        assert_eq!(metrics.dense_entities(), 1);
-        assert!(metrics.scratch_bytes_hwm() > 0);
-        assert!(metrics.scratch_bytes_hwm() >= board.scratch_bytes());
+        let after = scoreboard_metrics();
+        assert!(after.partners_hwm >= 2);
+        assert!(after.contributions_hwm >= 3);
+        assert!(after.radix_entities > before.radix_entities);
+        assert!(after.dense_entities > before.dense_entities);
+        assert!(after.scratch_bytes_hwm >= scratch as u64);
     }
 
     #[test]

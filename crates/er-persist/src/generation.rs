@@ -216,6 +216,64 @@ impl RecoveryReport {
             && !self.manifest_rebuilt
             && self.generations_tried <= 1
     }
+
+    /// Total bytes of the files recovery moved into `quarantine/`.
+    pub fn quarantined_bytes(&self) -> u64 {
+        self.quarantined.iter().map(|&(_, bytes)| bytes).sum()
+    }
+
+    /// Records the finalized report on the registry (the replayed-record
+    /// counter) and emits it as a structured `persist_recovery` event (a
+    /// no-op unless an [`er_obs`] sink is installed).  Callers invoke this
+    /// once `records_replayed` / `repair_checkpoint` are known — the store
+    /// cannot, it never sees the replay.
+    pub fn observe(&self) {
+        crate::obs::obs()
+            .records_replayed
+            .add(self.records_replayed as u64);
+        er_obs::event::emit("persist_recovery", |e| {
+            e.push("clean", self.is_clean());
+            e.push("committed_generation", self.committed_generation);
+            e.push("used_generation", self.used_generation);
+            e.push("generations_tried", self.generations_tried);
+            e.push("quarantined_files", self.quarantined.len());
+            e.push("quarantined_bytes", self.quarantined_bytes());
+            e.push("records_replayed", self.records_replayed);
+            e.push("torn_tail_truncated", self.torn_tail_truncated);
+            e.push("tmp_files_removed", self.tmp_files_removed);
+            e.push("stale_generations_removed", self.stale_generations_removed);
+            e.push("stale_lock_removed", self.stale_lock_removed);
+            e.push("manifest_rebuilt", self.manifest_rebuilt);
+            e.push("repair_checkpoint", self.repair_checkpoint);
+        });
+    }
+}
+
+impl std::fmt::Display for RecoveryReport {
+    /// One logfmt-style line, mirroring the `persist_recovery` event.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "recovery clean={} committed_generation={} used_generation={} \
+             generations_tried={} quarantined_files={} quarantined_bytes={} \
+             records_replayed={} torn_tail_truncated={} tmp_files_removed={} \
+             stale_generations_removed={} stale_lock_removed={} \
+             manifest_rebuilt={} repair_checkpoint={}",
+            self.is_clean(),
+            self.committed_generation,
+            self.used_generation,
+            self.generations_tried,
+            self.quarantined.len(),
+            self.quarantined_bytes(),
+            self.records_replayed,
+            self.torn_tail_truncated,
+            self.tmp_files_removed,
+            self.stale_generations_removed,
+            self.stale_lock_removed,
+            self.manifest_rebuilt,
+            self.repair_checkpoint,
+        )
+    }
 }
 
 /// Everything a fallback-chain recovery produced: the snapshot payload
@@ -306,6 +364,9 @@ impl GenerationStore {
         payload_tag: u32,
         expected_fingerprint: Option<u64>,
     ) -> PersistResult<(Self, RecoveredGeneration)> {
+        let obs = crate::obs::obs();
+        obs.recoveries.inc();
+        let recovery_timer = obs.recovery_ns.start_timer();
         // Satellite: crash mid-write leaks `*.tmp` files — sweep them
         // before anything else looks at the directory.
         let mut report = RecoveryReport {
@@ -434,6 +495,11 @@ impl GenerationStore {
             || !chain_complete
             || wal_valid_len.is_none()
             || !report.quarantined.is_empty();
+        if degraded {
+            obs.recoveries_degraded.inc();
+        }
+        obs.quarantined_bytes.add(report.quarantined_bytes());
+        recovery_timer.observe();
 
         let store = GenerationStore {
             vfs,

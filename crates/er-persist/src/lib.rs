@@ -44,6 +44,7 @@
 pub mod codec;
 pub mod generation;
 pub mod multi;
+mod obs;
 pub mod snapshot;
 pub mod vfs;
 pub mod wal;

@@ -181,6 +181,9 @@ impl ShardStore {
         payload_tag: u32,
         expected_fingerprint: Option<u64>,
     ) -> PersistResult<(Self, RecoveredShards)> {
+        let obs = crate::obs::obs();
+        obs.recoveries.inc();
+        let recovery_timer = obs.recovery_ns.start_timer();
         let mut report = RecoveryReport {
             tmp_files_removed: sweep_tmp_files(vfs.as_ref(), dir)?,
             ..RecoveryReport::default()
@@ -301,6 +304,11 @@ impl ShardStore {
             || !chain_complete
             || wal_valid_lens.is_none()
             || !report.quarantined.is_empty();
+        if degraded {
+            obs.recoveries_degraded.inc();
+        }
+        obs.quarantined_bytes.add(report.quarantined_bytes());
+        recovery_timer.observe();
 
         let store = ShardStore {
             vfs,

@@ -154,6 +154,9 @@ pub fn write_snapshot_with(
     payload: &impl Encode,
 ) -> PersistResult<()> {
     let bytes = snapshot_file_bytes(payload_tag, fingerprint, payload);
+    let o = crate::obs::obs();
+    o.snapshot_writes.inc();
+    o.snapshot_bytes.add(bytes.len() as u64);
     write_file_atomic(vfs, policy, path, &bytes)
 }
 

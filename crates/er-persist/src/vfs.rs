@@ -189,6 +189,30 @@ impl OpKind {
     pub fn is_write(self) -> bool {
         !matches!(self, OpKind::Read | OpKind::List)
     }
+
+    /// The operation's snake_case name, as it appears in op-log renderings
+    /// and `vfs_fault` events.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Create => "create",
+            OpKind::CreateNew => "create_new",
+            OpKind::Append => "append",
+            OpKind::Truncate => "truncate",
+            OpKind::SyncFile => "sync_file",
+            OpKind::SyncDir => "sync_dir",
+            OpKind::Rename => "rename",
+            OpKind::Read => "read",
+            OpKind::List => "list",
+            OpKind::Remove => "remove",
+            OpKind::CreateDirAll => "create_dir_all",
+        }
+    }
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// A fault to inject at one specific operation index of a [`FaultVfs`].
@@ -220,6 +244,18 @@ pub enum FaultKind {
     /// A transient `EINTR`-class failure: nothing happened, retrying the
     /// same call succeeds.  Exercises the bounded-retry path.
     Transient,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FaultKind::Enospc => "enospc",
+            FaultKind::SyncFailure => "sync_failure",
+            FaultKind::ShortWrite => "short_write",
+            FaultKind::TornRename => "torn_rename",
+            FaultKind::Transient => "transient",
+        })
+    }
 }
 
 #[derive(Debug)]
@@ -284,6 +320,12 @@ impl FaultVfs {
         self.state.lock().unwrap().log.clone()
     }
 
+    /// The op log as a displayable trace — one `#index kind path` line per
+    /// operation, the form crash-exploration failures print.
+    pub fn op_trace(&self) -> OpTrace {
+        OpTrace(self.op_log())
+    }
+
     /// True once the planned crash point has fired.
     pub fn has_crashed(&self) -> bool {
         self.state.lock().unwrap().crashed
@@ -314,9 +356,20 @@ impl FaultVfs {
         state.log.push((kind, path.to_path_buf()));
         if self.crash_at == Some(op) {
             state.crashed = true;
+            er_obs::event::emit("vfs_crash_point", |e| {
+                e.push("op", op)
+                    .push("kind", kind)
+                    .push("path", path.display());
+            });
             return Verdict::CrashNow(op);
         }
         if let Some(fault) = self.faults.iter().find(|f| f.at_op == op) {
+            er_obs::event::emit("vfs_fault", |e| {
+                e.push("op", op)
+                    .push("kind", kind)
+                    .push("fault", fault.kind)
+                    .push("path", path.display());
+            });
             return Verdict::Fault(op, fault.kind);
         }
         Verdict::Proceed
@@ -364,6 +417,23 @@ impl FaultVfs {
                 io::Error::new(io::ErrorKind::Interrupted, "simulated transient EINTR")
             }
         }
+    }
+}
+
+/// A displayable [`FaultVfs`] op log: one `#index kind path` line per
+/// operation, in execution order.
+#[derive(Debug, Clone)]
+pub struct OpTrace(pub Vec<(OpKind, PathBuf)>);
+
+impl std::fmt::Display for OpTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, (kind, path)) in self.0.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "#{i:04} {kind} {}", path.display())?;
+        }
+        Ok(())
     }
 }
 
@@ -562,14 +632,26 @@ pub fn retrying<T>(
     let mut attempt = 0u32;
     loop {
         match op() {
-            Err(err) if err.is_retryable() && attempt + 1 < policy.max_attempts.max(1) => {
-                let pause = policy.backoff(attempt);
-                if !pause.is_zero() {
-                    std::thread::sleep(pause);
+            Err(err) => {
+                let o = crate::obs::obs();
+                o.errors
+                    .with_label(match err.class() {
+                        er_core::PersistErrorClass::Retryable => "retryable",
+                        er_core::PersistErrorClass::Fatal => "fatal",
+                    })
+                    .inc();
+                if err.is_retryable() && attempt + 1 < policy.max_attempts.max(1) {
+                    o.retries.inc();
+                    let pause = policy.backoff(attempt);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                    attempt += 1;
+                } else {
+                    return Err(err);
                 }
-                attempt += 1;
             }
-            other => return other,
+            ok => return ok,
         }
     }
 }

@@ -218,15 +218,23 @@ impl WalWriter {
         let vfs = self.vfs.as_ref();
         let path = &self.path;
         let (appends, syncs) = (&mut self.appends, &mut self.syncs);
+        let o = crate::obs::obs();
         retrying(self.policy, || {
             *appends += 1;
+            o.wal_appends.inc();
+            o.wal_append_bytes.add(frame.len() as u64);
             let write = vfs
                 .append(path, frame.as_bytes())
                 .map_err(|e| PersistError::io("append wal record", &e))
                 .and_then(|()| {
                     *syncs += 1;
-                    vfs.sync_file(path)
-                        .map_err(|e| PersistError::io("sync wal record", &e))
+                    o.wal_fsyncs.inc();
+                    let fsync_timer = o.fsync_ns.start_timer();
+                    let synced = vfs
+                        .sync_file(path)
+                        .map_err(|e| PersistError::io("sync wal record", &e));
+                    fsync_timer.observe();
+                    synced
                 });
             if write.is_err() {
                 // Best effort: drop whatever partial frame made it to disk

@@ -359,6 +359,7 @@ impl<G: KeyGenerator> DurableShardedService<G> {
                 store.commit(SHARDED_SNAPSHOT_TAG, &router, &shards)?
             }
         };
+        report.observe();
         Ok(DurableShardedService {
             service,
             store,
@@ -506,7 +507,12 @@ impl<G: KeyGenerator> DurableShardedService<G> {
             striped[(seq % num_wals as u64) as usize].push(payload);
         }
         let mut wrote_any = false;
+        let mut fsyncs = 0u64;
+        let o = crate::obs::obs();
         for (shard, group) in striped.iter().enumerate() {
+            o.queue_depth
+                .with_label(&shard.to_string())
+                .set(group.len() as u64);
             if group.is_empty() {
                 continue;
             }
@@ -520,7 +526,12 @@ impl<G: KeyGenerator> DurableShardedService<G> {
                 return Err(e);
             }
             wrote_any = true;
+            fsyncs += 1;
+            o.wal_records.record(group.len() as u64);
         }
+        o.groups_applied.inc();
+        o.group_batches.record(ops.len() as u64);
+        o.group_fsyncs.record(fsyncs);
         self.next_seq += ops.len() as u64;
         Ok(ops.iter().map(|op| self.service.apply(op, score)).collect())
     }
@@ -586,8 +597,12 @@ impl<G: KeyGenerator> DurableShardedService<G> {
     pub fn checkpoint(&mut self) -> PersistResult<()> {
         self.check_usable()?;
         self.retire_wal_counters();
+        let o = crate::obs::obs();
+        o.checkpoints.inc();
+        let timer = o.checkpoint_ns.start_timer();
         let (router, shards) = snapshot_parts(&self.service, self.next_seq);
         self.wals = self.store.commit(SHARDED_SNAPSHOT_TAG, &router, &shards)?;
+        timer.observe();
         Ok(())
     }
 

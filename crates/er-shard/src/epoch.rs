@@ -105,7 +105,17 @@ impl EpochReader {
 
     /// The most recently published view.
     pub fn load(&self) -> Arc<EpochView> {
-        self.cell.load()
+        let view = self.cell.load();
+        // How far the loaded view trails the newest publish, in batches.
+        // Usually 0; nonzero when a writer published between the pointer
+        // read and here, or when several services share the process.
+        let o = crate::obs::obs();
+        o.reader_view_age.record(
+            o.published_batches
+                .get()
+                .saturating_sub(view.batches_applied),
+        );
+        view
     }
 }
 

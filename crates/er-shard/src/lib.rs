@@ -27,6 +27,7 @@
 
 pub mod durable;
 pub mod epoch;
+mod obs;
 pub mod service;
 
 pub use durable::{sharded_fingerprint, DurableShardedService, SHARDED_SNAPSHOT_TAG};

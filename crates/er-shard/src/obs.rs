@@ -1,0 +1,82 @@
+//! er-obs metric handles for the sharded service, resolved once per
+//! process.  Group-commit metrics are recorded once per applied group,
+//! epoch metrics once per published view — never per record or per pair.
+
+use std::sync::OnceLock;
+
+use er_obs::{Counter, Family, Gauge, Histogram};
+
+pub(crate) struct ShardObs {
+    /// Mutation groups applied through the durable group-commit path.
+    pub(crate) groups_applied: &'static Counter,
+    /// Batches per applied group.
+    pub(crate) group_batches: &'static Histogram,
+    /// Fsyncs per applied group (one per touched WAL — below the batch
+    /// count once groups are deeper than the shard count).
+    pub(crate) group_fsyncs: &'static Histogram,
+    /// Records appended per touched WAL per group.
+    pub(crate) wal_records: &'static Histogram,
+    /// Records striped to each shard's WAL by the last applied group.
+    pub(crate) queue_depth: &'static Family<Gauge>,
+    /// Cross-shard checkpoints committed.
+    pub(crate) checkpoints: &'static Counter,
+    /// Cross-shard checkpoint duration, nanoseconds.
+    pub(crate) checkpoint_ns: &'static Histogram,
+    /// Epoch views published (batch and compaction boundaries).
+    pub(crate) epochs_published: &'static Counter,
+    /// Epoch publish latency (view assembly + pointer flip), nanoseconds.
+    pub(crate) epoch_publish_ns: &'static Histogram,
+    /// `batches_applied` of the most recently published view.
+    pub(crate) published_batches: &'static Gauge,
+    /// Reader-view age at load time, in batches behind the newest publish.
+    pub(crate) reader_view_age: &'static Histogram,
+}
+
+pub(crate) fn obs() -> &'static ShardObs {
+    static OBS: OnceLock<ShardObs> = OnceLock::new();
+    OBS.get_or_init(|| ShardObs {
+        groups_applied: er_obs::counter(
+            "shard_groups_applied_total",
+            "Mutation groups applied through the durable group-commit path",
+        ),
+        group_batches: er_obs::histogram("shard_group_batches", "Batches per applied group"),
+        group_fsyncs: er_obs::histogram(
+            "shard_group_fsyncs",
+            "Fsyncs per applied group (one per touched WAL)",
+        ),
+        wal_records: er_obs::histogram(
+            "shard_wal_records",
+            "Records appended per touched WAL per group",
+        ),
+        queue_depth: er_obs::gauge_family(
+            "shard_queue_depth",
+            "Records striped to each shard's WAL by the last applied group",
+            "shard",
+            er_obs::DEFAULT_MAX_CARDINALITY,
+        ),
+        checkpoints: er_obs::counter(
+            "shard_checkpoints_total",
+            "Cross-shard checkpoints committed",
+        ),
+        checkpoint_ns: er_obs::histogram(
+            "shard_checkpoint_ns",
+            "Cross-shard checkpoint duration, nanoseconds",
+        ),
+        epochs_published: er_obs::counter(
+            "shard_epochs_published_total",
+            "Epoch views published (batch and compaction boundaries)",
+        ),
+        epoch_publish_ns: er_obs::histogram(
+            "shard_epoch_publish_ns",
+            "Epoch publish latency (view assembly + pointer flip), nanoseconds",
+        ),
+        published_batches: er_obs::gauge(
+            "shard_published_batches",
+            "batches_applied of the most recently published view",
+        ),
+        reader_view_age: er_obs::histogram(
+            "shard_reader_view_age_batches",
+            "Reader-view age at load time, in batches behind the newest publish",
+        ),
+    })
+}

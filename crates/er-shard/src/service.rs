@@ -228,6 +228,8 @@ impl<G: KeyGenerator> ShardedStreamingService<G> {
     /// as the new epoch view.
     pub fn compact(&mut self) -> Arc<CsrBlockCollection> {
         let baseline = Arc::new(self.blocker.compact());
+        let o = crate::obs::obs();
+        let publish_timer = o.epoch_publish_ns.start_timer();
         self.cell.publish(EpochView {
             epoch: self.blocker.index().epoch(),
             batches_applied: self.batches_applied,
@@ -236,6 +238,9 @@ impl<G: KeyGenerator> ShardedStreamingService<G> {
             baseline: baseline.clone(),
             last_delta: None,
         });
+        publish_timer.observe();
+        o.epochs_published.inc();
+        o.published_batches.set(self.batches_applied);
         baseline
     }
 
@@ -247,6 +252,8 @@ impl<G: KeyGenerator> ShardedStreamingService<G> {
 
     fn publish_batch(&mut self, delta: &DeltaBatch) {
         self.batches_applied += 1;
+        let o = crate::obs::obs();
+        let publish_timer = o.epoch_publish_ns.start_timer();
         let previous = self.cell.load();
         self.cell.publish(EpochView {
             epoch: delta.epoch,
@@ -256,6 +263,9 @@ impl<G: KeyGenerator> ShardedStreamingService<G> {
             baseline: previous.baseline.clone(),
             last_delta: Some(Arc::new(delta.clone())),
         });
+        publish_timer.observe();
+        o.epochs_published.inc();
+        o.published_batches.set(self.batches_applied);
     }
 }
 

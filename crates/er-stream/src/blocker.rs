@@ -421,6 +421,9 @@ impl<G: KeyGenerator, I: DeltaIndex> StreamingMetaBlocker<G, I> {
                 }
             }
         }
+        crate::obs::obs()
+            .delta_revivals
+            .add(effects.revived.len() as u64);
         for &(a, b) in &effects.revived {
             let agg = self.index.pair_cooccurrence(a, b);
             additions.push(((a, b), agg));
@@ -543,6 +546,9 @@ impl<G: KeyGenerator, I: DeltaIndex> StreamingMetaBlocker<G, I> {
 
         // Revived pairs (a capped block shrinking back under its cap) are
         // fresh additions, scored against the end-of-batch state.
+        crate::obs::obs()
+            .delta_revivals
+            .add(effects.revived.len() as u64);
         let additions: Vec<ScoredPair> = effects
             .revived
             .iter()
@@ -686,6 +692,9 @@ impl<G: KeyGenerator, I: DeltaIndex> StreamingMetaBlocker<G, I> {
                 }
             }
         }
+        crate::obs::obs()
+            .delta_revivals
+            .add(effects.revived.len() as u64);
         for &(a, b) in &effects.revived {
             let agg = self.index.pair_cooccurrence(a, b);
             additions.push(((a, b), agg));
@@ -743,6 +752,27 @@ impl<G: KeyGenerator, I: DeltaIndex> StreamingMetaBlocker<G, I> {
             touched_keys,
             mutated_entities: Vec::new(),
         };
+        // One registry touch per batch (never per pair), before the unscored
+        // early-return so `*_unscored` batches are counted too.
+        {
+            let o = crate::obs::obs();
+            if num_ingested > 0 {
+                o.ingest_batches.inc();
+                o.entities_ingested.add(num_ingested as u64);
+            }
+            if num_removed > 0 {
+                o.remove_batches.inc();
+                o.entities_removed.add(num_removed as u64);
+            }
+            if num_updated > 0 {
+                o.update_batches.inc();
+                o.entities_updated.add(num_updated as u64);
+            }
+            o.delta_additions.add(batch.pairs.len() as u64);
+            o.delta_retractions.add(batch.retracted.len() as u64);
+            o.delta_rescored.add(batch.rescored_pairs.len() as u64);
+            o.delta_pairs.record(batch.len() as u64);
+        }
         if !score {
             return batch;
         }
@@ -800,6 +830,9 @@ impl<G: KeyGenerator, I: DeltaIndex> StreamingMetaBlocker<G, I> {
     /// baseline CSR — physically dropping tombstoned postings — and returns
     /// the compacted batch view.
     pub fn compact(&mut self) -> CsrBlockCollection {
+        let o = crate::obs::obs();
+        o.compactions.inc();
+        let _timer = o.compaction_ns.start_timer();
         self.index.compact(self.threads)
     }
 }

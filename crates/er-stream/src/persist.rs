@@ -397,6 +397,7 @@ impl<G: KeyGenerator> DurableMetaBlocker<G> {
                 )?
             }
         };
+        report.observe();
         Ok(DurableMetaBlocker {
             blocker,
             store,

@@ -26,6 +26,9 @@
 //! * [`shard`] (`er-shard`) — the sharded streaming service: hash-partitioned
 //!   posting shards, per-shard WALs with group commit, atomic cross-shard
 //!   checkpoints and epoch-published wait-free reads;
+//! * [`obs`] (`er-obs`) — the dependency-free observability layer: lock-free
+//!   counters/gauges/histograms, structured events, Prometheus and JSON
+//!   exporters, threaded through every pipeline, durability and shard path;
 //! * [`eval`] (`er-eval`) — metrics and the experiment harness behind every
 //!   table and figure.
 //!
@@ -55,6 +58,7 @@ pub use er_datasets as datasets;
 pub use er_eval as eval;
 pub use er_features as features;
 pub use er_learn as learn;
+pub use er_obs as obs;
 pub use er_persist as persist;
 pub use er_shard as shard;
 pub use er_stream as stream;

@@ -1,0 +1,135 @@
+//! End-to-end observability: a durable sharded run must leave a registry
+//! snapshot with nonzero durability and shard metrics, emit the structured
+//! recovery event, and render both exporter formats.
+//!
+//! This is the acceptance gate of the er-obs layer: every subsystem the
+//! pipeline touches (streaming deltas, per-shard WAL group commit, fsync
+//! latency, checkpoints, epoch publication, recovery) shows up in one
+//! `render_prometheus` pass with no bespoke side channels.
+
+use std::path::PathBuf;
+
+use gsmb::blocking::TokenKeys;
+use gsmb::core::{Dataset, EntityId};
+use gsmb::datasets::{dirty_catalog, generate_dirty, CatalogOptions};
+use gsmb::features::FeatureSet;
+use gsmb::obs::event::CapturingSink;
+use gsmb::shard::{DurableShardedService, ShardedStreamingService};
+use gsmb::stream::{MutationRecord, StreamingConfig};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn dataset() -> Dataset {
+    generate_dirty(&dirty_catalog(&CatalogOptions::tiny())[0]).unwrap()
+}
+
+fn config(dataset: &Dataset) -> StreamingConfig {
+    StreamingConfig {
+        feature_set: FeatureSet::blast_optimal(),
+        threads: 2,
+        ..StreamingConfig::for_dataset(dataset)
+    }
+}
+
+#[test]
+fn durable_sharded_run_populates_the_registry_and_emits_recovery_events() {
+    let sink = CapturingSink::shared();
+    gsmb::obs::event::set_sink(sink.clone());
+
+    let ds = dataset();
+    let n = ds.profiles.len();
+    let dir = scratch("obs-durable-sharded");
+
+    // A durable sharded run: grouped mutations (one fsync per touched
+    // shard WAL), a checkpoint, more WAL tail, reader loads, then a crash.
+    let mut durable = ShardedStreamingService::new(config(&ds), TokenKeys, 3)
+        .unwrap()
+        .persist_to(&dir)
+        .unwrap();
+    let mid = n / 2;
+    durable
+        .apply_group(&[
+            MutationRecord::Ingest(ds.profiles[..mid].to_vec()),
+            MutationRecord::Remove(vec![EntityId(1)]),
+        ])
+        .unwrap();
+    durable.checkpoint().unwrap();
+    durable.ingest(&ds.profiles[mid..]).unwrap();
+    let reader = durable.reader();
+    assert!(reader.load().num_entities > 0);
+    drop(durable); // crash: the second ingest lives only in the WALs
+
+    let recovered = DurableShardedService::recover_from(&dir, TokenKeys, 2).unwrap();
+    let report = recovered.recovery_report().unwrap();
+    assert!(report.records_replayed > 0, "the WAL tail must replay");
+
+    // The report's one-line logfmt rendering names its key fields.
+    let line = report.to_string();
+    assert!(line.starts_with("recovery "), "unexpected Display: {line}");
+    assert!(line.contains("clean="), "unexpected Display: {line}");
+    assert!(
+        line.contains("records_replayed="),
+        "unexpected Display: {line}"
+    );
+
+    // The recovery was emitted as a structured event with the same fields.
+    gsmb::obs::event::clear_sink();
+    let recovery_events: Vec<_> = sink
+        .take()
+        .into_iter()
+        .filter(|e| e.name == "persist_recovery")
+        .collect();
+    assert!(!recovery_events.is_empty(), "no persist_recovery event");
+    let event = recovery_events.last().unwrap();
+    assert_eq!(
+        event.get("records_replayed"),
+        Some(report.records_replayed.to_string().as_str())
+    );
+    assert_eq!(event.get("clean"), Some("true"));
+
+    // Every subsystem the run touched shows up nonzero in one snapshot.
+    let snapshot = gsmb::obs::snapshot();
+    let nonzero = |name: &str| {
+        let value = snapshot
+            .value(name)
+            .unwrap_or_else(|| panic!("{name} not registered"));
+        assert!(value > 0, "{name} stayed zero");
+    };
+    nonzero("persist_wal_appends_total");
+    nonzero("persist_wal_fsyncs_total");
+    nonzero("persist_snapshot_writes_total");
+    nonzero("persist_snapshot_bytes_total");
+    nonzero("persist_recoveries_total");
+    nonzero("persist_wal_records_replayed_total");
+    nonzero("shard_groups_applied_total");
+    nonzero("shard_epochs_published_total");
+
+    let nonzero_histogram = |name: &str| {
+        let h = snapshot
+            .histogram(name)
+            .unwrap_or_else(|| panic!("{name} not registered"));
+        assert!(h.count > 0, "{name} recorded nothing");
+    };
+    nonzero_histogram("persist_fsync_ns");
+    nonzero_histogram("persist_recovery_ns");
+    nonzero_histogram("shard_group_fsyncs");
+    nonzero_histogram("shard_group_batches");
+    nonzero_histogram("shard_epoch_publish_ns");
+    nonzero_histogram("shard_reader_view_age_batches");
+    nonzero_histogram("streaming_delta_pairs");
+
+    // Both exporters render the same registry: the Prometheus text carries
+    // type headers and bucketed fsync latency, the JSON the scalar series.
+    let prometheus = snapshot.render_prometheus();
+    assert!(prometheus.contains("# TYPE persist_fsync_ns histogram"));
+    assert!(prometheus.contains("persist_fsync_ns_bucket"));
+    assert!(prometheus.contains("# TYPE shard_groups_applied_total counter"));
+    assert!(prometheus.contains("streaming_ingest_batches_total"));
+    let json = snapshot.render_json();
+    assert!(json.contains("\"persist_wal_appends_total\""));
+    assert!(json.contains("\"shard_epochs_published_total\""));
+}
